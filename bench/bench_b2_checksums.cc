@@ -1,0 +1,54 @@
+// B2 — checksum cost: CRC-32 vs MD4 vs MD4-DES.
+//
+// The paper's appendix: the meaningful axis is collision-proofness; this
+// bench prices the upgrade the paper demands (CRC-32 → MD4 / MD4-DES).
+
+#include "bench/bench_util.h"
+#include "src/crypto/checksum.h"
+#include "src/crypto/crc32.h"
+#include "src/crypto/prng.h"
+
+namespace {
+
+using kcrypto::ChecksumType;
+
+void PrintExperimentReport() {
+  kbench::Header("B2", "checksum suite: strength classification");
+  std::printf("  %-14s %-6s %-16s %-6s\n", "type", "bytes", "collision-proof", "keyed");
+  for (ChecksumType type :
+       {ChecksumType::kCrc32, ChecksumType::kMd4, ChecksumType::kMd4Des}) {
+    std::printf("  %-14s %-6zu %-16s %-6s\n", kcrypto::ChecksumTypeName(type),
+                kcrypto::ChecksumSize(type), kcrypto::IsCollisionProof(type) ? "yes" : "NO",
+                kcrypto::IsKeyed(type) ? "yes" : "no");
+  }
+  kbench::Line("  (CRC-32's 'NO' is the root cause of experiments E9/E10.)");
+}
+
+template <ChecksumType kType>
+void BM_Checksum(benchmark::State& state) {
+  kcrypto::Prng prng(1);
+  kcrypto::DesKey key = prng.NextDesKey();
+  kerb::Bytes data = prng.NextBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kcrypto::ComputeChecksum(kType, data, key));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Checksum<ChecksumType::kCrc32>)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_Checksum<ChecksumType::kMd4>)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_Checksum<ChecksumType::kMd4Des>)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Crc32Forge(benchmark::State& state) {
+  // The attacker's cost: steering a CRC-32 is four table lookups.
+  kcrypto::Prng prng(2);
+  kerb::Bytes prefix = prng.NextBytes(256);
+  uint32_t target = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kcrypto::ForgePatch(prefix, target++));
+  }
+}
+BENCHMARK(BM_Crc32Forge);
+
+}  // namespace
+
+KERB_BENCH_MAIN()

@@ -1,0 +1,99 @@
+// B3 — the exponential-key-exchange trade-off.
+//
+// "LaMacchia and Odlyzko have demonstrated that exchanging small numbers is
+// quite insecure, while using large ones is expensive in computation time."
+// Two curves against modulus size: the legitimate parties' ModExp cost
+// (polynomial) and the attacker's discrete-log cost (exponential). The
+// crossover is the paper's argument in numbers.
+
+#include "bench/bench_util.h"
+#include "src/crypto/dh.h"
+#include "src/crypto/dlog.h"
+#include "src/crypto/primes.h"
+
+namespace {
+
+using kcrypto::BigInt;
+using kcrypto::DhGroup;
+using kcrypto::MakeToyGroup;
+using kcrypto::Prng;
+
+void PrintExperimentReport() {
+  kbench::Header("B3", "modexp cost vs discrete-log break cost by modulus size");
+  kbench::Line("  ModExp grows polynomially with bits; BSGS/rho grow as 2^(bits/2).");
+  kbench::Line("  Timed results follow; 768/1024-bit groups are the Oakley primes,");
+  kbench::Line("  smaller are random safe primes. Dlog rows stop at 40 bits because");
+  kbench::Line("  beyond that the attacker's table no longer fits the point being made.");
+}
+
+void BM_ModExpToy(benchmark::State& state) {
+  Prng prng(static_cast<uint64_t>(state.range(0)));
+  DhGroup group = MakeToyGroup(prng, static_cast<int>(state.range(0)));
+  kcrypto::DhKeyPair pair = DhGenerate(group, prng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BigInt::ModExp(group.g, pair.private_key, group.p));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + "-bit modulus");
+}
+BENCHMARK(BM_ModExpToy)->Arg(16)->Arg(24)->Arg(32)->Arg(40)->Arg(56);
+
+void BM_ModExpOakley(benchmark::State& state) {
+  const DhGroup& group =
+      state.range(0) == 768 ? kcrypto::OakleyGroup1() : kcrypto::OakleyGroup2();
+  Prng prng(9);
+  kcrypto::DhKeyPair pair = DhGenerate(group, prng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::ModExp(group.g, pair.private_key, group.p));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + "-bit modulus");
+}
+BENCHMARK(BM_ModExpOakley)->Arg(768)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_DlogBsgsBreak(benchmark::State& state) {
+  Prng prng(static_cast<uint64_t>(state.range(0)) ^ 0xd106);
+  DhGroup group = MakeToyGroup(prng, static_cast<int>(state.range(0)));
+  uint64_t p = group.p.LowU64();
+  uint64_t g = group.g.LowU64();
+  uint64_t secret = 2 + prng.NextBelow(p - 4);
+  uint64_t target = kcrypto::PowMod64(g, secret, p);
+  for (auto _ : state) {
+    auto x = kcrypto::DlogBabyStepGiantStep(g, target, p);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + "-bit modulus BROKEN");
+}
+BENCHMARK(BM_DlogBsgsBreak)->Arg(16)->Arg(24)->Arg(32)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_DlogPollardRhoBreak(benchmark::State& state) {
+  Prng prng(static_cast<uint64_t>(state.range(0)) ^ 0x60);
+  DhGroup group = MakeToyGroup(prng, static_cast<int>(state.range(0)));
+  uint64_t p = group.p.LowU64();
+  uint64_t g = group.g.LowU64();
+  uint64_t secret = 2 + prng.NextBelow(p - 4);
+  uint64_t target = kcrypto::PowMod64(g, secret, p);
+  Prng walk_prng(1);
+  for (auto _ : state) {
+    auto x = kcrypto::DlogPollardRho(g, target, p, walk_prng);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + "-bit modulus BROKEN (O(1) memory)");
+}
+BENCHMARK(BM_DlogPollardRhoBreak)->Arg(20)->Arg(28)->Arg(36)->Unit(benchmark::kMillisecond);
+
+void BM_FullDhLoginHandshakeCost(benchmark::State& state) {
+  // The per-login cost recommendation (h) adds: two modexps per side.
+  const DhGroup& group = kcrypto::OakleyGroup1();
+  Prng prng(11);
+  for (auto _ : state) {
+    kcrypto::DhKeyPair client = DhGenerate(group, prng);
+    kcrypto::DhKeyPair server = DhGenerate(group, prng);
+    benchmark::DoNotOptimize(
+        kcrypto::DhSharedSecret(group, client.private_key, server.public_key));
+  }
+}
+BENCHMARK(BM_FullDhLoginHandshakeCost)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+KERB_BENCH_MAIN()

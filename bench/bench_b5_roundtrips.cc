@@ -1,0 +1,76 @@
+// B5 — the price of challenge/response: "an extra pair of messages must be
+// exchanged each time a ticket is used, which rules out the possibility of
+// authenticated datagrams."
+//
+// Counts network messages and times the full AP exchange in both modes.
+
+#include "bench/bench_util.h"
+#include "src/attacks/testbed5.h"
+
+namespace {
+
+using kattack::Testbed5;
+using kattack::Testbed5Config;
+
+uint64_t MessagesForOneCall(krb5::ApAuthMode mode) {
+  Testbed5Config config;
+  config.server_options.mode = mode;
+  Testbed5 bed(config);
+  (void)bed.alice().Login(Testbed5::kAlicePassword);
+  (void)bed.alice().GetServiceTicket(bed.mail_principal());
+  uint64_t before = bed.world().network().messages_sent();
+  (void)bed.alice().CallService(Testbed5::kMailAddr, bed.mail_principal(), false);
+  return bed.world().network().messages_sent() - before;
+}
+
+void PrintExperimentReport() {
+  kbench::Header("B5", "AP exchange round trips: timestamp vs challenge/response");
+  uint64_t ts = MessagesForOneCall(krb5::ApAuthMode::kTimestamp);
+  uint64_t cr = MessagesForOneCall(krb5::ApAuthMode::kChallengeResponse);
+  std::printf("  timestamp mode:           %llu request(s) per authenticated call\n",
+              static_cast<unsigned long long>(ts));
+  std::printf("  challenge/response mode:  %llu request(s) per authenticated call\n",
+              static_cast<unsigned long long>(cr));
+  std::printf("  extra messages:           %lld (the paper's 'extra pair')\n",
+              static_cast<long long>(cr - ts));
+}
+
+void RunCallBenchmark(benchmark::State& state, krb5::ApAuthMode mode) {
+  Testbed5Config config;
+  config.server_options.mode = mode;
+  Testbed5 bed(config);
+  (void)bed.alice().Login(Testbed5::kAlicePassword);
+  (void)bed.alice().GetServiceTicket(bed.mail_principal());
+  for (auto _ : state) {
+    auto r = bed.alice().CallService(Testbed5::kMailAddr, bed.mail_principal(), false);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_ApExchangeTimestamp(benchmark::State& state) {
+  RunCallBenchmark(state, krb5::ApAuthMode::kTimestamp);
+}
+BENCHMARK(BM_ApExchangeTimestamp)->Unit(benchmark::kMicrosecond);
+
+void BM_ApExchangeChallengeResponse(benchmark::State& state) {
+  RunCallBenchmark(state, krb5::ApAuthMode::kChallengeResponse);
+}
+BENCHMARK(BM_ApExchangeChallengeResponse)->Unit(benchmark::kMicrosecond);
+
+void BM_FullLoginToService(benchmark::State& state) {
+  // End-to-end: AS + TGS + AP, fresh client each iteration.
+  for (auto _ : state) {
+    Testbed5Config config;
+    config.seed = static_cast<uint64_t>(state.iterations()) + 1;
+    Testbed5 bed(config);
+    (void)bed.alice().Login(Testbed5::kAlicePassword);
+    auto r = bed.alice().CallService(Testbed5::kMailAddr, bed.mail_principal(), true);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_FullLoginToService)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+KERB_BENCH_MAIN()

@@ -1,0 +1,79 @@
+// B6 — server state: authenticator/timestamp caches vs sequence counters.
+//
+// "If such messages are used for things like file system requests, the size
+// of the cache could rapidly become unmanageable" vs "the cache is then a
+// simple last-message counter."
+
+#include "bench/bench_util.h"
+#include "src/krb5/safepriv.h"
+#include "src/sim/world.h"
+
+namespace {
+
+krb5::ChannelConfig Config(krb5::ReplayProtection protection) {
+  krb5::ChannelConfig config;
+  config.protection = protection;
+  return config;
+}
+
+void PrintExperimentReport() {
+  kbench::Header("B6", "receiver state after N messages in one skew window");
+  std::printf("  %-10s %-22s %-22s\n", "messages", "timestamp cache", "sequence counter");
+  for (int n : {10, 100, 1000, 10000}) {
+    ksim::World world(1);
+    ksim::HostClock clock = world.MakeHostClock(0);
+    kcrypto::Prng prng(2);
+    kcrypto::DesKey key = kcrypto::Prng(3).NextDesKey();
+    krb5::SecureChannel ts_sender(key, &clock, Config(krb5::ReplayProtection::kTimestamp));
+    krb5::SecureChannel ts_receiver(key, &clock, Config(krb5::ReplayProtection::kTimestamp));
+    krb5::SecureChannel seq_sender(key, &clock, Config(krb5::ReplayProtection::kSequence));
+    krb5::SecureChannel seq_receiver(key, &clock, Config(krb5::ReplayProtection::kSequence));
+    for (int i = 0; i < n; ++i) {
+      (void)ts_receiver.OpenMessage(ts_sender.SealMessage(kerb::Bytes{1}, prng));
+      (void)seq_receiver.OpenMessage(seq_sender.SealMessage(kerb::Bytes{1}, prng));
+      world.clock().Advance(ksim::kMillisecond);  // all within the window
+    }
+    std::printf("  %-10d %-22zu %-22s\n", n, ts_receiver.timestamp_cache_size(),
+                "1 counter (4 bytes)");
+  }
+}
+
+void BM_TimestampChannelMessage(benchmark::State& state) {
+  ksim::World world(1);
+  ksim::HostClock clock = world.MakeHostClock(0);
+  kcrypto::Prng prng(2);
+  kcrypto::DesKey key = kcrypto::Prng(3).NextDesKey();
+  krb5::SecureChannel sender(key, &clock, Config(krb5::ReplayProtection::kTimestamp));
+  krb5::SecureChannel receiver(key, &clock, Config(krb5::ReplayProtection::kTimestamp));
+  // Pre-fill the cache to the configured size.
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    (void)receiver.OpenMessage(sender.SealMessage(kerb::Bytes{1}, prng));
+    world.clock().Advance(ksim::kMillisecond);
+  }
+  for (auto _ : state) {
+    world.clock().Advance(ksim::kMillisecond);
+    auto r = receiver.OpenMessage(sender.SealMessage(kerb::Bytes{1}, prng));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("cache preloaded with " + std::to_string(state.range(0)) + " entries");
+}
+BENCHMARK(BM_TimestampChannelMessage)->Arg(0)->Arg(1000)->Arg(10000);
+
+void BM_SequenceChannelMessage(benchmark::State& state) {
+  ksim::World world(1);
+  ksim::HostClock clock = world.MakeHostClock(0);
+  kcrypto::Prng prng(2);
+  kcrypto::DesKey key = kcrypto::Prng(3).NextDesKey();
+  krb5::SecureChannel sender(key, &clock, Config(krb5::ReplayProtection::kSequence), 1);
+  krb5::SecureChannel receiver(key, &clock, Config(krb5::ReplayProtection::kSequence), 1);
+  for (auto _ : state) {
+    auto r = receiver.OpenMessage(sender.SealMessage(kerb::Bytes{1}, prng));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("state is one counter regardless of traffic");
+}
+BENCHMARK(BM_SequenceChannelMessage);
+
+}  // namespace
+
+KERB_BENCH_MAIN()

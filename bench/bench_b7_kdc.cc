@@ -1,0 +1,66 @@
+// B7 — KDC throughput under the recommended AS-exchange protections.
+//
+// Preauthentication costs the KDC one extra decryption per AS request;
+// rate limiting costs a map lookup. The paper: "Security has real costs,
+// and the benefits are intangible."
+
+#include "bench/bench_util.h"
+#include "src/attacks/testbed5.h"
+
+namespace {
+
+using kattack::Testbed5;
+using kattack::Testbed5Config;
+
+void PrintExperimentReport() {
+  kbench::Header("B7", "AS exchange cost: bare vs preauthenticated vs rate-limited");
+  kbench::Line("  Timed below. Expect preauth to add one seal+unseal pair per login;");
+  kbench::Line("  the rate limiter's sliding window is noise by comparison.");
+}
+
+void RunLoginBenchmark(benchmark::State& state, bool preauth, uint32_t rate_limit) {
+  Testbed5Config config;
+  config.kdc_policy.require_preauth = preauth;
+  config.kdc_policy.as_rate_limit_per_minute = rate_limit;
+  config.client_options.use_preauth = preauth;
+  Testbed5 bed(config);
+  for (auto _ : state) {
+    auto r = bed.alice().Login(Testbed5::kAlicePassword);
+    benchmark::DoNotOptimize(r);
+    bed.alice().Logout();
+    // Keep the rate limiter's window moving so throttling never triggers
+    // in the timed path.
+    bed.world().clock().Advance(ksim::kMinute);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_AsExchangeBare(benchmark::State& state) { RunLoginBenchmark(state, false, 0); }
+BENCHMARK(BM_AsExchangeBare)->Unit(benchmark::kMicrosecond);
+
+void BM_AsExchangePreauth(benchmark::State& state) { RunLoginBenchmark(state, true, 0); }
+BENCHMARK(BM_AsExchangePreauth)->Unit(benchmark::kMicrosecond);
+
+void BM_AsExchangeRateLimited(benchmark::State& state) {
+  RunLoginBenchmark(state, false, 1000000);
+}
+BENCHMARK(BM_AsExchangeRateLimited)->Unit(benchmark::kMicrosecond);
+
+void BM_TgsExchange(benchmark::State& state) {
+  Testbed5Config config;
+  Testbed5 bed(config);
+  (void)bed.alice().Login(Testbed5::kAlicePassword);
+  for (auto _ : state) {
+    krb5::TgsRequest5 req;
+    req.service = bed.mail_principal();
+    req.lifetime = ksim::kHour;
+    auto r = bed.alice().RawTgsRequest(bed.realm, req);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TgsExchange)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+KERB_BENCH_MAIN()

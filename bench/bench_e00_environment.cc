@@ -1,0 +1,38 @@
+// E0 — environment assumptions (§THE KERBEROS ENVIRONMENT).
+
+#include "bench/bench_util.h"
+#include "src/attacks/environment.h"
+
+namespace {
+
+void PrintExperimentReport() {
+  kbench::Header("E0", "environment assumptions: caches, disks, and hosts");
+  {
+    auto r = kattack::RunDisklessTmpCacheTheft();
+    kbench::ResultRow("diskless workstation: /tmp cache on a file server",
+                      r.impersonation_succeeded,
+                      "session key read off the wire; " + r.evidence);
+  }
+  {
+    auto r = kattack::RunHostExposureStudy();
+    kbench::ResultRow("multi-user host: concurrent cache read",
+                      r.concurrent_theft_succeeded, "live keys available to any root");
+    kbench::ResultRow("workstation: cache read after logout",
+                      r.post_logout_theft_succeeded, "keys wiped at logoff");
+  }
+  kbench::Line("  Paper: 'Kerberos is designed to authenticate the end-user ... It is"
+               " not a peer-to-peer system ... Attempting to use Kerberos in such a mode"
+               " can cause trouble.'");
+}
+
+void BM_DisklessCacheTheft(benchmark::State& state) {
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kattack::RunDisklessTmpCacheTheft(seed++));
+  }
+}
+BENCHMARK(BM_DisklessCacheTheft)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+KERB_BENCH_MAIN()

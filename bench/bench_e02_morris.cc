@@ -1,0 +1,44 @@
+// E2 — the Morris sequence-number attack with a stolen live authenticator.
+
+#include "bench/bench_util.h"
+#include "src/attacks/morris.h"
+
+namespace {
+
+void PrintExperimentReport() {
+  kbench::Header("E2", "Morris ISN spoof + live authenticator (§Replay Attacks, [Morr85])");
+  {
+    kattack::MorrisScenario scenario;
+    auto r = kattack::RunMorrisSpoof(scenario);
+    kbench::ResultRow("predictable ISNs, timestamp auth", r.command_executed, r.evidence);
+  }
+  {
+    kattack::MorrisScenario scenario;
+    scenario.isn_policy = ksim::IsnPolicy::kRandom;
+    auto r = kattack::RunMorrisSpoof(scenario);
+    kbench::ResultRow("random ISNs", r.command_executed);
+  }
+  {
+    kattack::MorrisScenario scenario;
+    scenario.challenge_response = true;
+    auto r = kattack::RunMorrisSpoof(scenario);
+    kbench::ResultRow("predictable ISNs + challenge/response", r.command_executed,
+                      r.evidence);
+  }
+  kbench::Line("  Paper: 'would still work if accompanied by a stolen live authenticator,"
+               " but not if a challenge/response protocol was used.'");
+}
+
+void BM_MorrisSpoofEndToEnd(benchmark::State& state) {
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    kattack::MorrisScenario scenario;
+    scenario.seed = seed++;
+    benchmark::DoNotOptimize(kattack::RunMorrisSpoof(scenario));
+  }
+}
+BENCHMARK(BM_MorrisSpoofEndToEnd)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+KERB_BENCH_MAIN()

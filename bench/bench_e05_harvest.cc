@@ -1,0 +1,50 @@
+// E5 — ticket harvesting without eavesdropping.
+
+#include "bench/bench_util.h"
+#include "src/attacks/harvest.h"
+
+namespace {
+
+void PrintExperimentReport() {
+  kbench::Header("E5", "AS harvesting without a wiretap (§Password-Guessing Attacks)");
+  kattack::ActiveHarvestScenario base;
+  base.base.population = 40;
+  {
+    auto r = kattack::RunActiveHarvest(base);
+    kbench::ResultRow("no preauth, no rate limit", r.replies_obtained > 0,
+                      std::to_string(r.replies_obtained) + " replies, " +
+                          std::to_string(r.cracked) + " cracked");
+  }
+  {
+    auto scenario = base;
+    scenario.kdc_rate_limit_per_minute = 10;
+    auto r = kattack::RunActiveHarvest(scenario);
+    kbench::ResultRow("rate limit 10/min", r.replies_obtained > 0,
+                      std::to_string(r.replies_obtained) + " replies before throttle, " +
+                          std::to_string(r.rejected_by_kdc) + " refused");
+  }
+  {
+    auto scenario = base;
+    scenario.kdc_requires_preauth = true;
+    auto r = kattack::RunActiveHarvest(scenario);
+    kbench::ResultRow("preauthentication required (recommendation g)",
+                      r.replies_obtained > 0,
+                      std::to_string(r.rejected_by_kdc) + " requests refused");
+  }
+  kbench::Line("  Paper: 'there is no need to provide grist for their mill.'");
+}
+
+void BM_HarvestOneRealm(benchmark::State& state) {
+  kattack::ActiveHarvestScenario scenario;
+  scenario.base.population = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kattack::RunActiveHarvest(scenario));
+    ++scenario.base.seed;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_HarvestOneRealm)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+KERB_BENCH_MAIN()

@@ -1,0 +1,55 @@
+// E6 — login spoofing vs. the handheld-authenticator scheme.
+
+#include "bench/bench_util.h"
+#include "src/attacks/loginspoof.h"
+#include "src/hsm/keystore.h"
+#include "src/crypto/prng.h"
+
+namespace {
+
+void PrintExperimentReport() {
+  kbench::Header("E6", "trojaned login (§Spoofing Login, recommendation c)");
+  {
+    auto r = kattack::RunLoginSpoofAgainstPassword();
+    kbench::ResultRow("typed password, replayed next day", r.later_reuse_succeeded,
+                      "captured: \"" + r.captured_input + "\"");
+  }
+  {
+    auto r = kattack::RunLoginSpoofAgainstHandheld();
+    kbench::ResultRow("handheld {R}Kc response, replayed next day", r.later_reuse_succeeded,
+                      "captured one-time value " + r.captured_input);
+  }
+  kbench::Line("  Paper: 'the cost of our scheme is quite low, simply one extra"
+               " encryption on each end.'");
+}
+
+void BM_HandheldDeviceResponse(benchmark::State& state) {
+  // "one extra encryption on each end" — here it is.
+  kcrypto::Prng prng(1);
+  khsm::HandheldAuthenticator device(prng.NextDesKey());
+  uint64_t challenge = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.Respond(challenge++));
+  }
+}
+BENCHMARK(BM_HandheldDeviceResponse);
+
+void BM_PasswordLoginSpoofEndToEnd(benchmark::State& state) {
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kattack::RunLoginSpoofAgainstPassword(seed++));
+  }
+}
+BENCHMARK(BM_PasswordLoginSpoofEndToEnd)->Unit(benchmark::kMicrosecond);
+
+void BM_HandheldLoginSpoofEndToEnd(benchmark::State& state) {
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kattack::RunLoginSpoofAgainstHandheld(seed++));
+  }
+}
+BENCHMARK(BM_HandheldLoginSpoofEndToEnd)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+KERB_BENCH_MAIN()

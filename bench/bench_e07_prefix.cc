@@ -1,0 +1,92 @@
+// E7 — the inter-session chosen-plaintext prefix attack on the Draft 2
+// KRB_PRIV format, contrasted with the V4 format's leading length field.
+
+#include "bench/bench_util.h"
+#include "src/crypto/prng.h"
+#include "src/encoding/io.h"
+#include "src/krb4/krbpriv.h"
+#include "src/krb5/enclayer.h"
+
+namespace {
+
+// Builds the attacker's chosen DATA such that a ciphertext prefix of the
+// server's encryption is itself a complete valid Draft 2 message carrying
+// `spoof_payload`.
+std::pair<kerb::Bytes, size_t> BuildChosenData(std::string spoof_payload) {
+  // Align so payload + 13-byte trailer fills whole blocks.
+  while ((spoof_payload.size() + 13) % 8 != 0) {
+    spoof_payload.push_back(' ');
+  }
+  kenc::Writer w;
+  w.PutBytes(kerb::ToBytes(spoof_payload));
+  w.PutU64(77);  // timestamp of the forged message
+  w.PutU8(1);    // direction: "from the server"
+  w.PutU32(0x0a000010);
+  kerb::Bytes chosen = w.Take();
+  size_t forged_len = chosen.size() + 8;
+  chosen.insert(chosen.end(), 8, 0x08);  // a full PKCS#5 pad block
+  kerb::Append(chosen, kerb::ToBytes("innocuous remainder of the mail body"));
+  return {chosen, forged_len};
+}
+
+void PrintExperimentReport() {
+  kbench::Header("E7", "chosen-plaintext prefix attack (§Inter-Session Chosen Plaintext)");
+  kcrypto::Prng prng(1);
+  kcrypto::DesKey session_key = prng.NextDesKey();
+  const std::string spoof = "rm -rf /archive/tax-records ....";  // 32 bytes
+
+  // The mail server encrypts attacker-supplied content with the session key
+  // (Draft 2 format).
+  auto [chosen, forged_len] = BuildChosenData(spoof);
+  krb5::Draft2Priv victim;
+  victim.data = chosen;
+  victim.timestamp = 100;
+  victim.direction = 1;
+  victim.host_address = 0x0a000010;
+  kerb::Bytes ciphertext = krb5::Draft2PrivSeal(session_key, victim);
+
+  // The attacker truncates to the prefix covering the embedded message.
+  kerb::Bytes forged(ciphertext.begin(), ciphertext.begin() + forged_len);
+  auto opened = krb5::Draft2PrivUnseal(session_key, forged);
+  bool accepted = opened.ok();
+  kbench::ResultRow("Draft 2 KRB_PRIV (DATA first, no length)", accepted,
+                    accepted ? "forged server message: \"" +
+                                   kerb::ToString(opened.value().data) + "\""
+                             : "");
+
+  // Same trick against the V4 format with its leading length field.
+  krb4::PrivMessage4 v4;
+  v4.data = chosen;
+  v4.timestamp = 100;
+  v4.direction = 1;
+  kerb::Bytes v4_ct = v4.Seal(session_key);
+  bool v4_accepted = false;
+  for (size_t blocks = 1; blocks * 8 < v4_ct.size(); ++blocks) {
+    kerb::Bytes cut(v4_ct.begin(), v4_ct.begin() + 8 * blocks);
+    if (krb4::PrivMessage4::Unseal(session_key, cut).ok()) {
+      v4_accepted = true;
+    }
+  }
+  kbench::ResultRow("V4 KRB_PRIV (leading length field)", v4_accepted,
+                    "every truncation rejected");
+  kbench::Line("  Paper: 'the leading length(DATA) field disrupts the prefix-based"
+               " attack.'");
+}
+
+void BM_PrefixForgeryConstruction(benchmark::State& state) {
+  kcrypto::Prng prng(2);
+  kcrypto::DesKey key = prng.NextDesKey();
+  for (auto _ : state) {
+    auto [chosen, forged_len] = BuildChosenData("payload-0123456789abcdef-payload");
+    krb5::Draft2Priv victim;
+    victim.data = chosen;
+    kerb::Bytes ct = krb5::Draft2PrivSeal(key, victim);
+    kerb::Bytes forged(ct.begin(), ct.begin() + forged_len);
+    benchmark::DoNotOptimize(krb5::Draft2PrivUnseal(key, forged));
+  }
+}
+BENCHMARK(BM_PrefixForgeryConstruction)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+KERB_BENCH_MAIN()

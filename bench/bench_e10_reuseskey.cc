@@ -1,0 +1,38 @@
+// E10 — REUSE-SKEY shared-key ticket redirection.
+
+#include "bench/bench_util.h"
+#include "src/attacks/reuseskey.h"
+
+namespace {
+
+void PrintExperimentReport() {
+  kbench::Header("E10", "REUSE-SKEY redirection (Appendix)");
+  {
+    kattack::ReuseSkeyScenario scenario;
+    auto r = kattack::RunReuseSkeyRedirection(scenario);
+    kbench::ResultRow("shared-key tickets, no name binding", r.splice_accepted,
+                      r.backup_action);
+  }
+  {
+    kattack::ReuseSkeyScenario scenario;
+    scenario.service_name_binding = true;
+    auto r = kattack::RunReuseSkeyRedirection(scenario);
+    kbench::ResultRow("service name sealed in the authenticator", r.splice_accepted);
+  }
+  kbench::Line("  Paper: 'an attacker might redirect some requests to destroy archival"
+               " copies of files being edited.'");
+}
+
+void BM_ReuseSkeyRedirectionEndToEnd(benchmark::State& state) {
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    kattack::ReuseSkeyScenario scenario;
+    scenario.seed = seed++;
+    benchmark::DoNotOptimize(kattack::RunReuseSkeyRedirection(scenario));
+  }
+}
+BENCHMARK(BM_ReuseSkeyRedirectionEndToEnd)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+KERB_BENCH_MAIN()

@@ -1,0 +1,30 @@
+// E12 — address binding vs a network-level adversary (§The Scope of Tickets).
+
+#include "bench/bench_util.h"
+#include "src/attacks/address.h"
+
+namespace {
+
+void PrintExperimentReport() {
+  kbench::Header("E12", "address binding (§The Scope of Tickets)");
+  auto r = kattack::RunAddressBindingStudy();
+  kbench::ResultRow("stolen creds used honestly from eve's host", !r.naive_reuse_rejected,
+                    "the binding's only win");
+  kbench::ResultRow("stolen creds + spoofed source address", r.spoofed_reuse_accepted);
+  kbench::ResultRow("post-authentication session hijack", r.hijack_accepted,
+                    r.hijack_evidence);
+  kbench::Line("  Paper: 'the primary benefit of including it appears to be preventing"
+               " immediate reuse of authenticators from a different host.'");
+}
+
+void BM_AddressBindingStudy(benchmark::State& state) {
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kattack::RunAddressBindingStudy(seed++));
+  }
+}
+BENCHMARK(BM_AddressBindingStudy)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+KERB_BENCH_MAIN()

@@ -1,0 +1,37 @@
+// E13 — cascading trust and transit-realm compromise.
+
+#include "bench/bench_util.h"
+#include "src/attacks/interrealm.h"
+
+namespace {
+
+void PrintExperimentReport() {
+  kbench::Header("E13", "inter-realm cascading trust (§Scope of Tickets; Appendix)");
+  auto eng = kattack::RunTransitRealmForgery("ENG.CORP");
+  std::printf("  baseline: honest ENG.CORP access %s, transited path %s\n",
+              eng.honest_access_ok ? "works" : "FAILED", eng.honest_transited.c_str());
+  kbench::ResultRow("compromised CORP forges ceo@ENG.CORP", eng.forged_access_ok,
+                    "laundered path " + eng.forged_transited + " (identical)");
+  auto corp = kattack::RunTransitRealmForgery("CORP");
+  kbench::ResultRow("compromised CORP forges ceo@CORP", corp.forged_access_ok,
+                    "path " + corp.forged_transited);
+  kbench::ResultRow("forgery under a distrust-CORP policy", !eng.strict_policy_blocks_forgery);
+  std::printf("  ...but the same policy also kills honest traffic: %s\n",
+              eng.strict_policy_blocks_honest ? "yes" : "no");
+  kbench::Line("  Paper: 'a server needs global knowledge of the trustworthiness of all"
+               " possible transit realms. In a large internet, such knowledge is probably"
+               " not possible.'");
+}
+
+void BM_CrossRealmTicketAcquisition(benchmark::State& state) {
+  // The legitimate multi-hop walk: AS + two TGS hops + target TGS.
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kattack::RunTransitRealmForgery("ENG.CORP", seed++));
+  }
+}
+BENCHMARK(BM_CrossRealmTicketAcquisition)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+KERB_BENCH_MAIN()

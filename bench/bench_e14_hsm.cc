@@ -1,0 +1,50 @@
+// E14 — encryption unit / keystore leak sweep (§Kerberos Hardware Design
+// Criteria).
+
+#include "bench/bench_util.h"
+#include "src/attacks/hsmleak.h"
+#include "src/hsm/encryption_unit.h"
+#include "src/crypto/prng.h"
+
+namespace {
+
+void PrintExperimentReport() {
+  kbench::Header("E14", "key exposure: encryption unit vs software cache");
+  auto r = kattack::RunEncryptionUnitLeakSweep(1312, 500);
+  kbench::ResultRow("extract key octets from the encryption unit", r.key_octet_leaks > 0,
+                    std::to_string(r.operations_attempted) + " ops, " +
+                        std::to_string(r.outputs_scanned) + " outputs scanned, " +
+                        std::to_string(r.keys_in_unit) + " keys inside");
+  kbench::ResultRow("abuse keys across purposes (tag checks)",
+                    r.usage_violations_blocked == 0,
+                    std::to_string(r.usage_violations_blocked) + " misuse attempts blocked");
+  kbench::ResultRow("read keys from the plain client's cache", r.software_cache_leaks,
+                    "host compromise == key compromise without the unit");
+  kbench::Line("  Paper: 'the box need not have the ability to transmit a key, thereby"
+               " providing us with a very high level of assurance that it will not"
+               " do so.'");
+}
+
+void BM_UnitSealData(benchmark::State& state) {
+  khsm::EncryptionUnit unit(1);
+  khsm::KeyHandle session = unit.GenerateKey(khsm::KeyUsage::kSessionKey);
+  kcrypto::Prng prng(2);
+  kerb::Bytes data = prng.NextBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.SealData(session, data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_UnitSealData)->Arg(64)->Arg(1024);
+
+void BM_LeakSweepEndToEnd(benchmark::State& state) {
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kattack::RunEncryptionUnitLeakSweep(seed++, 100));
+  }
+}
+BENCHMARK(BM_LeakSweepEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+KERB_BENCH_MAIN()

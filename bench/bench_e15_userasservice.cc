@@ -1,0 +1,49 @@
+// E15 — clients treated as services (§Password-Guessing, final paragraph).
+
+#include "bench/bench_util.h"
+#include "src/attacks/userasservice.h"
+
+namespace {
+
+void PrintExperimentReport() {
+  kbench::Header("E15", "tickets for user principals are password-guessing grist");
+  {
+    kattack::UserAsServiceScenario scenario;
+    auto r = kattack::RunUserAsServiceHarvest(scenario);
+    kbench::ResultRow("user principals usable as services", r.password_recovered,
+                      r.password_recovered
+                          ? "bob's password recovered: \"" + r.recovered_password + "\""
+                          : "");
+  }
+  {
+    kattack::UserAsServiceScenario scenario;
+    scenario.forbid_user_principal_tickets = true;
+    auto r = kattack::RunUserAsServiceHarvest(scenario);
+    kbench::ResultRow("policy refuses user-principal tickets", r.password_recovered,
+                      r.ticket_issued ? "ticket still issued?!" : "no ticket, no grist");
+  }
+  {
+    kattack::UserAsServiceScenario scenario;
+    auto r = kattack::RunUserAsServiceHarvest(scenario);
+    kbench::ResultRow("registered instance with a truly random key",
+                      r.instance_password_recovered,
+                      "ticket issued but uncrackable");
+  }
+  kbench::Line("  Paper: 'any such scheme would seem to require repeated re-entry of the"
+               " user's password ... We would prefer ... separate instances as services,"
+               " with truly random keys.'");
+}
+
+void BM_UserAsServiceHarvest(benchmark::State& state) {
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    kattack::UserAsServiceScenario scenario;
+    scenario.seed = seed++;
+    benchmark::DoNotOptimize(kattack::RunUserAsServiceHarvest(scenario));
+  }
+}
+BENCHMARK(BM_UserAsServiceHarvest)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+KERB_BENCH_MAIN()

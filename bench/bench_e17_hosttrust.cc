@@ -1,0 +1,41 @@
+// E17 — hosts as principals: the srvtab problem (§The Kerberos Environment).
+
+#include "bench/bench_util.h"
+#include "src/attacks/hosttrust.h"
+
+namespace {
+
+void PrintExperimentReport() {
+  kbench::Header("E17", "srvtab compromise: one host key, every user");
+  {
+    kattack::HostTrustScenario scenario;
+    auto r = kattack::RunSrvtabCompromise(scenario);
+    kbench::ResultRow("host-asserted identities (NFS-mount pattern)",
+                      !r.impersonated.empty(),
+                      "impersonated " + std::to_string(r.impersonated.size()) +
+                          " users with one stolen key");
+  }
+  {
+    kattack::HostTrustScenario scenario;
+    scenario.require_per_user_tickets = true;
+    auto r = kattack::RunSrvtabCompromise(scenario);
+    kbench::ResultRow("per-user tickets required", !r.impersonated.empty());
+  }
+  kbench::Line("  Paper: 'Kerberos is designed to authenticate the end-user ... It is"
+               " not a peer-to-peer system; it is not intended to be used by one"
+               " computer's daemons when contacting another computer.'");
+}
+
+void BM_SrvtabCompromiseEndToEnd(benchmark::State& state) {
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    kattack::HostTrustScenario scenario;
+    scenario.seed = seed++;
+    benchmark::DoNotOptimize(kattack::RunSrvtabCompromise(scenario));
+  }
+}
+BENCHMARK(BM_SrvtabCompromiseEndToEnd)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+KERB_BENCH_MAIN()

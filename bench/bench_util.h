@@ -1,0 +1,45 @@
+// Shared scaffolding for the experiment benches: each binary prints its
+// experiment table (the qualitative reproduction) and then runs
+// google-benchmark timings (the quantitative side).
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace kbench {
+
+inline void Header(const char* experiment_id, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", experiment_id, title);
+  std::printf("================================================================\n");
+}
+
+inline void Line(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+inline void ResultRow(const std::string& configuration, bool attack_succeeded,
+                      const std::string& note = "") {
+  std::printf("  %-44s %-8s %s\n", configuration.c_str(),
+              attack_succeeded ? "SUCCESS" : "blocked", note.c_str());
+}
+
+}  // namespace kbench
+
+// Each bench defines `void PrintExperimentReport();` and registers regular
+// BENCHMARK()s, then instantiates this main.
+#define KERB_BENCH_MAIN()                                       \
+  int main(int argc, char** argv) {                             \
+    PrintExperimentReport();                                    \
+    ::benchmark::Initialize(&argc, argv);                       \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) { \
+      return 1;                                                 \
+    }                                                           \
+    ::benchmark::RunSpecifiedBenchmarks();                      \
+    ::benchmark::Shutdown();                                    \
+    return 0;                                                   \
+  }
+
+#endif  // BENCH_BENCH_UTIL_H_

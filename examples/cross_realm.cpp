@@ -1,0 +1,46 @@
+// Cross-realm authentication across a realm hierarchy, the transited-path
+// record, and the cascading-trust problem the paper analyses.
+//
+// Build & run:  ./build/examples/cross_realm
+
+#include <cstdio>
+
+#include "src/attacks/interrealm.h"
+#include "src/attacks/testbed5.h"
+
+int main() {
+  std::printf("== Inter-realm authentication: ENG.CORP <-> CORP <-> SALES.CORP ==\n\n");
+
+  kattack::RealmTree5 tree;
+  std::printf("alice lives in ENG.CORP; payroll runs in SALES.CORP.\n");
+  std::printf("Reaching it requires TGTs from ENG.CORP -> CORP -> SALES.CORP.\n\n");
+
+  bool login = tree.alice().Login(kattack::RealmTree5::kAlicePassword).ok();
+  std::printf("[1] alice logs in at ENG.CORP ......... %s\n", login ? "OK" : "FAILED");
+
+  auto call = tree.alice().CallService(kattack::RealmTree5::kPayrollAddr,
+                                       tree.payroll_principal(), false,
+                                       kerb::ToBytes("view-salary"));
+  std::printf("[2] cross-realm payroll access ........ %s\n", call.ok() ? "OK" : "FAILED");
+  if (!tree.payroll_log().empty()) {
+    std::printf("    payroll saw: %s\n", tree.payroll_log().back().c_str());
+  }
+
+  std::printf("\n[3] Now the cascading-trust problem. A compromised CORP (the\n"
+              "    transit realm) mints a ticket for a fabricated identity and\n"
+              "    launders the transited path:\n\n");
+  auto forge = kattack::RunTransitRealmForgery("ENG.CORP");
+  std::printf("    honest path seen by payroll:  %s\n", forge.honest_transited.c_str());
+  std::printf("    forged access:                %s as %s, path %s\n",
+              forge.forged_access_ok ? "SUCCEEDED" : "blocked",
+              forge.forged_client.c_str(), forge.forged_transited.c_str());
+  std::printf("    (the forged path is identical — 'a server needs global\n"
+              "     knowledge of the trustworthiness of all possible transit\n"
+              "     realms. In a large internet, such knowledge is probably\n"
+              "     not possible.')\n\n");
+  std::printf("    distrust-CORP policy blocks forgery:   %s\n",
+              forge.strict_policy_blocks_forgery ? "yes" : "no");
+  std::printf("    ...and blocks honest traffic too:      %s\n",
+              forge.strict_policy_blocks_honest ? "yes (the price)" : "no");
+  return 0;
+}

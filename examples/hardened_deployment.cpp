@@ -1,0 +1,123 @@
+// A deployment with every recommendation from the paper applied:
+// preauthentication, collision-proof checksums, challenge/response
+// application servers, true session keys, sequence-numbered private
+// channels, handheld-authenticator login, the DH login layer, and the
+// encryption-unit/keystore hardware design.
+//
+// Build & run:  ./build/examples/hardened_deployment
+
+#include <cstdio>
+
+#include "src/attacks/testbed5.h"
+#include "src/hardened/dh_login.h"
+#include "src/hardened/handheld_login.h"
+#include "src/hardened/policy.h"
+#include "src/hsm/encryption_unit.h"
+#include "src/hsm/keystore.h"
+#include "src/krb5/safepriv.h"
+
+int main() {
+  std::printf("== Hardened deployment: every recommendation applied ==\n\n");
+
+  kattack::Testbed5Config config;
+  config.kdc_policy = khard::RecommendedKdcPolicy();
+  config.server_options = khard::RecommendedServerOptions();
+  config.client_options = khard::RecommendedClientOptions();
+  kattack::Testbed5 bed(config);
+
+  // Preauthenticated login (recommendation g) with nonce echo.
+  bool login = bed.alice().Login(kattack::Testbed5::kAlicePassword).ok();
+  std::printf("[g ] preauthenticated login .................. %s\n", login ? "OK" : "FAILED");
+
+  // Challenge/response AP exchange (a) + subkey negotiation (e) + service
+  // name binding (c') — all transparent to the caller.
+  auto call = bed.alice().CallService(kattack::Testbed5::kMailAddr, bed.mail_principal(),
+                                      true, kerb::ToBytes("check"));
+  std::printf("[a ] challenge/response service call ......... %s\n",
+              call.ok() ? "OK" : "FAILED");
+  if (call.ok()) {
+    auto creds = bed.alice().GetServiceTicket(bed.mail_principal());
+    bool negotiated = creds.ok() && !(call.value().channel_key == creds.value().session_key);
+    std::printf("[e ] true session key negotiated ............. %s\n",
+                negotiated ? "OK (differs from multi-session key)" : "NO");
+  }
+
+  // Sequence-numbered KRB_PRIV channel (appendix recommendation).
+  if (call.ok()) {
+    kcrypto::Prng channel_prng(7);
+    ksim::HostClock clock = bed.world().MakeHostClock(0);
+    krb5::ChannelConfig channel_config = khard::RecommendedChannelConfig();
+    krb5::SecureChannel sender(call.value().channel_key, &clock, channel_config, 1000);
+    krb5::SecureChannel receiver(call.value().channel_key, &clock, channel_config, 1000);
+    kerb::Bytes msg = sender.SealMessage(kerb::ToBytes("RETR 1"), channel_prng);
+    bool first = receiver.OpenMessage(msg).ok();
+    bool replay = receiver.OpenMessage(msg).ok();
+    std::printf("[sq] sequence-numbered channel ............... %s, replay %s\n",
+                first ? "OK" : "FAILED", replay ? "ACCEPTED?!" : "rejected");
+  }
+
+  // Handheld-authenticator login (c): no password anywhere.
+  {
+    ksim::World hw_world(101);
+    hw_world.clock().Set(1000 * ksim::kSecond);
+    krb4::Principal carol = krb4::Principal::User("carol", "ATHENA.SIM");
+    kcrypto::DesKey device_key = hw_world.prng().NextDesKey();
+    khsm::HandheldAuthenticator device(device_key);
+    krb4::KdcDatabase db;
+    db.AddServiceWithRandomKey(krb4::TgsPrincipal("ATHENA.SIM"), hw_world.prng());
+    db.AddService(carol, device_key);
+    ksim::NetAddress login_addr{0x0a000058, 790};
+    khard::HandheldLoginServer login_server(&hw_world.network(), login_addr,
+                                            hw_world.MakeHostClock(0), "ATHENA.SIM",
+                                            std::move(db), hw_world.prng().Fork());
+    auto hh = khard::HandheldLogin(&hw_world.network(), ksim::NetAddress{0x0a000103, 1023},
+                                   login_addr, carol, device);
+    std::printf("[c ] handheld-authenticator login ............ %s\n",
+                hh.ok() ? "OK" : "FAILED");
+  }
+
+  // DH-protected login (h): wiretap-proof password dialog.
+  {
+    ksim::World dh_world(102);
+    dh_world.clock().Set(1000 * ksim::kSecond);
+    krb4::Principal dave = krb4::Principal::User("dave", "ATHENA.SIM");
+    krb4::KdcDatabase db;
+    db.AddServiceWithRandomKey(krb4::TgsPrincipal("ATHENA.SIM"), dh_world.prng());
+    db.AddUser(dave, "daves-password");
+    ksim::NetAddress login_addr{0x0a000058, 789};
+    khard::DhLoginServer dh_server(&dh_world.network(), login_addr,
+                                   dh_world.MakeHostClock(0), "ATHENA.SIM", std::move(db),
+                                   dh_world.prng().Fork(), kcrypto::OakleyGroup1());
+    kcrypto::Prng client_prng(103);
+    auto dh = khard::DhLogin(&dh_world.network(), ksim::NetAddress{0x0a000104, 1023},
+                             login_addr, dave, "daves-password", dh_server.group(),
+                             client_prng);
+    std::printf("[h ] exponential-key-exchange login .......... %s\n",
+                dh.ok() ? "OK" : "FAILED");
+  }
+
+  // Hardware (f): a service host keeps its key in the encryption unit,
+  // loaded from the keystore.
+  {
+    ksim::World hsm_world(103);
+    kcrypto::DesKey master = hsm_world.prng().NextDesKey();
+    ksim::NetAddress store_addr{0x0a000020, 751};
+    ksim::NetAddress nfs_host{0x0a000011, 2049};
+    khsm::KeyStore store(&hsm_world.network(), store_addr, master, 55);
+    kcrypto::DesKey nfs_key = hsm_world.prng().NextDesKey();
+    const kcrypto::DesBlock& kb = nfs_key.bytes();
+    (void)khsm::KeyStore::Store(&hsm_world.network(), nfs_host, store_addr,
+                                store.service_session_key(), "nfs",
+                                kerb::BytesView(kb.data(), kb.size()));
+    khsm::EncryptionUnit unit(77);
+    auto handle = khsm::ProvisionServiceKeyFromKeystore(
+        &hsm_world.network(), nfs_host, store_addr, store.service_session_key(), "nfs",
+        &unit);
+    std::printf("[f ] service key via keystore → HSM .......... %s (%zu keys in unit)\n",
+                handle.ok() ? "OK" : "FAILED", unit.key_count());
+  }
+
+  std::printf("\nEvery attack in examples/attack_gallery.cpp is blocked against\n"
+              "this configuration; the gallery shows each pairing explicitly.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// The wiretapper's view: what a passive adversary actually sees on the
+// wire during a login and an authenticated mail check — and which of those
+// bytes the paper's attacks feed on.
+//
+// Build & run:  ./build/examples/wiretap_view
+
+#include <cstdio>
+
+#include "src/attacks/passwords.h"
+#include "src/attacks/testbed.h"
+#include "src/common/hex.h"
+
+namespace {
+
+void Show(const char* label, kerb::BytesView bytes, const char* note) {
+  std::string hex = kerb::HexEncode(bytes);
+  if (hex.size() > 48) {
+    hex = hex.substr(0, 48) + "...";
+  }
+  std::printf("  %-34s %4zu bytes  %s\n      %s\n", label, bytes.size(), note, hex.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== The wiretapper's view of one Kerberos V4 session ==\n\n");
+
+  kattack::Testbed4 bed;
+  ksim::RecordingAdversary recorder;
+  bed.world().network().SetAdversary(&recorder);
+
+  if (!bed.alice().Login(kattack::Testbed4::kAlicePassword).ok()) {
+    std::printf("login failed\n");
+    return 1;
+  }
+  (void)bed.alice().CallService(kattack::Testbed4::kMailAddr, bed.mail_principal(), true);
+  bed.world().network().SetAdversary(nullptr);
+
+  std::printf("captured %zu exchanges:\n\n", recorder.exchanges().size());
+  struct ExchangeLabel {
+    const char* request_label;
+    const char* request_note;
+    const char* reply_note;
+  };
+  const ExchangeLabel kLabels[] = {
+      {"AS exchange (alice <-> KDC)",
+       "request PLAINTEXT: principal visible, unauthenticated (E5)",
+       "reply sealed under K_c = f(password): the dictionary target (E4)"},
+      {"TGS exchange (alice <-> TGS)",
+       "TGT + authenticator: replayable within 5 min (E1)",
+       "reply sealed under K_c,tgs from the AS exchange"},
+      {"AP exchange (alice <-> mail)",
+       "ticket + authenticator in the clear: the E1/E10 splice material",
+       "mutual-auth proof {t+1} under the (multi-)session key (E11)"},
+  };
+  size_t i = 0;
+  for (const auto& exchange : recorder.exchanges()) {
+    const ExchangeLabel& label = kLabels[std::min<size_t>(i, 2)];
+    Show(label.request_label, exchange.request.payload, label.request_note);
+    if (exchange.has_reply) {
+      Show("  -> reply", exchange.reply, label.reply_note);
+    }
+    ++i;
+  }
+
+  std::printf("\nWhat the wiretapper does next (paper, §Password-Guessing):\n");
+  // Run the dictionary against the recorded AS reply.
+  for (const auto& exchange : recorder.exchanges()) {
+    if (!(exchange.request.dst == kattack::Testbed4::kAsAddr) || !exchange.has_reply) {
+      continue;
+    }
+    auto framed = krb4::Unframe4(exchange.reply);
+    if (!framed.ok()) {
+      continue;
+    }
+    uint64_t attempts = 0;
+    auto cracked = kattack::CrackSealedReply(framed.value().second, bed.alice_principal(),
+                                             kattack::CommonPasswordDictionary(), &attempts);
+    std::printf("  dictionary attack on the AS reply: %s after %llu guesses\n",
+                cracked ? ("recovered \"" + *cracked + "\"").c_str()
+                        : "nothing (alice chose well)",
+                static_cast<unsigned long long>(attempts));
+  }
+  std::printf("  (bob's \"password\" falls in the same sweep — see bench_e04_pwguess.)\n");
+  return 0;
+}

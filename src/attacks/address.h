@@ -1,0 +1,29 @@
+// Experiment E12 — the futility of binding tickets to network addresses.
+//
+// "Given our assumption that the network is under full control of the
+// attacker, no extra security is gained by relying on the network address.
+// ... an attacker can always wait until the connection is set up and
+// authenticated, and then take it over."
+
+#ifndef SRC_ATTACKS_ADDRESS_H_
+#define SRC_ATTACKS_ADDRESS_H_
+
+#include <string>
+
+namespace kattack {
+
+struct AddressBindingReport {
+  bool naive_reuse_rejected = false;   // stolen creds from eve's own address
+  bool spoofed_reuse_accepted = false;  // same creds, forged source address
+  bool hijack_accepted = false;         // post-auth session command injected
+  std::string hijack_evidence;
+};
+
+// Steals alice's credential cache (host compromise), tries them from eve's
+// host with and without source spoofing, then hijacks an authenticated
+// session whose subsequent commands are protected only by source address.
+AddressBindingReport RunAddressBindingStudy(uint64_t seed = 12);
+
+}  // namespace kattack
+
+#endif  // SRC_ATTACKS_ADDRESS_H_

@@ -1,0 +1,42 @@
+// Experiment E9 — the appendix's headline attack: CRC-32 fixup plus the
+// ENC-TKT-IN-SKEY option negates bidirectional authentication.
+//
+// "The enemy intercepts this request and modifies it. First, the
+// ENC-TKT-IN-SKEY bit is set ... Second, the attacker's own ticket-granting
+// ticket is enclosed. Obviously, the attacker knows its session key.
+// Finally, the additional authorization data field is filled in with
+// whatever information is needed to make the CRC match the original
+// version. ... since the attacker has decrypted the ticket, the session key
+// for that service request is available. Consequently, the bidirectional
+// authentication dialog may be spoofed without trouble."
+
+#ifndef SRC_ATTACKS_CUTPASTE_H_
+#define SRC_ATTACKS_CUTPASTE_H_
+
+#include <string>
+
+#include "src/crypto/checksum.h"
+
+namespace kattack {
+
+struct CutPasteReport {
+  bool request_modified = false;       // the MITM rewrote the TGS request
+  bool kdc_accepted = false;           // checksum verified at the TGS
+  bool session_key_recovered = false;  // eve decrypted the issued ticket
+  bool mutual_auth_spoofed = false;    // eve answered alice's mutual-auth check
+  std::string intercepted_data;        // what alice then sent "to the server"
+};
+
+struct CutPasteScenario {
+  // The client's TGS-request checksum (Draft 3 literal reading: CRC-32).
+  kcrypto::ChecksumType request_checksum = kcrypto::ChecksumType::kCrc32;
+  // The fix the designers intended but Draft 3 omitted.
+  bool enforce_cname_match = false;
+  uint64_t seed = 31337;
+};
+
+CutPasteReport RunEncTktInSkeyCutPaste(const CutPasteScenario& scenario);
+
+}  // namespace kattack
+
+#endif  // SRC_ATTACKS_CUTPASTE_H_

@@ -1,0 +1,47 @@
+// Experiment E0 — the Kerberos environment assumptions (§THE KERBEROS
+// ENVIRONMENT).
+//
+// Three of the paper's environmental observations, made executable:
+//
+//   1. "Since all of the Project Athena machines have local disks, the
+//      original code used /tmp. But this is highly insecure on diskless
+//      workstations, where /tmp exists on a file server" — the credential
+//      cache written over the network is a wiretapper's prize.
+//   2. Workstations: "only when the legitimate user leaves can the attacker
+//      attempt to find the keys. But the keys are no longer available;
+//      Kerberos attempts to wipe out old keys at logoff time."
+//   3. Multi-user hosts: "an attacker has concurrent access to the keys if
+//      there are flaws in the host's security."
+
+#ifndef SRC_ATTACKS_ENVIRONMENT_H_
+#define SRC_ATTACKS_ENVIRONMENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace kattack {
+
+struct DisklessCacheReport {
+  bool cache_written_over_network = false;
+  bool session_key_recovered_from_wire = false;
+  bool impersonation_succeeded = false;  // attacker used the recovered key
+  std::string evidence;
+};
+
+// The diskless-workstation /tmp scenario: the credential cache is written
+// to a network file server in the clear; a wiretapper lifts the session key
+// and impersonates the user.
+DisklessCacheReport RunDisklessTmpCacheTheft(uint64_t seed = 303);
+
+struct HostExposureReport {
+  bool concurrent_theft_succeeded = false;  // multi-user host, user present
+  bool post_logout_theft_succeeded = false;  // workstation, after key wipe
+};
+
+// Compares the multi-user-host and workstation threat windows for the
+// in-memory credential cache.
+HostExposureReport RunHostExposureStudy(uint64_t seed = 304);
+
+}  // namespace kattack
+
+#endif  // SRC_ATTACKS_ENVIRONMENT_H_

@@ -1,0 +1,62 @@
+// Experiments E4/E5 — password guessing, with and without eavesdropping.
+//
+// E4: "an intruder recording login dialogs in order to mount a
+// password-guessing assault ... A guess at the user's password can be
+// confirmed by calculating K_c and using it to decrypt the recorded
+// answer."
+//
+// E5: "an attacker could simply request ticket-granting tickets for many
+// different users" — no wiretap needed, because V4's initial exchange is
+// unauthenticated.
+
+#ifndef SRC_ATTACKS_HARVEST_H_
+#define SRC_ATTACKS_HARVEST_H_
+
+#include <cstdint>
+
+#include "src/crypto/dh.h"
+
+namespace kattack {
+
+struct CrackReport {
+  int population = 0;
+  int weak_users = 0;        // users whose password is in the dictionary
+  int replies_obtained = 0;  // sealed AS replies the attacker collected
+  int cracked = 0;           // passwords recovered offline
+  uint64_t guess_attempts = 0;
+  int rejected_by_kdc = 0;   // preauth / rate-limit refusals (E5 defences)
+};
+
+struct HarvestScenario {
+  int population = 40;
+  double weak_fraction = 0.5;
+  uint64_t seed = 2025;
+};
+
+// E4: everyone logs in once; a passive wiretapper records the AS replies
+// and runs the dictionary against each.
+CrackReport RunEavesdropCrackV4(const HarvestScenario& scenario);
+
+// E4 + recommendation (h): the same population logs in through the
+// exponential-key-exchange layer. A passive recorder gets nothing usable —
+// unless the group is small enough to solve discrete logs, in which case
+// the attacker strips the layer first (the LaMacchia–Odlyzko trade-off).
+struct DhCrackScenario {
+  HarvestScenario base;
+  // 0 = use Oakley Group 1 (infeasible to break here); otherwise a toy
+  // safe-prime group of this many bits, which the attacker CAN break.
+  int toy_group_bits = 0;
+};
+CrackReport RunEavesdropCrackAgainstDhLogin(const DhCrackScenario& scenario);
+
+// E5: no eavesdropping — the attacker asks the AS directly for every user.
+struct ActiveHarvestScenario {
+  HarvestScenario base;
+  bool kdc_requires_preauth = false;     // recommendation (g)
+  uint32_t kdc_rate_limit_per_minute = 0;  // server-side throttle
+};
+CrackReport RunActiveHarvest(const ActiveHarvestScenario& scenario);
+
+}  // namespace kattack
+
+#endif  // SRC_ATTACKS_HARVEST_H_

@@ -1,0 +1,79 @@
+#include "src/attacks/hosttrust.h"
+
+#include "src/attacks/testbed.h"
+#include "src/encoding/io.h"
+
+namespace kattack {
+
+HostTrustReport RunSrvtabCompromise(const HostTrustScenario& scenario) {
+  TestbedConfig config;
+  config.seed = scenario.seed;
+  Testbed4 bed(config);
+  HostTrustReport report;
+
+  // The workstation has an identity of its own — a host principal whose
+  // key sits in /etc/srvtab, readable by anyone who roots the box.
+  krb4::Principal host = krb4::Principal::Service("host", "ws1", bed.realm);
+  kcrypto::DesKey host_key =
+      bed.kdc().database().AddServiceWithRandomKey(host, bed.world().prng());
+  kerb::Bytes srvtab(host_key.bytes().begin(), host_key.bytes().end());
+
+  // An NFS-like mount service that trusts the host principal to assert
+  // which user a mount is for. Rebind the file address with this policy.
+  std::vector<std::string> mounts;
+  krb4::AppServerOptions server_options;
+  auto file_server = std::make_unique<krb4::AppServer4>(
+      &bed.world().network(), ksim::NetAddress{0x0a000011, 2052},
+      bed.file_principal(), bed.file_key(), bed.world().MakeHostClock(0),
+      [&](const krb4::VerifiedSession& session, const kerb::Bytes& op) {
+        kenc::Reader r(op);
+        auto asserted_user = r.GetString();
+        if (!asserted_user.ok()) {
+          return kerb::ToBytes("bad request");
+        }
+        if (scenario.require_per_user_tickets) {
+          // The fix: the ticket itself must belong to the affected user.
+          if (session.client.name != asserted_user.value()) {
+            return kerb::ToBytes("refused: per-user credentials required");
+          }
+        } else if (session.client.name != "host") {
+          return kerb::ToBytes("refused: not a host principal");
+        }
+        mounts.push_back("mounted /home/" + asserted_user.value() + " vouched by " +
+                         session.client.ToString());
+        return kerb::ToBytes("mounted");
+      },
+      server_options);
+  const ksim::NetAddress mount_addr{0x0a000011, 2052};
+
+  // Eve roots the workstation and reads the srvtab.
+  report.srvtab_readable = srvtab.size() == 8;
+  kcrypto::DesBlock stolen;
+  std::copy(srvtab.begin(), srvtab.end(), stolen.begin());
+
+  // She authenticates AS THE HOST from the workstation's own address (she
+  // is on the machine, after all).
+  const ksim::NetAddress ws1{0x0a000201, 1023};
+  krb4::Client4 host_session(&bed.world().network(), ws1, bed.world().MakeHostClock(0),
+                             host, Testbed4::kAsAddr, Testbed4::kTgsAddr);
+  report.host_login_succeeded = host_session.LoginWithKey(kcrypto::DesKey(stolen)).ok();
+  if (!report.host_login_succeeded) {
+    return report;
+  }
+
+  // And "becomes" every user on the box via vouched mounts.
+  for (const char* user : {"alice", "bob", "carol"}) {
+    kenc::Writer w;
+    w.PutString(user);
+    auto reply =
+        host_session.CallService(mount_addr, bed.file_principal(), false, w.Peek());
+    if (reply.ok() && kerb::ToString(reply.value()) == "mounted") {
+      report.impersonated.emplace_back(user);
+    }
+  }
+  report.per_user_tickets_blocked =
+      scenario.require_per_user_tickets && report.impersonated.empty();
+  return report;
+}
+
+}  // namespace kattack

@@ -1,0 +1,43 @@
+// Experiment E17 — hosts as principals: the srvtab problem.
+//
+// "In Kerberos, a plaintext key must be used in the initial dialog to
+// obtain a ticket-granting ticket. But storing plaintext keys in a machine
+// is generally felt to be a bad idea; if a Kerberos key that a machine uses
+// for itself is compromised, the intruder can likely impersonate any user
+// on that computer, by impersonating requests vouched for by that machine
+// (i.e., file mounts or cron jobs)."
+//
+// The scenario: an NFS-style file server trusts mount requests from the
+// workstation's HOST principal, with the target user asserted in the
+// request body — the identity-assertion pattern host-to-host Kerberos
+// invites. One stolen srvtab and the attacker is everyone.
+
+#ifndef SRC_ATTACKS_HOSTTRUST_H_
+#define SRC_ATTACKS_HOSTTRUST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kattack {
+
+struct HostTrustReport {
+  bool srvtab_readable = false;          // the plaintext host key, on disk
+  bool host_login_succeeded = false;     // attacker authenticates AS the host
+  std::vector<std::string> impersonated; // users the attacker then "became"
+  bool per_user_tickets_blocked = false; // the fix: no identity assertions
+};
+
+struct HostTrustScenario {
+  // When true, the file server refuses host-asserted identities and demands
+  // the ticket's own client match the affected user — the paper's implicit
+  // recommendation ("Kerberos is not a host-to-host protocol").
+  bool require_per_user_tickets = false;
+  uint64_t seed = 1717;
+};
+
+HostTrustReport RunSrvtabCompromise(const HostTrustScenario& scenario);
+
+}  // namespace kattack
+
+#endif  // SRC_ATTACKS_HOSTTRUST_H_

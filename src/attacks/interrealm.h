@@ -1,0 +1,39 @@
+// Experiment E13 — cascading trust across realms.
+//
+// "A host A may be willing to trust credentials from host B, and B may be
+// willing to trust host C, but A may not be willing to accept tickets
+// originally created on host C ... to assess the validity of a request, a
+// server needs global knowledge of the trustworthiness of all possible
+// transit realms. In a large internet, such knowledge is probably not
+// possible."
+//
+// A compromised transit realm (CORP) holds the inter-realm key with the
+// target realm (SALES.CORP) and can mint cross-realm TGTs naming any client
+// with any transited history it likes.
+
+#ifndef SRC_ATTACKS_INTERREALM_H_
+#define SRC_ATTACKS_INTERREALM_H_
+
+#include <string>
+
+namespace kattack {
+
+struct InterRealmForgeReport {
+  bool honest_access_ok = false;      // baseline: alice reaches payroll
+  std::string honest_transited;       // the honest path the service saw
+  bool forged_access_ok = false;      // the compromised realm's fabrication
+  std::string forged_client;          // who the service THINKS it served
+  std::string forged_transited;       // the laundered path
+  bool strict_policy_blocks_forgery = false;
+  bool strict_policy_blocks_honest = false;  // the collateral cost
+};
+
+// `forge_realm_of_client`: the realm the fabricated identity claims. Using
+// "ENG.CORP" leaves a path inconsistency a careful policy can catch; using
+// "CORP" itself is indistinguishable from honest CORP-origin traffic.
+InterRealmForgeReport RunTransitRealmForgery(const std::string& forged_client_realm,
+                                             uint64_t seed = 99);
+
+}  // namespace kattack
+
+#endif  // SRC_ATTACKS_INTERREALM_H_

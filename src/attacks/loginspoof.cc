@@ -1,0 +1,77 @@
+#include "src/attacks/loginspoof.h"
+
+#include "src/attacks/testbed.h"
+#include "src/hardened/handheld_login.h"
+#include "src/hsm/keystore.h"
+
+namespace kattack {
+
+LoginSpoofReport RunLoginSpoofAgainstPassword(uint64_t seed) {
+  TestbedConfig config;
+  config.seed = seed;
+  Testbed4 bed(config);
+  LoginSpoofReport report;
+
+  // The trojaned login: records the keystrokes, then performs the real
+  // login so the victim notices nothing.
+  std::string keystrokes = Testbed4::kAlicePassword;  // what alice types
+  report.captured_input = keystrokes;                 // the trojan's copy
+  report.victim_login_ok = bed.alice().Login(keystrokes).ok();
+  bed.alice().Logout();
+
+  // A day later, from the attacker's own workstation.
+  bed.world().clock().Advance(24 * ksim::kHour);
+  auto attacker_session = bed.MakeClient(bed.alice_principal(), Testbed4::kEveAddr);
+  report.later_reuse_succeeded = attacker_session->Login(report.captured_input).ok();
+  return report;
+}
+
+LoginSpoofReport RunLoginSpoofAgainstHandheld(uint64_t seed) {
+  LoginSpoofReport report;
+  ksim::World world(seed);
+  world.clock().Set(1000000 * ksim::kSecond);
+  const std::string realm = "ATHENA.SIM";
+
+  // Alice's device key is random — there is no password at all.
+  kcrypto::Prng key_prng = world.prng().Fork();
+  kcrypto::DesKey device_key = key_prng.NextDesKey();
+  khsm::HandheldAuthenticator device(device_key);
+  krb4::Principal alice = krb4::Principal::User("alice", realm);
+
+  krb4::KdcDatabase db;
+  db.AddServiceWithRandomKey(krb4::TgsPrincipal(realm), key_prng);
+  db.AddService(alice, device_key);  // the AS shares the device key
+
+  const ksim::NetAddress login_addr{0x0a000058, 790};
+  const ksim::NetAddress alice_addr{0x0a000101, 1023};
+  const ksim::NetAddress eve_addr{0x0a000666, 31337};
+  khard::HandheldLoginServer server(&world.network(), login_addr, world.MakeHostClock(0),
+                                    realm, std::move(db), world.prng().Fork());
+
+  // The trojaned login on alice's workstation: shows her the challenge,
+  // records the response she types, then completes the login normally.
+  auto challenge = khard::RequestLoginChallenge(&world.network(), alice_addr, login_addr,
+                                                alice);
+  if (!challenge.ok()) {
+    return report;
+  }
+  uint64_t typed_response = device.Respond(challenge.value());
+  report.captured_input = std::to_string(typed_response);
+  auto victim = khard::CompleteLoginWithResponse(&world.network(), alice_addr, login_addr,
+                                                 alice, typed_response);
+  report.victim_login_ok = victim.ok();
+
+  // A day later the attacker replays the captured response against a fresh
+  // challenge. The server seals its reply under {R_new}K_c; the captured
+  // {R_old}K_c opens nothing.
+  world.clock().Advance(24 * ksim::kHour);
+  auto fresh = khard::RequestLoginChallenge(&world.network(), eve_addr, login_addr, alice);
+  if (fresh.ok()) {
+    auto attacker = khard::CompleteLoginWithResponse(&world.network(), eve_addr, login_addr,
+                                                     alice, typed_response);
+    report.later_reuse_succeeded = attacker.ok();
+  }
+  return report;
+}
+
+}  // namespace kattack

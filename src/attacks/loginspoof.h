@@ -1,0 +1,34 @@
+// Experiment E6 — login spoofing vs. the handheld-authenticator scheme.
+//
+// "It is quite simple for an intruder to replace the login command with a
+// version that records users' passwords ... Kerberos makes no provision for
+// such a challenge/response dialog at login time" — recommendation (c)
+// fixes that with {R}K_c. The comparison:
+//   * password login: the trojan's capture works forever;
+//   * handheld login: the trojan captures one single-use response; a later
+//     login attempt against a fresh challenge decrypts nothing.
+
+#ifndef SRC_ATTACKS_LOGINSPOOF_H_
+#define SRC_ATTACKS_LOGINSPOOF_H_
+
+#include <cstdint>
+#include <string>
+
+namespace kattack {
+
+struct LoginSpoofReport {
+  bool victim_login_ok = false;        // the trojaned login still "works"
+  std::string captured_input;          // what the trojan recorded
+  bool later_reuse_succeeded = false;  // attacker logs in with the capture
+};
+
+// Password world: the trojan records the typed password, the attacker logs
+// in with it a day later.
+LoginSpoofReport RunLoginSpoofAgainstPassword(uint64_t seed = 11);
+
+// Handheld world: the trojan records the typed device response.
+LoginSpoofReport RunLoginSpoofAgainstHandheld(uint64_t seed = 11);
+
+}  // namespace kattack
+
+#endif  // SRC_ATTACKS_LOGINSPOOF_H_

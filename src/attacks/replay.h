@@ -1,0 +1,46 @@
+// Experiment E1 — authenticator replay within the clock-skew window.
+//
+// "An intruder may simply watch for a mail-checking session, wherein a user
+// logs in briefly, reads a few messages, and logs out. A number of valuable
+// tickets would be exposed by such a session ... Note that the lifetime of
+// the authenticators — 5 minutes — contributes considerably to this
+// attack."
+
+#ifndef SRC_ATTACKS_REPLAY_H_
+#define SRC_ATTACKS_REPLAY_H_
+
+#include <string>
+
+#include "src/sim/clock.h"
+
+namespace kattack {
+
+struct ReplayReport {
+  bool captured = false;          // the wiretap saw a live AP request
+  bool replay_accepted = false;   // the replayed copy was honoured
+  uint64_t server_accepted = 0;   // total requests the server honoured
+  std::string evidence;           // the action the server performed
+};
+
+struct ReplayScenario {
+  bool server_replay_cache = false;  // "never implemented" historically
+  // How long the attacker waits before replaying. Within the skew window
+  // the timestamp check alone cannot help.
+  ksim::Duration replay_delay = 2 * ksim::kMinute;
+  // The servers' clock-skew tolerance — the attacker's budget (bench B10
+  // sweeps it).
+  ksim::Duration clock_skew_limit = ksim::kDefaultClockSkewLimit;
+  uint64_t seed = 1234;
+};
+
+// Kerberos V4, timestamp authentication: records alice's brief mail-check
+// session, then replays her AP request from a spoofed source address.
+ReplayReport RunMailCheckReplayV4(const ReplayScenario& scenario);
+
+// Version 5 with the challenge/response option: the attacker replays the
+// complete recorded two-leg exchange (initial request + challenge answer).
+ReplayReport RunReplayAgainstChallengeResponse(uint64_t seed = 1234);
+
+}  // namespace kattack
+
+#endif  // SRC_ATTACKS_REPLAY_H_

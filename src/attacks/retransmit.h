@@ -1,0 +1,34 @@
+// Experiment E16 — the authenticator cache vs. legitimate retransmissions.
+//
+// "UDP-based query servers can store the authenticators more easily ...
+// however, they might have problems with legitimate retransmissions of the
+// client's request if the answer was lost. ... Legitimate requests could be
+// rejected, and a security alarm raised inappropriately. One possible
+// solution would be for the application to generate a new authenticator
+// when retransmitting a request."
+//
+// Not an attack but a functionality failure: the replay cache — itself a
+// fix for E1 — misfires under packet loss unless clients refresh their
+// authenticators.
+
+#ifndef SRC_ATTACKS_RETRANSMIT_H_
+#define SRC_ATTACKS_RETRANSMIT_H_
+
+#include <cstdint>
+
+namespace kattack {
+
+struct RetransmitReport {
+  bool first_attempt_lost = false;     // the reply was dropped in transit
+  bool server_acted_once = false;      // the server DID process the request
+  bool retransmission_accepted = false;
+  uint64_t false_alarms = 0;           // replay rejections of honest traffic
+};
+
+// `fresh_authenticator_per_retry` is the paper's suggested client fix.
+RetransmitReport RunRetransmissionStudy(bool fresh_authenticator_per_retry,
+                                        uint64_t seed = 777);
+
+}  // namespace kattack
+
+#endif  // SRC_ATTACKS_RETRANSMIT_H_

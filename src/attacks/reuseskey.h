@@ -1,0 +1,35 @@
+// Experiment E10 — REUSE-SKEY shared-key ticket redirection.
+//
+// "If two tickets, T1 and T2, share the same key, the attacker can
+// intercept a request for one service, and redirect it to the other. Since
+// the two tickets share the same key, the authenticator will be accepted.
+// ... If, say, a file server and a backup server were invoked this way, an
+// attacker might redirect some requests to destroy archival copies of files
+// being edited. A solution ... is to include either the service name, a
+// collision-proof checksum of the ticket, or both, in the authenticator."
+
+#ifndef SRC_ATTACKS_REUSESKEY_H_
+#define SRC_ATTACKS_REUSESKEY_H_
+
+#include <string>
+
+namespace kattack {
+
+struct ReuseSkeyReport {
+  bool shared_key_issued = false;    // T_file and T_backup share a session key
+  bool splice_accepted = false;      // backup honoured the spliced request
+  std::string backup_action;         // what the backup server executed
+};
+
+struct ReuseSkeyScenario {
+  // The fix: clients bind authenticators to the intended service name and
+  // servers verify the binding.
+  bool service_name_binding = false;
+  uint64_t seed = 606;
+};
+
+ReuseSkeyReport RunReuseSkeyRedirection(const ReuseSkeyScenario& scenario);
+
+}  // namespace kattack
+
+#endif  // SRC_ATTACKS_REUSESKEY_H_

@@ -1,0 +1,101 @@
+// A complete simulated Athena-style deployment for experiments.
+//
+// One realm, a KDC, three application servers (mail, file, backup — the
+// services the paper's attack narratives use), two named users plus an
+// optional synthetic user population, and an attacker host. Tests, example
+// programs, and every bench build on this.
+
+#ifndef SRC_ATTACKS_TESTBED_H_
+#define SRC_ATTACKS_TESTBED_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/krb4/appserver.h"
+#include "src/krb4/client.h"
+#include "src/krb4/kdc.h"
+#include "src/sim/world.h"
+
+namespace kattack {
+
+struct TestbedConfig {
+  uint64_t seed = 1234;
+  // Extra synthetic users beyond alice/bob, with passwords drawn from the
+  // weak-password population (see src/attacks/passwords.h).
+  int extra_users = 0;
+  double weak_fraction = 0.5;
+  bool server_replay_cache = false;
+  bool server_check_address = true;
+  ksim::Duration clock_skew_limit = ksim::kDefaultClockSkewLimit;
+};
+
+class Testbed4 {
+ public:
+  explicit Testbed4(TestbedConfig config = {});
+
+  // Well-known addresses.
+  static constexpr ksim::NetAddress kAsAddr{0x0a000058, 88};
+  static constexpr ksim::NetAddress kTgsAddr{0x0a000058, 750};
+  static constexpr ksim::NetAddress kMailAddr{0x0a000010, 220};
+  static constexpr ksim::NetAddress kFileAddr{0x0a000011, 2049};
+  static constexpr ksim::NetAddress kBackupAddr{0x0a000012, 911};
+  static constexpr ksim::NetAddress kAliceAddr{0x0a000101, 1023};
+  static constexpr ksim::NetAddress kBobAddr{0x0a000102, 1023};
+  static constexpr ksim::NetAddress kEveAddr{0x0a000666, 31337};
+
+  const std::string realm = "ATHENA.SIM";
+  static constexpr const char* kAlicePassword = "quantum-Leap_77";
+  static constexpr const char* kBobPassword = "password";  // bob chose badly
+
+  ksim::World& world() { return *world_; }
+  krb4::Kdc4& kdc() { return *kdc_; }
+  krb4::Client4& alice() { return *alice_; }
+  krb4::Client4& bob() { return *bob_; }
+  krb4::AppServer4& mail_server() { return *mail_server_; }
+  krb4::AppServer4& file_server() { return *file_server_; }
+  krb4::AppServer4& backup_server() { return *backup_server_; }
+
+  krb4::Principal mail_principal() const;
+  krb4::Principal file_principal() const;
+  krb4::Principal backup_principal() const;
+  krb4::Principal alice_principal() const;
+  krb4::Principal bob_principal() const;
+
+  const kcrypto::DesKey& mail_key() const { return mail_key_; }
+  const kcrypto::DesKey& file_key() const { return file_key_; }
+  const kcrypto::DesKey& backup_key() const { return backup_key_; }
+
+  // Operations each server executed, e.g. "mail-check alice@ATHENA.SIM" or
+  // "DELETE /archive/thesis.tex" — attacks assert on these to show effect.
+  const std::vector<std::string>& mail_log() const { return mail_log_; }
+  const std::vector<std::string>& file_log() const { return file_log_; }
+  const std::vector<std::string>& backup_log() const { return backup_log_; }
+
+  // Synthetic population (principal, password) pairs, including alice/bob.
+  const std::vector<std::pair<krb4::Principal, std::string>>& users() const { return users_; }
+
+  // A fresh client bound to `addr` for any registered user.
+  std::unique_ptr<krb4::Client4> MakeClient(const krb4::Principal& user,
+                                            const ksim::NetAddress& addr);
+
+ private:
+  std::unique_ptr<ksim::World> world_;
+  std::unique_ptr<krb4::Kdc4> kdc_;
+  kcrypto::DesKey mail_key_;
+  kcrypto::DesKey file_key_;
+  kcrypto::DesKey backup_key_;
+  std::unique_ptr<krb4::AppServer4> mail_server_;
+  std::unique_ptr<krb4::AppServer4> file_server_;
+  std::unique_ptr<krb4::AppServer4> backup_server_;
+  std::unique_ptr<krb4::Client4> alice_;
+  std::unique_ptr<krb4::Client4> bob_;
+  std::vector<std::pair<krb4::Principal, std::string>> users_;
+  std::vector<std::string> mail_log_;
+  std::vector<std::string> file_log_;
+  std::vector<std::string> backup_log_;
+};
+
+}  // namespace kattack
+
+#endif  // SRC_ATTACKS_TESTBED_H_

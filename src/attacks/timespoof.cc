@@ -1,0 +1,117 @@
+#include "src/attacks/timespoof.h"
+
+#include "src/attacks/testbed.h"
+#include "src/encoding/io.h"
+#include "src/sim/timeservice.h"
+
+namespace kattack {
+
+namespace {
+
+// Fabricates unauthenticated time-service replies carrying `lie`.
+class TimeLiar : public ksim::Adversary {
+ public:
+  explicit TimeLiar(ksim::Time lie) : lie_(lie) {}
+
+  Decision OnRequest(ksim::Message& msg) override {
+    if (msg.dst.port == 37) {  // the unauthenticated TIME port
+      kenc::Writer w;
+      w.PutU64(static_cast<uint64_t>(lie_));
+      return Decision{false, w.Take()};
+    }
+    if (msg.dst.port == 4037) {  // the authenticated variant: best effort
+      kenc::Reader r(msg.payload);
+      auto nonce = r.GetU64();
+      kenc::Writer w;
+      w.PutU64(nonce.ok() ? nonce.value() : 0);  // echo the nonce — that part is easy
+      w.PutU64(static_cast<uint64_t>(lie_));
+      w.PutU64(0xdeadbeefdeadbeefull);  // but the MAC needs the key
+      return Decision{false, w.Take()};
+    }
+    return {};
+  }
+
+ private:
+  ksim::Time lie_;
+};
+
+}  // namespace
+
+TimeSpoofReport RunTimeSpoofReplay(const TimeSpoofScenario& scenario) {
+  TestbedConfig config;
+  config.seed = scenario.seed;
+  Testbed4 bed(config);
+  TimeSpoofReport report;
+
+  // A time service the mail server host syncs from, plus a key shared with
+  // the server for the authenticated variant.
+  const ksim::NetAddress time_addr{0x0a000037, 37};
+  ksim::HostClock time_clock = bed.world().MakeHostClock(0);
+  kcrypto::DesKey time_key = bed.world().prng().NextDesKey();
+  ksim::UnauthTimeService unauth_svc(&bed.world().network(), time_addr, &time_clock);
+  const ksim::NetAddress auth_time_addr{0x0a000038, 4037};
+  ksim::AuthTimeService auth_svc(&bed.world().network(), auth_time_addr, &time_clock,
+                                 time_key);
+
+  const ksim::NetAddress server_host{0x0a000010, 219};  // the mail host itself
+  auto sync_server_clock = [&]() -> bool {
+    if (scenario.authenticated_time_service) {
+      auto t = ksim::AuthTimeService::Query(&bed.world().network(), server_host,
+                                            auth_time_addr, time_key,
+                                            bed.world().prng().NextU64());
+      if (!t.ok()) {
+        return false;  // keeps its current clock
+      }
+      bed.mail_server().clock().AdjustTo(t.value());
+      return true;
+    }
+    auto t = ksim::UnauthTimeService::Query(&bed.world().network(), server_host, time_addr);
+    if (!t.ok()) {
+      return false;
+    }
+    bed.mail_server().clock().AdjustTo(t.value());
+    return true;
+  };
+
+  // Eve wiretaps alice's mail check and keeps the AP request.
+  ksim::RecordingAdversary recorder;
+  bed.world().network().SetAdversary(&recorder);
+  if (!bed.alice().Login(Testbed4::kAlicePassword).ok()) {
+    return report;
+  }
+  if (!bed.alice().CallService(Testbed4::kMailAddr, bed.mail_principal(), false).ok()) {
+    return report;
+  }
+  bed.world().network().SetAdversary(nullptr);
+  ksim::Time capture_time = bed.world().clock().Now();
+  kerb::Bytes stolen;
+  for (const auto& exchange : recorder.exchanges()) {
+    if (exchange.request.dst == Testbed4::kMailAddr) {
+      stolen = exchange.request.payload;
+    }
+  }
+
+  // Hours later the authenticator is stale; a straight replay fails.
+  bed.world().clock().Advance(scenario.staleness);
+  report.stale_replay_rejected_first =
+      !bed.world().network().Call(Testbed4::kAliceAddr, Testbed4::kMailAddr, stolen).ok();
+
+  // Eve lies to the server's next time sync, rolling its clock back to the
+  // capture time.
+  TimeLiar liar(capture_time);
+  bed.world().network().SetAdversary(&liar);
+  report.time_sync_succeeded = sync_server_clock();
+  bed.world().network().SetAdversary(nullptr);
+  report.server_clock_corrupted =
+      std::llabs(bed.mail_server().clock().Now() - capture_time) < ksim::kMinute;
+
+  // Replay again against the misled server.
+  auto replay = bed.world().network().Call(Testbed4::kAliceAddr, Testbed4::kMailAddr, stolen);
+  report.stale_replay_accepted_after = replay.ok();
+  if (!bed.mail_log().empty()) {
+    report.evidence = bed.mail_log().back();
+  }
+  return report;
+}
+
+}  // namespace kattack

@@ -1,0 +1,36 @@
+// Experiment E3 — defeating authenticator freshness by attacking time
+// synchronization.
+//
+// "If a host can be misled about the correct time, a stale authenticator
+// can be replayed without any trouble at all. Since some time
+// synchronization protocols are unauthenticated, and hosts are still using
+// these protocols ... such attacks are not difficult."
+
+#ifndef SRC_ATTACKS_TIMESPOOF_H_
+#define SRC_ATTACKS_TIMESPOOF_H_
+
+#include <string>
+
+#include "src/sim/clock.h"
+
+namespace kattack {
+
+struct TimeSpoofReport {
+  bool stale_replay_rejected_first = false;  // sanity: before the spoof
+  bool time_sync_succeeded = false;          // the server accepted a time
+  bool server_clock_corrupted = false;       // ...and it was the lie
+  bool stale_replay_accepted_after = false;  // the attack's payoff
+  std::string evidence;
+};
+
+struct TimeSpoofScenario {
+  bool authenticated_time_service = false;  // the fix under test
+  ksim::Duration staleness = 2 * ksim::kHour;  // age of the captured authenticator
+  uint64_t seed = 42;
+};
+
+TimeSpoofReport RunTimeSpoofReplay(const TimeSpoofScenario& scenario);
+
+}  // namespace kattack
+
+#endif  // SRC_ATTACKS_TIMESPOOF_H_

@@ -1,0 +1,36 @@
+// Experiment E15 — clients treated as services: yet another
+// password-guessing avenue.
+//
+// "We originally overlooked an alternative avenue for mounting a
+// password-guessing attack. Clients may be treated as services, and
+// tickets to the client, encrypted by K_c, may be obtained by any user.
+// ... We would prefer to provide the same functionality by having clients
+// register separate instances as services, with truly random keys. Keys
+// could be supplied to the client by the keystore."
+
+#ifndef SRC_ATTACKS_USERASSERVICE_H_
+#define SRC_ATTACKS_USERASSERVICE_H_
+
+#include <string>
+
+namespace kattack {
+
+struct UserAsServiceReport {
+  bool ticket_issued = false;        // the TGS handed out a K_c-sealed ticket
+  bool password_recovered = false;   // ...and the dictionary opened it
+  std::string recovered_password;
+  // The paper's alternative: a separate instance with a truly random key.
+  bool instance_ticket_issued = false;
+  bool instance_password_recovered = false;  // must stay false
+};
+
+struct UserAsServiceScenario {
+  bool forbid_user_principal_tickets = false;  // the policy fix
+  uint64_t seed = 2121;
+};
+
+UserAsServiceReport RunUserAsServiceHarvest(const UserAsServiceScenario& scenario);
+
+}  // namespace kattack
+
+#endif  // SRC_ATTACKS_USERASSERVICE_H_

@@ -1,0 +1,73 @@
+#include "src/common/bytes.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace kerb {
+
+Bytes ToBytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+std::string ToString(BytesView b) { return std::string(b.begin(), b.end()); }
+
+Bytes Concat(std::initializer_list<BytesView> parts) {
+  size_t total = 0;
+  for (const auto& p : parts) {
+    total += p.size();
+  }
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) {
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+void Append(Bytes& dst, BytesView src) { dst.insert(dst.end(), src.begin(), src.end()); }
+
+Bytes Xor(BytesView a, BytesView b) {
+  assert(a.size() == b.size());
+  Bytes out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return out;
+}
+
+void XorInto(std::span<uint8_t> a, BytesView b) {
+  assert(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+}
+
+bool ConstantTimeEqual(BytesView a, BytesView b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc = static_cast<uint8_t>(acc | (a[i] ^ b[i]));
+  }
+  return acc == 0;
+}
+
+bool ContainsSubsequence(BytesView haystack, BytesView needle) {
+  if (needle.empty() || needle.size() > haystack.size()) {
+    return false;
+  }
+  for (size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    if (std::memcmp(haystack.data() + i, needle.data(), needle.size()) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SecureWipe(Bytes& b) {
+  volatile uint8_t* p = b.data();
+  for (size_t i = 0; i < b.size(); ++i) {
+    p[i] = 0;
+  }
+}
+
+}  // namespace kerb

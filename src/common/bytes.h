@@ -1,0 +1,55 @@
+// Byte-buffer primitives shared by every library in this repository.
+//
+// All protocol and cryptographic code operates on `kerb::Bytes` (an owning
+// contiguous buffer) and `kerb::BytesView` (a non-owning view). Helpers here
+// are the small set of operations the protocols need: concatenation, XOR,
+// constant-time comparison, and subsequence search (used by the HSM leakage
+// experiments to scan outputs for key octets).
+
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kerb {
+
+using Bytes = std::vector<uint8_t>;
+using BytesView = std::span<const uint8_t>;
+
+// Builds a Bytes from the raw characters of `s` (no terminator).
+Bytes ToBytes(std::string_view s);
+
+// Interprets `b` as raw characters.
+std::string ToString(BytesView b);
+
+// Concatenates any number of buffers.
+Bytes Concat(std::initializer_list<BytesView> parts);
+
+// Appends `src` to `dst`.
+void Append(Bytes& dst, BytesView src);
+
+// XORs two equal-length buffers. Asserts on length mismatch.
+Bytes Xor(BytesView a, BytesView b);
+
+// In-place XOR of `b` into `a` (equal lengths; asserts otherwise).
+void XorInto(std::span<uint8_t> a, BytesView b);
+
+// Constant-time equality (length leak is permitted; contents are not).
+bool ConstantTimeEqual(BytesView a, BytesView b);
+
+// True when `needle` occurs contiguously inside `haystack`.
+// Empty needles never match.
+bool ContainsSubsequence(BytesView haystack, BytesView needle);
+
+// Overwrites the buffer with zeros. Models the paper's "Kerberos attempts to
+// wipe out old keys at logoff time".
+void SecureWipe(Bytes& b);
+
+}  // namespace kerb
+
+#endif  // SRC_COMMON_BYTES_H_

@@ -1,0 +1,68 @@
+#include "src/common/hex.h"
+
+#include <cassert>
+#include <cctype>
+
+namespace kerb {
+
+namespace {
+
+constexpr char kDigits[] = "0123456789abcdef";
+
+int NibbleValue(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string HexEncode(BytesView b) {
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (uint8_t byte : b) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0x0f]);
+  }
+  return out;
+}
+
+Result<Bytes> HexDecode(std::string_view s) {
+  Bytes out;
+  out.reserve(s.size() / 2);
+  int high = -1;
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      continue;
+    }
+    int v = NibbleValue(c);
+    if (v < 0) {
+      return MakeError(ErrorCode::kBadFormat, "non-hex character in input");
+    }
+    if (high < 0) {
+      high = v;
+    } else {
+      out.push_back(static_cast<uint8_t>((high << 4) | v));
+      high = -1;
+    }
+  }
+  if (high >= 0) {
+    return MakeError(ErrorCode::kBadFormat, "odd number of hex digits");
+  }
+  return out;
+}
+
+Bytes MustHexDecode(std::string_view s) {
+  auto r = HexDecode(s);
+  assert(r.ok());
+  return std::move(r).value();
+}
+
+}  // namespace kerb

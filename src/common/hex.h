@@ -1,0 +1,27 @@
+// Hex encode/decode helpers, used by tests (published test vectors) and by
+// the experiment harnesses when printing evidence buffers.
+
+#ifndef SRC_COMMON_HEX_H_
+#define SRC_COMMON_HEX_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+
+namespace kerb {
+
+// Lower-case hex encoding of `b`.
+std::string HexEncode(BytesView b);
+
+// Decodes a hex string; whitespace is permitted and skipped. Fails with
+// kBadFormat on odd digit counts or non-hex characters.
+Result<Bytes> HexDecode(std::string_view s);
+
+// Decode that asserts on failure — for compile-time-known literals in tests.
+Bytes MustHexDecode(std::string_view s);
+
+}  // namespace kerb
+
+#endif  // SRC_COMMON_HEX_H_

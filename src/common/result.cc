@@ -1,0 +1,46 @@
+#include "src/common/result.h"
+
+namespace kerb {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kBadFormat:
+      return "BAD_FORMAT";
+    case ErrorCode::kIntegrity:
+      return "INTEGRITY";
+    case ErrorCode::kAuthFailed:
+      return "AUTH_FAILED";
+    case ErrorCode::kReplay:
+      return "REPLAY";
+    case ErrorCode::kSkew:
+      return "SKEW";
+    case ErrorCode::kExpired:
+      return "EXPIRED";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kPolicy:
+      return "POLICY";
+    case ErrorCode::kUnsupported:
+      return "UNSUPPORTED";
+    case ErrorCode::kRateLimited:
+      return "RATE_LIMITED";
+    case ErrorCode::kTransport:
+      return "TRANSPORT";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Error::ToString() const {
+  std::string out = ErrorCodeName(code);
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  return out;
+}
+
+}  // namespace kerb

@@ -1,0 +1,106 @@
+// Lightweight Result<T> used on every fallible protocol path.
+//
+// Protocol and crypto code in this repository does not throw: an operation
+// that can fail returns Result<T>, carrying either a value or an Error with
+// a category and human-readable detail. Programmer errors (contract
+// violations) assert instead.
+
+#ifndef SRC_COMMON_RESULT_H_
+#define SRC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace kerb {
+
+// Failure categories. These mirror the classes of failure the Kerberos
+// protocols distinguish: cryptographic integrity failures, protocol-format
+// problems, authentication rejections, policy denials, and transport
+// problems in the simulated network.
+enum class ErrorCode {
+  kOk = 0,
+  kBadFormat,        // message failed to parse / encode
+  kIntegrity,        // checksum or decryption integrity check failed
+  kAuthFailed,       // authentication rejected (bad key, bad authenticator)
+  kReplay,           // replay detected (cache hit, stale timestamp, seqno gap)
+  kSkew,             // clock skew outside permitted window
+  kExpired,          // ticket or credential lifetime exceeded
+  kNotFound,         // unknown principal / realm / key
+  kPolicy,           // request violates configured policy
+  kUnsupported,      // option not supported by this protocol variant
+  kRateLimited,      // server-side throttling engaged
+  kTransport,        // simulated network delivery failure
+  kInternal,         // invariant violation surfaced as an error
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an Error keeps call sites terse.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  ErrorCode code() const { return ok() ? ErrorCode::kOk : error().code; }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), ok_(false) {}  // NOLINT
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return ok_; }
+  const Error& error() const {
+    assert(!ok_);
+    return error_;
+  }
+  ErrorCode code() const { return ok_ ? ErrorCode::kOk : error_.code; }
+
+ private:
+  Error error_;
+  bool ok_ = true;
+};
+
+inline Error MakeError(ErrorCode code, std::string detail) {
+  return Error{code, std::move(detail)};
+}
+
+}  // namespace kerb
+
+#endif  // SRC_COMMON_RESULT_H_

@@ -1,0 +1,384 @@
+#include "src/crypto/bigint.h"
+
+#include <cassert>
+
+namespace kcrypto {
+
+namespace {
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+// Montgomery context for an odd modulus.
+struct MontCtx {
+  std::vector<uint32_t> m;  // modulus limbs, little-endian
+  uint32_t n0inv;           // -m[0]^-1 mod 2^32
+
+  explicit MontCtx(const std::vector<uint32_t>& modulus) : m(modulus) {
+    // Newton iteration for the inverse of m[0] modulo 2^32.
+    uint32_t x = m[0];
+    uint32_t inv = x;  // correct mod 2^4 for odd x
+    for (int i = 0; i < 4; ++i) {
+      inv *= 2 - x * inv;
+    }
+    n0inv = static_cast<uint32_t>(0u - inv);
+  }
+
+  size_t n() const { return m.size(); }
+
+  // out = (a * b * R^-1) mod m, CIOS method. a, b, out all have n() limbs.
+  void Mul(const uint32_t* a, const uint32_t* b, uint32_t* out) const {
+    const size_t len = n();
+    std::vector<uint64_t> t(len + 2, 0);
+    for (size_t i = 0; i < len; ++i) {
+      uint64_t carry = 0;
+      for (size_t j = 0; j < len; ++j) {
+        uint64_t cur = t[j] + static_cast<uint64_t>(a[i]) * b[j] + carry;
+        t[j] = cur & 0xffffffffu;
+        carry = cur >> 32;
+      }
+      uint64_t cur = t[len] + carry;
+      t[len] = cur & 0xffffffffu;
+      t[len + 1] += cur >> 32;
+
+      uint32_t m_factor = static_cast<uint32_t>(t[0]) * n0inv;
+      carry = 0;
+      for (size_t j = 0; j < len; ++j) {
+        uint64_t c2 = t[j] + static_cast<uint64_t>(m_factor) * m[j] + carry;
+        t[j] = c2 & 0xffffffffu;
+        carry = c2 >> 32;
+      }
+      cur = t[len] + carry;
+      t[len] = cur & 0xffffffffu;
+      t[len + 1] += cur >> 32;
+
+      // Divide by 2^32: drop the (now zero) low limb.
+      for (size_t j = 0; j <= len; ++j) {
+        t[j] = t[j + 1];
+      }
+      t[len + 1] = 0;
+    }
+    // Conditional subtraction of m.
+    bool ge = t[len] != 0;
+    if (!ge) {
+      ge = true;
+      for (size_t j = len; j-- > 0;) {
+        if (t[j] != m[j]) {
+          ge = t[j] > m[j];
+          break;
+        }
+      }
+    }
+    if (ge) {
+      int64_t borrow = 0;
+      for (size_t j = 0; j < len; ++j) {
+        int64_t cur = static_cast<int64_t>(t[j]) - m[j] - borrow;
+        borrow = cur < 0 ? 1 : 0;
+        out[j] = static_cast<uint32_t>(cur & 0xffffffff);
+      }
+    } else {
+      for (size_t j = 0; j < len; ++j) {
+        out[j] = static_cast<uint32_t>(t[j]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+BigInt::BigInt(uint64_t v) {
+  if (v != 0) {
+    limbs_.push_back(static_cast<uint32_t>(v & 0xffffffffu));
+    if (v >> 32) {
+      limbs_.push_back(static_cast<uint32_t>(v >> 32));
+    }
+  }
+}
+
+void BigInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) {
+    limbs_.pop_back();
+  }
+}
+
+kerb::Result<BigInt> BigInt::FromHex(std::string_view hex) {
+  BigInt out;
+  for (char c : hex) {
+    if (c == ' ' || c == '\n' || c == '\t') {
+      continue;
+    }
+    int v = HexNibble(c);
+    if (v < 0) {
+      return kerb::MakeError(kerb::ErrorCode::kBadFormat, "non-hex character");
+    }
+    out = out.ShiftLeft(4);
+    if (v != 0) {
+      out = out.Add(BigInt(static_cast<uint64_t>(v)));
+    }
+  }
+  return out;
+}
+
+BigInt BigInt::MustFromHex(std::string_view hex) {
+  auto r = FromHex(hex);
+  assert(r.ok());
+  return std::move(r).value();
+}
+
+BigInt BigInt::FromBytes(kerb::BytesView bytes) {
+  BigInt out;
+  for (uint8_t b : bytes) {
+    out = out.ShiftLeft(8);
+    if (b != 0) {
+      out = out.Add(BigInt(b));
+    }
+  }
+  return out;
+}
+
+kerb::Bytes BigInt::ToBytes() const {
+  if (limbs_.empty()) {
+    return kerb::Bytes{0};
+  }
+  kerb::Bytes out;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      uint8_t b = static_cast<uint8_t>((limbs_[i] >> shift) & 0xff);
+      if (out.empty() && b == 0) {
+        continue;  // skip leading zeros
+      }
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+std::string BigInt::ToHex() const {
+  if (limbs_.empty()) {
+    return "0";
+  }
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      char c = kDigits[(limbs_[i] >> shift) & 0xf];
+      if (out.empty() && c == '0') {
+        continue;
+      }
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) {
+    return 0;
+  }
+  uint32_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::GetBit(size_t i) const {
+  size_t limb = i / 32;
+  if (limb >= limbs_.size()) {
+    return false;
+  }
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+uint64_t BigInt::LowU64() const {
+  uint64_t v = limbs_.empty() ? 0 : limbs_[0];
+  if (limbs_.size() > 1) {
+    v |= static_cast<uint64_t>(limbs_[1]) << 32;
+  }
+  return v;
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigInt BigInt::Add(const BigInt& other) const {
+  BigInt out;
+  const auto& a = limbs_;
+  const auto& b = other.limbs_;
+  size_t len = std::max(a.size(), b.size());
+  out.limbs_.resize(len + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < len; ++i) {
+    uint64_t cur = carry;
+    if (i < a.size()) {
+      cur += a[i];
+    }
+    if (i < b.size()) {
+      cur += b[i];
+    }
+    out.limbs_[i] = static_cast<uint32_t>(cur & 0xffffffffu);
+    carry = cur >> 32;
+  }
+  out.limbs_[len] = static_cast<uint32_t>(carry);
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::Sub(const BigInt& other) const {
+  assert(Compare(other) >= 0);
+  BigInt out;
+  out.limbs_.resize(limbs_.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    int64_t cur = static_cast<int64_t>(limbs_[i]) - borrow;
+    if (i < other.limbs_.size()) {
+      cur -= other.limbs_[i];
+    }
+    borrow = cur < 0 ? 1 : 0;
+    out.limbs_[i] = static_cast<uint32_t>(cur & 0xffffffff);
+  }
+  assert(borrow == 0);
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::Mul(const BigInt& other) const {
+  if (IsZero() || other.IsZero()) {
+    return BigInt();
+  }
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < other.limbs_.size(); ++j) {
+      uint64_t cur = out.limbs_[i + j] + static_cast<uint64_t>(limbs_[i]) * other.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    out.limbs_[i + other.limbs_.size()] = static_cast<uint32_t>(carry);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::ShiftLeft(size_t bits) const {
+  if (IsZero() || bits == 0) {
+    return *this;
+  }
+  size_t limb_shift = bits / 32;
+  size_t bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t v = static_cast<uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<uint32_t>(v & 0xffffffffu);
+    out.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(v >> 32);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::ShiftRight(size_t bits) const {
+  size_t limb_shift = bits / 32;
+  size_t bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) {
+    return BigInt();
+  }
+  BigInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<uint64_t>(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<uint32_t>(v);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::Mod(const BigInt& modulus) const {
+  assert(!modulus.IsZero());
+  if (Compare(modulus) < 0) {
+    return *this;
+  }
+  BigInt rem = *this;
+  size_t shift = rem.BitLength() - modulus.BitLength();
+  BigInt shifted = modulus.ShiftLeft(shift);
+  for (size_t i = 0; i <= shift; ++i) {
+    if (rem.Compare(shifted) >= 0) {
+      rem = rem.Sub(shifted);
+    }
+    shifted = shifted.ShiftRight(1);
+  }
+  return rem;
+}
+
+BigInt BigInt::ModExp(const BigInt& base, const BigInt& exponent, const BigInt& modulus) {
+  assert(modulus.IsOdd());
+  assert(modulus.BitLength() > 1);
+
+  MontCtx ctx(modulus.limbs_);
+  const size_t n = ctx.n();
+
+  // R mod m and R^2 mod m via shift-and-reduce (done once per call).
+  BigInt r_mod = BigInt(1).ShiftLeft(32 * n).Mod(modulus);
+  BigInt r2_mod = r_mod.Mul(r_mod).Mod(modulus);
+
+  auto to_limbs = [n](const BigInt& v) {
+    std::vector<uint32_t> out(n, 0);
+    for (size_t i = 0; i < v.limbs_.size() && i < n; ++i) {
+      out[i] = v.limbs_[i];
+    }
+    return out;
+  };
+
+  std::vector<uint32_t> base_m(n), acc(n), r2 = to_limbs(r2_mod);
+  std::vector<uint32_t> base_reduced = to_limbs(base.Mod(modulus));
+  ctx.Mul(base_reduced.data(), r2.data(), base_m.data());  // base * R mod m
+  acc = to_limbs(r_mod);                                   // 1 * R mod m
+
+  size_t bits = exponent.BitLength();
+  std::vector<uint32_t> tmp(n);
+  for (size_t i = bits; i-- > 0;) {
+    ctx.Mul(acc.data(), acc.data(), tmp.data());
+    acc.swap(tmp);
+    if (exponent.GetBit(i)) {
+      ctx.Mul(acc.data(), base_m.data(), tmp.data());
+      acc.swap(tmp);
+    }
+  }
+
+  // Leave the Montgomery domain: multiply by 1.
+  std::vector<uint32_t> one(n, 0);
+  one[0] = 1;
+  ctx.Mul(acc.data(), one.data(), tmp.data());
+
+  BigInt out;
+  out.limbs_ = tmp;
+  out.Normalize();
+  return out;
+}
+
+}  // namespace kcrypto

@@ -1,0 +1,76 @@
+// Arbitrary-precision unsigned integers for exponential key exchange.
+//
+// The paper proposes Diffie–Hellman ("exponential key exchange") as an
+// optional layer protecting the login dialog from password-guessing
+// eavesdroppers, and immediately flags its cost: "LaMacchia and Odlyzko have
+// demonstrated that exchanging small numbers is quite insecure, while using
+// large ones is expensive in computation time." This module supplies the
+// arithmetic for both sides of that trade-off: ModExp for the legitimate
+// parties (bench B3 measures its cost vs. modulus size) and the material
+// that src/crypto/dlog.h attacks for small moduli.
+//
+// Representation: little-endian vector of 32-bit limbs, always normalized
+// (no high zero limbs; zero is an empty vector). ModExp uses Montgomery
+// multiplication (odd moduli), so no general division sits on the hot path.
+
+#ifndef SRC_CRYPTO_BIGINT_H_
+#define SRC_CRYPTO_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+
+namespace kcrypto {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  explicit BigInt(uint64_t v);
+
+  static kerb::Result<BigInt> FromHex(std::string_view hex);
+  static BigInt MustFromHex(std::string_view hex);
+  // Big-endian byte import/export (the network representation).
+  static BigInt FromBytes(kerb::BytesView bytes);
+  kerb::Bytes ToBytes() const;
+  std::string ToHex() const;
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+  size_t BitLength() const;
+  bool GetBit(size_t i) const;
+  // Low 64 bits (for small-modulus fast paths).
+  uint64_t LowU64() const;
+
+  // Comparison: negative / zero / positive like memcmp.
+  int Compare(const BigInt& other) const;
+  bool operator==(const BigInt& other) const { return Compare(other) == 0; }
+  bool operator<(const BigInt& other) const { return Compare(other) < 0; }
+  bool operator<=(const BigInt& other) const { return Compare(other) <= 0; }
+
+  BigInt Add(const BigInt& other) const;
+  // Requires *this >= other (asserted).
+  BigInt Sub(const BigInt& other) const;
+  BigInt Mul(const BigInt& other) const;
+  BigInt ShiftLeft(size_t bits) const;
+  BigInt ShiftRight(size_t bits) const;
+
+  // Remainder by binary long division. Not on the ModExp hot path.
+  BigInt Mod(const BigInt& modulus) const;
+
+  // (base^exponent) mod modulus. Modulus must be odd and > 1 (asserted);
+  // Montgomery ladder, square-and-multiply.
+  static BigInt ModExp(const BigInt& base, const BigInt& exponent, const BigInt& modulus);
+
+ private:
+  void Normalize();
+
+  std::vector<uint32_t> limbs_;  // little-endian
+};
+
+}  // namespace kcrypto
+
+#endif  // SRC_CRYPTO_BIGINT_H_

@@ -1,0 +1,75 @@
+#include "src/crypto/crc32.h"
+
+namespace kcrypto {
+
+namespace {
+
+struct Tables {
+  uint32_t fwd[256];
+  uint8_t top_index[256];  // maps (fwd[i] >> 24) -> i; a bijection for this polynomial
+
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+      }
+      fwd[i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      top_index[fwd[i] >> 24] = static_cast<uint8_t>(i);
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+void Crc32State::Update(kerb::BytesView data) {
+  const Tables& t = GetTables();
+  for (uint8_t byte : data) {
+    reg_ = (reg_ >> 8) ^ t.fwd[(reg_ ^ byte) & 0xff];
+  }
+}
+
+uint32_t Crc32(kerb::BytesView data) {
+  Crc32State state;
+  state.Update(data);
+  return state.Final();
+}
+
+std::array<uint8_t, 4> ForgePatch(kerb::BytesView prefix, uint32_t target_crc) {
+  const Tables& t = GetTables();
+
+  // Internal register value we must reach after consuming the patch.
+  uint32_t want = target_crc ^ 0xffffffffu;
+
+  // Walk backwards from `want`, recovering the table index used at each of
+  // the four byte steps. The low bytes of `cur` become unknown as we walk,
+  // but each step's lookup only depends on bits that are still determined.
+  uint32_t cur = want;
+  std::array<uint8_t, 4> idxs{};
+  for (int i = 3; i >= 0; --i) {
+    uint8_t idx = t.top_index[cur >> 24];
+    idxs[i] = idx;
+    cur = (cur ^ t.fwd[idx]) << 8;
+  }
+
+  // Forward pass: force each step to use the recovered index by choosing the
+  // patch byte accordingly.
+  Crc32State state;
+  state.Update(prefix);
+  uint32_t reg = state.reg_;
+  std::array<uint8_t, 4> patch{};
+  for (int i = 0; i < 4; ++i) {
+    patch[i] = static_cast<uint8_t>((reg ^ idxs[i]) & 0xff);
+    reg = (reg >> 8) ^ t.fwd[idxs[i]];
+  }
+  return patch;
+}
+
+}  // namespace kcrypto

@@ -1,0 +1,240 @@
+#include "src/crypto/des.h"
+
+#include <cassert>
+
+namespace kcrypto {
+
+namespace {
+
+// FIPS 46 tables. Entries are 1-based bit positions counted from the most
+// significant bit, exactly as printed in the standard.
+
+constexpr uint8_t kIp[64] = {
+    58, 50, 42, 34, 26, 18, 10, 2,  60, 52, 44, 36, 28, 20, 12, 4,
+    62, 54, 46, 38, 30, 22, 14, 6,  64, 56, 48, 40, 32, 24, 16, 8,
+    57, 49, 41, 33, 25, 17, 9,  1,  59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5,  63, 55, 47, 39, 31, 23, 15, 7,
+};
+
+constexpr uint8_t kFp[64] = {
+    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31,
+    38, 6, 46, 14, 54, 22, 62, 30, 37, 5, 45, 13, 53, 21, 61, 29,
+    36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9,  49, 17, 57, 25,
+};
+
+constexpr uint8_t kE[48] = {
+    32, 1,  2,  3,  4,  5,  4,  5,  6,  7,  8,  9,  8,  9,  10, 11,
+    12, 13, 12, 13, 14, 15, 16, 17, 16, 17, 18, 19, 20, 21, 20, 21,
+    22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1,
+};
+
+constexpr uint8_t kP[32] = {
+    16, 7, 20, 21, 29, 12, 28, 17, 1,  15, 23, 26, 5,  18, 31, 10,
+    2,  8, 24, 14, 32, 27, 3,  9,  19, 13, 30, 6,  22, 11, 4,  25,
+};
+
+constexpr uint8_t kPc1[56] = {
+    57, 49, 41, 33, 25, 17, 9,  1,  58, 50, 42, 34, 26, 18,
+    10, 2,  59, 51, 43, 35, 27, 19, 11, 3,  60, 52, 44, 36,
+    63, 55, 47, 39, 31, 23, 15, 7,  62, 54, 46, 38, 30, 22,
+    14, 6,  61, 53, 45, 37, 29, 21, 13, 5,  28, 20, 12, 4,
+};
+
+constexpr uint8_t kPc2[48] = {
+    14, 17, 11, 24, 1,  5,  3,  28, 15, 6,  21, 10, 23, 19, 12, 4,
+    26, 8,  16, 7,  27, 20, 13, 2,  41, 52, 31, 37, 47, 55, 30, 40,
+    51, 45, 33, 48, 44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32,
+};
+
+constexpr uint8_t kShifts[16] = {1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1};
+
+constexpr uint8_t kSBox[8][64] = {
+    {14, 4,  13, 1, 2,  15, 11, 8,  3,  10, 6,  12, 5,  9,  0, 7,
+     0,  15, 7,  4, 14, 2,  13, 1,  10, 6,  12, 11, 9,  5,  3, 8,
+     4,  1,  14, 8, 13, 6,  2,  11, 15, 12, 9,  7,  3,  10, 5, 0,
+     15, 12, 8,  2, 4,  9,  1,  7,  5,  11, 3,  14, 10, 0,  6, 13},
+    {15, 1,  8,  14, 6,  11, 3,  4,  9,  7, 2,  13, 12, 0, 5,  10,
+     3,  13, 4,  7,  15, 2,  8,  14, 12, 0, 1,  10, 6,  9, 11, 5,
+     0,  14, 7,  11, 10, 4,  13, 1,  5,  8, 12, 6,  9,  3, 2,  15,
+     13, 8,  10, 1,  3,  15, 4,  2,  11, 6, 7,  12, 0,  5, 14, 9},
+    {10, 0,  9,  14, 6, 3,  15, 5,  1,  13, 12, 7,  11, 4,  2,  8,
+     13, 7,  0,  9,  3, 4,  6,  10, 2,  8,  5,  14, 12, 11, 15, 1,
+     13, 6,  4,  9,  8, 15, 3,  0,  11, 1,  2,  12, 5,  10, 14, 7,
+     1,  10, 13, 0,  6, 9,  8,  7,  4,  15, 14, 3,  11, 5,  2,  12},
+    {7,  13, 14, 3, 0,  6,  9,  10, 1,  2, 8, 5,  11, 12, 4,  15,
+     13, 8,  11, 5, 6,  15, 0,  3,  4,  7, 2, 12, 1,  10, 14, 9,
+     10, 6,  9,  0, 12, 11, 7,  13, 15, 1, 3, 14, 5,  2,  8,  4,
+     3,  15, 0,  6, 10, 1,  13, 8,  9,  4, 5, 11, 12, 7,  2,  14},
+    {2,  12, 4,  1,  7,  10, 11, 6,  8,  5,  3,  15, 13, 0, 14, 9,
+     14, 11, 2,  12, 4,  7,  13, 1,  5,  0,  15, 10, 3,  9, 8,  6,
+     4,  2,  1,  11, 10, 13, 7,  8,  15, 9,  12, 5,  6,  3, 0,  14,
+     11, 8,  12, 7,  1,  14, 2,  13, 6,  15, 0,  9,  10, 4, 5,  3},
+    {12, 1,  10, 15, 9, 2,  6,  8,  0,  13, 3,  4,  14, 7,  5,  11,
+     10, 15, 4,  2,  7, 12, 9,  5,  6,  1,  13, 14, 0,  11, 3,  8,
+     9,  14, 15, 5,  2, 8,  12, 3,  7,  0,  4,  10, 1,  13, 11, 6,
+     4,  3,  2,  12, 9, 5,  15, 10, 11, 14, 1,  7,  6,  0,  8,  13},
+    {4,  11, 2,  14, 15, 0, 8,  13, 3,  12, 9, 7,  5,  10, 6, 1,
+     13, 0,  11, 7,  4,  9, 1,  10, 14, 3,  5, 12, 2,  15, 8, 6,
+     1,  4,  11, 13, 12, 3, 7,  14, 10, 15, 6, 8,  0,  5,  9, 2,
+     6,  11, 13, 8,  1,  4, 10, 7,  9,  5,  0, 15, 14, 2,  3, 12},
+    {13, 2,  8,  4, 6,  15, 11, 1,  10, 9,  3,  14, 5,  0,  12, 7,
+     1,  15, 13, 8, 10, 3,  7,  4,  12, 5,  6,  11, 0,  14, 9,  2,
+     7,  11, 4,  1, 9,  12, 14, 2,  0,  6,  10, 13, 15, 3,  5,  8,
+     2,  1,  14, 7, 4,  10, 8,  13, 15, 12, 9,  0,  3,  5,  6,  11},
+};
+
+// Applies a 1-based-from-MSB bit permutation table to `in` (treated as an
+// `in_bits`-wide value stored in the low bits), producing `out_bits` bits.
+uint64_t Permute(uint64_t in, int in_bits, const uint8_t* table, int out_bits) {
+  uint64_t out = 0;
+  for (int i = 0; i < out_bits; ++i) {
+    int src = table[i];  // 1-based from MSB of the in_bits-wide value
+    uint64_t bit = (in >> (in_bits - src)) & 1u;
+    out = (out << 1) | bit;
+  }
+  return out;
+}
+
+// The Feistel function: expand R to 48 bits, XOR the subkey, substitute
+// through the eight S-boxes, and permute with P.
+uint64_t Feistel(uint32_t r, uint64_t subkey) {
+  uint64_t expanded = Permute(r, 32, kE, 48) ^ subkey;
+  uint32_t sbox_out = 0;
+  for (int box = 0; box < 8; ++box) {
+    uint32_t six = static_cast<uint32_t>((expanded >> (42 - 6 * box)) & 0x3f);
+    // Row is the outer two bits, column the inner four.
+    uint32_t row = ((six & 0x20) >> 4) | (six & 0x01);
+    uint32_t col = (six >> 1) & 0x0f;
+    sbox_out = (sbox_out << 4) | kSBox[box][row * 16 + col];
+  }
+  return Permute(sbox_out, 32, kP, 32);
+}
+
+uint32_t RotateLeft28(uint32_t v, int n) {
+  return ((v << n) | (v >> (28 - n))) & 0x0fffffff;
+}
+
+}  // namespace
+
+uint64_t BlockToU64(const DesBlock& b) {
+  uint64_t v = 0;
+  for (uint8_t byte : b) {
+    v = (v << 8) | byte;
+  }
+  return v;
+}
+
+DesBlock U64ToBlock(uint64_t v) {
+  DesBlock b;
+  for (int i = 7; i >= 0; --i) {
+    b[i] = static_cast<uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+  return b;
+}
+
+DesKey::DesKey(const DesBlock& key_bytes) : bytes_(key_bytes) { Schedule(); }
+
+DesKey::DesKey(uint64_t key) : bytes_(U64ToBlock(key)) { Schedule(); }
+
+void DesKey::Schedule() {
+  uint64_t key56 = Permute(BlockToU64(bytes_), 64, kPc1, 56);
+  uint32_t c = static_cast<uint32_t>(key56 >> 28) & 0x0fffffff;
+  uint32_t d = static_cast<uint32_t>(key56) & 0x0fffffff;
+  for (int round = 0; round < 16; ++round) {
+    c = RotateLeft28(c, kShifts[round]);
+    d = RotateLeft28(d, kShifts[round]);
+    uint64_t cd = (static_cast<uint64_t>(c) << 28) | d;
+    subkeys_[round] = Permute(cd, 56, kPc2, 48);
+  }
+}
+
+uint64_t DesKey::EncryptBlock(uint64_t plaintext) const {
+  uint64_t block = Permute(plaintext, 64, kIp, 64);
+  uint32_t l = static_cast<uint32_t>(block >> 32);
+  uint32_t r = static_cast<uint32_t>(block);
+  for (int round = 0; round < 16; ++round) {
+    uint32_t next_l = r;
+    r = l ^ static_cast<uint32_t>(Feistel(r, subkeys_[round]));
+    l = next_l;
+  }
+  // Note the final swap: the output is R16 || L16.
+  uint64_t preout = (static_cast<uint64_t>(r) << 32) | l;
+  return Permute(preout, 64, kFp, 64);
+}
+
+uint64_t DesKey::DecryptBlock(uint64_t ciphertext) const {
+  uint64_t block = Permute(ciphertext, 64, kIp, 64);
+  uint32_t l = static_cast<uint32_t>(block >> 32);
+  uint32_t r = static_cast<uint32_t>(block);
+  for (int round = 15; round >= 0; --round) {
+    uint32_t next_l = r;
+    r = l ^ static_cast<uint32_t>(Feistel(r, subkeys_[round]));
+    l = next_l;
+  }
+  uint64_t preout = (static_cast<uint64_t>(r) << 32) | l;
+  return Permute(preout, 64, kFp, 64);
+}
+
+DesBlock DesKey::EncryptBlock(const DesBlock& plaintext) const {
+  return U64ToBlock(EncryptBlock(BlockToU64(plaintext)));
+}
+
+DesBlock DesKey::DecryptBlock(const DesBlock& ciphertext) const {
+  return U64ToBlock(DecryptBlock(BlockToU64(ciphertext)));
+}
+
+DesKey DesKey::Variant(uint8_t mask) const {
+  DesBlock v = bytes_;
+  for (auto& b : v) {
+    b = static_cast<uint8_t>(b ^ mask);
+  }
+  return DesKey(FixParity(v));
+}
+
+DesBlock FixParity(const DesBlock& key) {
+  DesBlock out = key;
+  for (auto& byte : out) {
+    uint8_t b = byte >> 1;  // the 7 key bits
+    int ones = 0;
+    for (int i = 0; i < 7; ++i) {
+      ones += (b >> i) & 1;
+    }
+    byte = static_cast<uint8_t>((b << 1) | ((ones % 2 == 0) ? 1 : 0));
+  }
+  return out;
+}
+
+bool HasOddParity(const DesBlock& key) {
+  for (uint8_t byte : key) {
+    int ones = 0;
+    for (int i = 0; i < 8; ++i) {
+      ones += (byte >> i) & 1;
+    }
+    if (ones % 2 == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsWeakKey(const DesBlock& key) {
+  // Weak and semi-weak keys, parity-corrected, from FIPS 74 / Davies & Price.
+  static constexpr uint64_t kWeak[] = {
+      0x0101010101010101ull, 0xfefefefefefefefeull, 0x1f1f1f1f0e0e0e0eull, 0xe0e0e0e0f1f1f1f1ull,
+      // Semi-weak pairs.
+      0x011f011f010e010eull, 0x1f011f010e010e01ull, 0x01e001e001f101f1ull, 0xe001e001f101f101ull,
+      0x01fe01fe01fe01feull, 0xfe01fe01fe01fe01ull, 0x1fe01fe00ef10ef1ull, 0xe01fe01ff10ef10eull,
+      0x1ffe1ffe0efe0efeull, 0xfe1ffe1ffe0efe0eull, 0xe0fee0fef1fef1feull, 0xfee0fee0fef1fef1ull,
+  };
+  uint64_t k = BlockToU64(FixParity(key));
+  for (uint64_t w : kWeak) {
+    if (k == w) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace kcrypto

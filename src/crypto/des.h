@@ -1,0 +1,80 @@
+// From-scratch implementation of the Data Encryption Standard (FIPS 46).
+//
+// Kerberos V4 and the V5 Draft 3 model in this repository are built on DES,
+// exactly as the original systems were. The implementation is a direct,
+// table-driven transcription of the standard: initial/final permutations,
+// 16 Feistel rounds with the E expansion, S-boxes and P permutation, and the
+// PC-1/PC-2 key schedule. It is verified against published test vectors in
+// tests/crypto/des_test.cc.
+//
+// Performance note: this is a clarity-first bit-permutation implementation,
+// not a bitsliced one. The benchmark suite (bench_b1_desmodes) measures it
+// as-is; all comparative results in EXPERIMENTS.md are ratios between modes
+// of this same core, so the shape of the paper's cost claims is preserved.
+
+#ifndef SRC_CRYPTO_DES_H_
+#define SRC_CRYPTO_DES_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+
+namespace kcrypto {
+
+// One 64-bit DES block as raw bytes, big-endian bit numbering per FIPS 46.
+using DesBlock = std::array<uint8_t, 8>;
+
+uint64_t BlockToU64(const DesBlock& b);
+DesBlock U64ToBlock(uint64_t v);
+
+// A DES key with its 16-round subkey schedule precomputed.
+//
+// Keys are 8 bytes; the low bit of each byte is an odd-parity bit per the
+// standard. Construction does not reject bad parity (Kerberos historically
+// fixed parity rather than failing) — use FixParity()/HasOddParity() to
+// manage it explicitly.
+class DesKey {
+ public:
+  DesKey() = default;
+  explicit DesKey(const DesBlock& key_bytes);
+  explicit DesKey(uint64_t key);
+
+  const DesBlock& bytes() const { return bytes_; }
+  uint64_t AsU64() const { return BlockToU64(bytes_); }
+
+  // Encrypts / decrypts one 64-bit block.
+  uint64_t EncryptBlock(uint64_t plaintext) const;
+  uint64_t DecryptBlock(uint64_t ciphertext) const;
+
+  DesBlock EncryptBlock(const DesBlock& plaintext) const;
+  DesBlock DecryptBlock(const DesBlock& ciphertext) const;
+
+  // Derives a "variant" key by XORing every byte with `mask`. Draft 3 uses
+  // variant keys for its encrypted-checksum types so that a checksum key is
+  // never identical to the message-encryption key.
+  DesKey Variant(uint8_t mask) const;
+
+  bool operator==(const DesKey& other) const { return bytes_ == other.bytes_; }
+
+ private:
+  void Schedule();
+
+  DesBlock bytes_{};
+  std::array<uint64_t, 16> subkeys_{};  // 48-bit round keys in the low bits
+};
+
+// Sets each byte of `key` to odd parity (modifying only bit 0 of each byte).
+DesBlock FixParity(const DesBlock& key);
+
+// True when every byte of `key` has odd parity.
+bool HasOddParity(const DesBlock& key);
+
+// True for the four weak and twelve semi-weak DES keys (parity-adjusted
+// comparison). Kerberos key generation must reject these.
+bool IsWeakKey(const DesBlock& key);
+
+}  // namespace kcrypto
+
+#endif  // SRC_CRYPTO_DES_H_

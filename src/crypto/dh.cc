@@ -1,0 +1,70 @@
+#include "src/crypto/dh.h"
+
+#include <cassert>
+
+#include "src/crypto/md4.h"
+#include "src/crypto/primes.h"
+
+namespace kcrypto {
+
+const DhGroup& OakleyGroup1() {
+  static const DhGroup group{
+      BigInt::MustFromHex(
+          "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+          "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+          "4FE1356D6D51C245E485B576625E7EC6F44C42E9A63A3620FFFFFFFFFFFFFFFF"),
+      BigInt(2),
+  };
+  return group;
+}
+
+const DhGroup& OakleyGroup2() {
+  static const DhGroup group{
+      BigInt::MustFromHex(
+          "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+          "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+          "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+          "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF"),
+      BigInt(2),
+  };
+  return group;
+}
+
+DhGroup MakeToyGroup(Prng& prng, int bits) {
+  uint64_t p = RandomSafePrime64(prng, bits);
+  uint64_t g = FindGenerator64(p, prng);
+  return DhGroup{BigInt(p), BigInt(g)};
+}
+
+DhKeyPair DhGenerate(const DhGroup& group, Prng& prng) {
+  size_t bytes = (group.p.BitLength() + 7) / 8;
+  BigInt p_minus_3 = group.p.Sub(BigInt(3));
+  BigInt priv;
+  do {
+    priv = BigInt::FromBytes(prng.NextBytes(bytes)).Mod(group.p);
+  } while (priv.Compare(p_minus_3) > 0 || priv.BitLength() < 2);
+  // priv in [2, p-2] now (loose but uniform enough for the simulation).
+  BigInt pub = BigInt::ModExp(group.g, priv, group.p);
+  return DhKeyPair{priv, pub};
+}
+
+BigInt DhSharedSecret(const DhGroup& group, const BigInt& private_key, const BigInt& peer_public) {
+  return BigInt::ModExp(peer_public, private_key, group.p);
+}
+
+DesKey DhDeriveKey(const BigInt& shared_secret) {
+  kerb::Bytes material = shared_secret.ToBytes();
+  Md4Digest digest = Md4(material);
+  DesBlock raw;
+  for (int i = 0; i < 8; ++i) {
+    raw[i] = digest[i];
+  }
+  DesBlock key = FixParity(raw);
+  if (IsWeakKey(key)) {
+    key[0] = static_cast<uint8_t>(key[0] ^ 0x0e);
+    key = FixParity(key);
+  }
+  return DesKey(key);
+}
+
+}  // namespace kcrypto

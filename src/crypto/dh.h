@@ -1,0 +1,58 @@
+// Exponential key exchange (Diffie–Hellman, [Diff76]).
+//
+// The paper proposes DH as "an additional layer of encryption" over the
+// login dialog so that "a passive wiretapper cannot accumulate the network
+// equivalent of /etc/passwd". src/hardened/dhlogin.h builds that layer on
+// this module; bench B3 measures the cost curve the paper worries about.
+//
+// Two families of parameters are provided:
+//   * Standard large groups (the Oakley 768- and 1024-bit primes) — what a
+//     careful 1991 deployment would pick.
+//   * Small toy groups over word-sized safe primes — what a performance-
+//     pressured deployment might pick, and what src/crypto/dlog.h breaks.
+
+#ifndef SRC_CRYPTO_DH_H_
+#define SRC_CRYPTO_DH_H_
+
+#include <cstdint>
+
+#include "src/crypto/bigint.h"
+#include "src/crypto/des.h"
+#include "src/crypto/prng.h"
+
+namespace kcrypto {
+
+struct DhGroup {
+  BigInt p;  // prime modulus
+  BigInt g;  // generator
+  size_t bits() const { return p.BitLength(); }
+};
+
+// Oakley Group 1 (RFC 2409): 768-bit prime, generator 2.
+const DhGroup& OakleyGroup1();
+// Oakley Group 2 (RFC 2409): 1024-bit prime, generator 2.
+const DhGroup& OakleyGroup2();
+
+// A small group over a safe prime of roughly `bits` bits (8..62), found by
+// deterministic search from the given prng. Generator has order (p-1)/2 or
+// p-1. Intended for the insecurity demonstration, not for protection.
+DhGroup MakeToyGroup(Prng& prng, int bits);
+
+struct DhKeyPair {
+  BigInt private_key;
+  BigInt public_key;  // g^private mod p
+};
+
+// Private key uniform in [2, p-2]; public = g^x mod p.
+DhKeyPair DhGenerate(const DhGroup& group, Prng& prng);
+
+// peer_public^private mod p.
+BigInt DhSharedSecret(const DhGroup& group, const BigInt& private_key, const BigInt& peer_public);
+
+// Hashes a shared secret down to a DES key (MD4 truncation, parity fixed,
+// weak keys perturbed).
+DesKey DhDeriveKey(const BigInt& shared_secret);
+
+}  // namespace kcrypto
+
+#endif  // SRC_CRYPTO_DH_H_

@@ -1,0 +1,140 @@
+#include "src/crypto/dlog.h"
+
+#include <unordered_map>
+
+#include "src/crypto/primes.h"
+
+namespace kcrypto {
+
+namespace {
+
+// Extended gcd: returns g = gcd(a, b) and x with a*x ≡ g (mod b).
+uint64_t ExtGcd(uint64_t a, uint64_t b, uint64_t& inv_out) {
+  __int128 old_r = a, r = b;
+  __int128 old_s = 1, s = 0;
+  while (r != 0) {
+    __int128 q = old_r / r;
+    __int128 tmp = old_r - q * r;
+    old_r = r;
+    r = tmp;
+    tmp = old_s - q * s;
+    old_s = s;
+    s = tmp;
+  }
+  __int128 x = old_s % static_cast<__int128>(b);
+  if (x < 0) {
+    x += b;
+  }
+  inv_out = static_cast<uint64_t>(x);
+  return static_cast<uint64_t>(old_r);
+}
+
+uint64_t SubMod(uint64_t a, uint64_t b, uint64_t m) {
+  return a >= b ? (a - b) % m : m - ((b - a) % m);
+}
+
+}  // namespace
+
+std::optional<uint64_t> DlogBabyStepGiantStep(uint64_t g, uint64_t target, uint64_t p) {
+  uint64_t n = p - 1;  // search the full exponent range
+  uint64_t m = 1;
+  while (m * m < n) {
+    ++m;
+  }
+  // Baby steps: g^j for j in [0, m).
+  std::unordered_map<uint64_t, uint64_t> table;
+  table.reserve(static_cast<size_t>(m));
+  uint64_t cur = 1 % p;
+  for (uint64_t j = 0; j < m; ++j) {
+    table.emplace(cur, j);
+    cur = MulMod64(cur, g, p);
+  }
+  // Giant steps: target * (g^-m)^i.
+  uint64_t inv_g;
+  uint64_t d = ExtGcd(g % p, p, inv_g);
+  if (d != 1) {
+    return std::nullopt;  // g not invertible — p not prime or g == 0
+  }
+  uint64_t giant = PowMod64(inv_g, m, p);
+  uint64_t gamma = target % p;
+  for (uint64_t i = 0; i <= m; ++i) {
+    auto it = table.find(gamma);
+    if (it != table.end()) {
+      uint64_t x = (i * m + it->second) % n;
+      if (PowMod64(g, x, p) == target % p) {
+        return x;
+      }
+    }
+    gamma = MulMod64(gamma, giant, p);
+  }
+  return std::nullopt;
+}
+
+std::optional<uint64_t> DlogPollardRho(uint64_t g, uint64_t target, uint64_t p, Prng& prng,
+                                       int max_restarts) {
+  uint64_t n = p - 1;
+  uint64_t h = target % p;
+  if (h == 1 % p) {
+    return 0;
+  }
+
+  struct Walker {
+    uint64_t y, a, b;
+  };
+  auto step = [&](Walker& w) {
+    switch (w.y % 3) {
+      case 0:
+        w.y = MulMod64(w.y, g, p);
+        w.a = (w.a + 1) % n;
+        break;
+      case 1:
+        w.y = MulMod64(w.y, w.y, p);
+        w.a = (w.a * 2) % n;
+        w.b = (w.b * 2) % n;
+        break;
+      default:
+        w.y = MulMod64(w.y, h, p);
+        w.b = (w.b + 1) % n;
+        break;
+    }
+  };
+
+  for (int attempt = 0; attempt < max_restarts; ++attempt) {
+    uint64_t a0 = prng.NextBelow(n);
+    uint64_t b0 = prng.NextBelow(n);
+    Walker slow{MulMod64(PowMod64(g, a0, p), PowMod64(h, b0, p), p), a0, b0};
+    Walker fast = slow;
+    // Floyd cycle detection; bound the walk to avoid pathological loops.
+    uint64_t bound = 8 * (1ull << (64 - __builtin_clzll(n)) / 2);  // ~8*2^(bits/2)
+    for (uint64_t i = 0; i < bound + (uint64_t)1e7; ++i) {
+      step(slow);
+      step(fast);
+      step(fast);
+      if (slow.y == fast.y) {
+        // g^(a_s) h^(b_s) = g^(a_f) h^(b_f)  =>  (b_s - b_f) x = a_f - a_s (mod n)
+        uint64_t db = SubMod(slow.b, fast.b, n);
+        uint64_t da = SubMod(fast.a, slow.a, n);
+        if (db == 0) {
+          break;  // degenerate collision; restart
+        }
+        uint64_t inv;
+        uint64_t d = ExtGcd(db, n, inv);
+        if (da % d != 0) {
+          break;
+        }
+        uint64_t n_d = n / d;
+        uint64_t base_x = MulMod64((da / d) % n_d, inv % n_d, n_d);
+        for (uint64_t k = 0; k < d && k < 4096; ++k) {
+          uint64_t x = (base_x + k * n_d) % n;
+          if (PowMod64(g, x, p) == h) {
+            return x;
+          }
+        }
+        break;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace kcrypto

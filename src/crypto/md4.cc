@@ -1,0 +1,115 @@
+#include "src/crypto/md4.h"
+
+#include <bit>
+#include <cstring>
+
+namespace kcrypto {
+
+namespace {
+
+uint32_t F(uint32_t x, uint32_t y, uint32_t z) { return (x & y) | (~x & z); }
+uint32_t G(uint32_t x, uint32_t y, uint32_t z) { return (x & y) | (x & z) | (y & z); }
+uint32_t H(uint32_t x, uint32_t y, uint32_t z) { return x ^ y ^ z; }
+
+uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+void Md4State::ProcessBlock(const uint8_t* block) {
+  uint32_t x[16];
+  for (int i = 0; i < 16; ++i) {
+    x[i] = LoadLe32(block + 4 * i);
+  }
+
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+
+  auto round1 = [&](uint32_t& aa, uint32_t bb, uint32_t cc, uint32_t dd, int k, int s) {
+    aa = std::rotl(aa + F(bb, cc, dd) + x[k], s);
+  };
+  auto round2 = [&](uint32_t& aa, uint32_t bb, uint32_t cc, uint32_t dd, int k, int s) {
+    aa = std::rotl(aa + G(bb, cc, dd) + x[k] + 0x5a827999u, s);
+  };
+  auto round3 = [&](uint32_t& aa, uint32_t bb, uint32_t cc, uint32_t dd, int k, int s) {
+    aa = std::rotl(aa + H(bb, cc, dd) + x[k] + 0x6ed9eba1u, s);
+  };
+
+  for (int i = 0; i < 16; i += 4) {
+    round1(a, b, c, d, i + 0, 3);
+    round1(d, a, b, c, i + 1, 7);
+    round1(c, d, a, b, i + 2, 11);
+    round1(b, c, d, a, i + 3, 19);
+  }
+  for (int i = 0; i < 4; ++i) {
+    round2(a, b, c, d, i + 0, 3);
+    round2(d, a, b, c, i + 4, 5);
+    round2(c, d, a, b, i + 8, 9);
+    round2(b, c, d, a, i + 12, 13);
+  }
+  constexpr int kRound3Order[4] = {0, 2, 1, 3};
+  for (int idx : kRound3Order) {
+    round3(a, b, c, d, idx + 0, 3);
+    round3(d, a, b, c, idx + 8, 9);
+    round3(c, d, a, b, idx + 4, 11);
+    round3(b, c, d, a, idx + 12, 15);
+  }
+
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+}
+
+void Md4State::Update(kerb::BytesView data) {
+  size_t fill = static_cast<size_t>(total_bytes_ % 64);
+  total_bytes_ += data.size();
+  size_t offset = 0;
+  if (fill > 0) {
+    size_t take = std::min(64 - fill, data.size());
+    std::memcpy(buffer_.data() + fill, data.data(), take);
+    offset = take;
+    if (fill + take < 64) {
+      return;
+    }
+    ProcessBlock(buffer_.data());
+  }
+  while (offset + 64 <= data.size()) {
+    ProcessBlock(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+  }
+}
+
+Md4Digest Md4State::Final() {
+  uint64_t bit_len = total_bytes_ * 8;
+  uint8_t pad[72] = {0x80};
+  size_t fill = static_cast<size_t>(total_bytes_ % 64);
+  size_t pad_len = (fill < 56) ? (56 - fill) : (120 - fill);
+  Update(kerb::BytesView(pad, pad_len));
+  uint8_t len_le[8];
+  for (int i = 0; i < 8; ++i) {
+    len_le[i] = static_cast<uint8_t>((bit_len >> (8 * i)) & 0xff);
+  }
+  Update(kerb::BytesView(len_le, 8));
+
+  Md4Digest digest;
+  for (int i = 0; i < 4; ++i) {
+    digest[4 * i + 0] = static_cast<uint8_t>(h_[i] & 0xff);
+    digest[4 * i + 1] = static_cast<uint8_t>((h_[i] >> 8) & 0xff);
+    digest[4 * i + 2] = static_cast<uint8_t>((h_[i] >> 16) & 0xff);
+    digest[4 * i + 3] = static_cast<uint8_t>((h_[i] >> 24) & 0xff);
+  }
+  return digest;
+}
+
+Md4Digest Md4(kerb::BytesView data) {
+  Md4State state;
+  state.Update(data);
+  return state.Final();
+}
+
+}  // namespace kcrypto

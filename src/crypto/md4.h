@@ -1,0 +1,40 @@
+// MD4 message digest (RFC 1186 / RFC 1320), from scratch.
+//
+// Draft 3 of Kerberos Version 5 offers MD4 as its "collision-proof"
+// checksum (rsa-md4 and rsa-md4-des). The paper's appendix contrasts it
+// with CRC-32: an attacker cannot construct a second message matching an
+// MD4 value, so the cut-and-paste attacks of experiments E9/E10 fail when
+// MD4 replaces CRC-32. (MD4 has since been broken — in 1991 it was the
+// state of the art, and the *protocol* point stands for any collision-proof
+// function.) Verified against the RFC 1320 test suite.
+
+#ifndef SRC_CRYPTO_MD4_H_
+#define SRC_CRYPTO_MD4_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace kcrypto {
+
+using Md4Digest = std::array<uint8_t, 16>;
+
+class Md4State {
+ public:
+  void Update(kerb::BytesView data);
+  Md4Digest Final();  // May be called once; consumes the state.
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  std::array<uint32_t, 4> h_{0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u};
+  std::array<uint8_t, 64> buffer_{};
+  uint64_t total_bytes_ = 0;
+};
+
+Md4Digest Md4(kerb::BytesView data);
+
+}  // namespace kcrypto
+
+#endif  // SRC_CRYPTO_MD4_H_

@@ -1,0 +1,142 @@
+#include "src/crypto/modes.h"
+
+#include <cassert>
+
+namespace kcrypto {
+
+namespace {
+
+DesBlock LoadBlock(kerb::BytesView data, size_t offset) {
+  DesBlock b;
+  for (size_t i = 0; i < 8; ++i) {
+    b[i] = data[offset + i];
+  }
+  return b;
+}
+
+void StoreBlock(kerb::Bytes& out, const DesBlock& b) { out.insert(out.end(), b.begin(), b.end()); }
+
+DesBlock XorBlocks(const DesBlock& a, const DesBlock& b) {
+  DesBlock out;
+  for (size_t i = 0; i < 8; ++i) {
+    out[i] = static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+kerb::Bytes Pkcs5Pad(kerb::BytesView data) {
+  size_t pad = 8 - (data.size() % 8);
+  kerb::Bytes out(data.begin(), data.end());
+  out.insert(out.end(), pad, static_cast<uint8_t>(pad));
+  return out;
+}
+
+kerb::Result<kerb::Bytes> Pkcs5Unpad(kerb::BytesView data) {
+  if (data.empty() || data.size() % 8 != 0) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "padded data not a multiple of 8");
+  }
+  uint8_t pad = data[data.size() - 1];
+  if (pad == 0 || pad > 8 || pad > data.size()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "bad pad length");
+  }
+  for (size_t i = data.size() - pad; i < data.size(); ++i) {
+    if (data[i] != pad) {
+      return kerb::MakeError(kerb::ErrorCode::kBadFormat, "inconsistent pad bytes");
+    }
+  }
+  return kerb::Bytes(data.begin(), data.end() - pad);
+}
+
+kerb::Bytes ZeroPadTo8(kerb::BytesView data) {
+  kerb::Bytes out(data.begin(), data.end());
+  while (out.size() % 8 != 0) {
+    out.push_back(0);
+  }
+  return out;
+}
+
+kerb::Bytes EncryptEcb(const DesKey& key, kerb::BytesView plaintext) {
+  assert(plaintext.size() % 8 == 0);
+  kerb::Bytes out;
+  out.reserve(plaintext.size());
+  for (size_t off = 0; off < plaintext.size(); off += 8) {
+    StoreBlock(out, key.EncryptBlock(LoadBlock(plaintext, off)));
+  }
+  return out;
+}
+
+kerb::Bytes DecryptEcb(const DesKey& key, kerb::BytesView ciphertext) {
+  assert(ciphertext.size() % 8 == 0);
+  kerb::Bytes out;
+  out.reserve(ciphertext.size());
+  for (size_t off = 0; off < ciphertext.size(); off += 8) {
+    StoreBlock(out, key.DecryptBlock(LoadBlock(ciphertext, off)));
+  }
+  return out;
+}
+
+kerb::Bytes EncryptCbc(const DesKey& key, const DesBlock& iv, kerb::BytesView plaintext) {
+  assert(plaintext.size() % 8 == 0);
+  kerb::Bytes out;
+  out.reserve(plaintext.size());
+  DesBlock chain = iv;
+  for (size_t off = 0; off < plaintext.size(); off += 8) {
+    chain = key.EncryptBlock(XorBlocks(LoadBlock(plaintext, off), chain));
+    StoreBlock(out, chain);
+  }
+  return out;
+}
+
+kerb::Bytes DecryptCbc(const DesKey& key, const DesBlock& iv, kerb::BytesView ciphertext) {
+  assert(ciphertext.size() % 8 == 0);
+  kerb::Bytes out;
+  out.reserve(ciphertext.size());
+  DesBlock chain = iv;
+  for (size_t off = 0; off < ciphertext.size(); off += 8) {
+    DesBlock c = LoadBlock(ciphertext, off);
+    StoreBlock(out, XorBlocks(key.DecryptBlock(c), chain));
+    chain = c;
+  }
+  return out;
+}
+
+kerb::Bytes EncryptPcbc(const DesKey& key, const DesBlock& iv, kerb::BytesView plaintext) {
+  assert(plaintext.size() % 8 == 0);
+  kerb::Bytes out;
+  out.reserve(plaintext.size());
+  DesBlock chain = iv;  // holds P_{i-1} ^ C_{i-1}
+  for (size_t off = 0; off < plaintext.size(); off += 8) {
+    DesBlock p = LoadBlock(plaintext, off);
+    DesBlock c = key.EncryptBlock(XorBlocks(p, chain));
+    StoreBlock(out, c);
+    chain = XorBlocks(p, c);
+  }
+  return out;
+}
+
+kerb::Bytes DecryptPcbc(const DesKey& key, const DesBlock& iv, kerb::BytesView ciphertext) {
+  assert(ciphertext.size() % 8 == 0);
+  kerb::Bytes out;
+  out.reserve(ciphertext.size());
+  DesBlock chain = iv;
+  for (size_t off = 0; off < ciphertext.size(); off += 8) {
+    DesBlock c = LoadBlock(ciphertext, off);
+    DesBlock p = XorBlocks(key.DecryptBlock(c), chain);
+    StoreBlock(out, p);
+    chain = XorBlocks(p, c);
+  }
+  return out;
+}
+
+DesBlock CbcMac(const DesKey& key, const DesBlock& iv, kerb::BytesView data) {
+  kerb::Bytes padded = ZeroPadTo8(data);
+  DesBlock chain = iv;
+  for (size_t off = 0; off < padded.size(); off += 8) {
+    chain = key.EncryptBlock(XorBlocks(LoadBlock(padded, off), chain));
+  }
+  return chain;
+}
+
+}  // namespace kcrypto

@@ -1,0 +1,60 @@
+// DES modes of operation: ECB, CBC (FIPS 81), and the nonstandard PCBC mode
+// used by Kerberos Version 4.
+//
+// The paper's encryption-layer analysis hinges on the algebra of these
+// modes:
+//   * CBC: "prefixes of encryptions are encryptions of prefixes" (with the
+//     same IV) — the basis of the inter-session chosen-plaintext attack on
+//     the Draft 2 KRB_PRIV format (experiment E7).
+//   * PCBC: interchanging two adjacent ciphertext blocks garbles only those
+//     blocks; all later blocks decrypt correctly — the message-stream
+//     modification weakness that led Version 5 to abandon PCBC (E8).
+// Both properties are demonstrated by tests and experiments in this repo.
+//
+// These functions provide raw modes with no integrity protection; integrity
+// (checksums, confounders, rolling IVs) belongs to the encryption *layer*
+// (src/hardened/enclayer.h), exactly as the paper recommends.
+
+#ifndef SRC_CRYPTO_MODES_H_
+#define SRC_CRYPTO_MODES_H_
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/crypto/des.h"
+
+namespace kcrypto {
+
+// Zero initialization vector — "assume the initial vector is fixed and
+// public", the hint the paper gives for its chosen-ciphertext exercise.
+constexpr DesBlock kZeroIv{};
+
+// Appends PKCS#5-style padding (1..8 bytes, each equal to the pad length).
+kerb::Bytes Pkcs5Pad(kerb::BytesView data);
+
+// Removes PKCS#5 padding; fails with kBadFormat on malformed padding.
+kerb::Result<kerb::Bytes> Pkcs5Unpad(kerb::BytesView data);
+
+// Appends zero bytes until the length is a multiple of 8 (Kerberos V4
+// style; the plaintext must carry its own length field).
+kerb::Bytes ZeroPadTo8(kerb::BytesView data);
+
+// ECB. Input must be a multiple of 8 bytes (asserted).
+kerb::Bytes EncryptEcb(const DesKey& key, kerb::BytesView plaintext);
+kerb::Bytes DecryptEcb(const DesKey& key, kerb::BytesView ciphertext);
+
+// CBC with explicit IV. Input must be a multiple of 8 bytes (asserted).
+kerb::Bytes EncryptCbc(const DesKey& key, const DesBlock& iv, kerb::BytesView plaintext);
+kerb::Bytes DecryptCbc(const DesKey& key, const DesBlock& iv, kerb::BytesView ciphertext);
+
+// PCBC (propagating CBC), as used by Kerberos V4:
+//   C_i = E(P_i ^ P_{i-1} ^ C_{i-1}),  with P_0 ^ C_0 = IV.
+kerb::Bytes EncryptPcbc(const DesKey& key, const DesBlock& iv, kerb::BytesView plaintext);
+kerb::Bytes DecryptPcbc(const DesKey& key, const DesBlock& iv, kerb::BytesView ciphertext);
+
+// CBC-MAC (the DES "cipher block chaining checksum" of FIPS 113 flavor):
+// returns the final CBC block over zero-padded data.
+DesBlock CbcMac(const DesKey& key, const DesBlock& iv, kerb::BytesView data);
+
+}  // namespace kcrypto
+
+#endif  // SRC_CRYPTO_MODES_H_

@@ -1,0 +1,100 @@
+#include "src/crypto/primes.h"
+
+#include <cassert>
+
+namespace kcrypto {
+
+uint64_t MulMod64(uint64_t a, uint64_t b, uint64_t m) {
+  return static_cast<uint64_t>((static_cast<__uint128_t>(a) * b) % m);
+}
+
+uint64_t PowMod64(uint64_t base, uint64_t exp, uint64_t m) {
+  assert(m != 0);
+  uint64_t result = 1 % m;
+  base %= m;
+  while (exp != 0) {
+    if (exp & 1) {
+      result = MulMod64(result, base, m);
+    }
+    base = MulMod64(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+bool IsPrime64(uint64_t n) {
+  if (n < 2) {
+    return false;
+  }
+  for (uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull, 29ull, 31ull, 37ull}) {
+    if (n % p == 0) {
+      return n == p;
+    }
+  }
+  uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // Deterministic witness set for all n < 2^64 (Sinclair 2011).
+  for (uint64_t a : {2ull, 325ull, 9375ull, 28178ull, 450775ull, 9780504ull, 1795265022ull}) {
+    uint64_t x = PowMod64(a % n, d, n);
+    if (x == 0 || x == 1 || x == n - 1) {
+      continue;
+    }
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = MulMod64(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t RandomPrime64(Prng& prng, int bits) {
+  assert(bits >= 2 && bits <= 63);
+  for (;;) {
+    uint64_t candidate = prng.NextU64();
+    candidate |= 1ull;                                  // odd
+    candidate |= 1ull << (bits - 1);                    // exactly `bits` bits
+    candidate &= (bits == 63) ? 0x7fffffffffffffffull : ((1ull << bits) - 1);
+    if (bits == 2) {
+      return 3;
+    }
+    if (IsPrime64(candidate)) {
+      return candidate;
+    }
+  }
+}
+
+uint64_t RandomSafePrime64(Prng& prng, int bits) {
+  assert(bits >= 4 && bits <= 62);
+  for (;;) {
+    uint64_t q = RandomPrime64(prng, bits - 1);
+    uint64_t p = 2 * q + 1;
+    if ((p >> (bits - 1)) == 1 && IsPrime64(p)) {
+      return p;
+    }
+  }
+}
+
+uint64_t FindGenerator64(uint64_t safe_prime, Prng& prng) {
+  uint64_t p = safe_prime;
+  uint64_t q = (p - 1) / 2;
+  for (;;) {
+    uint64_t g = 2 + prng.NextBelow(p - 3);
+    // g generates the full group iff g^2 != 1 and g^q != 1 (mod p).
+    if (PowMod64(g, 2, p) != 1 && PowMod64(g, q, p) != 1) {
+      return g;
+    }
+  }
+}
+
+}  // namespace kcrypto

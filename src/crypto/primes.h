@@ -1,0 +1,36 @@
+// Primality testing and prime search for word-sized moduli.
+//
+// Used by the toy Diffie–Hellman groups (bench B3) and their discrete-log
+// cryptanalysis. Deterministic Miller–Rabin is exact for all 64-bit inputs
+// with the standard witness set.
+
+#ifndef SRC_CRYPTO_PRIMES_H_
+#define SRC_CRYPTO_PRIMES_H_
+
+#include <cstdint>
+
+#include "src/crypto/prng.h"
+
+namespace kcrypto {
+
+// (a * b) mod m without overflow, for any 64-bit operands.
+uint64_t MulMod64(uint64_t a, uint64_t b, uint64_t m);
+
+// (base ^ exp) mod m.
+uint64_t PowMod64(uint64_t base, uint64_t exp, uint64_t m);
+
+// Exact primality for any 64-bit n (deterministic Miller–Rabin witnesses).
+bool IsPrime64(uint64_t n);
+
+// Random prime with exactly `bits` bits (2..63).
+uint64_t RandomPrime64(Prng& prng, int bits);
+
+// Random safe prime p = 2q + 1 with exactly `bits` bits (4..62).
+uint64_t RandomSafePrime64(Prng& prng, int bits);
+
+// Finds a generator of the full multiplicative group mod safe prime p.
+uint64_t FindGenerator64(uint64_t safe_prime, Prng& prng);
+
+}  // namespace kcrypto
+
+#endif  // SRC_CRYPTO_PRIMES_H_

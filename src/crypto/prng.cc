@@ -1,0 +1,57 @@
+#include "src/crypto/prng.h"
+
+#include <cassert>
+
+namespace kcrypto {
+
+uint64_t Prng::NextU64() {
+  // SplitMix64 (Steele, Lea, Flood 2014).
+  state_ += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Prng::NextBelow(uint64_t bound) {
+  assert(bound != 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - (UINT64_MAX % bound);
+  uint64_t v;
+  do {
+    v = NextU64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+kerb::Bytes Prng::NextBytes(size_t n) {
+  kerb::Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    uint64_t v = NextU64();
+    for (int i = 0; i < 8 && out.size() < n; ++i) {
+      out.push_back(static_cast<uint8_t>(v & 0xff));
+      v >>= 8;
+    }
+  }
+  return out;
+}
+
+DesKey Prng::NextDesKey() {
+  for (;;) {
+    DesBlock raw;
+    uint64_t v = NextU64();
+    for (int i = 0; i < 8; ++i) {
+      raw[i] = static_cast<uint8_t>(v & 0xff);
+      v >>= 8;
+    }
+    DesBlock key = FixParity(raw);
+    if (!IsWeakKey(key)) {
+      return DesKey(key);
+    }
+  }
+}
+
+Prng Prng::Fork() { return Prng(NextU64() ^ 0xa5a5a5a5a5a5a5a5ull); }
+
+}  // namespace kcrypto

@@ -1,0 +1,49 @@
+#include "src/crypto/str2key.h"
+
+#include "src/common/bytes.h"
+#include "src/crypto/modes.h"
+
+namespace kcrypto {
+
+DesKey StringToKey(std::string_view password, std::string_view salt) {
+  kerb::Bytes input = kerb::ToBytes(std::string(password) + std::string(salt));
+  if (input.empty()) {
+    input.push_back(0);
+  }
+  // Pad to a multiple of 8 and fan-fold, reversing the bit order of every
+  // other 8-byte group (the V4 "forward then backward" fold).
+  while (input.size() % 8 != 0) {
+    input.push_back(0);
+  }
+  DesBlock fold{};
+  bool forward = true;
+  for (size_t off = 0; off < input.size(); off += 8) {
+    for (size_t i = 0; i < 8; ++i) {
+      uint8_t b = input[off + i];
+      if (!forward) {
+        // Reverse the 7 low bits of the byte, mirroring V4's odd-block flip.
+        uint8_t r = 0;
+        for (int bit = 0; bit < 8; ++bit) {
+          r = static_cast<uint8_t>((r << 1) | ((b >> bit) & 1));
+        }
+        b = r;
+        fold[7 - i] = static_cast<uint8_t>(fold[7 - i] ^ b);
+        continue;
+      }
+      fold[i] = static_cast<uint8_t>(fold[i] ^ b);
+    }
+    forward = !forward;
+  }
+  DesKey interim(FixParity(fold));
+  // CBC-MAC the whole salted password under the interim key, using the
+  // interim key as IV, then fix parity on the result.
+  DesBlock mac = CbcMac(interim, interim.bytes(), input);
+  DesBlock final_key = FixParity(mac);
+  if (IsWeakKey(final_key)) {
+    final_key[7] = static_cast<uint8_t>(final_key[7] ^ 0xf0);
+    final_key = FixParity(final_key);
+  }
+  return DesKey(final_key);
+}
+
+}  // namespace kcrypto

@@ -1,0 +1,25 @@
+// String-to-key: derives a user's DES key Kc from a typed password.
+//
+// "The client key Kc is derived from a non-invertible transform of the
+// user's typed password. Thus, all privileges depend ultimately on this one
+// key." This is the function a password-guessing adversary re-runs per
+// dictionary candidate (experiments E4/E5, bench B4). The algorithm follows
+// the Kerberos V4 shape: fan-fold the password into 56 bits with alternate
+// reversal, fix parity, then CBC-MAC the salted password under that interim
+// key and fix parity again. It is public by design (Kerckhoffs).
+
+#ifndef SRC_CRYPTO_STR2KEY_H_
+#define SRC_CRYPTO_STR2KEY_H_
+
+#include <string_view>
+
+#include "src/crypto/des.h"
+
+namespace kcrypto {
+
+// `salt` is realm+principal in real Kerberos; any stable string works here.
+DesKey StringToKey(std::string_view password, std::string_view salt);
+
+}  // namespace kcrypto
+
+#endif  // SRC_CRYPTO_STR2KEY_H_

@@ -1,0 +1,68 @@
+// Byte-oriented writer/reader for protocol messages.
+//
+// Kerberos V4 messages are bare concatenations of fields in a fixed order —
+// the style whose security consequences the paper examines ("the order of
+// concatenation of message fields can have security-critical
+// implications"). The V4 structures in src/krb4 serialize directly with
+// these primitives. The V5 model instead layers the tagged encoding of
+// src/encoding/tlv.h on top.
+//
+// All integers are big-endian on the wire.
+
+#ifndef SRC_ENCODING_IO_H_
+#define SRC_ENCODING_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+
+namespace kenc {
+
+class Writer {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutBytes(kerb::BytesView b) { kerb::Append(out_, b); }
+  // 32-bit length followed by the raw bytes.
+  void PutLengthPrefixed(kerb::BytesView b);
+  // Length-prefixed UTF-8 string.
+  void PutString(std::string_view s);
+
+  size_t size() const { return out_.size(); }
+  kerb::Bytes Take() { return std::move(out_); }
+  const kerb::Bytes& Peek() const { return out_; }
+
+ private:
+  kerb::Bytes out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(kerb::BytesView data) : data_(data) {}
+
+  kerb::Result<uint8_t> GetU8();
+  kerb::Result<uint16_t> GetU16();
+  kerb::Result<uint32_t> GetU32();
+  kerb::Result<uint64_t> GetU64();
+  kerb::Result<kerb::Bytes> GetBytes(size_t n);
+  kerb::Result<kerb::Bytes> GetLengthPrefixed();
+  kerb::Result<std::string> GetString();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  // Remaining bytes without consuming them.
+  kerb::Bytes Rest() const { return kerb::Bytes(data_.begin() + pos_, data_.end()); }
+
+ private:
+  kerb::BytesView data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace kenc
+
+#endif  // SRC_ENCODING_IO_H_

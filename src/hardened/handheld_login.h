@@ -1,0 +1,77 @@
+// The handheld-authenticator login protocol (recommendation c).
+//
+// "The server picks a random number R, and uses K_c to encrypt R. This
+// value {R}K_c, rather than K_c, would be used to encrypt the server's
+// response. R would be transmitted in the clear to the user. If a hand-held
+// authenticator was in use, the user would employ it to calculate {R}K_c;
+// otherwise, the login program would do it automatically."
+//
+// The point (experiment E6): against a trojaned login program, typing a
+// password loses everything forever, while typing a device response loses a
+// single one-time value — the next login gets a fresh R.
+
+#ifndef SRC_HARDENED_HANDHELD_LOGIN_H_
+#define SRC_HARDENED_HANDHELD_LOGIN_H_
+
+#include <map>
+
+#include "src/hsm/keystore.h"
+#include "src/krb4/database.h"
+#include "src/krb4/messages.h"
+#include "src/sim/network.h"
+
+namespace khard {
+
+// AS-style login service implementing the {R}K_c scheme. Two calls:
+//   1. challenge request → R (plaintext)
+//   2. ticket request → AS reply body sealed under K' = parity({R}K_c)
+class HandheldLoginServer {
+ public:
+  HandheldLoginServer(ksim::Network* net, const ksim::NetAddress& addr,
+                      ksim::HostClock clock, std::string realm, krb4::KdcDatabase db,
+                      kcrypto::Prng prng,
+                      ksim::Duration challenge_lifetime = ksim::kMinute);
+
+  uint64_t challenges_issued() const { return challenges_issued_; }
+
+ private:
+  kerb::Result<kerb::Bytes> Handle(const ksim::Message& msg);
+
+  ksim::HostClock clock_;
+  std::string realm_;
+  krb4::KdcDatabase db_;
+  kcrypto::Prng prng_;
+  ksim::Duration challenge_lifetime_;
+  std::map<std::string, std::pair<uint64_t, ksim::Time>> outstanding_;  // principal → (R, t)
+  uint64_t challenges_issued_ = 0;
+};
+
+// Derives the reply-sealing key K' from a device response {R}K_c.
+kcrypto::DesKey KeyFromDeviceResponse(uint64_t response);
+
+// Client-side flow. `device` stands in for the user reading the challenge
+// off the screen and typing the device's answer.
+struct HandheldLoginResult {
+  kcrypto::DesKey tgs_session_key;
+  kerb::Bytes sealed_tgt;
+};
+
+kerb::Result<HandheldLoginResult> HandheldLogin(ksim::Network* net,
+                                                const ksim::NetAddress& client_addr,
+                                                const ksim::NetAddress& login_addr,
+                                                const krb4::Principal& user,
+                                                const khsm::HandheldAuthenticator& device);
+
+// The challenge/ticket wire ops (shared with experiment code that models a
+// trojaned login replaying a captured response).
+kerb::Result<uint64_t> RequestLoginChallenge(ksim::Network* net,
+                                             const ksim::NetAddress& client_addr,
+                                             const ksim::NetAddress& login_addr,
+                                             const krb4::Principal& user);
+kerb::Result<HandheldLoginResult> CompleteLoginWithResponse(
+    ksim::Network* net, const ksim::NetAddress& client_addr,
+    const ksim::NetAddress& login_addr, const krb4::Principal& user, uint64_t response);
+
+}  // namespace khard
+
+#endif  // SRC_HARDENED_HANDHELD_LOGIN_H_

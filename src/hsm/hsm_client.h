@@ -1,0 +1,69 @@
+// A Kerberos V4 client whose cryptography lives entirely inside the
+// encryption unit.
+//
+// The contrast with krb4::Client4: that client's credential cache holds raw
+// session keys ("of necessity, they are stored in some area accessible to
+// root"). This one holds only opaque key handles and sealed blobs; every
+// seal/unseal happens inside the unit, so a host compromise can *misuse*
+// the unit while the session lasts ("we consider such temporary breaches of
+// security to be far less serious than the compromise of a key") but can
+// never extract key material.
+
+#ifndef SRC_HSM_HSM_CLIENT_H_
+#define SRC_HSM_HSM_CLIENT_H_
+
+#include <map>
+#include <optional>
+
+#include "src/hsm/encryption_unit.h"
+#include "src/sim/network.h"
+
+namespace khsm {
+
+class HsmClient4 {
+ public:
+  HsmClient4(ksim::Network* net, const ksim::NetAddress& self, ksim::HostClock clock,
+             krb4::Principal user, ksim::NetAddress as_addr, ksim::NetAddress tgs_addr,
+             EncryptionUnit* unit);
+
+  // `login_key` must already be loaded in the unit with KeyUsage::kLoginKey
+  // (the one unavoidable moment of exposure the paper discusses).
+  kerb::Status Login(KeyHandle login_key, ksim::Duration lifetime = 8 * ksim::kHour);
+
+  // Full AP exchange with mutual authentication; returns the application
+  // reply. No key bytes ever enter this object.
+  kerb::Result<kerb::Bytes> CallService(const ksim::NetAddress& service_addr,
+                                        const krb4::Principal& service,
+                                        kerb::BytesView app_data = {});
+
+  void Logout();
+  bool logged_in() const { return tgs_handle_.has_value(); }
+
+  // Everything this client has ever stored on the host side — the attack
+  // surface a host compromise can read. Scanned by tests for key octets.
+  std::vector<kerb::Bytes> HostResidentState() const;
+
+ private:
+  struct HandleCreds {
+    KeyHandle session;
+    kerb::Bytes sealed_ticket;
+  };
+
+  kerb::Result<HandleCreds> GetServiceTicket(const krb4::Principal& service);
+
+  ksim::Network* net_;
+  ksim::NetAddress self_;
+  ksim::HostClock clock_;
+  krb4::Principal user_;
+  ksim::NetAddress as_addr_;
+  ksim::NetAddress tgs_addr_;
+  EncryptionUnit* unit_;
+
+  std::optional<KeyHandle> tgs_handle_;
+  kerb::Bytes sealed_tgt_;
+  std::map<krb4::Principal, HandleCreds> service_creds_;
+};
+
+}  // namespace khsm
+
+#endif  // SRC_HSM_HSM_CLIENT_H_

@@ -1,0 +1,162 @@
+#include "src/hsm/keystore.h"
+
+#include "src/encoding/io.h"
+#include "src/hsm/encryption_unit.h"
+#include "src/krb4/messages.h"
+
+namespace khsm {
+
+namespace {
+
+// Request framing inside the KRB_PRIV payload.
+constexpr uint8_t kOpStore = 1;
+constexpr uint8_t kOpFetch = 2;
+
+}  // namespace
+
+KeyStore::KeyStore(ksim::Network* net, const ksim::NetAddress& addr,
+                   const kcrypto::DesKey& master_key, uint64_t seed)
+    : master_key_(master_key), session_key_(kcrypto::Prng(seed).NextDesKey()) {
+  net->Bind(addr, [this](const ksim::Message& msg) -> kerb::Result<kerb::Bytes> {
+    auto priv = krb4::PrivMessage4::Unseal(session_key_, msg.payload);
+    if (!priv.ok()) {
+      return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "keystore: bad KRB_PRIV");
+    }
+    kenc::Reader r(priv.value().data);
+    auto op = r.GetU8();
+    auto name = r.GetString();
+    if (!op.ok() || !name.ok()) {
+      return kerb::MakeError(kerb::ErrorCode::kBadFormat, "keystore: bad request");
+    }
+    krb4::PrivMessage4 reply;
+    reply.direction = 1;
+    if (op.value() == kOpStore) {
+      auto blob = r.GetLengthPrefixed();
+      if (!blob.ok()) {
+        return blob.error();
+      }
+      // Seal at rest under the master key; the keystore never interprets it.
+      blobs_[name.value()] = krb4::Seal4(master_key_, blob.value());
+      reply.data = kerb::ToBytes("stored");
+    } else if (op.value() == kOpFetch) {
+      auto it = blobs_.find(name.value());
+      if (it == blobs_.end()) {
+        return kerb::MakeError(kerb::ErrorCode::kNotFound, "keystore: no such entry");
+      }
+      auto blob = krb4::Unseal4(master_key_, it->second);
+      if (!blob.ok()) {
+        return blob.error();
+      }
+      reply.data = blob.value();
+    } else {
+      return kerb::MakeError(kerb::ErrorCode::kBadFormat, "keystore: unknown op");
+    }
+    return reply.Seal(session_key_);
+  });
+}
+
+kerb::Status KeyStore::Store(ksim::Network* net, const ksim::NetAddress& client,
+                             const ksim::NetAddress& keystore,
+                             const kcrypto::DesKey& session_key, const std::string& name,
+                             kerb::BytesView blob) {
+  kenc::Writer w;
+  w.PutU8(kOpStore);
+  w.PutString(name);
+  w.PutLengthPrefixed(blob);
+  krb4::PrivMessage4 req;
+  req.data = w.Take();
+  auto reply = net->Call(client, keystore, req.Seal(session_key));
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  auto opened = krb4::PrivMessage4::Unseal(session_key, reply.value());
+  if (!opened.ok()) {
+    return opened.error();
+  }
+  return kerb::Status::Ok();
+}
+
+kerb::Result<kerb::Bytes> KeyStore::Fetch(ksim::Network* net, const ksim::NetAddress& client,
+                                          const ksim::NetAddress& keystore,
+                                          const kcrypto::DesKey& session_key,
+                                          const std::string& name) {
+  kenc::Writer w;
+  w.PutU8(kOpFetch);
+  w.PutString(name);
+  krb4::PrivMessage4 req;
+  req.data = w.Take();
+  auto reply = net->Call(client, keystore, req.Seal(session_key));
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  auto opened = krb4::PrivMessage4::Unseal(session_key, reply.value());
+  if (!opened.ok()) {
+    return opened.error();
+  }
+  return opened.value().data;
+}
+
+kerb::Bytes KeyStore::MasterKeyForLeakScan() const {
+  const kcrypto::DesBlock& b = master_key_.bytes();
+  return kerb::Bytes(b.begin(), b.end());
+}
+
+RandomKeyService::RandomKeyService(ksim::Network* net, const ksim::NetAddress& addr,
+                                   const kcrypto::DesKey& session_key, uint64_t seed)
+    : session_key_(session_key), prng_(seed) {
+  net->Bind(addr, [this](const ksim::Message& msg) -> kerb::Result<kerb::Bytes> {
+    auto priv = krb4::PrivMessage4::Unseal(session_key_, msg.payload);
+    if (!priv.ok()) {
+      return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "randomkey: bad KRB_PRIV");
+    }
+    krb4::PrivMessage4 reply;
+    reply.direction = 1;
+    const kcrypto::DesBlock key = prng_.NextDesKey().bytes();
+    reply.data = kerb::Bytes(key.begin(), key.end());
+    return reply.Seal(session_key_);
+  });
+}
+
+kerb::Result<uint64_t> ProvisionServiceKeyFromKeystore(
+    ksim::Network* net, const ksim::NetAddress& host, const ksim::NetAddress& keystore,
+    const kcrypto::DesKey& keystore_session_key, const std::string& key_name,
+    EncryptionUnit* unit) {
+  auto blob = KeyStore::Fetch(net, host, keystore, keystore_session_key, key_name);
+  if (!blob.ok()) {
+    return blob.error();
+  }
+  if (blob.value().size() != 8) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "keystore blob is not a DES key");
+  }
+  kcrypto::DesBlock block;
+  std::copy(blob.value().begin(), blob.value().end(), block.begin());
+  KeyHandle handle = unit->LoadKey(kcrypto::DesKey(block), KeyUsage::kServiceKey);
+  // The host-side copy existed only in this frame; wipe it.
+  kerb::SecureWipe(blob.value());
+  block.fill(0);
+  return handle;
+}
+
+kerb::Result<kcrypto::DesKey> RandomKeyService::Request(ksim::Network* net,
+                                                        const ksim::NetAddress& client,
+                                                        const ksim::NetAddress& service,
+                                                        const kcrypto::DesKey& session_key) {
+  krb4::PrivMessage4 req;
+  req.data = kerb::ToBytes("new-key");
+  auto reply = net->Call(client, service, req.Seal(session_key));
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  auto opened = krb4::PrivMessage4::Unseal(session_key, reply.value());
+  if (!opened.ok()) {
+    return opened.error();
+  }
+  if (opened.value().data.size() != 8) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "randomkey: bad key size");
+  }
+  kcrypto::DesBlock block;
+  std::copy(opened.value().data.begin(), opened.value().data.end(), block.begin());
+  return kcrypto::DesKey(block);
+}
+
+}  // namespace khsm

@@ -1,0 +1,112 @@
+// The keystore and handheld authenticator of the paper's hardware section.
+//
+// KeyStore: "a secure, reliable repository for a limited amount of
+// information. A client of the keystore could package arbitrary data to be
+// retained by the keystore, and retrieved at a later date ... Storage and
+// retrieval requests would be authenticated by Kerberos tickets, of course.
+// Only encrypted transfer (KRB_PRIV) should be employed." Stored blobs are
+// sealed under the keystore's master key; transfers are sealed under the
+// requester's session key. The keystore never interprets the data.
+//
+// RandomKeyService: "user workstations are not particularly good sources of
+// random keys. The best alternative is to provide a (secure) random number
+// service on the network."
+//
+// HandheldAuthenticator: "a secret key shared between a server and some
+// device in the user's possession" — answers a challenge R with {R}K.
+
+#ifndef SRC_HSM_KEYSTORE_H_
+#define SRC_HSM_KEYSTORE_H_
+
+#include <map>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/crypto/des.h"
+#include "src/crypto/prng.h"
+#include "src/krb4/krbpriv.h"
+#include "src/sim/network.h"
+
+namespace khsm {
+
+class KeyStore {
+ public:
+  KeyStore(ksim::Network* net, const ksim::NetAddress& addr,
+           const kcrypto::DesKey& master_key, uint64_t seed);
+
+  // Client-side helpers: ship/retrieve a blob over a KRB_PRIV channel keyed
+  // by `session_key` (obtained via a normal Kerberos exchange).
+  static kerb::Status Store(ksim::Network* net, const ksim::NetAddress& client,
+                            const ksim::NetAddress& keystore,
+                            const kcrypto::DesKey& session_key, const std::string& name,
+                            kerb::BytesView blob);
+  static kerb::Result<kerb::Bytes> Fetch(ksim::Network* net, const ksim::NetAddress& client,
+                                         const ksim::NetAddress& keystore,
+                                         const kcrypto::DesKey& session_key,
+                                         const std::string& name);
+
+  // The session key a requester must hold. In a full deployment this comes
+  // from a Kerberos AP exchange with the keystore service; the simulation
+  // provisions it directly.
+  const kcrypto::DesKey& service_session_key() const { return session_key_; }
+
+  size_t entry_count() const { return blobs_.size(); }
+
+  // The master key never leaves; stored blobs are sealed with it. Exposed
+  // only to the leak-scan experiment, mirroring the EncryptionUnit oracle.
+  kerb::Bytes MasterKeyForLeakScan() const;
+
+ private:
+  kcrypto::DesKey master_key_;
+  kcrypto::DesKey session_key_;
+  std::map<std::string, kerb::Bytes> blobs_;  // name → sealed blob
+};
+
+// A network service handing out fresh random DES keys over KRB_PRIV.
+class RandomKeyService {
+ public:
+  RandomKeyService(ksim::Network* net, const ksim::NetAddress& addr,
+                   const kcrypto::DesKey& session_key, uint64_t seed);
+
+  static kerb::Result<kcrypto::DesKey> Request(ksim::Network* net,
+                                               const ksim::NetAddress& client,
+                                               const ksim::NetAddress& service,
+                                               const kcrypto::DesKey& session_key);
+
+ private:
+  kcrypto::DesKey session_key_;
+  kcrypto::Prng prng_;
+};
+
+// Provisioning glue for the paper's deployment story: "Host-owned keys —
+// service keys, or the keys that root would use to do NFS mounts — should
+// be loaded via a Kerberos-authenticated service resident in the encryption
+// unit" and "keys be kept in volatile memory, and downloaded from a secure
+// keystore on request, via an encryption-protected channel."
+//
+// Fetches the named 8-byte service key from the keystore over KRB_PRIV and
+// loads it straight into the unit, returning the handle. The key transits
+// the host for the minimal moment the paper accepts.
+class EncryptionUnit;  // forward declared in encryption_unit.h
+
+kerb::Result<uint64_t> ProvisionServiceKeyFromKeystore(
+    ksim::Network* net, const ksim::NetAddress& host, const ksim::NetAddress& keystore,
+    const kcrypto::DesKey& keystore_session_key, const std::string& key_name,
+    EncryptionUnit* unit);
+
+// The user's pocket device.
+class HandheldAuthenticator {
+ public:
+  explicit HandheldAuthenticator(const kcrypto::DesKey& user_key) : key_(user_key) {}
+
+  // Displays {R}K for the challenge R the login prompt shows.
+  uint64_t Respond(uint64_t challenge) const { return key_.EncryptBlock(challenge); }
+
+ private:
+  kcrypto::DesKey key_;
+};
+
+}  // namespace khsm
+
+#endif  // SRC_HSM_KEYSTORE_H_

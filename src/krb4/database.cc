@@ -1,0 +1,47 @@
+#include "src/krb4/database.h"
+
+#include "src/crypto/str2key.h"
+
+namespace krb4 {
+
+void KdcDatabase::AddUser(const Principal& user, std::string_view password) {
+  keys_.insert_or_assign(user, kcrypto::StringToKey(password, user.Salt()));
+  kinds_.insert_or_assign(user, PrincipalKind::kUser);
+}
+
+void KdcDatabase::AddService(const Principal& service, const kcrypto::DesKey& key) {
+  keys_.insert_or_assign(service, key);
+  kinds_.insert_or_assign(service, PrincipalKind::kService);
+}
+
+PrincipalKind KdcDatabase::Kind(const Principal& principal) const {
+  auto it = kinds_.find(principal);
+  return it == kinds_.end() ? PrincipalKind::kService : it->second;
+}
+
+kcrypto::DesKey KdcDatabase::AddServiceWithRandomKey(const Principal& service,
+                                                     kcrypto::Prng& prng) {
+  kcrypto::DesKey key = prng.NextDesKey();
+  AddService(service, key);
+  return key;
+}
+
+kerb::Result<kcrypto::DesKey> KdcDatabase::Lookup(const Principal& principal) const {
+  auto it = keys_.find(principal);
+  if (it == keys_.end()) {
+    return kerb::MakeError(kerb::ErrorCode::kNotFound,
+                           "unknown principal " + principal.ToString());
+  }
+  return it->second;
+}
+
+std::vector<Principal> KdcDatabase::Principals() const {
+  std::vector<Principal> out;
+  out.reserve(keys_.size());
+  for (const auto& [principal, key] : keys_) {
+    out.push_back(principal);
+  }
+  return out;
+}
+
+}  // namespace krb4

@@ -1,0 +1,63 @@
+// The KDC principal database: principal → private DES key.
+//
+// "Note that servers must possess private keys of their own ... These keys
+// are stored in a secure location on the server's machine." The database is
+// the one component the paper's threat model assumes physically secure
+// ("the Kerberos master server, for which strong physical security must be
+// assumed in any event").
+
+#ifndef SRC_KRB4_DATABASE_H_
+#define SRC_KRB4_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/crypto/des.h"
+#include "src/crypto/prng.h"
+#include "src/krb4/principal.h"
+
+namespace krb4 {
+
+// Whether a principal is a human (password-derived key) or a service
+// (random key). The distinction matters: the paper notes that treating
+// "clients as services" lets anyone obtain tickets encrypted with a user's
+// password key — another password-guessing avenue (experiment E15).
+enum class PrincipalKind {
+  kUser,
+  kService,
+};
+
+class KdcDatabase {
+ public:
+  // Registers a user whose key derives from `password` (string-to-key with
+  // the principal's salt).
+  void AddUser(const Principal& user, std::string_view password);
+
+  // Registers a service with an explicit (normally random) key.
+  void AddService(const Principal& service, const kcrypto::DesKey& key);
+
+  // Registers a service with a fresh random key and returns it.
+  kcrypto::DesKey AddServiceWithRandomKey(const Principal& service, kcrypto::Prng& prng);
+
+  bool Has(const Principal& principal) const { return keys_.count(principal) != 0; }
+  kerb::Result<kcrypto::DesKey> Lookup(const Principal& principal) const;
+
+  // kService for unknown principals (the caller will fail the Lookup).
+  PrincipalKind Kind(const Principal& principal) const;
+
+  // All registered principals — used by harvesting experiments, which model
+  // an attacker who knows the user list (usernames are public).
+  std::vector<Principal> Principals() const;
+
+  size_t size() const { return keys_.size(); }
+
+ private:
+  std::map<Principal, kcrypto::DesKey> keys_;
+  std::map<Principal, PrincipalKind> kinds_;
+};
+
+}  // namespace krb4
+
+#endif  // SRC_KRB4_DATABASE_H_

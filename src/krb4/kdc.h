@@ -1,0 +1,59 @@
+// The Kerberos V4 key distribution center: authentication server (AS) and
+// ticket-granting server (TGS).
+//
+// Protocol behaviour is V4-faithful, including the weaknesses under study:
+// the AS answers any plaintext request with material encrypted in the named
+// user's password key (no preauthentication, no rate limiting), and the TGS
+// trusts timestamps within the configured skew window.
+
+#ifndef SRC_KRB4_KDC_H_
+#define SRC_KRB4_KDC_H_
+
+#include <string>
+
+#include "src/krb4/database.h"
+#include "src/krb4/messages.h"
+#include "src/sim/clock.h"
+#include "src/sim/network.h"
+
+namespace krb4 {
+
+struct KdcOptions {
+  ksim::Duration max_ticket_lifetime = 8 * ksim::kHour;
+  ksim::Duration clock_skew_limit = ksim::kDefaultClockSkewLimit;
+};
+
+class Kdc4 {
+ public:
+  Kdc4(ksim::Network* net, const ksim::NetAddress& as_addr, const ksim::NetAddress& tgs_addr,
+       ksim::HostClock clock, std::string realm, KdcDatabase db, kcrypto::Prng prng,
+       KdcOptions options = {});
+
+  const std::string& realm() const { return realm_; }
+  KdcDatabase& database() { return db_; }
+  const ksim::NetAddress& as_address() const { return as_addr_; }
+  const ksim::NetAddress& tgs_address() const { return tgs_addr_; }
+
+  // Request counters, visible to the rate-limiting and harvesting
+  // experiments.
+  uint64_t as_requests_served() const { return as_requests_; }
+  uint64_t tgs_requests_served() const { return tgs_requests_; }
+
+ private:
+  kerb::Result<kerb::Bytes> HandleAs(const ksim::Message& msg);
+  kerb::Result<kerb::Bytes> HandleTgs(const ksim::Message& msg);
+
+  ksim::NetAddress as_addr_;
+  ksim::NetAddress tgs_addr_;
+  ksim::HostClock clock_;
+  std::string realm_;
+  KdcDatabase db_;
+  kcrypto::Prng prng_;
+  KdcOptions options_;
+  uint64_t as_requests_ = 0;
+  uint64_t tgs_requests_ = 0;
+};
+
+}  // namespace krb4
+
+#endif  // SRC_KRB4_KDC_H_

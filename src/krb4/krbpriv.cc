@@ -1,0 +1,50 @@
+#include "src/krb4/krbpriv.h"
+
+#include "src/crypto/modes.h"
+#include "src/encoding/io.h"
+
+namespace krb4 {
+
+kerb::Bytes PrivMessage4::Seal(const kcrypto::DesKey& session_key) const {
+  kenc::Writer w;
+  w.PutLengthPrefixed(data);  // the leading length field, order matters
+  w.PutU64(static_cast<uint64_t>(timestamp));
+  w.PutU32(sender_addr);
+  w.PutU8(direction);
+  kerb::Bytes padded = kcrypto::ZeroPadTo8(w.Peek());
+  return kcrypto::EncryptPcbc(session_key, kcrypto::kZeroIv, padded);
+}
+
+kerb::Result<PrivMessage4> PrivMessage4::Unseal(const kcrypto::DesKey& session_key,
+                                                kerb::BytesView sealed) {
+  if (sealed.empty() || sealed.size() % 8 != 0) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "sealed data not block-aligned");
+  }
+  kerb::Bytes plain = kcrypto::DecryptPcbc(session_key, kcrypto::kZeroIv, sealed);
+  kenc::Reader r(plain);
+  PrivMessage4 msg;
+  auto data = r.GetLengthPrefixed();
+  if (!data.ok()) {
+    return kerb::MakeError(kerb::ErrorCode::kIntegrity, "KRB_PRIV length invalid");
+  }
+  msg.data = data.value();
+  auto ts = r.GetU64();
+  auto addr = r.GetU32();
+  auto dir = r.GetU8();
+  if (!ts.ok() || !addr.ok() || !dir.ok()) {
+    return kerb::MakeError(kerb::ErrorCode::kIntegrity, "KRB_PRIV trailer truncated");
+  }
+  msg.timestamp = static_cast<ksim::Time>(ts.value());
+  msg.sender_addr = addr.value();
+  msg.direction = dir.value();
+  // Remaining bytes must be zero padding.
+  kerb::Bytes rest = r.Rest();
+  for (uint8_t b : rest) {
+    if (b != 0) {
+      return kerb::MakeError(kerb::ErrorCode::kIntegrity, "KRB_PRIV padding nonzero");
+    }
+  }
+  return msg;
+}
+
+}  // namespace krb4

@@ -1,0 +1,378 @@
+#include "src/krb4/messages.h"
+
+#include "src/crypto/modes.h"
+
+namespace krb4 {
+
+namespace {
+
+constexpr uint8_t kSealMagic[4] = {'K', 'R', 'B', '4'};
+
+kerb::Result<kcrypto::DesBlock> GetKeyBlock(kenc::Reader& r) {
+  auto bytes = r.GetBytes(8);
+  if (!bytes.ok()) {
+    return bytes.error();
+  }
+  kcrypto::DesBlock block;
+  for (size_t i = 0; i < 8; ++i) {
+    block[i] = bytes.value()[i];
+  }
+  return block;
+}
+
+}  // namespace
+
+uint8_t LifetimeToV4Units(ksim::Duration lifetime) {
+  if (lifetime <= 0) {
+    return 0;
+  }
+  ksim::Duration units = (lifetime + kV4LifetimeUnit - 1) / kV4LifetimeUnit;
+  return units > 255 ? 255 : static_cast<uint8_t>(units);
+}
+
+ksim::Duration V4UnitsToLifetime(uint8_t units) { return units * kV4LifetimeUnit; }
+
+kerb::Bytes Seal4(const kcrypto::DesKey& key, kerb::BytesView plaintext) {
+  kenc::Writer w;
+  w.PutBytes(kerb::BytesView(kSealMagic, 4));
+  w.PutLengthPrefixed(plaintext);
+  kerb::Bytes padded = kcrypto::ZeroPadTo8(w.Peek());
+  return kcrypto::EncryptPcbc(key, kcrypto::kZeroIv, padded);
+}
+
+kerb::Result<kerb::Bytes> Unseal4(const kcrypto::DesKey& key, kerb::BytesView ciphertext) {
+  if (ciphertext.empty() || ciphertext.size() % 8 != 0) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "sealed data not block-aligned");
+  }
+  kerb::Bytes plain = kcrypto::DecryptPcbc(key, kcrypto::kZeroIv, ciphertext);
+  kenc::Reader r(plain);
+  auto magic = r.GetBytes(4);
+  if (!magic.ok() ||
+      !kerb::ConstantTimeEqual(magic.value(), kerb::BytesView(kSealMagic, 4))) {
+    return kerb::MakeError(kerb::ErrorCode::kIntegrity, "seal magic mismatch (wrong key?)");
+  }
+  auto body = r.GetLengthPrefixed();
+  if (!body.ok()) {
+    return kerb::MakeError(kerb::ErrorCode::kIntegrity, "seal length invalid");
+  }
+  return body;
+}
+
+// --------------------------------------------------------------------------- Ticket4
+
+kerb::Bytes Ticket4::Encode() const {
+  kenc::Writer w;
+  service.EncodeTo(w);
+  client.EncodeTo(w);
+  w.PutU32(client_addr);
+  w.PutU64(static_cast<uint64_t>(issued_at));
+  w.PutU64(static_cast<uint64_t>(lifetime));
+  w.PutBytes(kerb::BytesView(session_key.data(), session_key.size()));
+  return w.Take();
+}
+
+kerb::Result<Ticket4> Ticket4::Decode(kerb::BytesView data) {
+  kenc::Reader r(data);
+  Ticket4 t;
+  auto service = Principal::DecodeFrom(r);
+  if (!service.ok()) {
+    return service.error();
+  }
+  t.service = service.value();
+  auto client = Principal::DecodeFrom(r);
+  if (!client.ok()) {
+    return client.error();
+  }
+  t.client = client.value();
+  auto addr = r.GetU32();
+  auto issued = r.GetU64();
+  auto life = r.GetU64();
+  if (!addr.ok() || !issued.ok() || !life.ok()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "truncated ticket");
+  }
+  t.client_addr = addr.value();
+  t.issued_at = static_cast<ksim::Time>(issued.value());
+  t.lifetime = static_cast<ksim::Duration>(life.value());
+  auto key = GetKeyBlock(r);
+  if (!key.ok()) {
+    return key.error();
+  }
+  t.session_key = key.value();
+  if (!r.AtEnd()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "trailing bytes in ticket");
+  }
+  return t;
+}
+
+kerb::Bytes Ticket4::Seal(const kcrypto::DesKey& service_key) const {
+  return Seal4(service_key, Encode());
+}
+
+kerb::Result<Ticket4> Ticket4::Unseal(const kcrypto::DesKey& service_key,
+                                      kerb::BytesView sealed) {
+  auto plain = Unseal4(service_key, sealed);
+  if (!plain.ok()) {
+    return plain.error();
+  }
+  return Decode(plain.value());
+}
+
+// --------------------------------------------------------------------------- Authenticator4
+
+kerb::Bytes Authenticator4::Encode() const {
+  kenc::Writer w;
+  client.EncodeTo(w);
+  w.PutU32(client_addr);
+  w.PutU64(static_cast<uint64_t>(timestamp));
+  return w.Take();
+}
+
+kerb::Result<Authenticator4> Authenticator4::Decode(kerb::BytesView data) {
+  kenc::Reader r(data);
+  Authenticator4 a;
+  auto client = Principal::DecodeFrom(r);
+  if (!client.ok()) {
+    return client.error();
+  }
+  a.client = client.value();
+  auto addr = r.GetU32();
+  auto ts = r.GetU64();
+  if (!addr.ok() || !ts.ok()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "truncated authenticator");
+  }
+  a.client_addr = addr.value();
+  a.timestamp = static_cast<ksim::Time>(ts.value());
+  if (!r.AtEnd()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "trailing bytes in authenticator");
+  }
+  return a;
+}
+
+kerb::Bytes Authenticator4::Seal(const kcrypto::DesKey& session_key) const {
+  return Seal4(session_key, Encode());
+}
+
+kerb::Result<Authenticator4> Authenticator4::Unseal(const kcrypto::DesKey& session_key,
+                                                    kerb::BytesView sealed) {
+  auto plain = Unseal4(session_key, sealed);
+  if (!plain.ok()) {
+    return plain.error();
+  }
+  return Decode(plain.value());
+}
+
+// --------------------------------------------------------------------------- AS exchange
+
+kerb::Bytes AsRequest4::Encode() const {
+  kenc::Writer w;
+  client.EncodeTo(w);
+  w.PutString(service_realm);
+  w.PutU64(static_cast<uint64_t>(lifetime));
+  return w.Take();
+}
+
+kerb::Result<AsRequest4> AsRequest4::Decode(kerb::BytesView data) {
+  kenc::Reader r(data);
+  AsRequest4 req;
+  auto client = Principal::DecodeFrom(r);
+  if (!client.ok()) {
+    return client.error();
+  }
+  req.client = client.value();
+  auto realm = r.GetString();
+  auto life = r.GetU64();
+  if (!realm.ok() || !life.ok()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "truncated AS request");
+  }
+  req.service_realm = realm.value();
+  req.lifetime = static_cast<ksim::Duration>(life.value());
+  return req;
+}
+
+kerb::Bytes AsReplyBody4::Encode() const {
+  kenc::Writer w;
+  w.PutBytes(kerb::BytesView(tgs_session_key.data(), tgs_session_key.size()));
+  w.PutLengthPrefixed(sealed_tgt);
+  w.PutU64(static_cast<uint64_t>(issued_at));
+  w.PutU64(static_cast<uint64_t>(lifetime));
+  return w.Take();
+}
+
+kerb::Result<AsReplyBody4> AsReplyBody4::Decode(kerb::BytesView data) {
+  kenc::Reader r(data);
+  AsReplyBody4 body;
+  auto key = GetKeyBlock(r);
+  if (!key.ok()) {
+    return key.error();
+  }
+  body.tgs_session_key = key.value();
+  auto tgt = r.GetLengthPrefixed();
+  auto issued = r.GetU64();
+  auto life = r.GetU64();
+  if (!tgt.ok() || !issued.ok() || !life.ok()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "truncated AS reply body");
+  }
+  body.sealed_tgt = tgt.value();
+  body.issued_at = static_cast<ksim::Time>(issued.value());
+  body.lifetime = static_cast<ksim::Duration>(life.value());
+  return body;
+}
+
+// --------------------------------------------------------------------------- TGS exchange
+
+kerb::Bytes TgsRequest4::Encode() const {
+  kenc::Writer w;
+  service.EncodeTo(w);
+  w.PutLengthPrefixed(sealed_tgt);
+  w.PutLengthPrefixed(sealed_auth);
+  w.PutU64(static_cast<uint64_t>(lifetime));
+  return w.Take();
+}
+
+kerb::Result<TgsRequest4> TgsRequest4::Decode(kerb::BytesView data) {
+  kenc::Reader r(data);
+  TgsRequest4 req;
+  auto service = Principal::DecodeFrom(r);
+  if (!service.ok()) {
+    return service.error();
+  }
+  req.service = service.value();
+  auto tgt = r.GetLengthPrefixed();
+  auto auth = r.GetLengthPrefixed();
+  auto life = r.GetU64();
+  if (!tgt.ok() || !auth.ok() || !life.ok()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "truncated TGS request");
+  }
+  req.sealed_tgt = tgt.value();
+  req.sealed_auth = auth.value();
+  req.lifetime = static_cast<ksim::Duration>(life.value());
+  return req;
+}
+
+kerb::Bytes TgsReplyBody4::Encode() const {
+  kenc::Writer w;
+  w.PutBytes(kerb::BytesView(session_key.data(), session_key.size()));
+  w.PutLengthPrefixed(sealed_ticket);
+  w.PutU64(static_cast<uint64_t>(issued_at));
+  w.PutU64(static_cast<uint64_t>(lifetime));
+  return w.Take();
+}
+
+kerb::Result<TgsReplyBody4> TgsReplyBody4::Decode(kerb::BytesView data) {
+  kenc::Reader r(data);
+  TgsReplyBody4 body;
+  auto key = GetKeyBlock(r);
+  if (!key.ok()) {
+    return key.error();
+  }
+  body.session_key = key.value();
+  auto ticket = r.GetLengthPrefixed();
+  auto issued = r.GetU64();
+  auto life = r.GetU64();
+  if (!ticket.ok() || !issued.ok() || !life.ok()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "truncated TGS reply body");
+  }
+  body.sealed_ticket = ticket.value();
+  body.issued_at = static_cast<ksim::Time>(issued.value());
+  body.lifetime = static_cast<ksim::Duration>(life.value());
+  return body;
+}
+
+// --------------------------------------------------------------------------- AP exchange
+
+kerb::Bytes ApRequest4::Encode() const {
+  kenc::Writer w;
+  w.PutLengthPrefixed(sealed_ticket);
+  w.PutLengthPrefixed(sealed_auth);
+  w.PutU8(want_mutual ? 1 : 0);
+  w.PutLengthPrefixed(app_data);
+  w.PutLengthPrefixed(challenge_response);
+  return w.Take();
+}
+
+kerb::Result<ApRequest4> ApRequest4::Decode(kerb::BytesView data) {
+  kenc::Reader r(data);
+  ApRequest4 req;
+  auto ticket = r.GetLengthPrefixed();
+  auto auth = r.GetLengthPrefixed();
+  auto mutual = r.GetU8();
+  auto app_data = r.GetLengthPrefixed();
+  auto challenge_response = r.GetLengthPrefixed();
+  if (!ticket.ok() || !auth.ok() || !mutual.ok() || !app_data.ok() ||
+      !challenge_response.ok()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "truncated AP request");
+  }
+  req.sealed_ticket = ticket.value();
+  req.sealed_auth = auth.value();
+  req.want_mutual = mutual.value() != 0;
+  req.app_data = app_data.value();
+  req.challenge_response = challenge_response.value();
+  return req;
+}
+
+kerb::Bytes MakeApReply4(const kcrypto::DesKey& session_key, ksim::Time authenticator_time) {
+  kenc::Writer w;
+  w.PutU64(static_cast<uint64_t>(authenticator_time) + 1);
+  return Seal4(session_key, w.Peek());
+}
+
+kerb::Result<ksim::Time> VerifyApReply4(const kcrypto::DesKey& session_key,
+                                        kerb::BytesView reply, ksim::Time authenticator_time) {
+  auto plain = Unseal4(session_key, reply);
+  if (!plain.ok()) {
+    return plain.error();
+  }
+  kenc::Reader r(plain.value());
+  auto ts = r.GetU64();
+  if (!ts.ok()) {
+    return ts.error();
+  }
+  if (ts.value() != static_cast<uint64_t>(authenticator_time) + 1) {
+    return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "mutual-auth timestamp mismatch");
+  }
+  return static_cast<ksim::Time>(ts.value());
+}
+
+// --------------------------------------------------------------------------- KRB_ERROR
+
+kerb::Bytes MakeError4(uint32_t code, kerb::BytesView e_data) {
+  kenc::Writer w;
+  w.PutU32(code);
+  w.PutLengthPrefixed(e_data);
+  return Frame4(MsgType::kError, w.Peek());
+}
+
+kerb::Result<std::pair<uint32_t, kerb::Bytes>> ParseError4(kerb::BytesView body) {
+  kenc::Reader r(body);
+  auto code = r.GetU32();
+  auto e_data = r.GetLengthPrefixed();
+  if (!code.ok() || !e_data.ok()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "truncated KRB_ERROR");
+  }
+  return std::make_pair(code.value(), e_data.value());
+}
+
+// --------------------------------------------------------------------------- framing
+
+kerb::Bytes Frame4(MsgType type, kerb::BytesView body) {
+  kenc::Writer w;
+  w.PutU8(kProtocolVersion);
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutBytes(body);
+  return w.Take();
+}
+
+kerb::Result<std::pair<MsgType, kerb::Bytes>> Unframe4(kerb::BytesView data) {
+  kenc::Reader r(data);
+  auto version = r.GetU8();
+  if (!version.ok() || version.value() != kProtocolVersion) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "not a V4 message");
+  }
+  auto type = r.GetU8();
+  if (!type.ok()) {
+    return type.error();
+  }
+  return std::make_pair(static_cast<MsgType>(type.value()), r.Rest());
+}
+
+}  // namespace krb4

@@ -1,0 +1,181 @@
+// Kerberos Version 4 wire messages.
+//
+// Faithful to the protocol shape the paper analyses (Table 1 notation):
+//
+//   {T_c,s}K_s  = {s, c, addr, timestamp, lifetime, K_c,s} K_s      (ticket)
+//   {A_c}K_c,s  = {c, addr, timestamp} K_c,s                 (authenticator)
+//   AS exchange:   c  →  { K_c,tgs, {T_c,tgs}K_tgs } K_c
+//   TGS exchange:  s, {T_c,tgs}K_tgs, {A_c}K_c,tgs  →  { {T_c,s}K_s, K_c,s } K_c,tgs
+//   AP exchange:   {T_c,s}K_s, {A_c}K_c,s  →  { timestamp + 1 } K_c,s
+//
+// Deliberately preserved weaknesses (each is an experiment):
+//   * The AS request is plaintext and unauthenticated — anyone can fetch a
+//     reply encrypted in any user's password key (E4, E5).
+//   * Authenticators prove freshness by timestamp alone (E1, E2, E3).
+//   * The session key in the ticket is a multi-session key (E11).
+//   * Tickets bind an IP address that the network cannot verify (E12).
+//
+// Encryption framing: Seal4/Unseal4 wrap a plaintext in magic + length,
+// zero-pad, and encrypt with DES-PCBC and a fixed zero IV, as V4 did. The
+// recognizable magic is what makes offline password guessing confirmable.
+
+#ifndef SRC_KRB4_MESSAGES_H_
+#define SRC_KRB4_MESSAGES_H_
+
+#include <cstdint>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/crypto/des.h"
+#include "src/krb4/principal.h"
+#include "src/sim/clock.h"
+
+namespace krb4 {
+
+// Protocol constants.
+constexpr uint8_t kProtocolVersion = 4;
+
+// V4 carried ticket lifetimes as a single byte counting five-minute units,
+// capping every ticket at 255 × 5 min = 21h15m — the concrete form of "the
+// longer a ticket is in use, the greater the risk". The KDC quantizes every
+// granted lifetime through this encoding.
+constexpr ksim::Duration kV4LifetimeUnit = 5 * ksim::kMinute;
+constexpr ksim::Duration kV4MaxLifetime = 255 * kV4LifetimeUnit;
+
+// Rounds up to the next representable unit, saturating at 255 units.
+uint8_t LifetimeToV4Units(ksim::Duration lifetime);
+ksim::Duration V4UnitsToLifetime(uint8_t units);
+
+enum class MsgType : uint8_t {
+  kAsRequest = 1,
+  kAsReply = 2,
+  kTgsRequest = 3,
+  kTgsReply = 4,
+  kApRequest = 5,
+  kApReply = 6,
+  kError = 7,
+  kPriv = 8,
+};
+
+// Seals `plaintext` under `key`: MAGIC || u32 length || plaintext, zero-
+// padded to a block boundary, DES-PCBC, zero IV. Unseal verifies the magic
+// — the structural check V4 relied on (and that password-guessers exploit).
+kerb::Bytes Seal4(const kcrypto::DesKey& key, kerb::BytesView plaintext);
+kerb::Result<kerb::Bytes> Unseal4(const kcrypto::DesKey& key, kerb::BytesView ciphertext);
+
+// ---------------------------------------------------------------------------
+// Ticket: encrypted in the *service's* key.
+struct Ticket4 {
+  Principal service;
+  Principal client;
+  uint32_t client_addr = 0;      // the address binding the paper criticises
+  ksim::Time issued_at = 0;
+  ksim::Duration lifetime = 0;
+  kcrypto::DesBlock session_key{};  // K_c,s — a multi-session key in truth
+
+  kerb::Bytes Encode() const;
+  static kerb::Result<Ticket4> Decode(kerb::BytesView data);
+
+  kerb::Bytes Seal(const kcrypto::DesKey& service_key) const;
+  static kerb::Result<Ticket4> Unseal(const kcrypto::DesKey& service_key,
+                                      kerb::BytesView sealed);
+
+  bool Expired(ksim::Time now) const { return now > issued_at + lifetime; }
+};
+
+// Authenticator: encrypted in the session key from the ticket.
+struct Authenticator4 {
+  Principal client;
+  uint32_t client_addr = 0;
+  ksim::Time timestamp = 0;
+
+  kerb::Bytes Encode() const;
+  static kerb::Result<Authenticator4> Decode(kerb::BytesView data);
+
+  kerb::Bytes Seal(const kcrypto::DesKey& session_key) const;
+  static kerb::Result<Authenticator4> Unseal(const kcrypto::DesKey& session_key,
+                                             kerb::BytesView sealed);
+};
+
+// ---------------------------------------------------------------------------
+// AS exchange (initial ticket-granting ticket).
+struct AsRequest4 {
+  Principal client;            // plaintext: the paper's harvesting attack
+  std::string service_realm;   // realm whose TGT is requested
+  ksim::Duration lifetime = 0;
+
+  kerb::Bytes Encode() const;
+  static kerb::Result<AsRequest4> Decode(kerb::BytesView data);
+};
+
+// Body of the AS reply, sealed under K_c (the password-derived key).
+struct AsReplyBody4 {
+  kcrypto::DesBlock tgs_session_key{};  // K_c,tgs
+  kerb::Bytes sealed_tgt;               // {T_c,tgs}K_tgs, opaque to the client
+  ksim::Time issued_at = 0;
+  ksim::Duration lifetime = 0;
+
+  kerb::Bytes Encode() const;
+  static kerb::Result<AsReplyBody4> Decode(kerb::BytesView data);
+};
+
+// ---------------------------------------------------------------------------
+// TGS exchange.
+struct TgsRequest4 {
+  Principal service;        // what we want a ticket for
+  kerb::Bytes sealed_tgt;   // {T_c,tgs}K_tgs
+  kerb::Bytes sealed_auth;  // {A_c}K_c,tgs
+  ksim::Duration lifetime = 0;
+
+  kerb::Bytes Encode() const;
+  static kerb::Result<TgsRequest4> Decode(kerb::BytesView data);
+};
+
+// Body of the TGS reply, sealed under K_c,tgs.
+struct TgsReplyBody4 {
+  kcrypto::DesBlock session_key{};  // K_c,s
+  kerb::Bytes sealed_ticket;        // {T_c,s}K_s
+  ksim::Time issued_at = 0;
+  ksim::Duration lifetime = 0;
+
+  kerb::Bytes Encode() const;
+  static kerb::Result<TgsReplyBody4> Decode(kerb::BytesView data);
+};
+
+// ---------------------------------------------------------------------------
+// AP exchange (client to application server).
+struct ApRequest4 {
+  kerb::Bytes sealed_ticket;  // {T_c,s}K_s
+  kerb::Bytes sealed_auth;    // {A_c}K_c,s
+  bool want_mutual = false;
+  kerb::Bytes app_data;       // application payload, delivered after auth
+  // Second leg of the optional challenge/response dialog (recommendation a,
+  // retrofitted to V4 as the paper proposes): {server nonce + 1}K_c,s.
+  kerb::Bytes challenge_response;  // empty = absent
+
+  kerb::Bytes Encode() const;
+  static kerb::Result<ApRequest4> Decode(kerb::BytesView data);
+};
+
+// Mutual-authentication reply: {timestamp + 1}K_c,s.
+kerb::Bytes MakeApReply4(const kcrypto::DesKey& session_key, ksim::Time authenticator_time);
+kerb::Result<ksim::Time> VerifyApReply4(const kcrypto::DesKey& session_key,
+                                        kerb::BytesView reply,
+                                        ksim::Time authenticator_time);
+
+// ---------------------------------------------------------------------------
+// KRB_ERROR: code + opaque e-data. Code 48 signals "use another
+// authentication method" and carries the sealed challenge.
+constexpr uint32_t kErrMethod4 = 48;
+
+kerb::Bytes MakeError4(uint32_t code, kerb::BytesView e_data);
+kerb::Result<std::pair<uint32_t, kerb::Bytes>> ParseError4(kerb::BytesView body);
+
+// ---------------------------------------------------------------------------
+// Framing: every V4 message on the wire is version byte + type byte + body.
+kerb::Bytes Frame4(MsgType type, kerb::BytesView body);
+kerb::Result<std::pair<MsgType, kerb::Bytes>> Unframe4(kerb::BytesView data);
+
+}  // namespace krb4
+
+#endif  // SRC_KRB4_MESSAGES_H_

@@ -1,0 +1,113 @@
+#include "src/krb5/enclayer.h"
+
+#include "src/crypto/modes.h"
+#include "src/encoding/io.h"
+
+namespace krb5 {
+
+kerb::Bytes SealTlvWithIv(const kcrypto::DesKey& key, const kcrypto::DesBlock& iv,
+                          const kenc::TlvMessage& msg, const EncLayerConfig& config,
+                          kcrypto::Prng& prng) {
+  kerb::Bytes body = msg.Encode();
+  size_t checksum_len = kcrypto::ChecksumSize(config.checksum);
+
+  kenc::Writer w;
+  if (config.use_confounder) {
+    w.PutBytes(prng.NextBytes(8));
+  }
+  w.PutU8(static_cast<uint8_t>(config.checksum));
+  size_t checksum_offset = w.size();
+  w.PutBytes(kerb::Bytes(checksum_len, 0));
+  w.PutBytes(body);
+
+  kerb::Bytes plain = w.Take();
+  kerb::Bytes checksum = kcrypto::ComputeChecksum(config.checksum, plain, key);
+  std::copy(checksum.begin(), checksum.end(), plain.begin() + checksum_offset);
+  return kcrypto::EncryptCbc(key, iv, kcrypto::Pkcs5Pad(plain));
+}
+
+kerb::Result<kenc::TlvMessage> UnsealTlvWithIv(const kcrypto::DesKey& key,
+                                               const kcrypto::DesBlock& iv,
+                                               uint16_t expected_type, kerb::BytesView sealed,
+                                               const EncLayerConfig& config) {
+  if (sealed.empty() || sealed.size() % 8 != 0) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "sealed data not block-aligned");
+  }
+  kerb::Bytes padded = kcrypto::DecryptCbc(key, iv, sealed);
+  auto plain = kcrypto::Pkcs5Unpad(padded);
+  if (!plain.ok()) {
+    return kerb::MakeError(kerb::ErrorCode::kIntegrity, "padding invalid (wrong key/IV?)");
+  }
+  kenc::Reader r(plain.value());
+  if (config.use_confounder) {
+    auto confounder = r.GetBytes(8);
+    if (!confounder.ok()) {
+      return kerb::MakeError(kerb::ErrorCode::kIntegrity, "confounder missing");
+    }
+  }
+  auto type_byte = r.GetU8();
+  if (!type_byte.ok() || type_byte.value() != static_cast<uint8_t>(config.checksum)) {
+    return kerb::MakeError(kerb::ErrorCode::kIntegrity, "checksum type mismatch");
+  }
+  size_t checksum_len = kcrypto::ChecksumSize(config.checksum);
+  auto checksum = r.GetBytes(checksum_len);
+  if (!checksum.ok()) {
+    return kerb::MakeError(kerb::ErrorCode::kIntegrity, "checksum missing");
+  }
+  kerb::Bytes verify_buf = plain.value();
+  size_t checksum_offset = (config.use_confounder ? 8u : 0u) + 1u;
+  std::fill(verify_buf.begin() + checksum_offset,
+            verify_buf.begin() + checksum_offset + checksum_len, 0);
+  if (!kcrypto::VerifyChecksum(config.checksum, verify_buf, checksum.value(), key)) {
+    return kerb::MakeError(kerb::ErrorCode::kIntegrity, "checksum mismatch");
+  }
+  return kenc::TlvMessage::DecodeExpecting(expected_type, r.Rest());
+}
+
+kcrypto::DesBlock NextChainedIv(const kcrypto::DesKey& key, const kcrypto::DesBlock& iv) {
+  return key.EncryptBlock(kcrypto::U64ToBlock(kcrypto::BlockToU64(iv) + 1));
+}
+
+kerb::Bytes SealTlv(const kcrypto::DesKey& key, const kenc::TlvMessage& msg,
+                    const EncLayerConfig& config, kcrypto::Prng& prng) {
+  return SealTlvWithIv(key, kcrypto::kZeroIv, msg, config, prng);
+}
+
+kerb::Result<kenc::TlvMessage> UnsealTlv(const kcrypto::DesKey& key, uint16_t expected_type,
+                                         kerb::BytesView sealed, const EncLayerConfig& config) {
+  return UnsealTlvWithIv(key, kcrypto::kZeroIv, expected_type, sealed, config);
+}
+
+kerb::Bytes Draft2PrivSeal(const kcrypto::DesKey& key, const Draft2Priv& msg) {
+  kenc::Writer w;
+  w.PutBytes(msg.data);  // DATA first, no length — the flaw
+  w.PutU64(static_cast<uint64_t>(msg.timestamp));
+  w.PutU8(msg.direction);
+  w.PutU32(msg.host_address);
+  return kcrypto::EncryptCbc(key, kcrypto::kZeroIv, kcrypto::Pkcs5Pad(w.Peek()));
+}
+
+kerb::Result<Draft2Priv> Draft2PrivUnseal(const kcrypto::DesKey& key, kerb::BytesView sealed) {
+  if (sealed.empty() || sealed.size() % 8 != 0) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "sealed data not block-aligned");
+  }
+  kerb::Bytes padded = kcrypto::DecryptCbc(key, kcrypto::kZeroIv, sealed);
+  auto plain = kcrypto::Pkcs5Unpad(padded);
+  if (!plain.ok()) {
+    return kerb::MakeError(kerb::ErrorCode::kIntegrity, "padding invalid");
+  }
+  constexpr size_t kTrailerLen = 8 + 1 + 4;
+  if (plain.value().size() < kTrailerLen) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "too short for trailer");
+  }
+  size_t data_len = plain.value().size() - kTrailerLen;
+  Draft2Priv msg;
+  msg.data = kerb::Bytes(plain.value().begin(), plain.value().begin() + data_len);
+  kenc::Reader r(kerb::BytesView(plain.value().data() + data_len, kTrailerLen));
+  msg.timestamp = static_cast<ksim::Time>(r.GetU64().value());
+  msg.direction = r.GetU8().value();
+  msg.host_address = r.GetU32().value();
+  return msg;
+}
+
+}  // namespace krb5

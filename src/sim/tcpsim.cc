@@ -1,0 +1,64 @@
+#include "src/sim/tcpsim.h"
+
+namespace ksim {
+
+TcpServer::TcpServer(IsnPolicy policy, uint64_t seed, DataCallback on_data)
+    : policy_(policy),
+      rng_state_(seed | 1),
+      counter_isn_(static_cast<uint32_t>(seed)),
+      on_data_(std::move(on_data)) {}
+
+uint32_t TcpServer::NextIsn() {
+  if (policy_ == IsnPolicy::kPredictableCounter) {
+    counter_isn_ += kIsnIncrement;
+    return counter_isn_;
+  }
+  // xorshift64* for the random policy — unpredictable enough for the model.
+  rng_state_ ^= rng_state_ >> 12;
+  rng_state_ ^= rng_state_ << 25;
+  rng_state_ ^= rng_state_ >> 27;
+  return static_cast<uint32_t>((rng_state_ * 0x2545f4914f6cdd1dull) >> 32);
+}
+
+uint32_t TcpServer::Syn(const NetAddress& peer) {
+  uint32_t isn = NextIsn();
+  last_isn_ = isn;
+  connections_[peer] = Connection{isn, false};
+  return isn;
+}
+
+kerb::Status TcpServer::Ack(const NetAddress& peer, uint32_t ack_number) {
+  auto it = connections_.find(peer);
+  if (it == connections_.end()) {
+    return kerb::MakeError(kerb::ErrorCode::kTransport, "ACK for unknown connection");
+  }
+  if (ack_number != it->second.server_isn + 1) {
+    connections_.erase(it);  // RST
+    return kerb::MakeError(kerb::ErrorCode::kTransport, "bad ACK number; connection reset");
+  }
+  it->second.established = true;
+  return kerb::Status::Ok();
+}
+
+kerb::Status TcpServer::Data(const NetAddress& peer, uint32_t ack_number, kerb::BytesView bytes) {
+  auto it = connections_.find(peer);
+  if (it == connections_.end() || !it->second.established) {
+    return kerb::MakeError(kerb::ErrorCode::kTransport, "data on unestablished connection");
+  }
+  if (ack_number != it->second.server_isn + 1) {
+    return kerb::MakeError(kerb::ErrorCode::kTransport, "data segment out of window");
+  }
+  on_data_(peer, kerb::Bytes(bytes.begin(), bytes.end()));
+  return kerb::Status::Ok();
+}
+
+kerb::Status TcpConnectAndSend(TcpServer& server, const NetAddress& self, kerb::BytesView data) {
+  uint32_t isn = server.Syn(self);  // legitimate client sees the SYN-ACK
+  kerb::Status ack = server.Ack(self, isn + 1);
+  if (!ack.ok()) {
+    return ack;
+  }
+  return server.Data(self, isn + 1, data);
+}
+
+}  // namespace ksim

@@ -1,0 +1,83 @@
+// A miniature TCP model with predictable initial sequence numbers.
+//
+// The paper cites [Morr85]: "it was possible, under certain circumstances,
+// to spoof one half of a preauthenticated TCP connection without ever
+// seeing any responses from the targeted host", because 4.2BSD incremented
+// its ISN counter slowly and predictably. Experiment E2 replays that attack
+// in a Kerberos setting: a stolen live authenticator plus a blind, spoofed
+// connection defeats time-based authentication but not challenge/response.
+//
+// The model keeps exactly what the attack needs: a server whose ISN
+// generator is a deterministic counter, a three-way handshake in which the
+// SYN-ACK travels to the *claimed* source address, and data acceptance
+// gated on acknowledging the server's ISN. An attacker spoofing host A never
+// sees the SYN-ACK; it succeeds only if it can predict the ISN.
+
+#ifndef SRC_SIM_TCPSIM_H_
+#define SRC_SIM_TCPSIM_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/sim/network.h"
+
+namespace ksim {
+
+// Server-side ISN policy.
+enum class IsnPolicy {
+  kPredictableCounter,  // 4.2BSD-style: isn += kIsnIncrement per connection
+  kRandom,              // modern: unpredictable per connection
+};
+
+constexpr uint32_t kIsnIncrement = 64;  // slow, constant increment (the flaw)
+
+class TcpServer {
+ public:
+  // `on_data` receives the bytes of each accepted data segment along with
+  // the (claimed, unverifiable) peer address.
+  using DataCallback = std::function<void(const NetAddress& peer, const kerb::Bytes& data)>;
+
+  TcpServer(IsnPolicy policy, uint64_t seed, DataCallback on_data);
+
+  // SYN from `peer`: allocates the connection and returns the SYN-ACK
+  // carrying our ISN. On the real network this travels to the claimed peer
+  // address; a blind spoofer never sees the return value.
+  uint32_t Syn(const NetAddress& peer);
+
+  // Final ACK of the handshake: must acknowledge our ISN + 1.
+  kerb::Status Ack(const NetAddress& peer, uint32_t ack_number);
+
+  // Data on an established connection.
+  kerb::Status Data(const NetAddress& peer, uint32_t ack_number, kerb::BytesView bytes);
+
+  // What a local observer (or an attacker making a probe connection of its
+  // own) can learn: the most recently issued ISN.
+  uint32_t last_issued_isn() const { return last_isn_; }
+
+ private:
+  struct Connection {
+    uint32_t server_isn = 0;
+    bool established = false;
+  };
+
+  uint32_t NextIsn();
+
+  IsnPolicy policy_;
+  uint64_t rng_state_;
+  uint32_t counter_isn_;
+  uint32_t last_isn_ = 0;
+  std::map<NetAddress, Connection> connections_;
+  DataCallback on_data_;
+};
+
+// Convenience for the legitimate client path: full handshake then data.
+kerb::Status TcpConnectAndSend(TcpServer& server, const NetAddress& self, kerb::BytesView data);
+
+}  // namespace ksim
+
+#endif  // SRC_SIM_TCPSIM_H_

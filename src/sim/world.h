@@ -1,0 +1,34 @@
+// The simulation world: one clock, one network, one seeded random source.
+//
+// Every experiment and example constructs a World, wires principals into
+// it, optionally installs an adversary, and drives simulated time forward.
+
+#ifndef SRC_SIM_WORLD_H_
+#define SRC_SIM_WORLD_H_
+
+#include "src/crypto/prng.h"
+#include "src/sim/clock.h"
+#include "src/sim/network.h"
+
+namespace ksim {
+
+class World {
+ public:
+  explicit World(uint64_t seed) : prng_(seed), network_(&clock_) {}
+
+  SimClock& clock() { return clock_; }
+  Network& network() { return network_; }
+  kcrypto::Prng& prng() { return prng_; }
+
+  // A fresh skewed clock for a host.
+  HostClock MakeHostClock(Duration skew = 0) { return HostClock(&clock_, skew); }
+
+ private:
+  SimClock clock_;
+  kcrypto::Prng prng_;
+  Network network_;
+};
+
+}  // namespace ksim
+
+#endif  // SRC_SIM_WORLD_H_

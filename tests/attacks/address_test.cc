@@ -1,0 +1,27 @@
+// E12: address binding buys nothing against a network-level adversary.
+
+#include "src/attacks/address.h"
+
+#include <gtest/gtest.h>
+
+namespace kattack {
+namespace {
+
+TEST(AddressE12Test, BindingStopsOnlyTheHonestThief) {
+  AddressBindingReport report = RunAddressBindingStudy();
+  EXPECT_TRUE(report.naive_reuse_rejected)
+      << "the check works against an attacker who doesn't spoof";
+  EXPECT_TRUE(report.spoofed_reuse_accepted)
+      << "'no extra security is gained by relying on the network address'";
+}
+
+TEST(AddressE12Test, PostAuthHijackSucceeds) {
+  // "an attacker can always wait until the connection is set up and
+  // authenticated, and then take it over."
+  AddressBindingReport report = RunAddressBindingStudy();
+  EXPECT_TRUE(report.hijack_accepted);
+  EXPECT_EQ(report.hijack_evidence, "cat /home/alice/secrets");
+}
+
+}  // namespace
+}  // namespace kattack

@@ -1,0 +1,60 @@
+// E9: CRC-32 cut-and-paste through ENC-TKT-IN-SKEY.
+
+#include "src/attacks/cutpaste.h"
+
+#include <gtest/gtest.h>
+
+namespace kattack {
+namespace {
+
+TEST(CutPasteE9Test, Crc32PlusEncTktInSkeyNegatesMutualAuth) {
+  CutPasteScenario scenario;  // Draft 3 literal reading: CRC-32, no cname rule
+  CutPasteReport report = RunEncTktInSkeyCutPaste(scenario);
+  EXPECT_TRUE(report.request_modified);
+  EXPECT_TRUE(report.kdc_accepted) << "the forged CRC must verify at the TGS";
+  EXPECT_TRUE(report.session_key_recovered)
+      << "the ticket is sealed in the attacker's TGT session key";
+  EXPECT_TRUE(report.mutual_auth_spoofed)
+      << "'the bidirectional authentication dialog may be spoofed without trouble'";
+  EXPECT_EQ(report.intercepted_data, "FETCH inbox/secret-draft");
+}
+
+TEST(CutPasteE9Test, CollisionProofChecksumBlocksIt) {
+  CutPasteScenario scenario;
+  scenario.request_checksum = kcrypto::ChecksumType::kMd4;
+  CutPasteReport report = RunEncTktInSkeyCutPaste(scenario);
+  EXPECT_TRUE(report.request_modified);  // the rewrite still goes out
+  EXPECT_FALSE(report.kdc_accepted) << "no four-byte patch fixes an MD4";
+  EXPECT_FALSE(report.session_key_recovered);
+  EXPECT_FALSE(report.mutual_auth_spoofed);
+}
+
+TEST(CutPasteE9Test, KeyedMd4AlsoBlocks) {
+  CutPasteScenario scenario;
+  scenario.request_checksum = kcrypto::ChecksumType::kMd4Des;
+  CutPasteReport report = RunEncTktInSkeyCutPaste(scenario);
+  EXPECT_FALSE(report.kdc_accepted);
+}
+
+TEST(CutPasteE9Test, CnameMatchRuleBlocksEvenWithCrc32) {
+  // "The designers intended to require that the cname in the additional
+  // ticket match the name of the server ... the requirement was
+  // inadvertently omitted from Draft 3."
+  CutPasteScenario scenario;
+  scenario.enforce_cname_match = true;
+  CutPasteReport report = RunEncTktInSkeyCutPaste(scenario);
+  EXPECT_TRUE(report.request_modified);
+  EXPECT_FALSE(report.kdc_accepted) << "eve's TGT names eve, not pop.mailhub";
+  EXPECT_FALSE(report.mutual_auth_spoofed);
+}
+
+TEST(CutPasteE9Test, DeterministicAcrossSeeds) {
+  for (uint64_t seed : {2ull, 77ull}) {
+    CutPasteScenario scenario;
+    scenario.seed = seed;
+    EXPECT_TRUE(RunEncTktInSkeyCutPaste(scenario).mutual_auth_spoofed) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace kattack

@@ -1,0 +1,32 @@
+// E0: environment assumptions — diskless /tmp and host exposure windows.
+
+#include "src/attacks/environment.h"
+
+#include <gtest/gtest.h>
+
+namespace kattack {
+namespace {
+
+TEST(EnvironmentE0Test, DisklessTmpCacheIsAWiretapPrize) {
+  DisklessCacheReport report = RunDisklessTmpCacheTheft();
+  EXPECT_TRUE(report.cache_written_over_network);
+  EXPECT_TRUE(report.session_key_recovered_from_wire)
+      << "'this is highly insecure on diskless workstations'";
+  EXPECT_TRUE(report.impersonation_succeeded);
+  EXPECT_EQ(report.evidence, "mail-check alice@ATHENA.SIM");
+}
+
+TEST(EnvironmentE0Test, MultiUserHostExposesLiveKeys) {
+  HostExposureReport report = RunHostExposureStudy();
+  EXPECT_TRUE(report.concurrent_theft_succeeded)
+      << "'an attacker has concurrent access to the keys'";
+}
+
+TEST(EnvironmentE0Test, WorkstationLogoutClosesTheWindow) {
+  HostExposureReport report = RunHostExposureStudy();
+  EXPECT_FALSE(report.post_logout_theft_succeeded)
+      << "'Kerberos attempts to wipe out old keys at logoff time'";
+}
+
+}  // namespace
+}  // namespace kattack

@@ -1,0 +1,99 @@
+// E4/E5: password-guessing by eavesdropping and by direct harvesting.
+
+#include "src/attacks/harvest.h"
+
+#include <gtest/gtest.h>
+
+namespace kattack {
+namespace {
+
+TEST(PwGuessE4Test, EavesdropperCracksWeakPasswords) {
+  HarvestScenario scenario;
+  scenario.population = 30;
+  scenario.weak_fraction = 0.5;
+  CrackReport report = RunEavesdropCrackV4(scenario);
+  EXPECT_EQ(report.population, 30);
+  EXPECT_EQ(report.replies_obtained, 30);  // every login dialog was recorded
+  EXPECT_GT(report.weak_users, 0);
+  // "good odds of finding several new passwords": every dictionary password
+  // falls, no strong password does.
+  EXPECT_EQ(report.cracked, report.weak_users);
+  EXPECT_GT(report.guess_attempts, 0u);
+}
+
+TEST(PwGuessE4Test, NoWeakPasswordsNothingCracked) {
+  HarvestScenario scenario;
+  scenario.population = 15;
+  scenario.weak_fraction = 0.0;
+  CrackReport report = RunEavesdropCrackV4(scenario);
+  EXPECT_EQ(report.weak_users, 0);
+  EXPECT_EQ(report.cracked, 0);
+}
+
+TEST(PwGuessE4Test, AllWeakAllCracked) {
+  HarvestScenario scenario;
+  scenario.population = 15;
+  scenario.weak_fraction = 1.0;
+  CrackReport report = RunEavesdropCrackV4(scenario);
+  EXPECT_EQ(report.weak_users, 15);
+  EXPECT_EQ(report.cracked, 15);
+}
+
+TEST(PwGuessE4Test, DhLoginLayerDefeatsPassiveCracking) {
+  // Recommendation (h): "prevent a passive wiretapper from accumulating
+  // the network equivalent of /etc/passwd".
+  DhCrackScenario scenario;
+  scenario.base.population = 12;
+  scenario.base.weak_fraction = 1.0;  // every password is weak...
+  scenario.toy_group_bits = 0;        // ...but the group is Oakley-1 (768-bit)
+  CrackReport report = RunEavesdropCrackAgainstDhLogin(scenario);
+  EXPECT_EQ(report.replies_obtained, 12);
+  EXPECT_EQ(report.cracked, 0) << "the DH layer must hide everything";
+}
+
+TEST(PwGuessE4Test, ToyDhGroupFallsToDiscreteLog) {
+  // "exchanging small numbers is quite insecure" [LaMa]: with a word-sized
+  // modulus the attacker strips the DH layer and cracks as before.
+  DhCrackScenario scenario;
+  scenario.base.population = 8;
+  scenario.base.weak_fraction = 1.0;
+  scenario.toy_group_bits = 28;
+  CrackReport report = RunEavesdropCrackAgainstDhLogin(scenario);
+  EXPECT_EQ(report.replies_obtained, 8);
+  EXPECT_EQ(report.cracked, 8) << "small moduli provide no protection";
+}
+
+TEST(HarvestE5Test, NoEavesdroppingNeededWithoutPreauth) {
+  // "Requests for tickets are not themselves encrypted; an attacker could
+  // simply request ticket-granting tickets for many different users."
+  ActiveHarvestScenario scenario;
+  scenario.base.population = 20;
+  scenario.base.weak_fraction = 0.5;
+  CrackReport report = RunActiveHarvest(scenario);
+  EXPECT_EQ(report.replies_obtained, 20);
+  EXPECT_EQ(report.rejected_by_kdc, 0);
+  EXPECT_EQ(report.cracked, report.weak_users);
+}
+
+TEST(HarvestE5Test, PreauthenticationStopsHarvesting) {
+  // Recommendation (g).
+  ActiveHarvestScenario scenario;
+  scenario.base.population = 20;
+  scenario.kdc_requires_preauth = true;
+  CrackReport report = RunActiveHarvest(scenario);
+  EXPECT_EQ(report.replies_obtained, 0);
+  EXPECT_EQ(report.rejected_by_kdc, 20);
+  EXPECT_EQ(report.cracked, 0);
+}
+
+TEST(HarvestE5Test, RateLimitingSlowsHarvesting) {
+  ActiveHarvestScenario scenario;
+  scenario.base.population = 40;
+  scenario.kdc_rate_limit_per_minute = 10;
+  CrackReport report = RunActiveHarvest(scenario);
+  EXPECT_EQ(report.replies_obtained, 10);  // the burst hits the ceiling
+  EXPECT_EQ(report.rejected_by_kdc, 30);
+}
+
+}  // namespace
+}  // namespace kattack

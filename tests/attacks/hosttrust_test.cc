@@ -1,0 +1,38 @@
+// E17: a stolen srvtab makes the attacker everyone on the machine.
+
+#include "src/attacks/hosttrust.h"
+
+#include <gtest/gtest.h>
+
+namespace kattack {
+namespace {
+
+TEST(HostTrustE17Test, StolenSrvtabImpersonatesEveryUser) {
+  HostTrustScenario scenario;  // host-asserted identities, the NFS pattern
+  HostTrustReport report = RunSrvtabCompromise(scenario);
+  EXPECT_TRUE(report.srvtab_readable);
+  EXPECT_TRUE(report.host_login_succeeded)
+      << "the host's plaintext key authenticates whoever holds it";
+  EXPECT_EQ(report.impersonated, (std::vector<std::string>{"alice", "bob", "carol"}))
+      << "'the intruder can likely impersonate any user on that computer'";
+}
+
+TEST(HostTrustE17Test, PerUserTicketsCloseTheHole) {
+  HostTrustScenario scenario;
+  scenario.require_per_user_tickets = true;
+  HostTrustReport report = RunSrvtabCompromise(scenario);
+  EXPECT_TRUE(report.host_login_succeeded);  // the host key still works...
+  EXPECT_TRUE(report.impersonated.empty());  // ...but asserts nobody
+  EXPECT_TRUE(report.per_user_tickets_blocked);
+}
+
+TEST(HostTrustE17Test, DeterministicAcrossSeeds) {
+  for (uint64_t seed : {4ull, 44ull}) {
+    HostTrustScenario scenario;
+    scenario.seed = seed;
+    EXPECT_EQ(RunSrvtabCompromise(scenario).impersonated.size(), 3u) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace kattack

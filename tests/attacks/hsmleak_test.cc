@@ -1,0 +1,37 @@
+// E14: no key octet ever leaves the encryption unit.
+
+#include "src/attacks/hsmleak.h"
+
+#include <gtest/gtest.h>
+
+namespace kattack {
+namespace {
+
+TEST(HsmLeakE14Test, SweepFindsNoKeyMaterialInAnyOutput) {
+  HsmLeakReport report = RunEncryptionUnitLeakSweep();
+  EXPECT_GT(report.operations_attempted, 200u);
+  EXPECT_GT(report.outputs_scanned, 0u);
+  EXPECT_GT(report.keys_in_unit, 4u);  // loaded + generated + captured
+  EXPECT_EQ(report.key_octet_leaks, 0u) << report.detail;
+}
+
+TEST(HsmLeakE14Test, UsageTagsAreEnforced) {
+  HsmLeakReport report = RunEncryptionUnitLeakSweep();
+  EXPECT_GT(report.usage_violations_blocked, 0u)
+      << "the fuzz phase must have tripped the purpose-tag checks";
+}
+
+TEST(HsmLeakE14Test, SoftwareCacheIsTheContrast) {
+  HsmLeakReport report = RunEncryptionUnitLeakSweep();
+  EXPECT_TRUE(report.software_cache_leaks)
+      << "the all-software client hands keys to any host compromise";
+}
+
+TEST(HsmLeakE14Test, StableAcrossSeedsAndLongerFuzz) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    EXPECT_EQ(RunEncryptionUnitLeakSweep(seed, 400).key_octet_leaks, 0u) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace kattack

@@ -1,0 +1,38 @@
+// E13: a compromised transit realm forges cross-realm identities.
+
+#include "src/attacks/interrealm.h"
+
+#include <gtest/gtest.h>
+
+namespace kattack {
+namespace {
+
+TEST(InterRealmE13Test, CompromisedTransitForgesForeignIdentity) {
+  InterRealmForgeReport report = RunTransitRealmForgery("ENG.CORP");
+  EXPECT_TRUE(report.honest_access_ok);
+  EXPECT_EQ(report.honest_transited, "[ENG.CORP,CORP]");
+  EXPECT_TRUE(report.forged_access_ok)
+      << "CORP holds the inter-realm key; SALES cannot tell";
+  EXPECT_EQ(report.forged_client, "ceo@ENG.CORP");
+  // The laundered path is byte-identical to the honest one.
+  EXPECT_EQ(report.forged_transited, report.honest_transited);
+}
+
+TEST(InterRealmE13Test, ForgedLocalTransitIdentityIndistinguishable) {
+  InterRealmForgeReport report = RunTransitRealmForgery("CORP");
+  EXPECT_TRUE(report.forged_access_ok);
+  EXPECT_EQ(report.forged_client, "ceo@CORP");
+  EXPECT_EQ(report.forged_transited, "[CORP]");
+}
+
+TEST(InterRealmE13Test, DistrustingTransitBlocksEverything) {
+  // "each prospective user of Kerberos is responsible for judging its
+  // security": the only stopping policy throws out honest traffic too.
+  InterRealmForgeReport report = RunTransitRealmForgery("ENG.CORP");
+  EXPECT_TRUE(report.strict_policy_blocks_forgery);
+  EXPECT_TRUE(report.strict_policy_blocks_honest)
+      << "the cost of distrust is the loss of the whole subtree";
+}
+
+}  // namespace
+}  // namespace kattack

@@ -1,0 +1,34 @@
+// E6: login spoofing vs. the handheld-authenticator scheme.
+
+#include "src/attacks/loginspoof.h"
+
+#include <gtest/gtest.h>
+
+namespace kattack {
+namespace {
+
+TEST(LoginSpoofE6Test, CapturedPasswordWorksForever) {
+  LoginSpoofReport report = RunLoginSpoofAgainstPassword();
+  EXPECT_TRUE(report.victim_login_ok) << "the trojan is invisible to the victim";
+  EXPECT_FALSE(report.captured_input.empty());
+  EXPECT_TRUE(report.later_reuse_succeeded)
+      << "a recorded password is a permanent compromise";
+}
+
+TEST(LoginSpoofE6Test, CapturedDeviceResponseIsSingleUse) {
+  LoginSpoofReport report = RunLoginSpoofAgainstHandheld();
+  EXPECT_TRUE(report.victim_login_ok) << "the scheme must not break honest logins";
+  EXPECT_FALSE(report.captured_input.empty());
+  EXPECT_FALSE(report.later_reuse_succeeded)
+      << "{R}K_c for an old R must not open a reply keyed to a fresh R";
+}
+
+TEST(LoginSpoofE6Test, BothScenariosDeterministic) {
+  for (uint64_t seed : {5ull, 500ull}) {
+    EXPECT_TRUE(RunLoginSpoofAgainstPassword(seed).later_reuse_succeeded);
+    EXPECT_FALSE(RunLoginSpoofAgainstHandheld(seed).later_reuse_succeeded);
+  }
+}
+
+}  // namespace
+}  // namespace kattack

@@ -1,0 +1,49 @@
+// E2: the Morris ISN-prediction attack with a stolen live authenticator.
+
+#include "src/attacks/morris.h"
+
+#include <gtest/gtest.h>
+
+namespace kattack {
+namespace {
+
+TEST(MorrisE2Test, BlindSpoofSucceedsAgainstPredictableIsn) {
+  MorrisScenario scenario;
+  MorrisReport report = RunMorrisSpoof(scenario);
+  EXPECT_TRUE(report.isn_predicted);
+  EXPECT_TRUE(report.handshake_spoofed);
+  EXPECT_TRUE(report.command_executed);
+  EXPECT_EQ(report.evidence, "rm thesis.tex as alice@ATHENA.SIM");
+}
+
+TEST(MorrisE2Test, BlockedByRandomIsns) {
+  MorrisScenario scenario;
+  scenario.isn_policy = ksim::IsnPolicy::kRandom;
+  MorrisReport report = RunMorrisSpoof(scenario);
+  EXPECT_FALSE(report.isn_predicted);
+  EXPECT_FALSE(report.handshake_spoofed);
+  EXPECT_FALSE(report.command_executed);
+}
+
+TEST(MorrisE2Test, BlockedByChallengeResponse) {
+  // "his attack would still work if accompanied by a stolen live
+  // authenticator, but not if a challenge/response protocol was used."
+  MorrisScenario scenario;
+  scenario.challenge_response = true;
+  MorrisReport report = RunMorrisSpoof(scenario);
+  EXPECT_TRUE(report.isn_predicted);       // the TCP layer still falls
+  EXPECT_TRUE(report.handshake_spoofed);   // the connection spoofs fine
+  EXPECT_FALSE(report.command_executed);   // but the command never runs
+  EXPECT_EQ(report.evidence, "server issued a challenge the blind attacker cannot read");
+}
+
+TEST(MorrisE2Test, StableAcrossSeeds) {
+  for (uint64_t seed : {3ull, 17ull, 4242ull}) {
+    MorrisScenario scenario;
+    scenario.seed = seed;
+    EXPECT_TRUE(RunMorrisSpoof(scenario).command_executed) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace kattack

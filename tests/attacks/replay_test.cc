@@ -1,0 +1,64 @@
+// E1: authenticator replay within the clock-skew window.
+
+#include "src/attacks/replay.h"
+
+#include <gtest/gtest.h>
+
+namespace kattack {
+namespace {
+
+TEST(ReplayE1Test, SucceedsWithinWindowWithoutCache) {
+  // Draft-era reality: no replay cache, timestamp-only freshness.
+  ReplayScenario scenario;
+  scenario.server_replay_cache = false;
+  scenario.replay_delay = 2 * ksim::kMinute;
+  ReplayReport report = RunMailCheckReplayV4(scenario);
+  EXPECT_TRUE(report.captured);
+  EXPECT_TRUE(report.replay_accepted) << "the paper's attack must succeed here";
+  EXPECT_EQ(report.server_accepted, 2u);  // original + replay
+  EXPECT_EQ(report.evidence, "mail-check alice@ATHENA.SIM");
+}
+
+TEST(ReplayE1Test, WorksEvenAfterVictimLogsOut) {
+  // "Kerberos attempts to wipe out old keys at logoff time" — but the wire
+  // capture is unaffected; the attack in RunMailCheckReplayV4 replays after
+  // alice's logout by construction.
+  ReplayReport report = RunMailCheckReplayV4(ReplayScenario{});
+  EXPECT_TRUE(report.replay_accepted);
+}
+
+TEST(ReplayE1Test, BlockedOutsideSkewWindow) {
+  ReplayScenario scenario;
+  scenario.replay_delay = 6 * ksim::kMinute;  // beyond the 5-minute window
+  ReplayReport report = RunMailCheckReplayV4(scenario);
+  EXPECT_TRUE(report.captured);
+  EXPECT_FALSE(report.replay_accepted);
+}
+
+TEST(ReplayE1Test, BlockedByReplayCache) {
+  // The defence V4 specified but "never implemented".
+  ReplayScenario scenario;
+  scenario.server_replay_cache = true;
+  ReplayReport report = RunMailCheckReplayV4(scenario);
+  EXPECT_TRUE(report.captured);
+  EXPECT_FALSE(report.replay_accepted);
+  EXPECT_EQ(report.server_accepted, 1u);  // only the original
+}
+
+TEST(ReplayE1Test, BlockedByChallengeResponse) {
+  // Recommendation (a): freshness from the server's nonce, not the clock.
+  ReplayReport report = RunReplayAgainstChallengeResponse();
+  EXPECT_TRUE(report.captured);
+  EXPECT_FALSE(report.replay_accepted);
+}
+
+TEST(ReplayE1Test, DeterministicAcrossSeeds) {
+  for (uint64_t seed : {1ull, 99ull, 31337ull}) {
+    ReplayScenario scenario;
+    scenario.seed = seed;
+    EXPECT_TRUE(RunMailCheckReplayV4(scenario).replay_accepted) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace kattack

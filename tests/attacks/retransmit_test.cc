@@ -1,0 +1,36 @@
+// E16: the replay cache vs. legitimate retransmissions.
+
+#include "src/attacks/retransmit.h"
+
+#include <gtest/gtest.h>
+
+namespace kattack {
+namespace {
+
+TEST(RetransmitE16Test, NaiveRetransmissionRaisesFalseAlarm) {
+  RetransmitReport report = RunRetransmissionStudy(/*fresh_authenticator_per_retry=*/false);
+  EXPECT_TRUE(report.first_attempt_lost);
+  EXPECT_TRUE(report.server_acted_once);
+  EXPECT_FALSE(report.retransmission_accepted)
+      << "'Legitimate requests could be rejected, and a security alarm raised"
+         " inappropriately.'";
+  EXPECT_EQ(report.false_alarms, 1u);
+}
+
+TEST(RetransmitE16Test, FreshAuthenticatorPerRetryWorks) {
+  RetransmitReport report = RunRetransmissionStudy(/*fresh_authenticator_per_retry=*/true);
+  EXPECT_TRUE(report.first_attempt_lost);
+  EXPECT_TRUE(report.retransmission_accepted)
+      << "'generate a new authenticator when retransmitting a request'";
+  EXPECT_EQ(report.false_alarms, 0u);
+}
+
+TEST(RetransmitE16Test, DeterministicAcrossSeeds) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    EXPECT_FALSE(RunRetransmissionStudy(false, seed).retransmission_accepted) << seed;
+    EXPECT_TRUE(RunRetransmissionStudy(true, seed).retransmission_accepted) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace kattack

@@ -1,0 +1,39 @@
+// E10: REUSE-SKEY shared-key ticket redirection.
+
+#include "src/attacks/reuseskey.h"
+
+#include <gtest/gtest.h>
+
+namespace kattack {
+namespace {
+
+TEST(ReuseSkeyE10Test, RedirectedRequestDestroysArchives) {
+  ReuseSkeyScenario scenario;  // no service-name binding
+  ReuseSkeyReport report = RunReuseSkeyRedirection(scenario);
+  EXPECT_TRUE(report.shared_key_issued) << "REUSE-SKEY must actually share the key";
+  EXPECT_TRUE(report.splice_accepted)
+      << "'an attacker might redirect some requests to destroy archival copies'";
+  EXPECT_EQ(report.backup_action, "DELETE /archive/thesis.tex by alice@ATHENA.SIM");
+}
+
+TEST(ReuseSkeyE10Test, ServiceNameBindingBlocksRedirection) {
+  // "A solution to this particular attack is to include ... the service
+  // name ... in the authenticator."
+  ReuseSkeyScenario scenario;
+  scenario.service_name_binding = true;
+  ReuseSkeyReport report = RunReuseSkeyRedirection(scenario);
+  EXPECT_TRUE(report.shared_key_issued);  // the option still shares keys...
+  EXPECT_FALSE(report.splice_accepted);   // ...but the splice dies
+  EXPECT_TRUE(report.backup_action.empty());
+}
+
+TEST(ReuseSkeyE10Test, DeterministicAcrossSeeds) {
+  for (uint64_t seed : {8ull, 808ull}) {
+    ReuseSkeyScenario scenario;
+    scenario.seed = seed;
+    EXPECT_TRUE(RunReuseSkeyRedirection(scenario).splice_accepted) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace kattack

@@ -1,0 +1,43 @@
+// E3: replaying a stale authenticator by spoofing the time service.
+
+#include "src/attacks/timespoof.h"
+
+#include <gtest/gtest.h>
+
+namespace kattack {
+namespace {
+
+TEST(TimeSpoofE3Test, StaleReplaySucceedsAfterClockRollback) {
+  TimeSpoofScenario scenario;
+  TimeSpoofReport report = RunTimeSpoofReplay(scenario);
+  EXPECT_TRUE(report.stale_replay_rejected_first) << "sanity: stale means stale";
+  EXPECT_TRUE(report.time_sync_succeeded);
+  EXPECT_TRUE(report.server_clock_corrupted);
+  EXPECT_TRUE(report.stale_replay_accepted_after)
+      << "a stale authenticator can be replayed without any trouble at all";
+  EXPECT_EQ(report.evidence, "mail-check alice@ATHENA.SIM");
+}
+
+TEST(TimeSpoofE3Test, BlockedByAuthenticatedTimeService) {
+  TimeSpoofScenario scenario;
+  scenario.authenticated_time_service = true;
+  TimeSpoofReport report = RunTimeSpoofReplay(scenario);
+  EXPECT_TRUE(report.stale_replay_rejected_first);
+  EXPECT_FALSE(report.time_sync_succeeded);  // the forged reply fails its MAC
+  EXPECT_FALSE(report.server_clock_corrupted);
+  EXPECT_FALSE(report.stale_replay_accepted_after);
+}
+
+TEST(TimeSpoofE3Test, WorksForVeryStaleAuthenticators) {
+  // Even a day-old authenticator replays once the clock lies.
+  TimeSpoofScenario scenario;
+  scenario.staleness = 24 * ksim::kHour;
+  // The 8-hour ticket lifetime also matters: past it the rolled-back clock
+  // ALSO resurrects the ticket, which is the point of rolling all the way
+  // back to capture time.
+  TimeSpoofReport report = RunTimeSpoofReplay(scenario);
+  EXPECT_TRUE(report.stale_replay_accepted_after);
+}
+
+}  // namespace
+}  // namespace kattack

@@ -1,0 +1,40 @@
+// E15: clients treated as services expose password-derived keys.
+
+#include "src/attacks/userasservice.h"
+
+#include <gtest/gtest.h>
+
+namespace kattack {
+namespace {
+
+TEST(UserAsServiceE15Test, TicketForUserPrincipalCracksPassword) {
+  UserAsServiceScenario scenario;  // permissive Draft-era behaviour
+  UserAsServiceReport report = RunUserAsServiceHarvest(scenario);
+  EXPECT_TRUE(report.ticket_issued)
+      << "'tickets to the client, encrypted by Kc, may be obtained by any user'";
+  EXPECT_TRUE(report.password_recovered);
+  EXPECT_EQ(report.recovered_password, "password");  // bob's weak choice
+}
+
+TEST(UserAsServiceE15Test, PolicyRefusesUserPrincipalTickets) {
+  UserAsServiceScenario scenario;
+  scenario.forbid_user_principal_tickets = true;
+  UserAsServiceReport report = RunUserAsServiceHarvest(scenario);
+  EXPECT_FALSE(report.ticket_issued);
+  EXPECT_FALSE(report.password_recovered);
+}
+
+TEST(UserAsServiceE15Test, RandomKeyInstanceIsSafeEitherWay) {
+  // The paper's preferred alternative: "clients register separate instances
+  // as services, with truly random keys."
+  for (bool forbid : {false, true}) {
+    UserAsServiceScenario scenario;
+    scenario.forbid_user_principal_tickets = forbid;
+    UserAsServiceReport report = RunUserAsServiceHarvest(scenario);
+    EXPECT_TRUE(report.instance_ticket_issued) << forbid;
+    EXPECT_FALSE(report.instance_password_recovered) << forbid;
+  }
+}
+
+}  // namespace
+}  // namespace kattack

@@ -1,0 +1,151 @@
+#include "src/crypto/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/dh.h"
+#include "src/crypto/primes.h"
+#include "src/crypto/prng.h"
+
+namespace kcrypto {
+namespace {
+
+TEST(BigIntTest, HexRoundTrip) {
+  for (const char* hex : {"0", "1", "ff", "100", "deadbeef", "123456789abcdef0123456789abcdef"}) {
+    BigInt v = BigInt::MustFromHex(hex);
+    EXPECT_EQ(v.ToHex(), hex);
+  }
+}
+
+TEST(BigIntTest, FromHexRejectsGarbage) {
+  EXPECT_FALSE(BigInt::FromHex("xyz").ok());
+  EXPECT_TRUE(BigInt::FromHex("ab cd\n12").ok());  // whitespace permitted
+}
+
+TEST(BigIntTest, U64ConstructionAndLow) {
+  Prng prng(31);
+  for (int i = 0; i < 50; ++i) {
+    uint64_t v = prng.NextU64();
+    EXPECT_EQ(BigInt(v).LowU64(), v);
+  }
+  EXPECT_TRUE(BigInt(0).IsZero());
+  EXPECT_EQ(BigInt(0).BitLength(), 0u);
+  EXPECT_EQ(BigInt(1).BitLength(), 1u);
+  EXPECT_EQ(BigInt(255).BitLength(), 8u);
+  EXPECT_EQ(BigInt(256).BitLength(), 9u);
+}
+
+TEST(BigIntTest, BytesRoundTrip) {
+  Prng prng(32);
+  for (int i = 0; i < 30; ++i) {
+    kerb::Bytes raw = prng.NextBytes(1 + prng.NextBelow(40));
+    raw[0] |= 1;  // avoid leading-zero ambiguity
+    BigInt v = BigInt::FromBytes(raw);
+    EXPECT_EQ(v.ToBytes(), raw);
+  }
+}
+
+TEST(BigIntTest, AddSubInverse) {
+  Prng prng(33);
+  for (int i = 0; i < 100; ++i) {
+    BigInt a = BigInt::FromBytes(prng.NextBytes(1 + prng.NextBelow(24)));
+    BigInt b = BigInt::FromBytes(prng.NextBytes(1 + prng.NextBelow(24)));
+    BigInt sum = a.Add(b);
+    EXPECT_EQ(sum.Sub(b).Compare(a), 0);
+    EXPECT_EQ(sum.Sub(a).Compare(b), 0);
+    EXPECT_TRUE(a <= sum);
+  }
+}
+
+TEST(BigIntTest, MulMatchesU64) {
+  Prng prng(34);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t a = prng.NextU64() >> 33;
+    uint64_t b = prng.NextU64() >> 33;
+    EXPECT_EQ(BigInt(a).Mul(BigInt(b)).LowU64(), a * b);
+  }
+}
+
+TEST(BigIntTest, ShiftRoundTrip) {
+  Prng prng(35);
+  for (int i = 0; i < 50; ++i) {
+    BigInt v = BigInt::FromBytes(prng.NextBytes(1 + prng.NextBelow(20)));
+    size_t s = prng.NextBelow(70);
+    EXPECT_EQ(v.ShiftLeft(s).ShiftRight(s).Compare(v), 0);
+  }
+}
+
+TEST(BigIntTest, ModMatchesU64) {
+  Prng prng(36);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t a = prng.NextU64();
+    uint64_t m = 1 + prng.NextBelow(UINT64_MAX - 1);
+    EXPECT_EQ(BigInt(a).Mod(BigInt(m)).LowU64(), a % m) << a << " % " << m;
+  }
+}
+
+TEST(BigIntTest, ModExpMatchesU64Reference) {
+  Prng prng(37);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t base = prng.NextU64();
+    uint64_t exp = prng.NextU64() >> 40;
+    uint64_t mod = (prng.NextU64() >> 1) | 1;  // odd, < 2^63
+    if (mod <= 1) {
+      continue;
+    }
+    EXPECT_EQ(BigInt::ModExp(BigInt(base), BigInt(exp), BigInt(mod)).LowU64(),
+              PowMod64(base % mod, exp, mod))
+        << base << "^" << exp << " mod " << mod;
+  }
+}
+
+TEST(BigIntTest, FermatLittleTheoremOnOakleyPrime) {
+  // 2^(p-1) ≡ 1 (mod p) for the 768-bit Oakley prime — exercises the full
+  // Montgomery pipeline at production width.
+  const BigInt& p = OakleyGroup1().p;
+  BigInt result = BigInt::ModExp(BigInt(2), p.Sub(BigInt(1)), p);
+  EXPECT_EQ(result.Compare(BigInt(1)), 0);
+}
+
+TEST(BigIntTest, ModExpEdgeCases) {
+  BigInt p = BigInt(1009);  // odd prime
+  EXPECT_EQ(BigInt::ModExp(BigInt(0), BigInt(5), p).LowU64(), 0u);
+  EXPECT_EQ(BigInt::ModExp(BigInt(5), BigInt(0), p).LowU64(), 1u);
+  EXPECT_EQ(BigInt::ModExp(BigInt(1), BigInt(123456), p).LowU64(), 1u);
+  // Base larger than modulus must be reduced first.
+  EXPECT_EQ(BigInt::ModExp(BigInt(1009 * 3 + 7), BigInt(2), p).LowU64(), (7 * 7) % 1009u);
+}
+
+TEST(BigIntTest, KnownValueModExpAgainstExternalReference) {
+  // Reference values computed with an independent big-number implementation
+  // (CPython pow()).
+  const BigInt& p = OakleyGroup1().p;
+  EXPECT_EQ(BigInt::ModExp(BigInt(3), BigInt(1000), p).ToHex(),
+            "cf89aef7cc8b160c1d48367756a6978f82c4f2d1b47b45497db7dfdfb081193644b0baa5121beb1b"
+            "751abb309f12d02a4067fb6a6f9ed01511b6aecc55f1f14d3e14c29dcb5842ca93f5c7efc3f0aebc"
+            "aa31e3e5a92c4c79811c3ae7551a2c0b");
+  EXPECT_EQ(BigInt::ModExp(BigInt(0xdeadbeefcafebabeull), BigInt(0x123456789abcdefull), p)
+                .ToHex(),
+            "39d24409927f64d6574a14b6fc3ee96a94ab0eef0ae9bd21985b9601f5633f833a3f7511b358cd44"
+            "d21f9241db9e0eb3f36a5ef357178b1e2cfbd0a6259a1ae082f50182f968b34ef7bc529f6753c77b"
+            "03e6ed8710615cc6c9dfef11b09472a5");
+}
+
+TEST(BigIntTest, KnownValueMulAndModAgainstExternalReference) {
+  BigInt a = BigInt::MustFromHex("123456789abcdef0fedcba9876543210");
+  BigInt b = BigInt::MustFromHex("feedfacecafef00ddeadbeef12345678");
+  EXPECT_EQ(a.Mul(b).ToHex(),
+            "1220da15882d6f717aff74bbcf3a6a896cdc90458596a1d2e80340c70b88d780");
+  EXPECT_EQ(a.Mod(BigInt(0xfff1)).ToHex(), "351c");
+}
+
+TEST(BigIntTest, CompareOrdering) {
+  BigInt a(5), b(7);
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_TRUE(a == BigInt(5));
+  BigInt big = BigInt::MustFromHex("1ffffffffffffffffff");
+  EXPECT_TRUE(b < big);
+}
+
+}  // namespace
+}  // namespace kcrypto

@@ -1,0 +1,110 @@
+#include "src/crypto/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/crc32.h"
+#include "src/crypto/md4.h"
+#include "src/crypto/modes.h"
+#include "src/crypto/prng.h"
+
+namespace kcrypto {
+namespace {
+
+using kerb::Bytes;
+
+class ChecksumParamTest : public ::testing::TestWithParam<ChecksumType> {};
+
+TEST_P(ChecksumParamTest, ComputeVerifyRoundTrip) {
+  Prng prng(21);
+  DesKey key = prng.NextDesKey();
+  for (int i = 0; i < 20; ++i) {
+    Bytes data = prng.NextBytes(prng.NextBelow(200));
+    Bytes sum = ComputeChecksum(GetParam(), data, key);
+    EXPECT_EQ(sum.size(), ChecksumSize(GetParam()) == 16 && GetParam() == ChecksumType::kMd4Des
+                              ? 16u
+                              : ChecksumSize(GetParam()));
+    EXPECT_TRUE(VerifyChecksum(GetParam(), data, sum, key));
+  }
+}
+
+TEST_P(ChecksumParamTest, DetectsSingleBitFlips) {
+  Prng prng(22);
+  DesKey key = prng.NextDesKey();
+  Bytes data = prng.NextBytes(64);
+  Bytes sum = ComputeChecksum(GetParam(), data, key);
+  for (size_t i = 0; i < data.size(); ++i) {
+    Bytes tweaked = data;
+    tweaked[i] ^= 0x80;
+    EXPECT_FALSE(VerifyChecksum(GetParam(), tweaked, sum, key));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, ChecksumParamTest,
+                         ::testing::Values(ChecksumType::kCrc32, ChecksumType::kMd4,
+                                           ChecksumType::kMd4Des),
+                         [](const auto& param_info) {
+                           std::string name = ChecksumTypeName(param_info.param);
+                           if (name == "crc32") {
+                             return std::string("Crc32");
+                           }
+                           return name == "rsa-md4" ? std::string("Md4") : std::string("Md4Des");
+                         });
+
+TEST(ChecksumTest, Classification) {
+  // The paper: the meaningful property is collision-proofness, not "is it
+  // encrypted".
+  EXPECT_FALSE(IsCollisionProof(ChecksumType::kCrc32));
+  EXPECT_TRUE(IsCollisionProof(ChecksumType::kMd4));
+  EXPECT_TRUE(IsCollisionProof(ChecksumType::kMd4Des));
+  EXPECT_FALSE(IsKeyed(ChecksumType::kCrc32));
+  EXPECT_FALSE(IsKeyed(ChecksumType::kMd4));
+  EXPECT_TRUE(IsKeyed(ChecksumType::kMd4Des));
+}
+
+TEST(ChecksumTest, Crc32ChecksumIsForgeable) {
+  // End-to-end demonstration that the CRC-32 checksum type offers no
+  // integrity against an adversary who controls part of the message.
+  Prng prng(23);
+  Bytes original = prng.NextBytes(40);
+  Bytes sum = ComputeChecksum(ChecksumType::kCrc32, original);
+  uint32_t target = static_cast<uint32_t>(sum[0]) | (static_cast<uint32_t>(sum[1]) << 8) |
+                    (static_cast<uint32_t>(sum[2]) << 16) | (static_cast<uint32_t>(sum[3]) << 24);
+
+  Bytes substitute = prng.NextBytes(40);  // attacker's replacement content
+  auto patch = ForgePatch(substitute, target);
+  kerb::Append(substitute, kerb::BytesView(patch.data(), patch.size()));
+  EXPECT_TRUE(VerifyChecksum(ChecksumType::kCrc32, substitute, sum));
+}
+
+TEST(ChecksumTest, Md4DesDependsOnKey) {
+  Prng prng(24);
+  DesKey k1 = prng.NextDesKey();
+  DesKey k2 = prng.NextDesKey();
+  Bytes data = prng.NextBytes(32);
+  EXPECT_NE(ComputeChecksum(ChecksumType::kMd4Des, data, k1),
+            ComputeChecksum(ChecksumType::kMd4Des, data, k2));
+}
+
+TEST(ChecksumTest, Md4DesUsesVariantKeyNotMessageKey) {
+  // The checksum must not be a raw encryption under the session key, or it
+  // could be confused with message ciphertext.
+  Prng prng(25);
+  DesKey key = prng.NextDesKey();
+  Bytes data = prng.NextBytes(16);
+  Md4Digest digest = Md4(data);
+  Bytes with_session_key =
+      EncryptCbc(key, kZeroIv, kerb::BytesView(digest.data(), digest.size()));
+  EXPECT_NE(ComputeChecksum(ChecksumType::kMd4Des, data, key), with_session_key);
+}
+
+TEST(ChecksumTest, SizesAndNames) {
+  EXPECT_EQ(ChecksumSize(ChecksumType::kCrc32), 4u);
+  EXPECT_EQ(ChecksumSize(ChecksumType::kMd4), 16u);
+  EXPECT_EQ(ChecksumSize(ChecksumType::kMd4Des), 16u);
+  EXPECT_STREQ(ChecksumTypeName(ChecksumType::kCrc32), "crc32");
+  EXPECT_STREQ(ChecksumTypeName(ChecksumType::kMd4), "rsa-md4");
+  EXPECT_STREQ(ChecksumTypeName(ChecksumType::kMd4Des), "rsa-md4-des");
+}
+
+}  // namespace
+}  // namespace kcrypto

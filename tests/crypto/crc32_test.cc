@@ -1,0 +1,77 @@
+#include "src/crypto/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/crypto/prng.h"
+
+namespace kcrypto {
+namespace {
+
+using kerb::Bytes;
+using kerb::ToBytes;
+
+TEST(Crc32Test, KnownVectors) {
+  EXPECT_EQ(Crc32(ToBytes("")), 0x00000000u);
+  EXPECT_EQ(Crc32(ToBytes("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(ToBytes("The quick brown fox jumps over the lazy dog")), 0x414FA339u);
+  EXPECT_EQ(Crc32(Bytes{0x00}), 0xD202EF8Du);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  Prng prng(1);
+  Bytes data = prng.NextBytes(1000);
+  Crc32State state;
+  state.Update(kerb::BytesView(data.data(), 100));
+  state.Update(kerb::BytesView(data.data() + 100, 900));
+  EXPECT_EQ(state.Final(), Crc32(data));
+}
+
+// The weakness the paper exploits: CRC-32 is forgeable. Four attacker-chosen
+// bytes steer the checksum to any target value.
+TEST(Crc32Test, ForgePatchHitsArbitraryTargets) {
+  Prng prng(2);
+  for (int i = 0; i < 200; ++i) {
+    Bytes prefix = prng.NextBytes(prng.NextBelow(64));
+    uint32_t target = prng.NextU32();
+    auto patch = ForgePatch(prefix, target);
+    Bytes forged = prefix;
+    forged.insert(forged.end(), patch.begin(), patch.end());
+    EXPECT_EQ(Crc32(forged), target);
+  }
+}
+
+TEST(Crc32Test, ForgeCanMatchAnotherMessagesCrc) {
+  // The concrete cut-and-paste scenario: make a *different* message carry
+  // the CRC of the original, so a CRC check cannot tell them apart.
+  Bytes original = ToBytes("TGS request: ticket for service S, no options");
+  Bytes tampered = ToBytes("TGS request: ticket for service S, ENC-TKT-IN-SKEY");
+  uint32_t original_crc = Crc32(original);
+  auto patch = ForgePatch(tampered, original_crc);
+  kerb::Append(tampered, kerb::BytesView(patch.data(), patch.size()));
+  EXPECT_EQ(Crc32(tampered), original_crc);
+  EXPECT_NE(tampered, original);
+}
+
+TEST(Crc32Test, ForgeOnEmptyPrefix) {
+  auto patch = ForgePatch(Bytes{}, 0xDEADBEEFu);
+  EXPECT_EQ(Crc32(Bytes(patch.begin(), patch.end())), 0xDEADBEEFu);
+}
+
+TEST(Crc32Test, CrcIsLinearInXorDifference) {
+  // CRC(a) ^ CRC(b) == CRC(a ^ b) ^ CRC(0...0) for equal-length inputs —
+  // the affine structure that makes forgery possible.
+  Prng prng(3);
+  for (int i = 0; i < 50; ++i) {
+    size_t len = 1 + prng.NextBelow(64);
+    Bytes a = prng.NextBytes(len);
+    Bytes b = prng.NextBytes(len);
+    Bytes zero(len, 0);
+    uint32_t lhs = Crc32(a) ^ Crc32(b);
+    uint32_t rhs = Crc32(kerb::Xor(a, b)) ^ Crc32(zero);
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+}  // namespace
+}  // namespace kcrypto

@@ -1,0 +1,142 @@
+#include "src/crypto/des.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/hex.h"
+#include "src/crypto/prng.h"
+
+namespace kcrypto {
+namespace {
+
+TEST(DesTest, ClassicTestVector) {
+  // The worked example from many DES expositions.
+  DesKey key(0x133457799BBCDFF1ull);
+  EXPECT_EQ(key.EncryptBlock(0x0123456789ABCDEFull), 0x85E813540F0AB405ull);
+  EXPECT_EQ(key.DecryptBlock(0x85E813540F0AB405ull), 0x0123456789ABCDEFull);
+}
+
+TEST(DesTest, ZeroCiphertextVector) {
+  // Encrypting 0x8787878787878787 under 0x0E329232EA6D0D73 yields zero.
+  DesKey key(0x0E329232EA6D0D73ull);
+  EXPECT_EQ(key.EncryptBlock(0x8787878787878787ull), 0x0ull);
+  EXPECT_EQ(key.DecryptBlock(0x0ull), 0x8787878787878787ull);
+}
+
+TEST(DesTest, RoundTripManyRandomBlocks) {
+  Prng prng(42);
+  for (int i = 0; i < 200; ++i) {
+    DesKey key = prng.NextDesKey();
+    uint64_t pt = prng.NextU64();
+    uint64_t ct = key.EncryptBlock(pt);
+    EXPECT_EQ(key.DecryptBlock(ct), pt);
+    EXPECT_NE(ct, pt);  // astronomically unlikely to be a fixed point
+  }
+}
+
+TEST(DesTest, BlockByteInterfaceMatchesU64) {
+  DesKey key(0x133457799BBCDFF1ull);
+  DesBlock pt = U64ToBlock(0x0123456789ABCDEFull);
+  DesBlock ct = key.EncryptBlock(pt);
+  EXPECT_EQ(BlockToU64(ct), 0x85E813540F0AB405ull);
+}
+
+TEST(DesTest, ComplementationProperty) {
+  // DES(~k, ~p) == ~DES(k, p) — a structural property of the cipher; a
+  // strong regression check on the round function and key schedule.
+  Prng prng(7);
+  for (int i = 0; i < 20; ++i) {
+    uint64_t k = prng.NextU64();
+    uint64_t p = prng.NextU64();
+    DesKey key(k);
+    DesKey comp_key(~k);
+    EXPECT_EQ(comp_key.EncryptBlock(~p), ~key.EncryptBlock(p));
+  }
+}
+
+TEST(DesTest, FixParityProducesOddParity) {
+  Prng prng(3);
+  for (int i = 0; i < 100; ++i) {
+    DesBlock raw;
+    uint64_t v = prng.NextU64();
+    for (int j = 0; j < 8; ++j) {
+      raw[j] = static_cast<uint8_t>(v >> (8 * j));
+    }
+    DesBlock fixed = FixParity(raw);
+    EXPECT_TRUE(HasOddParity(fixed));
+    // Parity fixing only touches bit 0 of each byte.
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_EQ(fixed[j] & 0xfe, raw[j] & 0xfe);
+    }
+  }
+}
+
+TEST(DesTest, FixParityIdempotent) {
+  DesBlock raw{0x13, 0x34, 0x57, 0x79, 0x9b, 0xbc, 0xdf, 0xf1};
+  EXPECT_EQ(FixParity(FixParity(raw)), FixParity(raw));
+}
+
+TEST(DesTest, WeakKeysDetected) {
+  EXPECT_TRUE(IsWeakKey(U64ToBlock(0x0101010101010101ull)));
+  EXPECT_TRUE(IsWeakKey(U64ToBlock(0xFEFEFEFEFEFEFEFEull)));
+  EXPECT_TRUE(IsWeakKey(U64ToBlock(0x1F1F1F1F0E0E0E0Eull)));
+  EXPECT_TRUE(IsWeakKey(U64ToBlock(0xE0E0E0E0F1F1F1F1ull)));
+  // Semi-weak.
+  EXPECT_TRUE(IsWeakKey(U64ToBlock(0x01FE01FE01FE01FEull)));
+  EXPECT_FALSE(IsWeakKey(U64ToBlock(0x133457799BBCDFF1ull)));
+}
+
+TEST(DesTest, WeakKeyEncryptTwiceIsIdentity) {
+  // The defining property of a weak key: encryption is an involution.
+  DesKey weak(0x0101010101010101ull);
+  uint64_t pt = 0x0123456789ABCDEFull;
+  EXPECT_EQ(weak.EncryptBlock(weak.EncryptBlock(pt)), pt);
+}
+
+TEST(DesTest, SemiWeakPairsInvertEachOther) {
+  // For a semi-weak pair (k1, k2): E_k2(E_k1(p)) == p — the structural
+  // property that makes these keys unusable for Kerberos.
+  const std::pair<uint64_t, uint64_t> kPairs[] = {
+      {0x011F011F010E010Eull, 0x1F011F010E010E01ull},
+      {0x01E001E001F101F1ull, 0xE001E001F101F101ull},
+      {0x01FE01FE01FE01FEull, 0xFE01FE01FE01FE01ull},
+      {0x1FE01FE00EF10EF1ull, 0xE01FE01FF10EF10Eull},
+      {0x1FFE1FFE0EFE0EFEull, 0xFE1FFE1FFE0EFE0Eull},
+      {0xE0FEE0FEF1FEF1FEull, 0xFEE0FEE0FEF1FEF1ull},
+  };
+  Prng prng(21);
+  for (const auto& [k1, k2] : kPairs) {
+    DesKey a(k1), b(k2);
+    for (int i = 0; i < 5; ++i) {
+      uint64_t pt = prng.NextU64();
+      EXPECT_EQ(b.EncryptBlock(a.EncryptBlock(pt)), pt)
+          << std::hex << k1 << "/" << k2;
+    }
+  }
+}
+
+TEST(DesTest, VariantKeyDiffersAndHasParity) {
+  DesKey key(0x133457799BBCDFF1ull);
+  DesKey variant = key.Variant(0xf0);
+  EXPECT_FALSE(key == variant);
+  EXPECT_TRUE(HasOddParity(variant.bytes()));
+  // Variant derivation is deterministic.
+  EXPECT_TRUE(variant == key.Variant(0xf0));
+}
+
+TEST(DesTest, DistinctKeysProduceDistinctCiphertext) {
+  DesKey a(0x133457799BBCDFF1ull);
+  DesKey b(0x0E329232EA6D0D73ull);
+  uint64_t pt = 0x1122334455667788ull;
+  EXPECT_NE(a.EncryptBlock(pt), b.EncryptBlock(pt));
+}
+
+TEST(DesTest, BlockU64RoundTrip) {
+  Prng prng(11);
+  for (int i = 0; i < 50; ++i) {
+    uint64_t v = prng.NextU64();
+    EXPECT_EQ(BlockToU64(U64ToBlock(v)), v);
+  }
+}
+
+}  // namespace
+}  // namespace kcrypto

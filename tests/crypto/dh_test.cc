@@ -1,0 +1,91 @@
+#include "src/crypto/dh.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/primes.h"
+
+namespace kcrypto {
+namespace {
+
+TEST(DhTest, ToyGroupAgreement) {
+  Prng prng(41);
+  DhGroup group = MakeToyGroup(prng, 32);
+  DhKeyPair alice = DhGenerate(group, prng);
+  DhKeyPair bob = DhGenerate(group, prng);
+  BigInt s1 = DhSharedSecret(group, alice.private_key, bob.public_key);
+  BigInt s2 = DhSharedSecret(group, bob.private_key, alice.public_key);
+  EXPECT_EQ(s1.Compare(s2), 0);
+}
+
+TEST(DhTest, OakleyGroup1Agreement) {
+  Prng prng(42);
+  const DhGroup& group = OakleyGroup1();
+  EXPECT_EQ(group.bits(), 768u);
+  DhKeyPair alice = DhGenerate(group, prng);
+  DhKeyPair bob = DhGenerate(group, prng);
+  BigInt s1 = DhSharedSecret(group, alice.private_key, bob.public_key);
+  BigInt s2 = DhSharedSecret(group, bob.private_key, alice.public_key);
+  EXPECT_EQ(s1.Compare(s2), 0);
+  EXPECT_FALSE(s1.IsZero());
+}
+
+TEST(DhTest, OakleyGroup2Size) { EXPECT_EQ(OakleyGroup2().bits(), 1024u); }
+
+TEST(DhTest, DistinctSessionsDistinctSecrets) {
+  Prng prng(43);
+  DhGroup group = MakeToyGroup(prng, 40);
+  DhKeyPair a1 = DhGenerate(group, prng);
+  DhKeyPair b1 = DhGenerate(group, prng);
+  DhKeyPair a2 = DhGenerate(group, prng);
+  DhKeyPair b2 = DhGenerate(group, prng);
+  BigInt s1 = DhSharedSecret(group, a1.private_key, b1.public_key);
+  BigInt s2 = DhSharedSecret(group, a2.private_key, b2.public_key);
+  EXPECT_NE(s1.Compare(s2), 0);
+}
+
+TEST(DhTest, DerivedKeysValid) {
+  Prng prng(44);
+  DhGroup group = MakeToyGroup(prng, 48);
+  for (int i = 0; i < 20; ++i) {
+    DhKeyPair a = DhGenerate(group, prng);
+    DhKeyPair b = DhGenerate(group, prng);
+    BigInt s = DhSharedSecret(group, a.private_key, b.public_key);
+    DesKey key = DhDeriveKey(s);
+    EXPECT_TRUE(HasOddParity(key.bytes()));
+    EXPECT_FALSE(IsWeakKey(key.bytes()));
+  }
+}
+
+TEST(DhTest, DeriveKeyDeterministic) {
+  BigInt secret = BigInt::MustFromHex("123456789abcdef00fedcba987654321");
+  EXPECT_TRUE(DhDeriveKey(secret) == DhDeriveKey(secret));
+}
+
+TEST(DhTest, ToyGroupParametersAreValid) {
+  Prng prng(45);
+  for (int bits : {16, 24, 32, 40}) {
+    DhGroup g = MakeToyGroup(prng, bits);
+    uint64_t p = g.p.LowU64();
+    EXPECT_TRUE(IsPrime64(p));
+    EXPECT_TRUE(IsPrime64((p - 1) / 2)) << "safe prime expected";
+    EXPECT_EQ(static_cast<int>(g.p.BitLength()), bits);
+    // Generator has full order p-1: g^((p-1)/2) != 1 and g^2 != 1.
+    uint64_t gen = g.g.LowU64();
+    EXPECT_NE(PowMod64(gen, (p - 1) / 2, p), 1u);
+  }
+}
+
+TEST(DhTest, PrivateKeyInRange) {
+  Prng prng(46);
+  DhGroup group = MakeToyGroup(prng, 24);
+  for (int i = 0; i < 50; ++i) {
+    DhKeyPair kp = DhGenerate(group, prng);
+    EXPECT_GE(kp.private_key.BitLength(), 2u);
+    EXPECT_TRUE(kp.private_key < group.p);
+    EXPECT_TRUE(kp.public_key < group.p);
+    EXPECT_FALSE(kp.public_key.IsZero());
+  }
+}
+
+}  // namespace
+}  // namespace kcrypto

@@ -1,0 +1,73 @@
+#include "src/crypto/dlog.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/dh.h"
+#include "src/crypto/primes.h"
+
+namespace kcrypto {
+namespace {
+
+TEST(DlogTest, BsgsSmallKnownCase) {
+  // 3^x = 13 (mod 17): 3^4 = 81 = 13 (mod 17).
+  auto x = DlogBabyStepGiantStep(3, 13, 17);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(PowMod64(3, *x, 17), 13u);
+}
+
+TEST(DlogTest, BsgsRecoversDhPrivateKeys) {
+  Prng prng(51);
+  for (int bits : {16, 20, 24, 28, 32}) {
+    DhGroup group = MakeToyGroup(prng, bits);
+    uint64_t p = group.p.LowU64();
+    uint64_t g = group.g.LowU64();
+    DhKeyPair victim = DhGenerate(group, prng);
+    uint64_t pub = victim.public_key.LowU64();
+    auto x = DlogBabyStepGiantStep(g, pub, p);
+    ASSERT_TRUE(x.has_value()) << "bits=" << bits;
+    // Any exponent mapping to the same public key breaks the exchange.
+    EXPECT_EQ(PowMod64(g, *x, p), pub);
+  }
+}
+
+TEST(DlogTest, BsgsBreakRecoversSharedSecret) {
+  // Full attack: eavesdrop both public values, solve one dlog, compute the
+  // shared secret exactly as the victim would.
+  Prng prng(52);
+  DhGroup group = MakeToyGroup(prng, 30);
+  uint64_t p = group.p.LowU64();
+  uint64_t g = group.g.LowU64();
+  DhKeyPair alice = DhGenerate(group, prng);
+  DhKeyPair bob = DhGenerate(group, prng);
+  BigInt real_secret = DhSharedSecret(group, alice.private_key, bob.public_key);
+
+  auto x = DlogBabyStepGiantStep(g, alice.public_key.LowU64(), p);
+  ASSERT_TRUE(x.has_value());
+  uint64_t recovered = PowMod64(bob.public_key.LowU64(), *x, p);
+  EXPECT_EQ(recovered, real_secret.LowU64());
+}
+
+TEST(DlogTest, PollardRhoRecoversExponent) {
+  Prng prng(53);
+  for (int bits : {20, 26, 32}) {
+    DhGroup group = MakeToyGroup(prng, bits);
+    uint64_t p = group.p.LowU64();
+    uint64_t g = group.g.LowU64();
+    uint64_t secret = 2 + prng.NextBelow(p - 4);
+    uint64_t target = PowMod64(g, secret, p);
+    auto x = DlogPollardRho(g, target, p, prng);
+    ASSERT_TRUE(x.has_value()) << "bits=" << bits;
+    EXPECT_EQ(PowMod64(g, *x, p), target);
+  }
+}
+
+TEST(DlogTest, IdentityTargetIsZeroExponent) {
+  Prng prng(54);
+  DhGroup group = MakeToyGroup(prng, 20);
+  auto x = DlogPollardRho(group.g.LowU64(), 1, group.p.LowU64(), prng);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(*x % (group.p.LowU64() - 1), 0u);
+}
+
+}  // namespace
+}  // namespace kcrypto

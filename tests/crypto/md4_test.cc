@@ -1,0 +1,67 @@
+#include "src/crypto/md4.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/hex.h"
+#include "src/crypto/prng.h"
+
+namespace kcrypto {
+namespace {
+
+std::string Md4Hex(std::string_view s) {
+  Md4Digest d = Md4(kerb::ToBytes(s));
+  return kerb::HexEncode(kerb::BytesView(d.data(), d.size()));
+}
+
+TEST(Md4Test, Rfc1320Vectors) {
+  EXPECT_EQ(Md4Hex(""), "31d6cfe0d16ae931b73c59d7e0c089c0");
+}
+
+TEST(Md4Test, Rfc1320VectorsFull) {
+  EXPECT_EQ(Md4Hex(""), "31d6cfe0d16ae931b73c59d7e0c089c0");
+  EXPECT_EQ(Md4Hex("a"), "bde52cb31de33e46245e05fbdbd6fb24");
+  EXPECT_EQ(Md4Hex("abc"), "a448017aaf21d8525fc10ae87aa6729d");
+  EXPECT_EQ(Md4Hex("message digest"), "d9130a8164549fe818874806e1c7014b");
+  EXPECT_EQ(Md4Hex("abcdefghijklmnopqrstuvwxyz"), "d79e1c308aa5bbcdeea8ed63df412da9");
+  EXPECT_EQ(Md4Hex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+            "043f8582f241db351ce627e153e7f0e4");
+  EXPECT_EQ(
+      Md4Hex("12345678901234567890123456789012345678901234567890123456789012345678901234567890"),
+      "e33b4ddc9c38f2199c3e7b164fcc0536");
+}
+
+TEST(Md4Test, IncrementalMatchesOneShot) {
+  Prng prng(4);
+  kerb::Bytes data = prng.NextBytes(1777);
+  for (size_t split : {0ul, 1ul, 63ul, 64ul, 65ul, 1000ul, 1777ul}) {
+    Md4State state;
+    state.Update(kerb::BytesView(data.data(), split));
+    state.Update(kerb::BytesView(data.data() + split, data.size() - split));
+    EXPECT_EQ(state.Final(), Md4(data)) << "split=" << split;
+  }
+}
+
+TEST(Md4Test, BoundarySizes) {
+  // Exercise the padding edge cases around the 56- and 64-byte boundaries.
+  Prng prng(5);
+  for (size_t len : {55ul, 56ul, 57ul, 63ul, 64ul, 65ul, 119ul, 120ul, 128ul}) {
+    kerb::Bytes data = prng.NextBytes(len);
+    Md4Digest a = Md4(data);
+    Md4State st;
+    st.Update(data);
+    EXPECT_EQ(st.Final(), a) << len;
+  }
+}
+
+TEST(Md4Test, SingleBitChangesDigest) {
+  kerb::Bytes data = kerb::ToBytes("an authenticator linking ticket to request");
+  Md4Digest base = Md4(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    kerb::Bytes tweaked = data;
+    tweaked[i] ^= 1;
+    EXPECT_NE(Md4(tweaked), base);
+  }
+}
+
+}  // namespace
+}  // namespace kcrypto

@@ -1,0 +1,160 @@
+#include "src/crypto/modes.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/hex.h"
+#include "src/crypto/prng.h"
+
+namespace kcrypto {
+namespace {
+
+using kerb::Bytes;
+using kerb::MustHexDecode;
+
+const DesKey kFipsKey(0x0123456789abcdefull);
+const DesBlock kFipsIv = U64ToBlock(0x1234567890abcdefull);
+// "Now is the time for all " — the FIPS 81 sample plaintext.
+const char* kFipsPlain = "4e6f77206973207468652074696d6520666f7220616c6c20";
+
+TEST(ModesTest, Fips81EcbVector) {
+  Bytes ct = EncryptEcb(kFipsKey, MustHexDecode(kFipsPlain));
+  EXPECT_EQ(kerb::HexEncode(ct), "3fa40e8a984d48156a271787ab8883f9893d51ec4b563b53");
+  EXPECT_EQ(DecryptEcb(kFipsKey, ct), MustHexDecode(kFipsPlain));
+}
+
+TEST(ModesTest, Fips81CbcVector) {
+  Bytes ct = EncryptCbc(kFipsKey, kFipsIv, MustHexDecode(kFipsPlain));
+  EXPECT_EQ(kerb::HexEncode(ct), "e5c7cdde872bf27c43e934008c389c0f683788499a7c05f6");
+  EXPECT_EQ(DecryptCbc(kFipsKey, kFipsIv, ct), MustHexDecode(kFipsPlain));
+}
+
+TEST(ModesTest, PcbcRoundTrip) {
+  Prng prng(9);
+  for (int i = 0; i < 50; ++i) {
+    DesKey key = prng.NextDesKey();
+    DesBlock iv = U64ToBlock(prng.NextU64());
+    Bytes pt = prng.NextBytes(8 * (1 + prng.NextBelow(10)));
+    Bytes ct = EncryptPcbc(key, iv, pt);
+    EXPECT_EQ(DecryptPcbc(key, iv, ct), pt);
+  }
+}
+
+TEST(ModesTest, CbcRoundTripRandom) {
+  Prng prng(10);
+  for (int i = 0; i < 50; ++i) {
+    DesKey key = prng.NextDesKey();
+    DesBlock iv = U64ToBlock(prng.NextU64());
+    Bytes pt = prng.NextBytes(8 * (1 + prng.NextBelow(10)));
+    Bytes ct = EncryptCbc(key, iv, pt);
+    EXPECT_EQ(DecryptCbc(key, iv, ct), pt);
+  }
+}
+
+// The property the chosen-plaintext attack (E7) exploits: with a fixed IV, a
+// prefix of a CBC encryption is the encryption of the plaintext prefix.
+TEST(ModesTest, CbcPrefixProperty) {
+  Prng prng(11);
+  DesKey key = prng.NextDesKey();
+  Bytes pt = prng.NextBytes(64);
+  Bytes full = EncryptCbc(key, kZeroIv, pt);
+  for (size_t blocks = 1; blocks < 8; ++blocks) {
+    Bytes prefix_pt(pt.begin(), pt.begin() + 8 * blocks);
+    Bytes prefix_ct = EncryptCbc(key, kZeroIv, prefix_pt);
+    Bytes truncated(full.begin(), full.begin() + 8 * blocks);
+    EXPECT_EQ(prefix_ct, truncated) << "CBC prefix property must hold at block " << blocks;
+  }
+}
+
+// PCBC does NOT have the error-containment of CBC: flipping ciphertext block
+// i garbles every plaintext block from i onward.
+TEST(ModesTest, PcbcErrorPropagatesToEnd) {
+  Prng prng(12);
+  DesKey key = prng.NextDesKey();
+  Bytes pt = prng.NextBytes(48);
+  DesBlock iv = U64ToBlock(prng.NextU64());
+  Bytes ct = EncryptPcbc(key, iv, pt);
+  ct[8] ^= 0x01;  // corrupt block 1
+  Bytes bad = DecryptPcbc(key, iv, ct);
+  EXPECT_EQ(Bytes(bad.begin(), bad.begin() + 8), Bytes(pt.begin(), pt.begin() + 8));
+  for (size_t block = 1; block < 6; ++block) {
+    EXPECT_NE(Bytes(bad.begin() + 8 * block, bad.begin() + 8 * block + 8),
+              Bytes(pt.begin() + 8 * block, pt.begin() + 8 * block + 8))
+        << "block " << block << " should be garbled";
+  }
+}
+
+// The paper's §Encryption Layer observation (E8): interchanging two adjacent
+// PCBC ciphertext blocks garbles only those blocks; later blocks decrypt
+// correctly. CBC by contrast recovers after one block.
+TEST(ModesTest, PcbcBlockSwapGarblesOnlySwappedBlocks) {
+  Prng prng(13);
+  DesKey key = prng.NextDesKey();
+  Bytes pt = prng.NextBytes(64);  // 8 blocks
+  DesBlock iv = U64ToBlock(prng.NextU64());
+  Bytes ct = EncryptPcbc(key, iv, pt);
+  // Swap ciphertext blocks 2 and 3.
+  for (int i = 0; i < 8; ++i) {
+    std::swap(ct[16 + i], ct[24 + i]);
+  }
+  Bytes out = DecryptPcbc(key, iv, ct);
+  // Blocks 0..1 intact.
+  EXPECT_EQ(Bytes(out.begin(), out.begin() + 16), Bytes(pt.begin(), pt.begin() + 16));
+  // Blocks 2..3 garbled.
+  EXPECT_NE(Bytes(out.begin() + 16, out.begin() + 32), Bytes(pt.begin() + 16, pt.begin() + 32));
+  // Blocks 4..7 intact again — the flaw the paper highlights.
+  EXPECT_EQ(Bytes(out.begin() + 32, out.end()), Bytes(pt.begin() + 32, pt.end()));
+}
+
+TEST(ModesTest, Pkcs5PadRoundTrip) {
+  Prng prng(14);
+  for (size_t len = 0; len < 40; ++len) {
+    Bytes data = prng.NextBytes(len);
+    Bytes padded = Pkcs5Pad(data);
+    EXPECT_EQ(padded.size() % 8, 0u);
+    EXPECT_GT(padded.size(), data.size());
+    auto unpadded = Pkcs5Unpad(padded);
+    ASSERT_TRUE(unpadded.ok());
+    EXPECT_EQ(unpadded.value(), data);
+  }
+}
+
+TEST(ModesTest, Pkcs5UnpadRejectsGarbage) {
+  EXPECT_FALSE(Pkcs5Unpad(Bytes{}).ok());
+  EXPECT_FALSE(Pkcs5Unpad(Bytes{1, 2, 3}).ok());  // not multiple of 8
+  Bytes bad(8, 0);
+  bad[7] = 9;  // pad length out of range
+  EXPECT_FALSE(Pkcs5Unpad(bad).ok());
+  Bytes inconsistent{0, 0, 0, 0, 0, 0, 7, 2};  // pad bytes don't match
+  EXPECT_FALSE(Pkcs5Unpad(inconsistent).ok());
+}
+
+TEST(ModesTest, ZeroPadTo8) {
+  EXPECT_EQ(ZeroPadTo8(Bytes{}).size(), 0u);
+  EXPECT_EQ(ZeroPadTo8(Bytes{1}).size(), 8u);
+  EXPECT_EQ(ZeroPadTo8(Bytes(8, 1)).size(), 8u);
+  EXPECT_EQ(ZeroPadTo8(Bytes(9, 1)).size(), 16u);
+}
+
+TEST(ModesTest, CbcMacDeterministicAndKeyed) {
+  Prng prng(15);
+  DesKey k1 = prng.NextDesKey();
+  DesKey k2 = prng.NextDesKey();
+  Bytes data = prng.NextBytes(33);
+  EXPECT_EQ(CbcMac(k1, kZeroIv, data), CbcMac(k1, kZeroIv, data));
+  EXPECT_NE(CbcMac(k1, kZeroIv, data), CbcMac(k2, kZeroIv, data));
+  Bytes tweaked = data;
+  tweaked[0] ^= 1;
+  EXPECT_NE(CbcMac(k1, kZeroIv, data), CbcMac(k1, kZeroIv, tweaked));
+}
+
+TEST(ModesTest, DifferentIvDifferentCiphertext) {
+  Prng prng(16);
+  DesKey key = prng.NextDesKey();
+  Bytes pt = prng.NextBytes(24);
+  Bytes c1 = EncryptCbc(key, kZeroIv, pt);
+  Bytes c2 = EncryptCbc(key, U64ToBlock(1), pt);
+  EXPECT_NE(c1, c2);
+}
+
+}  // namespace
+}  // namespace kcrypto

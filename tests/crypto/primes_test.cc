@@ -1,0 +1,75 @@
+#include "src/crypto/primes.h"
+
+#include <gtest/gtest.h>
+
+namespace kcrypto {
+namespace {
+
+TEST(PrimesTest, SmallKnownValues) {
+  EXPECT_FALSE(IsPrime64(0));
+  EXPECT_FALSE(IsPrime64(1));
+  EXPECT_TRUE(IsPrime64(2));
+  EXPECT_TRUE(IsPrime64(3));
+  EXPECT_FALSE(IsPrime64(4));
+  EXPECT_TRUE(IsPrime64(97));
+  EXPECT_FALSE(IsPrime64(91));  // 7 * 13
+}
+
+TEST(PrimesTest, CarmichaelNumbersRejected) {
+  // Fermat pseudoprimes that fool weak tests.
+  for (uint64_t n : {561ull, 1105ull, 1729ull, 2465ull, 2821ull, 6601ull, 8911ull}) {
+    EXPECT_FALSE(IsPrime64(n)) << n;
+  }
+}
+
+TEST(PrimesTest, LargeKnownPrimes) {
+  EXPECT_TRUE(IsPrime64(2147483647ull));            // 2^31 - 1 (Mersenne)
+  EXPECT_TRUE(IsPrime64(9223372036854775783ull));   // largest prime < 2^63
+  EXPECT_FALSE(IsPrime64(9223372036854775807ull));  // 2^63 - 1 = 7*73*127*337*92737*649657
+}
+
+TEST(PrimesTest, MulModNoOverflow) {
+  uint64_t big = 0xfffffffffffffff0ull;
+  EXPECT_EQ(MulMod64(big, big, 0xfffffffffffffffbull),
+            static_cast<uint64_t>((static_cast<__uint128_t>(big) * big) % 0xfffffffffffffffbull));
+}
+
+TEST(PrimesTest, PowModKnown) {
+  EXPECT_EQ(PowMod64(2, 10, 1000), 24u);
+  EXPECT_EQ(PowMod64(3, 0, 7), 1u);
+  EXPECT_EQ(PowMod64(0, 5, 7), 0u);
+  // Fermat: a^(p-1) = 1 mod p.
+  EXPECT_EQ(PowMod64(12345, 2147483646ull, 2147483647ull), 1u);
+}
+
+TEST(PrimesTest, RandomPrimeHasRequestedBits) {
+  Prng prng(61);
+  for (int bits : {8, 16, 24, 32, 48, 63}) {
+    uint64_t p = RandomPrime64(prng, bits);
+    EXPECT_TRUE(IsPrime64(p));
+    EXPECT_EQ(64 - __builtin_clzll(p), bits);
+  }
+}
+
+TEST(PrimesTest, SafePrimeStructure) {
+  Prng prng(62);
+  for (int bits : {10, 16, 24, 32}) {
+    uint64_t p = RandomSafePrime64(prng, bits);
+    EXPECT_TRUE(IsPrime64(p));
+    EXPECT_TRUE(IsPrime64((p - 1) / 2));
+    EXPECT_EQ(64 - __builtin_clzll(p), bits);
+  }
+}
+
+TEST(PrimesTest, GeneratorHasFullOrder) {
+  Prng prng(63);
+  uint64_t p = RandomSafePrime64(prng, 24);
+  uint64_t g = FindGenerator64(p, prng);
+  uint64_t q = (p - 1) / 2;
+  EXPECT_NE(PowMod64(g, q, p), 1u);
+  EXPECT_NE(PowMod64(g, 2, p), 1u);
+  EXPECT_EQ(PowMod64(g, p - 1, p), 1u);
+}
+
+}  // namespace
+}  // namespace kcrypto

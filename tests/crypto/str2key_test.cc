@@ -1,0 +1,53 @@
+#include "src/crypto/str2key.h"
+
+#include <gtest/gtest.h>
+
+namespace kcrypto {
+namespace {
+
+TEST(Str2KeyTest, Deterministic) {
+  EXPECT_TRUE(StringToKey("hunter2", "ATHENA.MIT.EDUpat") ==
+              StringToKey("hunter2", "ATHENA.MIT.EDUpat"));
+}
+
+TEST(Str2KeyTest, PasswordSensitivity) {
+  EXPECT_FALSE(StringToKey("hunter2", "salt") == StringToKey("hunter3", "salt"));
+  EXPECT_FALSE(StringToKey("hunter2", "salt") == StringToKey("Hunter2", "salt"));
+}
+
+TEST(Str2KeyTest, SaltSensitivity) {
+  // Same password in two realms must produce different keys.
+  EXPECT_FALSE(StringToKey("hunter2", "REALM.Apat") == StringToKey("hunter2", "REALM.Bpat"));
+}
+
+TEST(Str2KeyTest, ProducesValidDesKeys) {
+  const char* passwords[] = {"", "a", "password", "correct horse battery staple",
+                             "x!@#$%^&*()_+{}|:\"<>?"};
+  for (const char* pw : passwords) {
+    DesKey key = StringToKey(pw, "salt");
+    EXPECT_TRUE(HasOddParity(key.bytes())) << pw;
+    EXPECT_FALSE(IsWeakKey(key.bytes())) << pw;
+  }
+}
+
+TEST(Str2KeyTest, LongPasswordsFold) {
+  std::string pw(200, 'q');
+  DesKey key = StringToKey(pw, "salt");
+  EXPECT_TRUE(HasOddParity(key.bytes()));
+  // Folding must still distinguish long inputs.
+  std::string pw2 = pw;
+  pw2[150] = 'r';
+  EXPECT_FALSE(key == StringToKey(pw2, "salt"));
+}
+
+TEST(Str2KeyTest, PublicAlgorithmIsRepeatable) {
+  // The paper's point: the transform is public, so an eavesdropper can run
+  // it over a dictionary. Confirm an "attacker" computing independently
+  // derives the identical key.
+  DesKey victim = StringToKey("joshua", "REALM.Cuser");
+  DesKey attacker_guess = StringToKey("joshua", "REALM.Cuser");
+  EXPECT_TRUE(victim == attacker_guess);
+}
+
+}  // namespace
+}  // namespace kcrypto

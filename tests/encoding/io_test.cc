@@ -1,0 +1,81 @@
+#include "src/encoding/io.h"
+
+#include <gtest/gtest.h>
+
+namespace kenc {
+namespace {
+
+TEST(IoTest, IntegerRoundTrip) {
+  Writer w;
+  w.PutU8(0xab);
+  w.PutU16(0x1234);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefull);
+  kerb::Bytes data = w.Take();
+  EXPECT_EQ(data.size(), 1u + 2 + 4 + 8);
+
+  Reader r(data);
+  EXPECT_EQ(r.GetU8().value(), 0xab);
+  EXPECT_EQ(r.GetU16().value(), 0x1234);
+  EXPECT_EQ(r.GetU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789abcdefull);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(IoTest, BigEndianOnTheWire) {
+  Writer w;
+  w.PutU32(0x01020304);
+  EXPECT_EQ(w.Peek(), (kerb::Bytes{1, 2, 3, 4}));
+}
+
+TEST(IoTest, StringsAndLengthPrefixed) {
+  Writer w;
+  w.PutString("kerberos");
+  w.PutLengthPrefixed(kerb::Bytes{9, 8, 7});
+  w.PutString("");
+  kerb::Bytes data = w.Take();
+
+  Reader r(data);
+  EXPECT_EQ(r.GetString().value(), "kerberos");
+  EXPECT_EQ(r.GetLengthPrefixed().value(), (kerb::Bytes{9, 8, 7}));
+  EXPECT_EQ(r.GetString().value(), "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(IoTest, TruncationDetected) {
+  Writer w;
+  w.PutU32(42);
+  kerb::Bytes data = w.Take();
+  data.pop_back();
+  Reader r(data);
+  EXPECT_EQ(r.GetU32().error().code, kerb::ErrorCode::kBadFormat);
+}
+
+TEST(IoTest, LengthPrefixBeyondBufferRejected) {
+  Writer w;
+  w.PutU32(1000);  // claims 1000 bytes follow
+  w.PutBytes(kerb::Bytes{1, 2, 3});
+  Reader r(w.Peek());
+  EXPECT_EQ(r.GetLengthPrefixed().error().code, kerb::ErrorCode::kBadFormat);
+}
+
+TEST(IoTest, RestReturnsUnconsumed) {
+  Writer w;
+  w.PutU8(1);
+  w.PutBytes(kerb::Bytes{2, 3, 4});
+  Reader r(w.Peek());
+  ASSERT_TRUE(r.GetU8().ok());
+  EXPECT_EQ(r.Rest(), (kerb::Bytes{2, 3, 4}));
+  EXPECT_EQ(r.remaining(), 3u);
+}
+
+TEST(IoTest, GetBytesExact) {
+  kerb::Bytes data{1, 2, 3, 4, 5};
+  Reader r(data);
+  EXPECT_EQ(r.GetBytes(2).value(), (kerb::Bytes{1, 2}));
+  EXPECT_EQ(r.GetBytes(3).value(), (kerb::Bytes{3, 4, 5}));
+  EXPECT_FALSE(r.GetBytes(1).ok());
+}
+
+}  // namespace
+}  // namespace kenc

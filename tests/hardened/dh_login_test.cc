@@ -1,0 +1,75 @@
+#include "src/hardened/dh_login.h"
+
+#include <gtest/gtest.h>
+
+#include "src/attacks/passwords.h"
+#include "src/sim/world.h"
+
+namespace khard {
+namespace {
+
+struct DhFixture {
+  ksim::World world{23};
+  std::string realm = "ATHENA.SIM";
+  krb4::Principal alice = krb4::Principal::User("alice", realm);
+  std::string password = "correct-horse";
+  ksim::NetAddress login_addr{0x0a000058, 789};
+  ksim::NetAddress alice_addr{0x0a000101, 1023};
+  kcrypto::Prng client_prng{41};
+  std::unique_ptr<DhLoginServer> server;
+
+  explicit DhFixture(kcrypto::DhGroup group) {
+    world.clock().Set(500 * ksim::kSecond);
+    krb4::KdcDatabase db;
+    db.AddServiceWithRandomKey(krb4::TgsPrincipal(realm), world.prng());
+    db.AddUser(alice, password);
+    server = std::make_unique<DhLoginServer>(&world.network(), login_addr,
+                                             world.MakeHostClock(0), realm, std::move(db),
+                                             world.prng().Fork(), std::move(group));
+  }
+};
+
+TEST(DhLoginTest, SucceedsWithCorrectPassword) {
+  DhFixture f(kcrypto::OakleyGroup1());
+  auto result = DhLogin(&f.world.network(), f.alice_addr, f.login_addr, f.alice, f.password,
+                        f.server->group(), f.client_prng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().sealed_tgt.empty());
+}
+
+TEST(DhLoginTest, FailsWithWrongPassword) {
+  DhFixture f(kcrypto::OakleyGroup1());
+  auto result = DhLogin(&f.world.network(), f.alice_addr, f.login_addr, f.alice, "wrong",
+                        f.server->group(), f.client_prng);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(DhLoginTest, WorksWithToyGroupToo) {
+  kcrypto::Prng group_prng(1);
+  DhFixture f(kcrypto::MakeToyGroup(group_prng, 32));
+  auto result = DhLogin(&f.world.network(), f.alice_addr, f.login_addr, f.alice, f.password,
+                        f.server->group(), f.client_prng);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(DhLoginTest, WiretapSeesNoPasswordCrackableMaterial) {
+  DhFixture f(kcrypto::OakleyGroup1());
+  ksim::RecordingAdversary recorder;
+  f.world.network().SetAdversary(&recorder);
+  ASSERT_TRUE(DhLogin(&f.world.network(), f.alice_addr, f.login_addr, f.alice, f.password,
+                      f.server->group(), f.client_prng)
+                  .ok());
+  f.world.network().SetAdversary(nullptr);
+
+  // Try the dictionary (which contains nothing) AND the actual password
+  // against every recorded byte-string — nothing confirms.
+  std::vector<std::string> dictionary = kattack::CommonPasswordDictionary();
+  dictionary.push_back(f.password);  // the attacker even guesses right!
+  for (const auto& exchange : recorder.exchanges()) {
+    EXPECT_FALSE(
+        kattack::CrackSealedReply(exchange.reply, f.alice, dictionary).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace khard

@@ -1,0 +1,92 @@
+#include "src/hardened/handheld_login.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/world.h"
+
+namespace khard {
+namespace {
+
+struct LoginFixture {
+  ksim::World world{17};
+  std::string realm = "ATHENA.SIM";
+  krb4::Principal alice = krb4::Principal::User("alice", realm);
+  kcrypto::DesKey device_key{world.prng().NextDesKey()};
+  khsm::HandheldAuthenticator device{device_key};
+  ksim::NetAddress login_addr{0x0a000058, 790};
+  ksim::NetAddress alice_addr{0x0a000101, 1023};
+
+  std::unique_ptr<HandheldLoginServer> server;
+
+  LoginFixture() {
+    world.clock().Set(500 * ksim::kSecond);
+    krb4::KdcDatabase db;
+    db.AddServiceWithRandomKey(krb4::TgsPrincipal(realm), world.prng());
+    db.AddService(alice, device_key);
+    server = std::make_unique<HandheldLoginServer>(&world.network(), login_addr,
+                                                   world.MakeHostClock(0), realm,
+                                                   std::move(db), world.prng().Fork());
+  }
+};
+
+TEST(HandheldLoginTest, FullFlowSucceeds) {
+  LoginFixture f;
+  auto result = HandheldLogin(&f.world.network(), f.alice_addr, f.login_addr, f.alice,
+                              f.device);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().sealed_tgt.empty());
+  EXPECT_EQ(f.server->challenges_issued(), 1u);
+}
+
+TEST(HandheldLoginTest, WrongDeviceFails) {
+  LoginFixture f;
+  khsm::HandheldAuthenticator wrong_device(f.world.prng().NextDesKey());
+  auto result = HandheldLogin(&f.world.network(), f.alice_addr, f.login_addr, f.alice,
+                              wrong_device);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(HandheldLoginTest, ChallengesAreSingleUse) {
+  LoginFixture f;
+  auto challenge = RequestLoginChallenge(&f.world.network(), f.alice_addr, f.login_addr,
+                                         f.alice);
+  ASSERT_TRUE(challenge.ok());
+  uint64_t response = f.device.Respond(challenge.value());
+  ASSERT_TRUE(CompleteLoginWithResponse(&f.world.network(), f.alice_addr, f.login_addr,
+                                        f.alice, response)
+                  .ok());
+  // Second completion without a new challenge: refused.
+  auto again = CompleteLoginWithResponse(&f.world.network(), f.alice_addr, f.login_addr,
+                                         f.alice, response);
+  EXPECT_FALSE(again.ok());
+}
+
+TEST(HandheldLoginTest, ChallengesExpire) {
+  LoginFixture f;
+  auto challenge = RequestLoginChallenge(&f.world.network(), f.alice_addr, f.login_addr,
+                                         f.alice);
+  ASSERT_TRUE(challenge.ok());
+  f.world.clock().Advance(2 * ksim::kMinute);  // past the 1-minute lifetime
+  auto result = CompleteLoginWithResponse(&f.world.network(), f.alice_addr, f.login_addr,
+                                          f.alice, f.device.Respond(challenge.value()));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(HandheldLoginTest, DistinctChallengesPerRequest) {
+  LoginFixture f;
+  auto c1 = RequestLoginChallenge(&f.world.network(), f.alice_addr, f.login_addr, f.alice);
+  auto c2 = RequestLoginChallenge(&f.world.network(), f.alice_addr, f.login_addr, f.alice);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_NE(c1.value(), c2.value());
+}
+
+TEST(HandheldLoginTest, UnknownUserRejected) {
+  LoginFixture f;
+  auto result = RequestLoginChallenge(&f.world.network(), f.alice_addr, f.login_addr,
+                                      krb4::Principal::User("mallory", f.realm));
+  EXPECT_EQ(result.code(), kerb::ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace khard

@@ -1,0 +1,76 @@
+#include "src/hardened/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/attacks/testbed5.h"
+
+namespace khard {
+namespace {
+
+TEST(PolicyTest, RecommendedKdcPolicyDisablesOverloadedOptions) {
+  krb5::KdcPolicy5 policy = RecommendedKdcPolicy();
+  EXPECT_FALSE(policy.allow_enc_tkt_in_skey);
+  EXPECT_FALSE(policy.allow_reuse_skey);
+  EXPECT_TRUE(policy.enforce_enc_tkt_cname_match);
+  EXPECT_TRUE(policy.require_preauth);
+  EXPECT_TRUE(policy.require_collision_proof_checksum);
+  EXPECT_GT(policy.as_rate_limit_per_minute, 0u);
+  EXPECT_TRUE(kcrypto::IsCollisionProof(policy.enc.checksum));
+}
+
+TEST(PolicyTest, RecommendedServerUsesChallengeResponseAndSubkeys) {
+  krb5::AppServer5Options options = RecommendedServerOptions();
+  EXPECT_EQ(options.mode, krb5::ApAuthMode::kChallengeResponse);
+  EXPECT_TRUE(options.negotiate_subkey);
+  EXPECT_TRUE(options.verify_service_name_check);
+  EXPECT_TRUE(options.replay_cache);
+}
+
+TEST(PolicyTest, RecommendedChannelUsesSequenceNumbers) {
+  krb5::ChannelConfig config = RecommendedChannelConfig();
+  EXPECT_EQ(config.protection, krb5::ReplayProtection::kSequence);
+  EXPECT_TRUE(kcrypto::IsCollisionProof(config.enc.checksum));
+}
+
+TEST(PolicyTest, Draft3DefaultsArePermissive) {
+  krb5::KdcPolicy5 policy = Draft3KdcPolicy();
+  EXPECT_TRUE(policy.allow_enc_tkt_in_skey);
+  EXPECT_TRUE(policy.allow_reuse_skey);
+  EXPECT_FALSE(policy.require_preauth);
+  EXPECT_EQ(policy.enc.checksum, kcrypto::ChecksumType::kCrc32);
+}
+
+TEST(PolicyTest, FullyHardenedDeploymentStillWorksEndToEnd) {
+  // The recommendations must compose into a functioning system.
+  kattack::Testbed5Config config;
+  config.kdc_policy = RecommendedKdcPolicy();
+  config.server_options = RecommendedServerOptions();
+  config.client_options = RecommendedClientOptions();
+  kattack::Testbed5 bed(config);
+
+  ASSERT_TRUE(bed.alice().Login(kattack::Testbed5::kAlicePassword).ok());
+  auto result = bed.alice().CallService(kattack::Testbed5::kMailAddr, bed.mail_principal(),
+                                        true, kerb::ToBytes("check"));
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  EXPECT_EQ(bed.mail_log().size(), 1u);
+
+  // The negotiated channel key differs from the multi-session key.
+  auto creds = bed.alice().GetServiceTicket(bed.mail_principal());
+  ASSERT_TRUE(creds.ok());
+  EXPECT_FALSE(result.value().channel_key == creds.value().session_key);
+}
+
+TEST(PolicyTest, HardenedDeploymentRejectsDraft3Client) {
+  // A CRC-32 client cannot get service tickets from a hardened KDC.
+  kattack::Testbed5Config config;
+  config.kdc_policy = RecommendedKdcPolicy();
+  config.client_options = Draft3ClientOptions();  // CRC-32, no preauth
+  config.kdc_policy.enc = krb5::EncLayerConfig{};  // wire compat for this check
+  config.client_options.enc = krb5::EncLayerConfig{};
+  kattack::Testbed5 bed(config);
+  EXPECT_FALSE(bed.alice().Login(kattack::Testbed5::kAlicePassword).ok())
+      << "no preauth, no ticket";
+}
+
+}  // namespace
+}  // namespace khard

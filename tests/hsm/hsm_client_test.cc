@@ -1,0 +1,103 @@
+// The HSM-backed client: the full V4 protocol with no key ever leaving the
+// encryption unit.
+
+#include "src/hsm/hsm_client.h"
+
+#include <gtest/gtest.h>
+
+#include "src/attacks/testbed.h"
+#include "src/crypto/str2key.h"
+
+namespace khsm {
+namespace {
+
+using kattack::Testbed4;
+
+struct HsmFixture {
+  Testbed4 bed;
+  EncryptionUnit unit{1234};
+  HsmClient4 client{&bed.world().network(),
+                    Testbed4::kAliceAddr,
+                    bed.world().MakeHostClock(0),
+                    bed.alice_principal(),
+                    Testbed4::kAsAddr,
+                    Testbed4::kTgsAddr,
+                    &unit};
+  KeyHandle login_key{unit.LoadKey(
+      kcrypto::StringToKey(Testbed4::kAlicePassword, bed.alice_principal().Salt()),
+      KeyUsage::kLoginKey)};
+};
+
+TEST(HsmClientTest, FullFlowWorksEndToEnd) {
+  HsmFixture f;
+  ASSERT_TRUE(f.client.Login(f.login_key).ok());
+  auto reply = f.client.CallService(Testbed4::kMailAddr, f.bed.mail_principal(),
+                                    kerb::ToBytes(""));
+  ASSERT_TRUE(reply.ok()) << reply.error().ToString();
+  EXPECT_EQ(kerb::ToString(reply.value()), "You have 3 messages.");
+  ASSERT_EQ(f.bed.mail_log().size(), 1u);
+  EXPECT_EQ(f.bed.mail_log()[0], "mail-check alice@ATHENA.SIM");
+}
+
+TEST(HsmClientTest, MutualAuthVerifiedThroughTheUnit) {
+  HsmFixture f;
+  ASSERT_TRUE(f.client.Login(f.login_key).ok());
+  // A forged server (wrong key) cannot produce a verifiable mutual reply.
+  // Rebind the mail address to an impostor.
+  f.bed.world().network().Bind(
+      Testbed4::kMailAddr, [](const ksim::Message&) -> kerb::Result<kerb::Bytes> {
+        kenc::Writer w;
+        w.PutLengthPrefixed(kerb::Bytes(16, 0xaa));  // junk "mutual" proof
+        return krb4::Frame4(krb4::MsgType::kApReply, w.Peek());
+      });
+  auto reply = f.client.CallService(Testbed4::kMailAddr, f.bed.mail_principal());
+  EXPECT_FALSE(reply.ok());
+}
+
+TEST(HsmClientTest, NoKeyOctetsInHostResidentState) {
+  HsmFixture f;
+  ASSERT_TRUE(f.client.Login(f.login_key).ok());
+  ASSERT_TRUE(f.client.CallService(Testbed4::kMailAddr, f.bed.mail_principal()).ok());
+  ASSERT_TRUE(f.client.CallService(Testbed4::kFileAddr, f.bed.file_principal()).ok());
+
+  auto keys = f.unit.DangerouslyExportAllKeyMaterialForLeakScan();
+  ASSERT_GE(keys.size(), 3u);  // login + TGS session + 2 service sessions
+  for (const auto& blob : f.client.HostResidentState()) {
+    for (const auto& key : keys) {
+      EXPECT_FALSE(kerb::ContainsSubsequence(blob, key))
+          << "host-resident state must not contain key material";
+    }
+  }
+}
+
+TEST(HsmClientTest, ContrastSoftwareClientCacheHoldsRawKeys) {
+  Testbed4 bed;
+  ASSERT_TRUE(bed.alice().Login(Testbed4::kAlicePassword).ok());
+  ASSERT_TRUE(bed.alice().GetServiceTicket(bed.mail_principal()).ok());
+  // The plain client's cache contains the raw session key by design.
+  const auto& creds = bed.alice().credentials().begin()->second;
+  EXPECT_EQ(creds.session_key.bytes().size(), 8u);  // right there for the taking
+}
+
+TEST(HsmClientTest, LogoutDestroysHandles) {
+  HsmFixture f;
+  ASSERT_TRUE(f.client.Login(f.login_key).ok());
+  ASSERT_TRUE(f.client.CallService(Testbed4::kMailAddr, f.bed.mail_principal()).ok());
+  size_t keys_before = f.unit.key_count();
+  f.client.Logout();
+  EXPECT_LT(f.unit.key_count(), keys_before);
+  EXPECT_FALSE(f.client.logged_in());
+  EXPECT_FALSE(f.client.CallService(Testbed4::kMailAddr, f.bed.mail_principal()).ok());
+}
+
+TEST(HsmClientTest, ServiceTicketsCachedAsHandles) {
+  HsmFixture f;
+  ASSERT_TRUE(f.client.Login(f.login_key).ok());
+  ASSERT_TRUE(f.client.CallService(Testbed4::kMailAddr, f.bed.mail_principal()).ok());
+  uint64_t tgs_served = f.bed.kdc().tgs_requests_served();
+  ASSERT_TRUE(f.client.CallService(Testbed4::kMailAddr, f.bed.mail_principal()).ok());
+  EXPECT_EQ(f.bed.kdc().tgs_requests_served(), tgs_served);  // no second TGS trip
+}
+
+}  // namespace
+}  // namespace khsm

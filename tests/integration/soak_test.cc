@@ -1,0 +1,144 @@
+// Long-horizon integration: a day of simulated traffic from many users
+// against both the permissive and the hardened deployments, with an active
+// adversary corrupting a slice of everything. Invariants:
+//   * honest traffic always succeeds when untouched;
+//   * no corrupted message is ever accepted;
+//   * server logs contain exactly the honest operations;
+//   * credential caches and replay caches stay bounded.
+
+#include <gtest/gtest.h>
+
+#include "src/attacks/testbed5.h"
+#include "src/hardened/policy.h"
+
+namespace {
+
+using kattack::Testbed5;
+using kattack::Testbed5Config;
+
+// Corrupts every Nth request to application servers.
+class SliceCorruptor : public ksim::Adversary {
+ public:
+  explicit SliceCorruptor(int every_nth) : every_nth_(every_nth) {}
+
+  Decision OnRequest(ksim::Message& msg) override {
+    if (msg.dst.port == 88 || msg.dst.port == 750) {
+      return {};  // leave the KDC traffic alone in this test
+    }
+    if (++count_ % every_nth_ == 0 && !msg.payload.empty()) {
+      msg.payload[count_ % msg.payload.size()] ^= 0x55;
+      ++corrupted_;
+    }
+    return {};
+  }
+
+  int corrupted() const { return corrupted_; }
+
+ private:
+  int every_nth_;
+  int count_ = 0;
+  int corrupted_ = 0;
+};
+
+struct SoakOutcome {
+  int honest_attempts = 0;
+  int honest_successes = 0;
+  int corrupted_messages = 0;
+  int corrupted_accepted = 0;
+  size_t mail_log_entries = 0;
+};
+
+SoakOutcome RunSoak(const Testbed5Config& config, int rounds) {
+  Testbed5 bed(config);
+  SoakOutcome outcome;
+  SliceCorruptor corruptor(5);
+
+  EXPECT_TRUE(bed.alice().Login(Testbed5::kAlicePassword).ok());
+  EXPECT_TRUE(bed.bob().Login(Testbed5::kBobPassword).ok());
+
+  uint64_t accepted_before = 0;
+  for (int round = 0; round < rounds; ++round) {
+    krb5::Client5& user = (round % 2 == 0) ? bed.alice() : bed.bob();
+    // Every third round the adversary is on the wire.
+    bool adversarial = (round % 3 == 2);
+    bed.world().network().SetAdversary(adversarial ? &corruptor : nullptr);
+    int corrupted_before_round = corruptor.corrupted();
+    accepted_before = bed.mail_server().accepted_requests();
+
+    auto result = user.CallService(Testbed5::kMailAddr, bed.mail_principal(), true);
+    bool was_corrupted = corruptor.corrupted() > corrupted_before_round;
+    if (was_corrupted) {
+      ++outcome.corrupted_messages;
+      if (bed.mail_server().accepted_requests() > accepted_before && !result.ok()) {
+        // A corrupted exchange that the server nevertheless acted on.
+        ++outcome.corrupted_accepted;
+      }
+    } else {
+      ++outcome.honest_attempts;
+      if (result.ok()) {
+        ++outcome.honest_successes;
+      }
+    }
+    bed.world().network().SetAdversary(nullptr);
+    bed.world().clock().Advance(ksim::kMinute);
+  }
+  outcome.mail_log_entries = bed.mail_log().size();
+  return outcome;
+}
+
+TEST(SoakTest, PermissiveDeploymentDayOfTraffic) {
+  SoakOutcome outcome = RunSoak(Testbed5Config{}, 240);
+  EXPECT_EQ(outcome.honest_successes, outcome.honest_attempts);
+  EXPECT_GT(outcome.corrupted_messages, 0);
+  EXPECT_EQ(outcome.corrupted_accepted, 0) << "corruption must never be honoured";
+}
+
+TEST(SoakTest, HardenedDeploymentDayOfTraffic) {
+  Testbed5Config config;
+  config.kdc_policy = khard::RecommendedKdcPolicy();
+  config.server_options = khard::RecommendedServerOptions();
+  config.client_options = khard::RecommendedClientOptions();
+  SoakOutcome outcome = RunSoak(config, 240);
+  EXPECT_EQ(outcome.honest_successes, outcome.honest_attempts)
+      << "hardening must not break honest traffic over a long horizon";
+  EXPECT_EQ(outcome.corrupted_accepted, 0);
+}
+
+TEST(SoakTest, TicketExpiryAndRenewalOverLongHorizon) {
+  Testbed5 bed;
+  ASSERT_TRUE(bed.alice().Login(Testbed5::kAlicePassword, 2 * ksim::kHour).ok());
+  int relogins = 0;
+  int successes = 0;
+  for (int hour = 0; hour < 48; ++hour) {
+    auto result = bed.alice().CallService(Testbed5::kMailAddr, bed.mail_principal(), false);
+    if (!result.ok()) {
+      // Credentials expired: a real client re-logs in.
+      bed.alice().Logout();
+      ASSERT_TRUE(bed.alice().Login(Testbed5::kAlicePassword, 2 * ksim::kHour).ok());
+      ++relogins;
+      result = bed.alice().CallService(Testbed5::kMailAddr, bed.mail_principal(), false);
+    }
+    if (result.ok()) {
+      ++successes;
+    }
+    bed.world().clock().Advance(ksim::kHour);
+  }
+  EXPECT_EQ(successes, 48);
+  EXPECT_GT(relogins, 10) << "2-hour tickets over 48 hours force many renewals";
+}
+
+TEST(SoakTest, ReplayCacheStaysBoundedByTheWindow) {
+  Testbed5Config config;
+  config.server_options.replay_cache = true;
+  Testbed5 bed(config);
+  ASSERT_TRUE(bed.alice().Login(Testbed5::kAlicePassword).ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        bed.alice().CallService(Testbed5::kMailAddr, bed.mail_principal(), false).ok());
+    bed.world().clock().Advance(ksim::kMinute);
+  }
+  // The pruning keeps only the 5-minute window's worth of entries.
+  EXPECT_LE(bed.mail_server().replay_cache_size(), 6u);
+}
+
+}  // namespace

@@ -1,0 +1,232 @@
+#include "src/krb4/messages.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/prng.h"
+
+namespace krb4 {
+namespace {
+
+kcrypto::Prng MakePrng() { return kcrypto::Prng(77); }
+
+Principal Alice() { return Principal::User("alice", "ATHENA.SIM"); }
+Principal Rlogin() { return Principal::Service("rlogin", "myhost", "ATHENA.SIM"); }
+
+TEST(PrincipalTest, ToStringForms) {
+  EXPECT_EQ(Alice().ToString(), "alice@ATHENA.SIM");
+  EXPECT_EQ(Rlogin().ToString(), "rlogin.myhost@ATHENA.SIM");
+  EXPECT_EQ(TgsPrincipal("R").ToString(), "krbtgt.R@R");
+}
+
+TEST(PrincipalTest, EncodeDecodeRoundTrip) {
+  kenc::Writer w;
+  Rlogin().EncodeTo(w);
+  kenc::Reader r(w.Peek());
+  auto decoded = Principal::DecodeFrom(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value() == Rlogin());
+}
+
+TEST(Seal4Test, RoundTrip) {
+  auto prng = MakePrng();
+  kcrypto::DesKey key = prng.NextDesKey();
+  kerb::Bytes plain = kerb::ToBytes("some protocol body");
+  kerb::Bytes sealed = Seal4(key, plain);
+  EXPECT_EQ(sealed.size() % 8, 0u);
+  auto unsealed = Unseal4(key, sealed);
+  ASSERT_TRUE(unsealed.ok());
+  EXPECT_EQ(unsealed.value(), plain);
+}
+
+TEST(Seal4Test, WrongKeyDetected) {
+  auto prng = MakePrng();
+  kcrypto::DesKey key = prng.NextDesKey();
+  kcrypto::DesKey other = prng.NextDesKey();
+  kerb::Bytes sealed = Seal4(key, kerb::ToBytes("payload"));
+  auto unsealed = Unseal4(other, sealed);
+  EXPECT_FALSE(unsealed.ok());
+  EXPECT_EQ(unsealed.error().code, kerb::ErrorCode::kIntegrity);
+}
+
+TEST(Seal4Test, WrongKeyIsDetectable_ThePasswordGuessingPredicate) {
+  // This detectability is a double-edged sword: it is exactly what lets an
+  // offline attacker confirm a password guess (experiment E4).
+  auto prng = MakePrng();
+  kcrypto::DesKey real_key = prng.NextDesKey();
+  kerb::Bytes sealed = Seal4(real_key, kerb::ToBytes("AS reply body"));
+  int hits = 0;
+  for (int i = 0; i < 64; ++i) {
+    kcrypto::DesKey guess = prng.NextDesKey();
+    if (Unseal4(guess, sealed).ok()) {
+      ++hits;
+    }
+  }
+  EXPECT_EQ(hits, 0);                       // wrong guesses rejected...
+  EXPECT_TRUE(Unseal4(real_key, sealed).ok());  // ...right key confirmed
+}
+
+TEST(Ticket4Test, EncodeDecodeRoundTrip) {
+  auto prng = MakePrng();
+  Ticket4 t;
+  t.service = Rlogin();
+  t.client = Alice();
+  t.client_addr = 0x0a000101;
+  t.issued_at = 1000 * ksim::kSecond;
+  t.lifetime = 8 * ksim::kHour;
+  t.session_key = prng.NextDesKey().bytes();
+
+  auto decoded = Ticket4::Decode(t.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().service == t.service);
+  EXPECT_TRUE(decoded.value().client == t.client);
+  EXPECT_EQ(decoded.value().client_addr, t.client_addr);
+  EXPECT_EQ(decoded.value().issued_at, t.issued_at);
+  EXPECT_EQ(decoded.value().lifetime, t.lifetime);
+  EXPECT_EQ(decoded.value().session_key, t.session_key);
+}
+
+TEST(Ticket4Test, SealUnsealWithServiceKey) {
+  auto prng = MakePrng();
+  kcrypto::DesKey service_key = prng.NextDesKey();
+  Ticket4 t;
+  t.service = Rlogin();
+  t.client = Alice();
+  t.session_key = prng.NextDesKey().bytes();
+  kerb::Bytes sealed = t.Seal(service_key);
+  auto opened = Ticket4::Unseal(service_key, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value().session_key, t.session_key);
+  EXPECT_FALSE(Ticket4::Unseal(prng.NextDesKey(), sealed).ok());
+}
+
+TEST(Ticket4Test, Expiry) {
+  Ticket4 t;
+  t.issued_at = 100 * ksim::kSecond;
+  t.lifetime = 10 * ksim::kSecond;
+  EXPECT_FALSE(t.Expired(105 * ksim::kSecond));
+  EXPECT_FALSE(t.Expired(110 * ksim::kSecond));
+  EXPECT_TRUE(t.Expired(111 * ksim::kSecond));
+}
+
+TEST(Authenticator4Test, SealUnsealRoundTrip) {
+  auto prng = MakePrng();
+  kcrypto::DesKey session = prng.NextDesKey();
+  Authenticator4 a;
+  a.client = Alice();
+  a.client_addr = 42;
+  a.timestamp = 555 * ksim::kSecond;
+  auto opened = Authenticator4::Unseal(session, a.Seal(session));
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(opened.value().client == a.client);
+  EXPECT_EQ(opened.value().timestamp, a.timestamp);
+}
+
+TEST(Authenticator4Test, NotConfusableWithTicket) {
+  // Structural check: a sealed authenticator must not unseal-and-parse as a
+  // ticket under the same key.
+  auto prng = MakePrng();
+  kcrypto::DesKey key = prng.NextDesKey();
+  Authenticator4 a;
+  a.client = Alice();
+  a.timestamp = 1;
+  kerb::Bytes sealed = a.Seal(key);
+  auto unsealed = Unseal4(key, sealed);
+  ASSERT_TRUE(unsealed.ok());
+  EXPECT_FALSE(Ticket4::Decode(unsealed.value()).ok());
+}
+
+TEST(AsExchangeTest, RequestAndReplyRoundTrip) {
+  auto prng = MakePrng();
+  AsRequest4 req;
+  req.client = Alice();
+  req.service_realm = "ATHENA.SIM";
+  req.lifetime = ksim::kHour;
+  auto decoded_req = AsRequest4::Decode(req.Encode());
+  ASSERT_TRUE(decoded_req.ok());
+  EXPECT_TRUE(decoded_req.value().client == Alice());
+  EXPECT_EQ(decoded_req.value().lifetime, ksim::kHour);
+
+  AsReplyBody4 body;
+  body.tgs_session_key = prng.NextDesKey().bytes();
+  body.sealed_tgt = prng.NextBytes(40);
+  body.issued_at = 9;
+  body.lifetime = 10;
+  auto decoded_body = AsReplyBody4::Decode(body.Encode());
+  ASSERT_TRUE(decoded_body.ok());
+  EXPECT_EQ(decoded_body.value().tgs_session_key, body.tgs_session_key);
+  EXPECT_EQ(decoded_body.value().sealed_tgt, body.sealed_tgt);
+}
+
+TEST(TgsExchangeTest, RequestAndReplyRoundTrip) {
+  auto prng = MakePrng();
+  TgsRequest4 req;
+  req.service = Rlogin();
+  req.sealed_tgt = prng.NextBytes(48);
+  req.sealed_auth = prng.NextBytes(24);
+  req.lifetime = 2 * ksim::kHour;
+  auto decoded = TgsRequest4::Decode(req.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().sealed_tgt, req.sealed_tgt);
+  EXPECT_EQ(decoded.value().sealed_auth, req.sealed_auth);
+
+  TgsReplyBody4 body;
+  body.session_key = prng.NextDesKey().bytes();
+  body.sealed_ticket = prng.NextBytes(56);
+  auto decoded_body = TgsReplyBody4::Decode(body.Encode());
+  ASSERT_TRUE(decoded_body.ok());
+  EXPECT_EQ(decoded_body.value().sealed_ticket, body.sealed_ticket);
+}
+
+TEST(ApExchangeTest, RequestRoundTripWithAppData) {
+  auto prng = MakePrng();
+  ApRequest4 req;
+  req.sealed_ticket = prng.NextBytes(48);
+  req.sealed_auth = prng.NextBytes(24);
+  req.want_mutual = true;
+  req.app_data = kerb::ToBytes("DELETE /archive");
+  auto decoded = ApRequest4::Decode(req.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().want_mutual);
+  EXPECT_EQ(decoded.value().app_data, req.app_data);
+}
+
+TEST(ApExchangeTest, MutualReplyVerifies) {
+  auto prng = MakePrng();
+  kcrypto::DesKey session = prng.NextDesKey();
+  ksim::Time auth_time = 777 * ksim::kSecond;
+  kerb::Bytes reply = MakeApReply4(session, auth_time);
+  EXPECT_TRUE(VerifyApReply4(session, reply, auth_time).ok());
+  // Wrong time or wrong key fails.
+  EXPECT_FALSE(VerifyApReply4(session, reply, auth_time + 1).ok());
+  EXPECT_FALSE(VerifyApReply4(prng.NextDesKey(), reply, auth_time).ok());
+}
+
+TEST(V4LifetimeTest, UnitRoundTripAndSaturation) {
+  EXPECT_EQ(LifetimeToV4Units(0), 0);
+  EXPECT_EQ(LifetimeToV4Units(1), 1);  // rounds up to one unit
+  EXPECT_EQ(LifetimeToV4Units(5 * ksim::kMinute), 1);
+  EXPECT_EQ(LifetimeToV4Units(5 * ksim::kMinute + 1), 2);
+  EXPECT_EQ(LifetimeToV4Units(8 * ksim::kHour), 96);
+  EXPECT_EQ(LifetimeToV4Units(kV4MaxLifetime), 255);
+  // The one-byte cap: nothing representable beyond 21h15m.
+  EXPECT_EQ(LifetimeToV4Units(100 * ksim::kHour), 255);
+  EXPECT_EQ(V4UnitsToLifetime(255), 21 * ksim::kHour + 15 * ksim::kMinute);
+  for (int units = 0; units <= 255; ++units) {
+    EXPECT_EQ(LifetimeToV4Units(V4UnitsToLifetime(static_cast<uint8_t>(units))), units);
+  }
+}
+
+TEST(FramingTest, RoundTripAndVersionCheck) {
+  kerb::Bytes body = kerb::ToBytes("body");
+  kerb::Bytes framed = Frame4(MsgType::kApRequest, body);
+  auto unframed = Unframe4(framed);
+  ASSERT_TRUE(unframed.ok());
+  EXPECT_EQ(unframed.value().first, MsgType::kApRequest);
+  EXPECT_EQ(unframed.value().second, body);
+
+  framed[0] = 5;  // wrong protocol version
+  EXPECT_FALSE(Unframe4(framed).ok());
+}
+
+}  // namespace
+}  // namespace krb4

@@ -1,0 +1,137 @@
+// A deeper hierarchy: TEAM.ENG.CORP → ENG.CORP → CORP → SALES.CORP.
+// Exercises the multi-hop realm walk ("realms will normally be configured
+// in a hierarchical fashion") across three inter-realm edges.
+
+#include <gtest/gtest.h>
+
+#include "src/krb5/appserver.h"
+#include "src/krb5/client.h"
+#include "src/krb5/kdc.h"
+#include "src/sim/world.h"
+
+namespace krb5 {
+namespace {
+
+struct DeepTree {
+  ksim::World world{1234};
+  std::vector<std::unique_ptr<Kdc5>> kdcs;
+  std::unique_ptr<AppServer5> payroll;
+  std::unique_ptr<Client5> dev;
+  std::vector<std::string> payroll_log;
+
+  static constexpr ksim::NetAddress kTeamAs{0x0a040058, 88};
+  static constexpr ksim::NetAddress kTeamTgs{0x0a040058, 750};
+  static constexpr ksim::NetAddress kEngAs{0x0a010058, 88};
+  static constexpr ksim::NetAddress kEngTgs{0x0a010058, 750};
+  static constexpr ksim::NetAddress kCorpAs{0x0a020058, 88};
+  static constexpr ksim::NetAddress kCorpTgs{0x0a020058, 750};
+  static constexpr ksim::NetAddress kSalesAs{0x0a030058, 88};
+  static constexpr ksim::NetAddress kSalesTgs{0x0a030058, 750};
+  static constexpr ksim::NetAddress kPayrollAddr{0x0a030010, 7000};
+  static constexpr ksim::NetAddress kDevAddr{0x0a040101, 1023};
+
+  DeepTree() {
+    world.clock().Set(3000000 * ksim::kSecond);
+    kcrypto::Prng key_prng = world.prng().Fork();
+    kcrypto::DesKey team_eng = key_prng.NextDesKey();
+    kcrypto::DesKey eng_corp = key_prng.NextDesKey();
+    kcrypto::DesKey corp_sales = key_prng.NextDesKey();
+
+    auto make_kdc = [&](const std::string& realm, const ksim::NetAddress& as,
+                        const ksim::NetAddress& tgs) {
+      KdcDatabase db;
+      db.AddServiceWithRandomKey(krb4::TgsPrincipal(realm), key_prng);
+      kdcs.push_back(std::make_unique<Kdc5>(&world.network(), as, tgs,
+                                            world.MakeHostClock(0), realm, std::move(db),
+                                            world.prng().Fork()));
+      return kdcs.back().get();
+    };
+
+    Kdc5* team = make_kdc("TEAM.ENG.CORP", kTeamAs, kTeamTgs);
+    Kdc5* eng = make_kdc("ENG.CORP", kEngAs, kEngTgs);
+    Kdc5* corp = make_kdc("CORP", kCorpAs, kCorpTgs);
+    Kdc5* sales = make_kdc("SALES.CORP", kSalesAs, kSalesTgs);
+
+    team->database().AddUser(dev_principal(), "deep-password");
+    team->AddInterRealmKey("ENG.CORP", team_eng);
+    team->AddRealmRoute("CORP", "ENG.CORP");
+    team->AddRealmRoute("SALES.CORP", "ENG.CORP");
+    eng->AddInterRealmKey("TEAM.ENG.CORP", team_eng);
+    eng->AddInterRealmKey("CORP", eng_corp);
+    eng->AddRealmRoute("SALES.CORP", "CORP");
+    corp->AddInterRealmKey("ENG.CORP", eng_corp);
+    corp->AddInterRealmKey("SALES.CORP", corp_sales);
+    sales->AddInterRealmKey("CORP", corp_sales);
+
+    kcrypto::DesKey payroll_key =
+        sales->database().AddServiceWithRandomKey(payroll_principal(), key_prng);
+    payroll = std::make_unique<AppServer5>(
+        &world.network(), kPayrollAddr, payroll_principal(), payroll_key,
+        world.MakeHostClock(0), world.prng().Fork(),
+        [this](const VerifiedSession5& session, const kerb::Bytes&) {
+          std::string path;
+          for (const auto& realm : session.transited) {
+            path += (path.empty() ? "" : ",") + realm;
+          }
+          payroll_log.push_back(session.client.ToString() + " via [" + path + "]");
+          return kerb::ToBytes("ok");
+        },
+        AppServer5Options{});
+
+    dev = std::make_unique<Client5>(&world.network(), kDevAddr, world.MakeHostClock(0),
+                                    dev_principal(), kTeamAs, world.prng().Fork(),
+                                    Client5Options{});
+    dev->AddRealmTgs("TEAM.ENG.CORP", kTeamTgs);
+    dev->AddRealmTgs("ENG.CORP", kEngTgs);
+    dev->AddRealmTgs("CORP", kCorpTgs);
+    dev->AddRealmTgs("SALES.CORP", kSalesTgs);
+  }
+
+  krb4::Principal dev_principal() const {
+    return krb4::Principal::User("dev", "TEAM.ENG.CORP");
+  }
+  krb4::Principal payroll_principal() const {
+    return krb4::Principal::Service("payroll", "hr-host", "SALES.CORP");
+  }
+};
+
+TEST(DeepRealmTest, ThreeHopWalkSucceeds) {
+  DeepTree tree;
+  ASSERT_TRUE(tree.dev->Login("deep-password").ok());
+  auto result =
+      tree.dev->CallService(DeepTree::kPayrollAddr, tree.payroll_principal(), false);
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  ASSERT_EQ(tree.payroll_log.size(), 1u);
+  EXPECT_EQ(tree.payroll_log[0],
+            "dev@TEAM.ENG.CORP via [TEAM.ENG.CORP,ENG.CORP,CORP]");
+}
+
+TEST(DeepRealmTest, IntermediateTgtsAreCached) {
+  DeepTree tree;
+  ASSERT_TRUE(tree.dev->Login("deep-password").ok());
+  ASSERT_TRUE(
+      tree.dev->CallService(DeepTree::kPayrollAddr, tree.payroll_principal(), false).ok());
+  uint64_t sales_tgs_served = tree.kdcs[3]->tgs_requests_served();
+  // A second service in SALES.CORP reuses the cached SALES TGT directly.
+  kcrypto::Prng key_prng(42);
+  krb4::Principal hr = krb4::Principal::Service("hr", "hr-host", "SALES.CORP");
+  tree.kdcs[3]->database().AddServiceWithRandomKey(hr, key_prng);
+  ASSERT_TRUE(tree.dev->GetServiceTicket(hr).ok());
+  // One more SALES TGS request, but no new walk through TEAM/ENG/CORP.
+  EXPECT_EQ(tree.kdcs[3]->tgs_requests_served(), sales_tgs_served + 1);
+  EXPECT_EQ(tree.kdcs[0]->tgs_requests_served(), 1u);  // only the original walk
+}
+
+TEST(DeepRealmTest, TransitPolicySeesTheWholePath) {
+  DeepTree tree;
+  tree.payroll->options().transited_policy = [](const Ticket5& ticket) {
+    return ticket.transited.size() <= 2;  // refuse long chains
+  };
+  ASSERT_TRUE(tree.dev->Login("deep-password").ok());
+  auto result =
+      tree.dev->CallService(DeepTree::kPayrollAddr, tree.payroll_principal(), false);
+  EXPECT_FALSE(result.ok()) << "a 3-realm transited path must trip the policy";
+}
+
+}  // namespace
+}  // namespace krb5

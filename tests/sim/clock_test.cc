@@ -1,0 +1,52 @@
+#include "src/sim/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace ksim {
+namespace {
+
+TEST(ClockTest, AdvanceAndSet) {
+  SimClock clock;
+  EXPECT_EQ(clock.Now(), 0);
+  clock.Advance(5 * kSecond);
+  EXPECT_EQ(clock.Now(), 5 * kSecond);
+  clock.Set(kHour);
+  EXPECT_EQ(clock.Now(), kHour);
+}
+
+TEST(ClockTest, HostClockTracksBaseWithOffset) {
+  SimClock base;
+  HostClock host(&base, 2 * kMinute);
+  EXPECT_EQ(host.Now(), 2 * kMinute);
+  base.Advance(kSecond);
+  EXPECT_EQ(host.Now(), 2 * kMinute + kSecond);
+}
+
+TEST(ClockTest, NegativeSkew) {
+  SimClock base;
+  base.Set(kHour);
+  HostClock host(&base, -10 * kMinute);
+  EXPECT_EQ(host.Now(), kHour - 10 * kMinute);
+}
+
+TEST(ClockTest, AdjustToSlews) {
+  SimClock base;
+  base.Set(100 * kSecond);
+  HostClock host(&base, 0);
+  host.AdjustTo(50 * kSecond);  // a time service told us it's earlier
+  EXPECT_EQ(host.Now(), 50 * kSecond);
+  EXPECT_EQ(host.offset(), -50 * kSecond);
+  base.Advance(kSecond);
+  EXPECT_EQ(host.Now(), 51 * kSecond);
+}
+
+TEST(ClockTest, UnitsCompose) {
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDefaultClockSkewLimit, 5 * kMinute);
+}
+
+}  // namespace
+}  // namespace ksim

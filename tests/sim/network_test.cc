@@ -1,0 +1,244 @@
+#include "src/sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/world.h"
+
+namespace ksim {
+namespace {
+
+const NetAddress kClient{0x0a000001, 1000};
+const NetAddress kServer{0x0a000002, 88};
+
+TEST(NetworkTest, CallRoundTrip) {
+  World world(1);
+  world.network().Bind(kServer, [](const Message& msg) -> kerb::Result<kerb::Bytes> {
+    kerb::Bytes reply = msg.payload;
+    reply.push_back(0xff);
+    return reply;
+  });
+  auto reply = world.network().Call(kClient, kServer, kerb::Bytes{1, 2});
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value(), (kerb::Bytes{1, 2, 0xff}));
+}
+
+TEST(NetworkTest, UnboundAddressIsTransportError) {
+  World world(1);
+  auto reply = world.network().Call(kClient, kServer, kerb::Bytes{});
+  EXPECT_EQ(reply.code(), kerb::ErrorCode::kTransport);
+}
+
+TEST(NetworkTest, SourceAddressIsAClaim) {
+  // Core threat-model property: the handler sees whatever source the caller
+  // asserts. Address spoofing needs no special machinery.
+  World world(1);
+  NetAddress observed{};
+  world.network().Bind(kServer, [&](const Message& msg) -> kerb::Result<kerb::Bytes> {
+    observed = msg.src;
+    return kerb::Bytes{};
+  });
+  NetAddress forged{0xc0a80001, 77};
+  ASSERT_TRUE(world.network().Call(forged, kServer, kerb::Bytes{}).ok());
+  EXPECT_EQ(observed, forged);
+}
+
+TEST(NetworkTest, AdversaryCanModifyRequests) {
+  World world(1);
+  world.network().Bind(kServer, [](const Message& msg) -> kerb::Result<kerb::Bytes> {
+    return msg.payload;
+  });
+
+  class Flipper : public Adversary {
+   public:
+    Decision OnRequest(Message& request) override {
+      if (!request.payload.empty()) {
+        request.payload[0] ^= 0xff;
+      }
+      return {};
+    }
+  } flipper;
+  world.network().SetAdversary(&flipper);
+
+  auto reply = world.network().Call(kClient, kServer, kerb::Bytes{0x00, 0x55});
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value(), (kerb::Bytes{0xff, 0x55}));
+}
+
+TEST(NetworkTest, AdversaryCanFabricateReplies) {
+  World world(1);
+  bool server_saw_it = false;
+  world.network().Bind(kServer, [&](const Message&) -> kerb::Result<kerb::Bytes> {
+    server_saw_it = true;
+    return kerb::Bytes{};
+  });
+
+  class Fabricator : public Adversary {
+   public:
+    Decision OnRequest(Message&) override {
+      return Decision{false, kerb::Bytes{0xde, 0xad}};
+    }
+  } fabricator;
+  world.network().SetAdversary(&fabricator);
+
+  auto reply = world.network().Call(kClient, kServer, kerb::Bytes{1});
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value(), (kerb::Bytes{0xde, 0xad}));
+  EXPECT_FALSE(server_saw_it);  // the real server never heard the request
+}
+
+TEST(NetworkTest, AdversaryCanDrop) {
+  World world(1);
+  world.network().Bind(kServer,
+                       [](const Message&) -> kerb::Result<kerb::Bytes> { return kerb::Bytes{}; });
+  class Dropper : public Adversary {
+   public:
+    Decision OnRequest(Message&) override { return Decision{true, std::nullopt}; }
+  } dropper;
+  world.network().SetAdversary(&dropper);
+  EXPECT_EQ(world.network().Call(kClient, kServer, kerb::Bytes{}).code(),
+            kerb::ErrorCode::kTransport);
+}
+
+TEST(NetworkTest, AdversaryCanRedirect) {
+  World world(1);
+  NetAddress other{0x0a000003, 99};
+  bool server_hit = false, other_hit = false;
+  world.network().Bind(kServer, [&](const Message&) -> kerb::Result<kerb::Bytes> {
+    server_hit = true;
+    return kerb::Bytes{};
+  });
+  world.network().Bind(other, [&](const Message&) -> kerb::Result<kerb::Bytes> {
+    other_hit = true;
+    return kerb::Bytes{};
+  });
+
+  class Redirector : public Adversary {
+   public:
+    explicit Redirector(NetAddress target) : target_(target) {}
+    Decision OnRequest(Message& request) override {
+      request.dst = target_;
+      return {};
+    }
+    NetAddress target_;
+  } redirector(other);
+  world.network().SetAdversary(&redirector);
+
+  ASSERT_TRUE(world.network().Call(kClient, kServer, kerb::Bytes{}).ok());
+  EXPECT_FALSE(server_hit);
+  EXPECT_TRUE(other_hit);
+}
+
+TEST(NetworkTest, RecordingAdversaryCapturesExchanges) {
+  World world(1);
+  world.network().Bind(kServer, [](const Message& msg) -> kerb::Result<kerb::Bytes> {
+    return kerb::Bytes{static_cast<uint8_t>(msg.payload.size())};
+  });
+  RecordingAdversary recorder;
+  world.network().SetAdversary(&recorder);
+
+  ASSERT_TRUE(world.network().Call(kClient, kServer, kerb::Bytes{1, 2, 3}).ok());
+  ASSERT_TRUE(world.network().Call(kClient, kServer, kerb::Bytes{4}).ok());
+
+  ASSERT_EQ(recorder.exchanges().size(), 2u);
+  EXPECT_EQ(recorder.exchanges()[0].request.payload, (kerb::Bytes{1, 2, 3}));
+  ASSERT_TRUE(recorder.exchanges()[0].has_reply);
+  EXPECT_EQ(recorder.exchanges()[0].reply, kerb::Bytes{3});
+  EXPECT_EQ(recorder.exchanges()[1].reply, kerb::Bytes{1});
+}
+
+TEST(NetworkTest, DatagramsDeliverAndRecord) {
+  World world(1);
+  kerb::Bytes received;
+  world.network().BindDatagram(kServer, [&](const Message& msg) { received = msg.payload; });
+  RecordingAdversary recorder;
+  world.network().SetAdversary(&recorder);
+
+  ASSERT_TRUE(world.network().SendDatagram(kClient, kServer, kerb::Bytes{7, 8}).ok());
+  EXPECT_EQ(received, (kerb::Bytes{7, 8}));
+  ASSERT_EQ(recorder.datagrams().size(), 1u);
+
+  EXPECT_EQ(world.network().SendDatagram(kClient, NetAddress{1, 1}, kerb::Bytes{}).code(),
+            kerb::ErrorCode::kTransport);
+}
+
+TEST(NetworkTest, CompositeAdversaryChainsRecordingAndAction) {
+  World world(1);
+  world.network().Bind(kServer, [](const Message& msg) -> kerb::Result<kerb::Bytes> {
+    return msg.payload;
+  });
+
+  class Flipper : public Adversary {
+   public:
+    Decision OnRequest(Message& request) override {
+      if (!request.payload.empty()) {
+        request.payload[0] ^= 0xff;
+      }
+      return {};
+    }
+  } flipper;
+  RecordingAdversary recorder;
+  CompositeAdversary composite;
+  composite.Add(&recorder);  // records the original...
+  composite.Add(&flipper);   // ...then the manipulation happens
+  world.network().SetAdversary(&composite);
+
+  auto reply = world.network().Call(kClient, kServer, kerb::Bytes{0x00, 0x11});
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value(), (kerb::Bytes{0xff, 0x11}));  // flipped on delivery
+  ASSERT_EQ(recorder.exchanges().size(), 1u);
+  EXPECT_EQ(recorder.exchanges()[0].request.payload, (kerb::Bytes{0x00, 0x11}))
+      << "the recorder saw the pristine original";
+}
+
+TEST(NetworkTest, CompositeAdversaryFirstFabricationWins) {
+  World world(1);
+  bool server_hit = false;
+  world.network().Bind(kServer, [&](const Message&) -> kerb::Result<kerb::Bytes> {
+    server_hit = true;
+    return kerb::Bytes{};
+  });
+  class Fabricator : public Adversary {
+   public:
+    Decision OnRequest(Message&) override { return Decision{false, kerb::Bytes{0x42}}; }
+  } fabricator;
+  class NeverReached : public Adversary {
+   public:
+    Decision OnRequest(Message&) override {
+      ADD_FAILURE() << "later adversaries must not run after a fabrication";
+      return {};
+    }
+  } never;
+  CompositeAdversary composite;
+  composite.Add(&fabricator);
+  composite.Add(&never);
+  world.network().SetAdversary(&composite);
+  auto reply = world.network().Call(kClient, kServer, kerb::Bytes{1});
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value(), kerb::Bytes{0x42});
+  EXPECT_FALSE(server_hit);
+}
+
+TEST(NetworkTest, AdversaryCanDropReplies) {
+  World world(1);
+  int served = 0;
+  world.network().Bind(kServer, [&](const Message&) -> kerb::Result<kerb::Bytes> {
+    ++served;
+    return kerb::Bytes{1};
+  });
+  class ReplyDropper : public Adversary {
+   public:
+    bool OnReply(const Message&, kerb::Bytes&) override { return true; }
+  } dropper;
+  world.network().SetAdversary(&dropper);
+  auto reply = world.network().Call(kClient, kServer, kerb::Bytes{});
+  EXPECT_EQ(reply.code(), kerb::ErrorCode::kTransport);
+  EXPECT_EQ(served, 1) << "the server acted even though the caller saw a failure";
+}
+
+TEST(NetworkTest, AddressToString) {
+  NetAddress a{0x0a000001, 88};
+  EXPECT_EQ(a.ToString(), "10.0.0.1:88");
+}
+
+}  // namespace
+}  // namespace ksim

@@ -1,0 +1,78 @@
+#include "src/sim/tcpsim.h"
+
+#include <gtest/gtest.h>
+
+namespace ksim {
+namespace {
+
+const NetAddress kAlice{0x0a000001, 1000};
+const NetAddress kEveProbe{0x0a000066, 2000};
+
+TEST(TcpSimTest, LegitimateConnectionDeliversData) {
+  kerb::Bytes received;
+  TcpServer server(IsnPolicy::kPredictableCounter, 1,
+                   [&](const NetAddress&, const kerb::Bytes& d) { received = d; });
+  ASSERT_TRUE(TcpConnectAndSend(server, kAlice, kerb::Bytes{1, 2, 3}).ok());
+  EXPECT_EQ(received, (kerb::Bytes{1, 2, 3}));
+}
+
+TEST(TcpSimTest, WrongAckResetsConnection) {
+  TcpServer server(IsnPolicy::kPredictableCounter, 1,
+                   [](const NetAddress&, const kerb::Bytes&) {});
+  uint32_t isn = server.Syn(kAlice);
+  EXPECT_FALSE(server.Ack(kAlice, isn + 2).ok());
+  // Connection was reset; even the right ACK now fails.
+  EXPECT_FALSE(server.Ack(kAlice, isn + 1).ok());
+}
+
+TEST(TcpSimTest, DataBeforeEstablishRejected) {
+  TcpServer server(IsnPolicy::kPredictableCounter, 1,
+                   [](const NetAddress&, const kerb::Bytes&) {});
+  uint32_t isn = server.Syn(kAlice);
+  EXPECT_FALSE(server.Data(kAlice, isn + 1, kerb::Bytes{1}).ok());
+}
+
+TEST(TcpSimTest, PredictableIsnIsPredictable) {
+  // The Morris precondition: probe once, predict the next ISN exactly.
+  TcpServer server(IsnPolicy::kPredictableCounter, 7,
+                   [](const NetAddress&, const kerb::Bytes&) {});
+  uint32_t probe_isn = server.Syn(kEveProbe);
+  uint32_t predicted = probe_isn + kIsnIncrement;
+  uint32_t actual = server.Syn(kAlice);
+  EXPECT_EQ(actual, predicted);
+}
+
+TEST(TcpSimTest, BlindSpoofSucceedsAgainstPredictableIsn) {
+  // Eve spoofs Alice without ever seeing the SYN-ACK.
+  bool delivered = false;
+  TcpServer server(IsnPolicy::kPredictableCounter, 7,
+                   [&](const NetAddress& peer, const kerb::Bytes&) {
+                     delivered = (peer == kAlice);
+                   });
+  uint32_t probe_isn = server.Syn(kEveProbe);  // Eve's own legitimate probe
+  server.Ack(kEveProbe, probe_isn + 1).ok();
+
+  uint32_t predicted = probe_isn + kIsnIncrement;
+  server.Syn(kAlice);  // SYN claiming to be Alice; SYN-ACK goes to Alice, not Eve
+  ASSERT_TRUE(server.Ack(kAlice, predicted + 1).ok());
+  ASSERT_TRUE(server.Data(kAlice, predicted + 1, kerb::Bytes{0x42}).ok());
+  EXPECT_TRUE(delivered);
+}
+
+TEST(TcpSimTest, BlindSpoofFailsAgainstRandomIsn) {
+  TcpServer server(IsnPolicy::kRandom, 7, [](const NetAddress&, const kerb::Bytes&) {});
+  uint32_t probe_isn = server.Syn(kEveProbe);
+  uint32_t predicted = probe_isn + kIsnIncrement;
+  server.Syn(kAlice);
+  EXPECT_FALSE(server.Ack(kAlice, predicted + 1).ok());
+}
+
+TEST(TcpSimTest, RandomIsnsDiffer) {
+  TcpServer server(IsnPolicy::kRandom, 7, [](const NetAddress&, const kerb::Bytes&) {});
+  uint32_t a = server.Syn(kAlice);
+  uint32_t b = server.Syn(kEveProbe);
+  EXPECT_NE(b, a + kIsnIncrement);
+}
+
+}  // namespace
+}  // namespace ksim

@@ -1,0 +1,122 @@
+#include "src/sim/timeservice.h"
+
+#include <gtest/gtest.h>
+
+#include "src/encoding/io.h"
+#include "src/sim/world.h"
+
+namespace ksim {
+namespace {
+
+const NetAddress kClient{0x0a000001, 1000};
+const NetAddress kTimeSvc{0x0a000037, 37};
+
+TEST(TimeServiceTest, UnauthQueryReturnsServerTime) {
+  World world(1);
+  world.clock().Set(1000 * kSecond);
+  HostClock server_clock = world.MakeHostClock(0);
+  UnauthTimeService svc(&world.network(), kTimeSvc, &server_clock);
+
+  auto t = UnauthTimeService::Query(&world.network(), kClient, kTimeSvc);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value(), 1000 * kSecond);
+}
+
+TEST(TimeServiceTest, UnauthQueryTrustsWhateverArrives) {
+  // The E3 precondition: a fabricated reply is indistinguishable from a
+  // real one.
+  World world(1);
+  HostClock server_clock = world.MakeHostClock(0);
+  UnauthTimeService svc(&world.network(), kTimeSvc, &server_clock);
+
+  class TimeSpoofer : public Adversary {
+   public:
+    Decision OnRequest(Message& request) override {
+      if (request.dst.port == 37) {
+        kenc::Writer w;
+        w.PutU64(static_cast<uint64_t>(12345 * kSecond));  // a lie
+        return Decision{false, w.Take()};
+      }
+      return {};
+    }
+  } spoofer;
+  world.network().SetAdversary(&spoofer);
+
+  auto t = UnauthTimeService::Query(&world.network(), kClient, kTimeSvc);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value(), 12345 * kSecond);  // client believed the forgery
+
+  // And a client that slews to it now has a wrong clock.
+  HostClock victim = world.MakeHostClock(0);
+  victim.AdjustTo(t.value());
+  EXPECT_EQ(victim.Now(), 12345 * kSecond);
+}
+
+TEST(TimeServiceTest, AuthQueryVerifies) {
+  World world(2);
+  world.clock().Set(777 * kSecond);
+  HostClock server_clock = world.MakeHostClock(0);
+  kcrypto::DesKey key = world.prng().NextDesKey();
+  AuthTimeService svc(&world.network(), kTimeSvc, &server_clock, key);
+
+  auto t = AuthTimeService::Query(&world.network(), kClient, kTimeSvc, key, 42);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value(), 777 * kSecond);
+}
+
+TEST(TimeServiceTest, AuthQueryRejectsForgery) {
+  World world(3);
+  HostClock server_clock = world.MakeHostClock(0);
+  kcrypto::DesKey key = world.prng().NextDesKey();
+  AuthTimeService svc(&world.network(), kTimeSvc, &server_clock, key);
+
+  // A forger who does not hold the key cannot construct a valid MAC.
+  class Forger : public Adversary {
+   public:
+    Decision OnRequest(Message& request) override {
+      kenc::Reader r(request.payload);
+      auto nonce_field = r.GetU64();
+      uint64_t nonce = nonce_field.ok() ? nonce_field.value() : 0;
+      kenc::Writer w;
+      w.PutU64(nonce);
+      w.PutU64(static_cast<uint64_t>(99999 * kSecond));
+      w.PutU64(0xdeadbeefdeadbeefull);  // bogus MAC
+      return Decision{false, w.Take()};
+    }
+  } forger;
+  world.network().SetAdversary(&forger);
+
+  auto t = AuthTimeService::Query(&world.network(), kClient, kTimeSvc, key, 42);
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(TimeServiceTest, AuthQueryRejectsWrongNonce) {
+  // Replaying yesterday's (authentic) reply fails the nonce check.
+  World world(4);
+  HostClock server_clock = world.MakeHostClock(0);
+  kcrypto::DesKey key = world.prng().NextDesKey();
+  AuthTimeService svc(&world.network(), kTimeSvc, &server_clock, key);
+
+  // Record a genuine exchange for nonce 1.
+  RecordingAdversary recorder;
+  world.network().SetAdversary(&recorder);
+  ASSERT_TRUE(AuthTimeService::Query(&world.network(), kClient, kTimeSvc, key, 1).ok());
+  kerb::Bytes recorded_reply = recorder.exchanges()[0].reply;
+  world.network().SetAdversary(nullptr);
+
+  // Replay it against a query using nonce 2.
+  class Replayer : public Adversary {
+   public:
+    explicit Replayer(kerb::Bytes reply) : reply_(std::move(reply)) {}
+    Decision OnRequest(Message&) override { return Decision{false, reply_}; }
+    kerb::Bytes reply_;
+  } replayer(recorded_reply);
+  world.network().SetAdversary(&replayer);
+
+  auto t = AuthTimeService::Query(&world.network(), kClient, kTimeSvc, key, 2);
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.code(), kerb::ErrorCode::kAuthFailed);
+}
+
+}  // namespace
+}  // namespace ksim
