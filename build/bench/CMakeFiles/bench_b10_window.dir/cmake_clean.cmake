@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_b10_window.dir/bench_b10_window.cc.o"
+  "CMakeFiles/bench_b10_window.dir/bench_b10_window.cc.o.d"
+  "bench_b10_window"
+  "bench_b10_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_b10_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_b1_desmodes.dir/bench_b1_desmodes.cc.o"
+  "CMakeFiles/bench_b1_desmodes.dir/bench_b1_desmodes.cc.o.d"
+  "bench_b1_desmodes"
+  "bench_b1_desmodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_b1_desmodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

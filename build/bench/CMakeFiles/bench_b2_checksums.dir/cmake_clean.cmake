@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_b2_checksums.dir/bench_b2_checksums.cc.o"
+  "CMakeFiles/bench_b2_checksums.dir/bench_b2_checksums.cc.o.d"
+  "bench_b2_checksums"
+  "bench_b2_checksums.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_b2_checksums.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

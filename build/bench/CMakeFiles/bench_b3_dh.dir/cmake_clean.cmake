@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_b3_dh.dir/bench_b3_dh.cc.o"
+  "CMakeFiles/bench_b3_dh.dir/bench_b3_dh.cc.o.d"
+  "bench_b3_dh"
+  "bench_b3_dh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_b3_dh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_b4_crack.dir/bench_b4_crack.cc.o"
+  "CMakeFiles/bench_b4_crack.dir/bench_b4_crack.cc.o.d"
+  "bench_b4_crack"
+  "bench_b4_crack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_b4_crack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

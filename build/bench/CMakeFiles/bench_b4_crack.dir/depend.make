@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_b4_crack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_b5_roundtrips.dir/bench_b5_roundtrips.cc.o"
+  "CMakeFiles/bench_b5_roundtrips.dir/bench_b5_roundtrips.cc.o.d"
+  "bench_b5_roundtrips"
+  "bench_b5_roundtrips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_b5_roundtrips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

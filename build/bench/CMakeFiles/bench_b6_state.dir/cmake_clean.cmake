@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_b6_state.dir/bench_b6_state.cc.o"
+  "CMakeFiles/bench_b6_state.dir/bench_b6_state.cc.o.d"
+  "bench_b6_state"
+  "bench_b6_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_b6_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

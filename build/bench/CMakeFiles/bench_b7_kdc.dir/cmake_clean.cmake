@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_b7_kdc.dir/bench_b7_kdc.cc.o"
+  "CMakeFiles/bench_b7_kdc.dir/bench_b7_kdc.cc.o.d"
+  "bench_b7_kdc"
+  "bench_b7_kdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_b7_kdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

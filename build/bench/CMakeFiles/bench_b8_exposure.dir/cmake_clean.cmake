@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_b8_exposure.dir/bench_b8_exposure.cc.o"
+  "CMakeFiles/bench_b8_exposure.dir/bench_b8_exposure.cc.o.d"
+  "bench_b8_exposure"
+  "bench_b8_exposure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_b8_exposure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_b9_ablation.dir/bench_b9_ablation.cc.o"
+  "CMakeFiles/bench_b9_ablation.dir/bench_b9_ablation.cc.o.d"
+  "bench_b9_ablation"
+  "bench_b9_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_b9_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

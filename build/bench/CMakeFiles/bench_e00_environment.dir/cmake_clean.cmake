@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e00_environment.dir/bench_e00_environment.cc.o"
+  "CMakeFiles/bench_e00_environment.dir/bench_e00_environment.cc.o.d"
+  "bench_e00_environment"
+  "bench_e00_environment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e00_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

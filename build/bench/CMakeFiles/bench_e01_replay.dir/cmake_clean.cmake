@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e01_replay.dir/bench_e01_replay.cc.o"
+  "CMakeFiles/bench_e01_replay.dir/bench_e01_replay.cc.o.d"
+  "bench_e01_replay"
+  "bench_e01_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e01_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e02_morris.dir/bench_e02_morris.cc.o"
+  "CMakeFiles/bench_e02_morris.dir/bench_e02_morris.cc.o.d"
+  "bench_e02_morris"
+  "bench_e02_morris.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e02_morris.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e03_timespoof.dir/bench_e03_timespoof.cc.o"
+  "CMakeFiles/bench_e03_timespoof.dir/bench_e03_timespoof.cc.o.d"
+  "bench_e03_timespoof"
+  "bench_e03_timespoof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e03_timespoof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e04_pwguess.dir/bench_e04_pwguess.cc.o"
+  "CMakeFiles/bench_e04_pwguess.dir/bench_e04_pwguess.cc.o.d"
+  "bench_e04_pwguess"
+  "bench_e04_pwguess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e04_pwguess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e05_harvest.cc" "bench/CMakeFiles/bench_e05_harvest.dir/bench_e05_harvest.cc.o" "gcc" "bench/CMakeFiles/bench_e05_harvest.dir/bench_e05_harvest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attacks/CMakeFiles/kerb_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/hardened/CMakeFiles/kerb_hardened.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsm/CMakeFiles/kerb_hsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/krb5/CMakeFiles/kerb_krb5.dir/DependInfo.cmake"
+  "/root/repo/build/src/krb4/CMakeFiles/kerb_krb4.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kerb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/kerb_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/kerb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kerb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e05_harvest.dir/bench_e05_harvest.cc.o"
+  "CMakeFiles/bench_e05_harvest.dir/bench_e05_harvest.cc.o.d"
+  "bench_e05_harvest"
+  "bench_e05_harvest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e05_harvest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e06_login.dir/bench_e06_login.cc.o"
+  "CMakeFiles/bench_e06_login.dir/bench_e06_login.cc.o.d"
+  "bench_e06_login"
+  "bench_e06_login.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e06_login.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e07_prefix.dir/bench_e07_prefix.cc.o"
+  "CMakeFiles/bench_e07_prefix.dir/bench_e07_prefix.cc.o.d"
+  "bench_e07_prefix"
+  "bench_e07_prefix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e07_prefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e08_pcbc.dir/bench_e08_pcbc.cc.o"
+  "CMakeFiles/bench_e08_pcbc.dir/bench_e08_pcbc.cc.o.d"
+  "bench_e08_pcbc"
+  "bench_e08_pcbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e08_pcbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e09_cutpaste.dir/bench_e09_cutpaste.cc.o"
+  "CMakeFiles/bench_e09_cutpaste.dir/bench_e09_cutpaste.cc.o.d"
+  "bench_e09_cutpaste"
+  "bench_e09_cutpaste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e09_cutpaste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_reuseskey.dir/bench_e10_reuseskey.cc.o"
+  "CMakeFiles/bench_e10_reuseskey.dir/bench_e10_reuseskey.cc.o.d"
+  "bench_e10_reuseskey"
+  "bench_e10_reuseskey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_reuseskey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

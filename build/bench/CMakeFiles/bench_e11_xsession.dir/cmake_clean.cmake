@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_xsession.dir/bench_e11_xsession.cc.o"
+  "CMakeFiles/bench_e11_xsession.dir/bench_e11_xsession.cc.o.d"
+  "bench_e11_xsession"
+  "bench_e11_xsession.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_xsession.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_address.dir/bench_e12_address.cc.o"
+  "CMakeFiles/bench_e12_address.dir/bench_e12_address.cc.o.d"
+  "bench_e12_address"
+  "bench_e12_address.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_address.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_interrealm.dir/bench_e13_interrealm.cc.o"
+  "CMakeFiles/bench_e13_interrealm.dir/bench_e13_interrealm.cc.o.d"
+  "bench_e13_interrealm"
+  "bench_e13_interrealm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_interrealm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

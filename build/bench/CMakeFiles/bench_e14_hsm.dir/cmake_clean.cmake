@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_hsm.dir/bench_e14_hsm.cc.o"
+  "CMakeFiles/bench_e14_hsm.dir/bench_e14_hsm.cc.o.d"
+  "bench_e14_hsm"
+  "bench_e14_hsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_hsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

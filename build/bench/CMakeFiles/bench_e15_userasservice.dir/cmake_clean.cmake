@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_userasservice.dir/bench_e15_userasservice.cc.o"
+  "CMakeFiles/bench_e15_userasservice.dir/bench_e15_userasservice.cc.o.d"
+  "bench_e15_userasservice"
+  "bench_e15_userasservice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_userasservice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

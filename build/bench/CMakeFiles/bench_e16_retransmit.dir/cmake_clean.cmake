@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_retransmit.dir/bench_e16_retransmit.cc.o"
+  "CMakeFiles/bench_e16_retransmit.dir/bench_e16_retransmit.cc.o.d"
+  "bench_e16_retransmit"
+  "bench_e16_retransmit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_retransmit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

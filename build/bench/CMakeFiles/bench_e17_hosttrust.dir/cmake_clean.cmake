@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e17_hosttrust.dir/bench_e17_hosttrust.cc.o"
+  "CMakeFiles/bench_e17_hosttrust.dir/bench_e17_hosttrust.cc.o.d"
+  "bench_e17_hosttrust"
+  "bench_e17_hosttrust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_hosttrust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

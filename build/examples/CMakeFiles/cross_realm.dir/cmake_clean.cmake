@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_realm.dir/cross_realm.cpp.o"
+  "CMakeFiles/cross_realm.dir/cross_realm.cpp.o.d"
+  "cross_realm"
+  "cross_realm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_realm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

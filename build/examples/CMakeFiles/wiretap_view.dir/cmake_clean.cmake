@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiretap_view.dir/wiretap_view.cpp.o"
+  "CMakeFiles/wiretap_view.dir/wiretap_view.cpp.o.d"
+  "wiretap_view"
+  "wiretap_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiretap_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/address.cc" "src/attacks/CMakeFiles/kerb_attacks.dir/address.cc.o" "gcc" "src/attacks/CMakeFiles/kerb_attacks.dir/address.cc.o.d"
+  "/root/repo/src/attacks/cutpaste.cc" "src/attacks/CMakeFiles/kerb_attacks.dir/cutpaste.cc.o" "gcc" "src/attacks/CMakeFiles/kerb_attacks.dir/cutpaste.cc.o.d"
+  "/root/repo/src/attacks/environment.cc" "src/attacks/CMakeFiles/kerb_attacks.dir/environment.cc.o" "gcc" "src/attacks/CMakeFiles/kerb_attacks.dir/environment.cc.o.d"
+  "/root/repo/src/attacks/harvest.cc" "src/attacks/CMakeFiles/kerb_attacks.dir/harvest.cc.o" "gcc" "src/attacks/CMakeFiles/kerb_attacks.dir/harvest.cc.o.d"
+  "/root/repo/src/attacks/hosttrust.cc" "src/attacks/CMakeFiles/kerb_attacks.dir/hosttrust.cc.o" "gcc" "src/attacks/CMakeFiles/kerb_attacks.dir/hosttrust.cc.o.d"
+  "/root/repo/src/attacks/hsmleak.cc" "src/attacks/CMakeFiles/kerb_attacks.dir/hsmleak.cc.o" "gcc" "src/attacks/CMakeFiles/kerb_attacks.dir/hsmleak.cc.o.d"
+  "/root/repo/src/attacks/interrealm.cc" "src/attacks/CMakeFiles/kerb_attacks.dir/interrealm.cc.o" "gcc" "src/attacks/CMakeFiles/kerb_attacks.dir/interrealm.cc.o.d"
+  "/root/repo/src/attacks/loginspoof.cc" "src/attacks/CMakeFiles/kerb_attacks.dir/loginspoof.cc.o" "gcc" "src/attacks/CMakeFiles/kerb_attacks.dir/loginspoof.cc.o.d"
+  "/root/repo/src/attacks/morris.cc" "src/attacks/CMakeFiles/kerb_attacks.dir/morris.cc.o" "gcc" "src/attacks/CMakeFiles/kerb_attacks.dir/morris.cc.o.d"
+  "/root/repo/src/attacks/passwords.cc" "src/attacks/CMakeFiles/kerb_attacks.dir/passwords.cc.o" "gcc" "src/attacks/CMakeFiles/kerb_attacks.dir/passwords.cc.o.d"
+  "/root/repo/src/attacks/replay.cc" "src/attacks/CMakeFiles/kerb_attacks.dir/replay.cc.o" "gcc" "src/attacks/CMakeFiles/kerb_attacks.dir/replay.cc.o.d"
+  "/root/repo/src/attacks/retransmit.cc" "src/attacks/CMakeFiles/kerb_attacks.dir/retransmit.cc.o" "gcc" "src/attacks/CMakeFiles/kerb_attacks.dir/retransmit.cc.o.d"
+  "/root/repo/src/attacks/reuseskey.cc" "src/attacks/CMakeFiles/kerb_attacks.dir/reuseskey.cc.o" "gcc" "src/attacks/CMakeFiles/kerb_attacks.dir/reuseskey.cc.o.d"
+  "/root/repo/src/attacks/testbed.cc" "src/attacks/CMakeFiles/kerb_attacks.dir/testbed.cc.o" "gcc" "src/attacks/CMakeFiles/kerb_attacks.dir/testbed.cc.o.d"
+  "/root/repo/src/attacks/testbed5.cc" "src/attacks/CMakeFiles/kerb_attacks.dir/testbed5.cc.o" "gcc" "src/attacks/CMakeFiles/kerb_attacks.dir/testbed5.cc.o.d"
+  "/root/repo/src/attacks/timespoof.cc" "src/attacks/CMakeFiles/kerb_attacks.dir/timespoof.cc.o" "gcc" "src/attacks/CMakeFiles/kerb_attacks.dir/timespoof.cc.o.d"
+  "/root/repo/src/attacks/userasservice.cc" "src/attacks/CMakeFiles/kerb_attacks.dir/userasservice.cc.o" "gcc" "src/attacks/CMakeFiles/kerb_attacks.dir/userasservice.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/krb4/CMakeFiles/kerb_krb4.dir/DependInfo.cmake"
+  "/root/repo/build/src/krb5/CMakeFiles/kerb_krb5.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kerb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/kerb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/hardened/CMakeFiles/kerb_hardened.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsm/CMakeFiles/kerb_hsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/kerb_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kerb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kerb_common.dir/bytes.cc.o"
+  "CMakeFiles/kerb_common.dir/bytes.cc.o.d"
+  "CMakeFiles/kerb_common.dir/hex.cc.o"
+  "CMakeFiles/kerb_common.dir/hex.cc.o.d"
+  "CMakeFiles/kerb_common.dir/result.cc.o"
+  "CMakeFiles/kerb_common.dir/result.cc.o.d"
+  "libkerb_common.a"
+  "libkerb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kerb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bigint.cc" "src/crypto/CMakeFiles/kerb_crypto.dir/bigint.cc.o" "gcc" "src/crypto/CMakeFiles/kerb_crypto.dir/bigint.cc.o.d"
+  "/root/repo/src/crypto/checksum.cc" "src/crypto/CMakeFiles/kerb_crypto.dir/checksum.cc.o" "gcc" "src/crypto/CMakeFiles/kerb_crypto.dir/checksum.cc.o.d"
+  "/root/repo/src/crypto/crc32.cc" "src/crypto/CMakeFiles/kerb_crypto.dir/crc32.cc.o" "gcc" "src/crypto/CMakeFiles/kerb_crypto.dir/crc32.cc.o.d"
+  "/root/repo/src/crypto/des.cc" "src/crypto/CMakeFiles/kerb_crypto.dir/des.cc.o" "gcc" "src/crypto/CMakeFiles/kerb_crypto.dir/des.cc.o.d"
+  "/root/repo/src/crypto/dh.cc" "src/crypto/CMakeFiles/kerb_crypto.dir/dh.cc.o" "gcc" "src/crypto/CMakeFiles/kerb_crypto.dir/dh.cc.o.d"
+  "/root/repo/src/crypto/dlog.cc" "src/crypto/CMakeFiles/kerb_crypto.dir/dlog.cc.o" "gcc" "src/crypto/CMakeFiles/kerb_crypto.dir/dlog.cc.o.d"
+  "/root/repo/src/crypto/md4.cc" "src/crypto/CMakeFiles/kerb_crypto.dir/md4.cc.o" "gcc" "src/crypto/CMakeFiles/kerb_crypto.dir/md4.cc.o.d"
+  "/root/repo/src/crypto/modes.cc" "src/crypto/CMakeFiles/kerb_crypto.dir/modes.cc.o" "gcc" "src/crypto/CMakeFiles/kerb_crypto.dir/modes.cc.o.d"
+  "/root/repo/src/crypto/primes.cc" "src/crypto/CMakeFiles/kerb_crypto.dir/primes.cc.o" "gcc" "src/crypto/CMakeFiles/kerb_crypto.dir/primes.cc.o.d"
+  "/root/repo/src/crypto/prng.cc" "src/crypto/CMakeFiles/kerb_crypto.dir/prng.cc.o" "gcc" "src/crypto/CMakeFiles/kerb_crypto.dir/prng.cc.o.d"
+  "/root/repo/src/crypto/str2key.cc" "src/crypto/CMakeFiles/kerb_crypto.dir/str2key.cc.o" "gcc" "src/crypto/CMakeFiles/kerb_crypto.dir/str2key.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kerb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

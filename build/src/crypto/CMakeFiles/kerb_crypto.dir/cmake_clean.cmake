@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kerb_crypto.dir/bigint.cc.o"
+  "CMakeFiles/kerb_crypto.dir/bigint.cc.o.d"
+  "CMakeFiles/kerb_crypto.dir/checksum.cc.o"
+  "CMakeFiles/kerb_crypto.dir/checksum.cc.o.d"
+  "CMakeFiles/kerb_crypto.dir/crc32.cc.o"
+  "CMakeFiles/kerb_crypto.dir/crc32.cc.o.d"
+  "CMakeFiles/kerb_crypto.dir/des.cc.o"
+  "CMakeFiles/kerb_crypto.dir/des.cc.o.d"
+  "CMakeFiles/kerb_crypto.dir/dh.cc.o"
+  "CMakeFiles/kerb_crypto.dir/dh.cc.o.d"
+  "CMakeFiles/kerb_crypto.dir/dlog.cc.o"
+  "CMakeFiles/kerb_crypto.dir/dlog.cc.o.d"
+  "CMakeFiles/kerb_crypto.dir/md4.cc.o"
+  "CMakeFiles/kerb_crypto.dir/md4.cc.o.d"
+  "CMakeFiles/kerb_crypto.dir/modes.cc.o"
+  "CMakeFiles/kerb_crypto.dir/modes.cc.o.d"
+  "CMakeFiles/kerb_crypto.dir/primes.cc.o"
+  "CMakeFiles/kerb_crypto.dir/primes.cc.o.d"
+  "CMakeFiles/kerb_crypto.dir/prng.cc.o"
+  "CMakeFiles/kerb_crypto.dir/prng.cc.o.d"
+  "CMakeFiles/kerb_crypto.dir/str2key.cc.o"
+  "CMakeFiles/kerb_crypto.dir/str2key.cc.o.d"
+  "libkerb_crypto.a"
+  "libkerb_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kerb_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kerb_encoding.dir/io.cc.o"
+  "CMakeFiles/kerb_encoding.dir/io.cc.o.d"
+  "CMakeFiles/kerb_encoding.dir/tlv.cc.o"
+  "CMakeFiles/kerb_encoding.dir/tlv.cc.o.d"
+  "libkerb_encoding.a"
+  "libkerb_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kerb_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kerb_hardened.dir/dh_login.cc.o"
+  "CMakeFiles/kerb_hardened.dir/dh_login.cc.o.d"
+  "CMakeFiles/kerb_hardened.dir/handheld_login.cc.o"
+  "CMakeFiles/kerb_hardened.dir/handheld_login.cc.o.d"
+  "CMakeFiles/kerb_hardened.dir/policy.cc.o"
+  "CMakeFiles/kerb_hardened.dir/policy.cc.o.d"
+  "libkerb_hardened.a"
+  "libkerb_hardened.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kerb_hardened.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

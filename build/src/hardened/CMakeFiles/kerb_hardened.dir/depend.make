@@ -1,0 +1,2 @@
+# Empty dependencies file for kerb_hardened.
+# This may be replaced when dependencies are built.

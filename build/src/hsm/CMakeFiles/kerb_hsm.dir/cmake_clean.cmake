@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kerb_hsm.dir/encryption_unit.cc.o"
+  "CMakeFiles/kerb_hsm.dir/encryption_unit.cc.o.d"
+  "CMakeFiles/kerb_hsm.dir/hsm_client.cc.o"
+  "CMakeFiles/kerb_hsm.dir/hsm_client.cc.o.d"
+  "CMakeFiles/kerb_hsm.dir/keystore.cc.o"
+  "CMakeFiles/kerb_hsm.dir/keystore.cc.o.d"
+  "libkerb_hsm.a"
+  "libkerb_hsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kerb_hsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkerb_hsm.a"
+)

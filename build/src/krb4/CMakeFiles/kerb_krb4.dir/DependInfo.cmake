@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/krb4/appserver.cc" "src/krb4/CMakeFiles/kerb_krb4.dir/appserver.cc.o" "gcc" "src/krb4/CMakeFiles/kerb_krb4.dir/appserver.cc.o.d"
+  "/root/repo/src/krb4/client.cc" "src/krb4/CMakeFiles/kerb_krb4.dir/client.cc.o" "gcc" "src/krb4/CMakeFiles/kerb_krb4.dir/client.cc.o.d"
+  "/root/repo/src/krb4/database.cc" "src/krb4/CMakeFiles/kerb_krb4.dir/database.cc.o" "gcc" "src/krb4/CMakeFiles/kerb_krb4.dir/database.cc.o.d"
+  "/root/repo/src/krb4/kdc.cc" "src/krb4/CMakeFiles/kerb_krb4.dir/kdc.cc.o" "gcc" "src/krb4/CMakeFiles/kerb_krb4.dir/kdc.cc.o.d"
+  "/root/repo/src/krb4/krbpriv.cc" "src/krb4/CMakeFiles/kerb_krb4.dir/krbpriv.cc.o" "gcc" "src/krb4/CMakeFiles/kerb_krb4.dir/krbpriv.cc.o.d"
+  "/root/repo/src/krb4/messages.cc" "src/krb4/CMakeFiles/kerb_krb4.dir/messages.cc.o" "gcc" "src/krb4/CMakeFiles/kerb_krb4.dir/messages.cc.o.d"
+  "/root/repo/src/krb4/principal.cc" "src/krb4/CMakeFiles/kerb_krb4.dir/principal.cc.o" "gcc" "src/krb4/CMakeFiles/kerb_krb4.dir/principal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kerb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/kerb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/kerb_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kerb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kerb_krb4.dir/appserver.cc.o"
+  "CMakeFiles/kerb_krb4.dir/appserver.cc.o.d"
+  "CMakeFiles/kerb_krb4.dir/client.cc.o"
+  "CMakeFiles/kerb_krb4.dir/client.cc.o.d"
+  "CMakeFiles/kerb_krb4.dir/database.cc.o"
+  "CMakeFiles/kerb_krb4.dir/database.cc.o.d"
+  "CMakeFiles/kerb_krb4.dir/kdc.cc.o"
+  "CMakeFiles/kerb_krb4.dir/kdc.cc.o.d"
+  "CMakeFiles/kerb_krb4.dir/krbpriv.cc.o"
+  "CMakeFiles/kerb_krb4.dir/krbpriv.cc.o.d"
+  "CMakeFiles/kerb_krb4.dir/messages.cc.o"
+  "CMakeFiles/kerb_krb4.dir/messages.cc.o.d"
+  "CMakeFiles/kerb_krb4.dir/principal.cc.o"
+  "CMakeFiles/kerb_krb4.dir/principal.cc.o.d"
+  "libkerb_krb4.a"
+  "libkerb_krb4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kerb_krb4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

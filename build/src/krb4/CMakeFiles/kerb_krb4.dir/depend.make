@@ -1,0 +1,2 @@
+# Empty dependencies file for kerb_krb4.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/krb5/appserver.cc" "src/krb5/CMakeFiles/kerb_krb5.dir/appserver.cc.o" "gcc" "src/krb5/CMakeFiles/kerb_krb5.dir/appserver.cc.o.d"
+  "/root/repo/src/krb5/client.cc" "src/krb5/CMakeFiles/kerb_krb5.dir/client.cc.o" "gcc" "src/krb5/CMakeFiles/kerb_krb5.dir/client.cc.o.d"
+  "/root/repo/src/krb5/enclayer.cc" "src/krb5/CMakeFiles/kerb_krb5.dir/enclayer.cc.o" "gcc" "src/krb5/CMakeFiles/kerb_krb5.dir/enclayer.cc.o.d"
+  "/root/repo/src/krb5/kdc.cc" "src/krb5/CMakeFiles/kerb_krb5.dir/kdc.cc.o" "gcc" "src/krb5/CMakeFiles/kerb_krb5.dir/kdc.cc.o.d"
+  "/root/repo/src/krb5/messages.cc" "src/krb5/CMakeFiles/kerb_krb5.dir/messages.cc.o" "gcc" "src/krb5/CMakeFiles/kerb_krb5.dir/messages.cc.o.d"
+  "/root/repo/src/krb5/safepriv.cc" "src/krb5/CMakeFiles/kerb_krb5.dir/safepriv.cc.o" "gcc" "src/krb5/CMakeFiles/kerb_krb5.dir/safepriv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kerb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/kerb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/kerb_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kerb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/krb4/CMakeFiles/kerb_krb4.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kerb_krb5.dir/appserver.cc.o"
+  "CMakeFiles/kerb_krb5.dir/appserver.cc.o.d"
+  "CMakeFiles/kerb_krb5.dir/client.cc.o"
+  "CMakeFiles/kerb_krb5.dir/client.cc.o.d"
+  "CMakeFiles/kerb_krb5.dir/enclayer.cc.o"
+  "CMakeFiles/kerb_krb5.dir/enclayer.cc.o.d"
+  "CMakeFiles/kerb_krb5.dir/kdc.cc.o"
+  "CMakeFiles/kerb_krb5.dir/kdc.cc.o.d"
+  "CMakeFiles/kerb_krb5.dir/messages.cc.o"
+  "CMakeFiles/kerb_krb5.dir/messages.cc.o.d"
+  "CMakeFiles/kerb_krb5.dir/safepriv.cc.o"
+  "CMakeFiles/kerb_krb5.dir/safepriv.cc.o.d"
+  "libkerb_krb5.a"
+  "libkerb_krb5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kerb_krb5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

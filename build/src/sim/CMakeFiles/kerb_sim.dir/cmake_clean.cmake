@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kerb_sim.dir/network.cc.o"
+  "CMakeFiles/kerb_sim.dir/network.cc.o.d"
+  "CMakeFiles/kerb_sim.dir/tcpsim.cc.o"
+  "CMakeFiles/kerb_sim.dir/tcpsim.cc.o.d"
+  "CMakeFiles/kerb_sim.dir/timeservice.cc.o"
+  "CMakeFiles/kerb_sim.dir/timeservice.cc.o.d"
+  "libkerb_sim.a"
+  "libkerb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kerb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("crypto")
+subdirs("encoding")
+subdirs("sim")
+subdirs("krb4")
+subdirs("krb5")
+subdirs("attacks")
+subdirs("hsm")
+subdirs("hardened")
+subdirs("fuzz")
+subdirs("integration")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/address_attack_test.dir/address_test.cc.o"
+  "CMakeFiles/address_attack_test.dir/address_test.cc.o.d"
+  "address_attack_test"
+  "address_attack_test.pdb"
+  "address_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/address_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cutpaste_attack_test.dir/cutpaste_test.cc.o"
+  "CMakeFiles/cutpaste_attack_test.dir/cutpaste_test.cc.o.d"
+  "cutpaste_attack_test"
+  "cutpaste_attack_test.pdb"
+  "cutpaste_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cutpaste_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

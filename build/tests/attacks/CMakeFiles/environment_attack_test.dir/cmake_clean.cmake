@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/environment_attack_test.dir/environment_test.cc.o"
+  "CMakeFiles/environment_attack_test.dir/environment_test.cc.o.d"
+  "environment_attack_test"
+  "environment_attack_test.pdb"
+  "environment_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/environment_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_attack_test.dir/harvest_test.cc.o"
+  "CMakeFiles/harvest_attack_test.dir/harvest_test.cc.o.d"
+  "harvest_attack_test"
+  "harvest_attack_test.pdb"
+  "harvest_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hosttrust_attack_test.dir/hosttrust_test.cc.o"
+  "CMakeFiles/hosttrust_attack_test.dir/hosttrust_test.cc.o.d"
+  "hosttrust_attack_test"
+  "hosttrust_attack_test.pdb"
+  "hosttrust_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hosttrust_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

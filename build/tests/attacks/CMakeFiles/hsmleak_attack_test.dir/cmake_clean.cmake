@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsmleak_attack_test.dir/hsmleak_test.cc.o"
+  "CMakeFiles/hsmleak_attack_test.dir/hsmleak_test.cc.o.d"
+  "hsmleak_attack_test"
+  "hsmleak_attack_test.pdb"
+  "hsmleak_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsmleak_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

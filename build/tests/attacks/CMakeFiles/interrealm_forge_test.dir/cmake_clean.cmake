@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interrealm_forge_test.dir/interrealm_attack_test.cc.o"
+  "CMakeFiles/interrealm_forge_test.dir/interrealm_attack_test.cc.o.d"
+  "interrealm_forge_test"
+  "interrealm_forge_test.pdb"
+  "interrealm_forge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interrealm_forge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loginspoof_attack_test.dir/loginspoof_test.cc.o"
+  "CMakeFiles/loginspoof_attack_test.dir/loginspoof_test.cc.o.d"
+  "loginspoof_attack_test"
+  "loginspoof_attack_test.pdb"
+  "loginspoof_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loginspoof_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

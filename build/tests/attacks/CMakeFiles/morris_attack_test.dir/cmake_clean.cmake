@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morris_attack_test.dir/morris_test.cc.o"
+  "CMakeFiles/morris_attack_test.dir/morris_test.cc.o.d"
+  "morris_attack_test"
+  "morris_attack_test.pdb"
+  "morris_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morris_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_attack_test.dir/replay_test.cc.o"
+  "CMakeFiles/replay_attack_test.dir/replay_test.cc.o.d"
+  "replay_attack_test"
+  "replay_attack_test.pdb"
+  "replay_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

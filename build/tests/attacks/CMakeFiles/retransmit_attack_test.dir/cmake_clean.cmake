@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retransmit_attack_test.dir/retransmit_test.cc.o"
+  "CMakeFiles/retransmit_attack_test.dir/retransmit_test.cc.o.d"
+  "retransmit_attack_test"
+  "retransmit_attack_test.pdb"
+  "retransmit_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retransmit_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

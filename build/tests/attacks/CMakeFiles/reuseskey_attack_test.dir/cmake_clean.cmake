@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuseskey_attack_test.dir/reuseskey_test.cc.o"
+  "CMakeFiles/reuseskey_attack_test.dir/reuseskey_test.cc.o.d"
+  "reuseskey_attack_test"
+  "reuseskey_attack_test.pdb"
+  "reuseskey_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuseskey_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

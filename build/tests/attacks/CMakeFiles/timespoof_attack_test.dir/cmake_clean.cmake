@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timespoof_attack_test.dir/timespoof_test.cc.o"
+  "CMakeFiles/timespoof_attack_test.dir/timespoof_test.cc.o.d"
+  "timespoof_attack_test"
+  "timespoof_attack_test.pdb"
+  "timespoof_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timespoof_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/userasservice_attack_test.dir/userasservice_test.cc.o"
+  "CMakeFiles/userasservice_attack_test.dir/userasservice_test.cc.o.d"
+  "userasservice_attack_test"
+  "userasservice_attack_test.pdb"
+  "userasservice_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/userasservice_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

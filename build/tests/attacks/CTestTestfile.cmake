@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/attacks
+# Build directory: /root/repo/build/tests/attacks
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/attacks/replay_attack_test[1]_include.cmake")
+include("/root/repo/build/tests/attacks/morris_attack_test[1]_include.cmake")
+include("/root/repo/build/tests/attacks/timespoof_attack_test[1]_include.cmake")
+include("/root/repo/build/tests/attacks/harvest_attack_test[1]_include.cmake")
+include("/root/repo/build/tests/attacks/loginspoof_attack_test[1]_include.cmake")
+include("/root/repo/build/tests/attacks/cutpaste_attack_test[1]_include.cmake")
+include("/root/repo/build/tests/attacks/reuseskey_attack_test[1]_include.cmake")
+include("/root/repo/build/tests/attacks/address_attack_test[1]_include.cmake")
+include("/root/repo/build/tests/attacks/hsmleak_attack_test[1]_include.cmake")
+include("/root/repo/build/tests/attacks/interrealm_forge_test[1]_include.cmake")
+include("/root/repo/build/tests/attacks/userasservice_attack_test[1]_include.cmake")
+include("/root/repo/build/tests/attacks/retransmit_attack_test[1]_include.cmake")
+include("/root/repo/build/tests/attacks/environment_attack_test[1]_include.cmake")
+include("/root/repo/build/tests/attacks/hosttrust_attack_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlog_test.dir/dlog_test.cc.o"
+  "CMakeFiles/dlog_test.dir/dlog_test.cc.o.d"
+  "dlog_test"
+  "dlog_test.pdb"
+  "dlog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md4_test.dir/md4_test.cc.o"
+  "CMakeFiles/md4_test.dir/md4_test.cc.o.d"
+  "md4_test"
+  "md4_test.pdb"
+  "md4_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modes_test.dir/modes_test.cc.o"
+  "CMakeFiles/modes_test.dir/modes_test.cc.o.d"
+  "modes_test"
+  "modes_test.pdb"
+  "modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/str2key_test.dir/str2key_test.cc.o"
+  "CMakeFiles/str2key_test.dir/str2key_test.cc.o.d"
+  "str2key_test"
+  "str2key_test.pdb"
+  "str2key_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/str2key_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/crypto
+# Build directory: /root/repo/build/tests/crypto
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/crypto/des_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto/modes_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto/crc32_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto/md4_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto/checksum_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto/bigint_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto/dh_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto/dlog_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto/primes_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto/prng_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto/str2key_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto/common_test[1]_include.cmake")

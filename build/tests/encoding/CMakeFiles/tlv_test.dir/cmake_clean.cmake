@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlv_test.dir/tlv_test.cc.o"
+  "CMakeFiles/tlv_test.dir/tlv_test.cc.o.d"
+  "tlv_test"
+  "tlv_test.pdb"
+  "tlv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

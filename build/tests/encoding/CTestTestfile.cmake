@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/encoding
+# Build directory: /root/repo/build/tests/encoding
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/encoding/io_test[1]_include.cmake")
+include("/root/repo/build/tests/encoding/tlv_test[1]_include.cmake")

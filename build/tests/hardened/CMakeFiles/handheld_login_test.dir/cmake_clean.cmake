@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handheld_login_test.dir/handheld_login_test.cc.o"
+  "CMakeFiles/handheld_login_test.dir/handheld_login_test.cc.o.d"
+  "handheld_login_test"
+  "handheld_login_test.pdb"
+  "handheld_login_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handheld_login_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

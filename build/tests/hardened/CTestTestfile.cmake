@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/hardened
+# Build directory: /root/repo/build/tests/hardened
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hardened/handheld_login_test[1]_include.cmake")
+include("/root/repo/build/tests/hardened/dh_login_test[1]_include.cmake")
+include("/root/repo/build/tests/hardened/policy_test[1]_include.cmake")

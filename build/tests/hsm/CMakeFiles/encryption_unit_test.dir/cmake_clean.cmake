@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encryption_unit_test.dir/encryption_unit_test.cc.o"
+  "CMakeFiles/encryption_unit_test.dir/encryption_unit_test.cc.o.d"
+  "encryption_unit_test"
+  "encryption_unit_test.pdb"
+  "encryption_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encryption_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsm_client_test.dir/hsm_client_test.cc.o"
+  "CMakeFiles/hsm_client_test.dir/hsm_client_test.cc.o.d"
+  "hsm_client_test"
+  "hsm_client_test.pdb"
+  "hsm_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsm_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

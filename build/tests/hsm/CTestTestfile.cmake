@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/hsm
+# Build directory: /root/repo/build/tests/hsm
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hsm/encryption_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/hsm/keystore_test[1]_include.cmake")
+include("/root/repo/build/tests/hsm/hsm_client_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/errorpaths4_test.dir/errorpaths4_test.cc.o"
+  "CMakeFiles/errorpaths4_test.dir/errorpaths4_test.cc.o.d"
+  "errorpaths4_test"
+  "errorpaths4_test.pdb"
+  "errorpaths4_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/errorpaths4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/krbpriv4_test.dir/krbpriv4_test.cc.o"
+  "CMakeFiles/krbpriv4_test.dir/krbpriv4_test.cc.o.d"
+  "krbpriv4_test"
+  "krbpriv4_test.pdb"
+  "krbpriv4_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/krbpriv4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/messages4_test.dir/messages4_test.cc.o"
+  "CMakeFiles/messages4_test.dir/messages4_test.cc.o.d"
+  "messages4_test"
+  "messages4_test.pdb"
+  "messages4_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/messages4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

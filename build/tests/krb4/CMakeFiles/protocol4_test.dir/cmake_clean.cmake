@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol4_test.dir/protocol4_test.cc.o"
+  "CMakeFiles/protocol4_test.dir/protocol4_test.cc.o.d"
+  "protocol4_test"
+  "protocol4_test.pdb"
+  "protocol4_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typeconfusion_test.dir/typeconfusion_test.cc.o"
+  "CMakeFiles/typeconfusion_test.dir/typeconfusion_test.cc.o.d"
+  "typeconfusion_test"
+  "typeconfusion_test.pdb"
+  "typeconfusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typeconfusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

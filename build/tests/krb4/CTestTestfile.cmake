@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/krb4
+# Build directory: /root/repo/build/tests/krb4
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/krb4/messages4_test[1]_include.cmake")
+include("/root/repo/build/tests/krb4/protocol4_test[1]_include.cmake")
+include("/root/repo/build/tests/krb4/typeconfusion_test[1]_include.cmake")
+include("/root/repo/build/tests/krb4/krbpriv4_test[1]_include.cmake")
+include("/root/repo/build/tests/krb4/errorpaths4_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_param_test.dir/channel_param_test.cc.o"
+  "CMakeFiles/channel_param_test.dir/channel_param_test.cc.o.d"
+  "channel_param_test"
+  "channel_param_test.pdb"
+  "channel_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

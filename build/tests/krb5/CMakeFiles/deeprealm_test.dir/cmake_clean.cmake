@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deeprealm_test.dir/deeprealm_test.cc.o"
+  "CMakeFiles/deeprealm_test.dir/deeprealm_test.cc.o.d"
+  "deeprealm_test"
+  "deeprealm_test.pdb"
+  "deeprealm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deeprealm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

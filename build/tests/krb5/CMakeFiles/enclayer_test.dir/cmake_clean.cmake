@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enclayer_test.dir/enclayer_test.cc.o"
+  "CMakeFiles/enclayer_test.dir/enclayer_test.cc.o.d"
+  "enclayer_test"
+  "enclayer_test.pdb"
+  "enclayer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enclayer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/errorpaths_test.dir/errorpaths_test.cc.o"
+  "CMakeFiles/errorpaths_test.dir/errorpaths_test.cc.o.d"
+  "errorpaths_test"
+  "errorpaths_test.pdb"
+  "errorpaths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/errorpaths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

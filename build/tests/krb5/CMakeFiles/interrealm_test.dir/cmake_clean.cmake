@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interrealm_test.dir/interrealm_test.cc.o"
+  "CMakeFiles/interrealm_test.dir/interrealm_test.cc.o.d"
+  "interrealm_test"
+  "interrealm_test.pdb"
+  "interrealm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interrealm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/messages5_test.dir/messages5_test.cc.o"
+  "CMakeFiles/messages5_test.dir/messages5_test.cc.o.d"
+  "messages5_test"
+  "messages5_test.pdb"
+  "messages5_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/messages5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

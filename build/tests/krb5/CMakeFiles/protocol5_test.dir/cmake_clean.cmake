@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol5_test.dir/protocol5_test.cc.o"
+  "CMakeFiles/protocol5_test.dir/protocol5_test.cc.o.d"
+  "protocol5_test"
+  "protocol5_test.pdb"
+  "protocol5_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safepriv_test.dir/safepriv_test.cc.o"
+  "CMakeFiles/safepriv_test.dir/safepriv_test.cc.o.d"
+  "safepriv_test"
+  "safepriv_test.pdb"
+  "safepriv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safepriv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

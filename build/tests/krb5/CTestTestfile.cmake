@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/krb5
+# Build directory: /root/repo/build/tests/krb5
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/krb5/enclayer_test[1]_include.cmake")
+include("/root/repo/build/tests/krb5/messages5_test[1]_include.cmake")
+include("/root/repo/build/tests/krb5/protocol5_test[1]_include.cmake")
+include("/root/repo/build/tests/krb5/safepriv_test[1]_include.cmake")
+include("/root/repo/build/tests/krb5/interrealm_test[1]_include.cmake")
+include("/root/repo/build/tests/krb5/deeprealm_test[1]_include.cmake")
+include("/root/repo/build/tests/krb5/channel_param_test[1]_include.cmake")
+include("/root/repo/build/tests/krb5/errorpaths_test[1]_include.cmake")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/timeservice_test.cc" "tests/sim/CMakeFiles/timeservice_test.dir/timeservice_test.cc.o" "gcc" "tests/sim/CMakeFiles/timeservice_test.dir/timeservice_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/kerb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/kerb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/kerb_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kerb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

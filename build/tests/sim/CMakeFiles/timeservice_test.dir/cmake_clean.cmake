@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeservice_test.dir/timeservice_test.cc.o"
+  "CMakeFiles/timeservice_test.dir/timeservice_test.cc.o.d"
+  "timeservice_test"
+  "timeservice_test.pdb"
+  "timeservice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeservice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
