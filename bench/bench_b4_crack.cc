@@ -60,6 +60,27 @@ void BM_GuessConfirmation(benchmark::State& state) {
 }
 BENCHMARK(BM_GuessConfirmation);
 
+void BM_ParallelCrackSweep(benchmark::State& state) {
+  // Worst case for the attacker: the password is strong, so the sweep runs
+  // the whole dictionary through the worker pool every iteration.
+  // items/sec == guesses/sec through the parallel harness.
+  kcrypto::Prng prng(3);
+  krb4::Principal user = krb4::Principal::User("user9", "ATHENA.SIM");
+  kcrypto::DesKey key = kcrypto::StringToKey("Tr0ub4dor&3", user.Salt());
+  krb4::AsReplyBody4 body;
+  body.tgs_session_key = prng.NextDesKey().bytes();
+  body.sealed_tgt = prng.NextBytes(64);
+  kerb::Bytes sealed = krb4::Seal4(key, body.Encode());
+  const auto& dictionary = kattack::CommonPasswordDictionary();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kattack::CrackSealedReply(sealed, user, dictionary));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(dictionary.size()));
+  state.SetLabel(std::to_string(kattack::CrackWorkerThreads()) + " worker thread(s)");
+}
+BENCHMARK(BM_ParallelCrackSweep)->Unit(benchmark::kMicrosecond);
+
 void BM_FullDictionaryPerUser(benchmark::State& state) {
   kcrypto::Prng prng(2);
   krb4::Principal user = krb4::Principal::User("user7", "ATHENA.SIM");

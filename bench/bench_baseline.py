@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Records the repo's performance trajectory into a BENCH_*.json file.
+
+Runs the headline benchmark binaries (DES mode throughput, dictionary-attack
+guess rate, KDC exchange rate) with google-benchmark's JSON output and
+distills the numbers every PR cares about:
+
+    blocks_per_sec: ECB / CBC / PCBC at 8 KiB buffers
+    guesses_per_sec: string-to-key alone, and string-to-key + trial unseal
+    kdc_requests_per_sec: bare AS exchange, preauth AS exchange, TGS exchange
+
+Usage:
+    python3 bench/bench_baseline.py --build-dir build --out BENCH_PR1.json
+
+or via the CMake target:  cmake --build build --target bench_baseline
+Stdlib only; no third-party packages.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run_bench(binary, bench_filter, min_time=None):
+    """Runs one bench binary, returns google-benchmark's parsed JSON list."""
+    out_path = tempfile.mktemp(suffix=".json")
+    cmd = [
+        binary,
+        f"--benchmark_filter={bench_filter}",
+        f"--benchmark_out={out_path}",
+        "--benchmark_out_format=json",
+    ]
+    if min_time is not None:
+        cmd.append(f"--benchmark_min_time={min_time}")
+    try:
+        try:
+            subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL,
+                           stderr=subprocess.DEVNULL)
+        except FileNotFoundError:
+            sys.exit(f"error: bench binary not found: {binary} "
+                     "(build it first, or pass --build-dir)")
+        with open(out_path) as f:
+            return json.load(f)["benchmarks"]
+    finally:
+        if os.path.exists(out_path):
+            os.unlink(out_path)
+
+
+def metric(benchmarks, name, field):
+    for b in benchmarks:
+        if b["name"] == name:
+            return b[field]
+    raise KeyError(f"benchmark {name!r} not found; got "
+                   f"{[b['name'] for b in benchmarks]}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default="BENCH_PR1.json")
+    parser.add_argument("--min-time", default=None,
+                        help="override --benchmark_min_time (bare seconds, e.g. 0.05)")
+    args = parser.parse_args()
+
+    bench_dir = os.path.join(args.build_dir, "bench")
+
+    b1 = run_bench(os.path.join(bench_dir, "bench_b1_desmodes"),
+                   "BM_Des(Ecb|Cbc|Pcbc)/8192$", args.min_time)
+    b4 = run_bench(os.path.join(bench_dir, "bench_b4_crack"),
+                   "BM_StringToKey|BM_GuessConfirmation|BM_ParallelCrackSweep",
+                   args.min_time)
+    b7 = run_bench(os.path.join(bench_dir, "bench_b7_kdc"),
+                   "BM_AsExchangeBare|BM_AsExchangePreauth|BM_TgsExchange",
+                   args.min_time)
+
+    doc = {
+        "blocks_per_sec": {
+            "ecb": metric(b1, "BM_DesEcb/8192", "bytes_per_second") / 8,
+            "cbc": metric(b1, "BM_DesCbc/8192", "bytes_per_second") / 8,
+            "pcbc": metric(b1, "BM_DesPcbc/8192", "bytes_per_second") / 8,
+        },
+        "guesses_per_sec": {
+            "string_to_key": metric(b4, "BM_StringToKey", "items_per_second"),
+            "confirmed_guess": metric(b4, "BM_GuessConfirmation",
+                                      "items_per_second"),
+            "parallel_sweep": metric(b4, "BM_ParallelCrackSweep",
+                                     "items_per_second"),
+        },
+        "kdc_requests_per_sec": {
+            "as_bare": metric(b7, "BM_AsExchangeBare", "items_per_second"),
+            "as_preauth": metric(b7, "BM_AsExchangePreauth", "items_per_second"),
+            "tgs": metric(b7, "BM_TgsExchange", "items_per_second"),
+        },
+    }
+
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    for section, values in doc.items():
+        for name, value in values.items():
+            print(f"  {section}.{name}: {value:,.0f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

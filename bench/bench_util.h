@@ -1,6 +1,13 @@
 // Shared scaffolding for the experiment benches: each binary prints its
 // experiment table (the qualitative reproduction) and then runs
 // google-benchmark timings (the quantitative side).
+//
+// Machine-readable output: every ResultRow is also recorded in a process-
+// global JSON emitter. When the KERB_BENCH_JSON environment variable names a
+// file, the emitter writes `{"outcomes": [...], "metrics": {...}}` there on
+// exit from KERB_BENCH_MAIN — this is what bench/bench_baseline.py and the
+// BENCH_*.json perf-trajectory files build on. Benches can add their own
+// scalar metrics with kbench::GlobalJson().AddMetric(...).
 
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
@@ -8,9 +15,100 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace kbench {
+
+// Minimal JSON document writer: experiment outcomes plus named scalar
+// metrics. No dependencies, deliberately append-only.
+class JsonEmitter {
+ public:
+  void AddOutcome(const std::string& configuration, bool attack_succeeded,
+                  const std::string& note) {
+    outcomes_.push_back({configuration, attack_succeeded, note});
+  }
+
+  void AddMetric(const std::string& name, double value) {
+    metrics_.emplace_back(name, value);
+  }
+
+  bool empty() const { return outcomes_.empty() && metrics_.empty(); }
+
+  std::string ToJson() const {
+    std::string out = "{\n  \"outcomes\": [";
+    for (size_t i = 0; i < outcomes_.size(); ++i) {
+      out += (i == 0 ? "\n" : ",\n");
+      out += "    {\"configuration\": " + Quote(outcomes_[i].configuration) +
+             ", \"attack_succeeded\": " + (outcomes_[i].attack_succeeded ? "true" : "false") +
+             ", \"note\": " + Quote(outcomes_[i].note) + "}";
+    }
+    out += outcomes_.empty() ? "],\n" : "\n  ],\n";
+    out += "  \"metrics\": {";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      out += (i == 0 ? "\n" : ",\n");
+      char value[64];
+      std::snprintf(value, sizeof(value), "%.17g", metrics_[i].second);
+      out += "    " + Quote(metrics_[i].first) + ": " + value;
+    }
+    out += metrics_.empty() ? "}\n}\n" : "\n  }\n}\n";
+    return out;
+  }
+
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return false;
+    }
+    std::string doc = ToJson();
+    bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  struct Outcome {
+    std::string configuration;
+    bool attack_succeeded;
+    std::string note;
+  };
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  std::vector<Outcome> outcomes_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+inline JsonEmitter& GlobalJson() {
+  static JsonEmitter emitter;
+  return emitter;
+}
 
 inline void Header(const char* experiment_id, const char* title) {
   std::printf("\n================================================================\n");
@@ -24,6 +122,16 @@ inline void ResultRow(const std::string& configuration, bool attack_succeeded,
                       const std::string& note = "") {
   std::printf("  %-44s %-8s %s\n", configuration.c_str(),
               attack_succeeded ? "SUCCESS" : "blocked", note.c_str());
+  GlobalJson().AddOutcome(configuration, attack_succeeded, note);
+}
+
+inline void MaybeWriteJson() {
+  const char* path = std::getenv("KERB_BENCH_JSON");
+  if (path != nullptr && path[0] != '\0') {
+    if (!GlobalJson().WriteTo(path)) {
+      std::fprintf(stderr, "failed to write KERB_BENCH_JSON to %s\n", path);
+    }
+  }
 }
 
 }  // namespace kbench
@@ -39,6 +147,7 @@ inline void ResultRow(const std::string& configuration, bool attack_succeeded,
     }                                                           \
     ::benchmark::RunSpecifiedBenchmarks();                      \
     ::benchmark::Shutdown();                                    \
+    ::kbench::MaybeWriteJson();                                 \
     return 0;                                                   \
   }
 

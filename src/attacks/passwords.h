@@ -41,6 +41,14 @@ std::vector<std::pair<std::string, bool>> MakePopulation(kcrypto::Prng& prng,
 // A strong random password (outside the dictionary).
 std::string RandomStrongPassword(kcrypto::Prng& prng);
 
+// Number of worker threads the dictionary sweep fans out to: the
+// KERB_CRACK_THREADS environment variable if set (≥1), otherwise the
+// hardware concurrency. The sweep's result is deterministic regardless of
+// the thread count — workers race through the dictionary in index order and
+// the lowest-index hit always wins, with everyone past that index bailing
+// out early.
+unsigned CrackWorkerThreads();
+
 // Offline attack on one recorded AS reply body (the V4 sealed AsReplyBody
 // bytes). Returns the recovered password, or nullopt if no dictionary word
 // matches. `attempts_out`, if given, receives the number of string-to-key

@@ -1,114 +1,95 @@
 #include "src/crypto/des.h"
 
-#include <cassert>
+#include <algorithm>
+#include <array>
+#include <bit>
+
+#include "src/crypto/des_tables.h"
 
 namespace kcrypto {
 
 namespace {
 
-// FIPS 46 tables. Entries are 1-based bit positions counted from the most
-// significant bit, exactly as printed in the standard.
+using destables::Permute;
 
-constexpr uint8_t kIp[64] = {
-    58, 50, 42, 34, 26, 18, 10, 2,  60, 52, 44, 36, 28, 20, 12, 4,
-    62, 54, 46, 38, 30, 22, 14, 6,  64, 56, 48, 40, 32, 24, 16, 8,
-    57, 49, 41, 33, 25, 17, 9,  1,  59, 51, 43, 35, 27, 19, 11, 3,
-    61, 53, 45, 37, 29, 21, 13, 5,  63, 55, 47, 39, 31, 23, 15, 7,
-};
+// ---------------------------------------------------------------------------
+// Compile-time derivation of the fused lookup tables from the FIPS tables.
+//
+// The fast path never walks a permutation bit by bit. Instead:
+//   * IP and FP are applied as eight byte-indexed lookups ORed together
+//     (kIpTab/kFpTab: contribution of input byte i having value v).
+//   * The round function fuses E, the S-boxes, and P into eight 64-entry
+//     tables (kSp): E is just overlapping 6-bit windows of R, so each window,
+//     XORed with its 6-bit subkey chunk, indexes a table whose entries are
+//     already P-permuted S-box outputs placed in their final positions.
+//   * PC-1 and PC-2 of the key schedule get the same byte-indexed treatment.
+// All tables are constexpr-generated from the canonical FIPS tables in
+// des_tables.h, so there is exactly one source of truth for the standard.
+// ---------------------------------------------------------------------------
 
-constexpr uint8_t kFp[64] = {
-    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31,
-    38, 6, 46, 14, 54, 22, 62, 30, 37, 5, 45, 13, 53, 21, 61, 29,
-    36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
-    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9,  49, 17, 57, 25,
-};
-
-constexpr uint8_t kE[48] = {
-    32, 1,  2,  3,  4,  5,  4,  5,  6,  7,  8,  9,  8,  9,  10, 11,
-    12, 13, 12, 13, 14, 15, 16, 17, 16, 17, 18, 19, 20, 21, 20, 21,
-    22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1,
-};
-
-constexpr uint8_t kP[32] = {
-    16, 7, 20, 21, 29, 12, 28, 17, 1,  15, 23, 26, 5,  18, 31, 10,
-    2,  8, 24, 14, 32, 27, 3,  9,  19, 13, 30, 6,  22, 11, 4,  25,
-};
-
-constexpr uint8_t kPc1[56] = {
-    57, 49, 41, 33, 25, 17, 9,  1,  58, 50, 42, 34, 26, 18,
-    10, 2,  59, 51, 43, 35, 27, 19, 11, 3,  60, 52, 44, 36,
-    63, 55, 47, 39, 31, 23, 15, 7,  62, 54, 46, 38, 30, 22,
-    14, 6,  61, 53, 45, 37, 29, 21, 13, 5,  28, 20, 12, 4,
-};
-
-constexpr uint8_t kPc2[48] = {
-    14, 17, 11, 24, 1,  5,  3,  28, 15, 6,  21, 10, 23, 19, 12, 4,
-    26, 8,  16, 7,  27, 20, 13, 2,  41, 52, 31, 37, 47, 55, 30, 40,
-    51, 45, 33, 48, 44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32,
-};
-
-constexpr uint8_t kShifts[16] = {1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1};
-
-constexpr uint8_t kSBox[8][64] = {
-    {14, 4,  13, 1, 2,  15, 11, 8,  3,  10, 6,  12, 5,  9,  0, 7,
-     0,  15, 7,  4, 14, 2,  13, 1,  10, 6,  12, 11, 9,  5,  3, 8,
-     4,  1,  14, 8, 13, 6,  2,  11, 15, 12, 9,  7,  3,  10, 5, 0,
-     15, 12, 8,  2, 4,  9,  1,  7,  5,  11, 3,  14, 10, 0,  6, 13},
-    {15, 1,  8,  14, 6,  11, 3,  4,  9,  7, 2,  13, 12, 0, 5,  10,
-     3,  13, 4,  7,  15, 2,  8,  14, 12, 0, 1,  10, 6,  9, 11, 5,
-     0,  14, 7,  11, 10, 4,  13, 1,  5,  8, 12, 6,  9,  3, 2,  15,
-     13, 8,  10, 1,  3,  15, 4,  2,  11, 6, 7,  12, 0,  5, 14, 9},
-    {10, 0,  9,  14, 6, 3,  15, 5,  1,  13, 12, 7,  11, 4,  2,  8,
-     13, 7,  0,  9,  3, 4,  6,  10, 2,  8,  5,  14, 12, 11, 15, 1,
-     13, 6,  4,  9,  8, 15, 3,  0,  11, 1,  2,  12, 5,  10, 14, 7,
-     1,  10, 13, 0,  6, 9,  8,  7,  4,  15, 14, 3,  11, 5,  2,  12},
-    {7,  13, 14, 3, 0,  6,  9,  10, 1,  2, 8, 5,  11, 12, 4,  15,
-     13, 8,  11, 5, 6,  15, 0,  3,  4,  7, 2, 12, 1,  10, 14, 9,
-     10, 6,  9,  0, 12, 11, 7,  13, 15, 1, 3, 14, 5,  2,  8,  4,
-     3,  15, 0,  6, 10, 1,  13, 8,  9,  4, 5, 11, 12, 7,  2,  14},
-    {2,  12, 4,  1,  7,  10, 11, 6,  8,  5,  3,  15, 13, 0, 14, 9,
-     14, 11, 2,  12, 4,  7,  13, 1,  5,  0,  15, 10, 3,  9, 8,  6,
-     4,  2,  1,  11, 10, 13, 7,  8,  15, 9,  12, 5,  6,  3, 0,  14,
-     11, 8,  12, 7,  1,  14, 2,  13, 6,  15, 0,  9,  10, 4, 5,  3},
-    {12, 1,  10, 15, 9, 2,  6,  8,  0,  13, 3,  4,  14, 7,  5,  11,
-     10, 15, 4,  2,  7, 12, 9,  5,  6,  1,  13, 14, 0,  11, 3,  8,
-     9,  14, 15, 5,  2, 8,  12, 3,  7,  0,  4,  10, 1,  13, 11, 6,
-     4,  3,  2,  12, 9, 5,  15, 10, 11, 14, 1,  7,  6,  0,  8,  13},
-    {4,  11, 2,  14, 15, 0, 8,  13, 3,  12, 9, 7,  5,  10, 6, 1,
-     13, 0,  11, 7,  4,  9, 1,  10, 14, 3,  5, 12, 2,  15, 8, 6,
-     1,  4,  11, 13, 12, 3, 7,  14, 10, 15, 6, 8,  0,  5,  9, 2,
-     6,  11, 13, 8,  1,  4, 10, 7,  9,  5,  0, 15, 14, 2,  3, 12},
-    {13, 2,  8,  4, 6,  15, 11, 1,  10, 9,  3,  14, 5,  0,  12, 7,
-     1,  15, 13, 8, 10, 3,  7,  4,  12, 5,  6,  11, 0,  14, 9,  2,
-     7,  11, 4,  1, 9,  12, 14, 2,  0,  6,  10, 13, 15, 3,  5,  8,
-     2,  1,  14, 7, 4,  10, 8,  13, 15, 12, 9,  0,  3,  5,  6,  11},
-};
-
-// Applies a 1-based-from-MSB bit permutation table to `in` (treated as an
-// `in_bits`-wide value stored in the low bits), producing `out_bits` bits.
-uint64_t Permute(uint64_t in, int in_bits, const uint8_t* table, int out_bits) {
-  uint64_t out = 0;
-  for (int i = 0; i < out_bits; ++i) {
-    int src = table[i];  // 1-based from MSB of the in_bits-wide value
-    uint64_t bit = (in >> (in_bits - src)) & 1u;
-    out = (out << 1) | bit;
+// Byte-indexed form of a 1-based-from-MSB permutation: entry [i][v] is the
+// permuted contribution of input byte i (0 = most significant) holding v.
+template <int kInBytes>
+constexpr std::array<std::array<uint64_t, 256>, kInBytes> MakeByteTable(
+    const uint8_t* table, int in_bits, int out_bits) {
+  std::array<std::array<uint64_t, 256>, kInBytes> out{};
+  for (int i = 0; i < kInBytes; ++i) {
+    for (uint32_t v = 0; v < 256; ++v) {
+      uint64_t placed = static_cast<uint64_t>(v) << (in_bits - 8 * (i + 1));
+      out[i][v] = Permute(placed, in_bits, table, out_bits);
+    }
   }
   return out;
 }
 
-// The Feistel function: expand R to 48 bits, XOR the subkey, substitute
-// through the eight S-boxes, and permute with P.
-uint64_t Feistel(uint32_t r, uint64_t subkey) {
-  uint64_t expanded = Permute(r, 32, kE, 48) ^ subkey;
-  uint32_t sbox_out = 0;
+constexpr auto kIpTab = MakeByteTable<8>(destables::kIp, 64, 64);
+constexpr auto kFpTab = MakeByteTable<8>(destables::kFp, 64, 64);
+constexpr auto kPc1Tab = MakeByteTable<8>(destables::kPc1, 64, 56);
+constexpr auto kPc2Tab = MakeByteTable<7>(destables::kPc2, 56, 48);
+
+// Fused S-box/P tables: kSp[box][six] is P(S_box(six)) with the 4-bit S-box
+// output already placed in its nibble of the 32-bit pre-P word.
+constexpr std::array<std::array<uint32_t, 64>, 8> MakeSpTables() {
+  std::array<std::array<uint32_t, 64>, 8> out{};
   for (int box = 0; box < 8; ++box) {
-    uint32_t six = static_cast<uint32_t>((expanded >> (42 - 6 * box)) & 0x3f);
-    // Row is the outer two bits, column the inner four.
-    uint32_t row = ((six & 0x20) >> 4) | (six & 0x01);
-    uint32_t col = (six >> 1) & 0x0f;
-    sbox_out = (sbox_out << 4) | kSBox[box][row * 16 + col];
+    for (uint32_t six = 0; six < 64; ++six) {
+      // Row is the outer two bits, column the inner four (FIPS 46).
+      uint32_t row = ((six & 0x20) >> 4) | (six & 0x01);
+      uint32_t col = (six >> 1) & 0x0f;
+      uint32_t sbox_out = static_cast<uint32_t>(destables::kSBox[box][row * 16 + col])
+                          << (28 - 4 * box);
+      out[box][six] = static_cast<uint32_t>(Permute(sbox_out, 32, destables::kP, 32));
+    }
   }
-  return Permute(sbox_out, 32, kP, 32);
+  return out;
+}
+
+constexpr auto kSp = MakeSpTables();
+
+inline uint64_t ApplyIp(uint64_t x) {
+  return kIpTab[0][(x >> 56) & 0xff] | kIpTab[1][(x >> 48) & 0xff] |
+         kIpTab[2][(x >> 40) & 0xff] | kIpTab[3][(x >> 32) & 0xff] |
+         kIpTab[4][(x >> 24) & 0xff] | kIpTab[5][(x >> 16) & 0xff] |
+         kIpTab[6][(x >> 8) & 0xff] | kIpTab[7][x & 0xff];
+}
+
+inline uint64_t ApplyFp(uint64_t x) {
+  return kFpTab[0][(x >> 56) & 0xff] | kFpTab[1][(x >> 48) & 0xff] |
+         kFpTab[2][(x >> 40) & 0xff] | kFpTab[3][(x >> 32) & 0xff] |
+         kFpTab[4][(x >> 24) & 0xff] | kFpTab[5][(x >> 16) & 0xff] |
+         kFpTab[6][(x >> 8) & 0xff] | kFpTab[7][x & 0xff];
+}
+
+// The round function. The E expansion is the 34-bit string
+// r32 r1 r2 ... r32 r1 read as eight overlapping 6-bit windows at stride 4,
+// so building that string once replaces the 48-step E table walk.
+inline uint32_t FeistelFast(uint32_t r, const uint8_t* k) {
+  const uint64_t e = (static_cast<uint64_t>(r) << 1) | (r >> 31) |
+                     (static_cast<uint64_t>(r & 1) << 33);
+  return kSp[0][((e >> 28) & 0x3f) ^ k[0]] ^ kSp[1][((e >> 24) & 0x3f) ^ k[1]] ^
+         kSp[2][((e >> 20) & 0x3f) ^ k[2]] ^ kSp[3][((e >> 16) & 0x3f) ^ k[3]] ^
+         kSp[4][((e >> 12) & 0x3f) ^ k[4]] ^ kSp[5][((e >> 8) & 0x3f) ^ k[5]] ^
+         kSp[6][((e >> 4) & 0x3f) ^ k[6]] ^ kSp[7][(e & 0x3f) ^ k[7]];
 }
 
 uint32_t RotateLeft28(uint32_t v, int n) {
@@ -117,20 +98,11 @@ uint32_t RotateLeft28(uint32_t v, int n) {
 
 }  // namespace
 
-uint64_t BlockToU64(const DesBlock& b) {
-  uint64_t v = 0;
-  for (uint8_t byte : b) {
-    v = (v << 8) | byte;
-  }
-  return v;
-}
+uint64_t BlockToU64(const DesBlock& b) { return LoadU64BE(b.data()); }
 
 DesBlock U64ToBlock(uint64_t v) {
   DesBlock b;
-  for (int i = 7; i >= 0; --i) {
-    b[i] = static_cast<uint8_t>(v & 0xff);
-    v >>= 8;
-  }
+  StoreU64BE(b.data(), v);
   return b;
 }
 
@@ -139,42 +111,52 @@ DesKey::DesKey(const DesBlock& key_bytes) : bytes_(key_bytes) { Schedule(); }
 DesKey::DesKey(uint64_t key) : bytes_(U64ToBlock(key)) { Schedule(); }
 
 void DesKey::Schedule() {
-  uint64_t key56 = Permute(BlockToU64(bytes_), 64, kPc1, 56);
+  uint64_t key = BlockToU64(bytes_);
+  uint64_t key56 = kPc1Tab[0][(key >> 56) & 0xff] | kPc1Tab[1][(key >> 48) & 0xff] |
+                   kPc1Tab[2][(key >> 40) & 0xff] | kPc1Tab[3][(key >> 32) & 0xff] |
+                   kPc1Tab[4][(key >> 24) & 0xff] | kPc1Tab[5][(key >> 16) & 0xff] |
+                   kPc1Tab[6][(key >> 8) & 0xff] | kPc1Tab[7][key & 0xff];
   uint32_t c = static_cast<uint32_t>(key56 >> 28) & 0x0fffffff;
   uint32_t d = static_cast<uint32_t>(key56) & 0x0fffffff;
   for (int round = 0; round < 16; ++round) {
-    c = RotateLeft28(c, kShifts[round]);
-    d = RotateLeft28(d, kShifts[round]);
+    c = RotateLeft28(c, destables::kShifts[round]);
+    d = RotateLeft28(d, destables::kShifts[round]);
     uint64_t cd = (static_cast<uint64_t>(c) << 28) | d;
-    subkeys_[round] = Permute(cd, 56, kPc2, 48);
+    uint64_t subkey48 = kPc2Tab[0][(cd >> 48) & 0xff] | kPc2Tab[1][(cd >> 40) & 0xff] |
+                        kPc2Tab[2][(cd >> 32) & 0xff] | kPc2Tab[3][(cd >> 24) & 0xff] |
+                        kPc2Tab[4][(cd >> 16) & 0xff] | kPc2Tab[5][(cd >> 8) & 0xff] |
+                        kPc2Tab[6][cd & 0xff];
+    // Stored as the eight 6-bit S-box-aligned chunks the round function wants.
+    for (int i = 0; i < 8; ++i) {
+      subkeys6_[round][i] = static_cast<uint8_t>((subkey48 >> (42 - 6 * i)) & 0x3f);
+    }
   }
 }
 
 uint64_t DesKey::EncryptBlock(uint64_t plaintext) const {
-  uint64_t block = Permute(plaintext, 64, kIp, 64);
+  uint64_t block = ApplyIp(plaintext);
   uint32_t l = static_cast<uint32_t>(block >> 32);
   uint32_t r = static_cast<uint32_t>(block);
-  for (int round = 0; round < 16; ++round) {
-    uint32_t next_l = r;
-    r = l ^ static_cast<uint32_t>(Feistel(r, subkeys_[round]));
-    l = next_l;
+  for (int round = 0; round < 16; round += 2) {
+    // Two rounds per step keeps L and R in registers without a swap.
+    l ^= FeistelFast(r, subkeys6_[round].data());
+    r ^= FeistelFast(l, subkeys6_[round + 1].data());
   }
   // Note the final swap: the output is R16 || L16.
   uint64_t preout = (static_cast<uint64_t>(r) << 32) | l;
-  return Permute(preout, 64, kFp, 64);
+  return ApplyFp(preout);
 }
 
 uint64_t DesKey::DecryptBlock(uint64_t ciphertext) const {
-  uint64_t block = Permute(ciphertext, 64, kIp, 64);
+  uint64_t block = ApplyIp(ciphertext);
   uint32_t l = static_cast<uint32_t>(block >> 32);
   uint32_t r = static_cast<uint32_t>(block);
-  for (int round = 15; round >= 0; --round) {
-    uint32_t next_l = r;
-    r = l ^ static_cast<uint32_t>(Feistel(r, subkeys_[round]));
-    l = next_l;
+  for (int round = 15; round >= 0; round -= 2) {
+    l ^= FeistelFast(r, subkeys6_[round].data());
+    r ^= FeistelFast(l, subkeys6_[round - 1].data());
   }
   uint64_t preout = (static_cast<uint64_t>(r) << 32) | l;
-  return Permute(preout, 64, kFp, 64);
+  return ApplyFp(preout);
 }
 
 DesBlock DesKey::EncryptBlock(const DesBlock& plaintext) const {
@@ -197,22 +179,14 @@ DesBlock FixParity(const DesBlock& key) {
   DesBlock out = key;
   for (auto& byte : out) {
     uint8_t b = byte >> 1;  // the 7 key bits
-    int ones = 0;
-    for (int i = 0; i < 7; ++i) {
-      ones += (b >> i) & 1;
-    }
-    byte = static_cast<uint8_t>((b << 1) | ((ones % 2 == 0) ? 1 : 0));
+    byte = static_cast<uint8_t>((b << 1) | ((std::popcount(b) & 1) ? 0 : 1));
   }
   return out;
 }
 
 bool HasOddParity(const DesBlock& key) {
   for (uint8_t byte : key) {
-    int ones = 0;
-    for (int i = 0; i < 8; ++i) {
-      ones += (byte >> i) & 1;
-    }
-    if (ones % 2 == 0) {
+    if ((std::popcount(byte) & 1) == 0) {
       return false;
     }
   }
@@ -220,21 +194,24 @@ bool HasOddParity(const DesBlock& key) {
 }
 
 bool IsWeakKey(const DesBlock& key) {
-  // Weak and semi-weak keys, parity-corrected, from FIPS 74 / Davies & Price.
-  static constexpr uint64_t kWeak[] = {
-      0x0101010101010101ull, 0xfefefefefefefefeull, 0x1f1f1f1f0e0e0e0eull, 0xe0e0e0e0f1f1f1f1ull,
-      // Semi-weak pairs.
-      0x011f011f010e010eull, 0x1f011f010e010e01ull, 0x01e001e001f101f1ull, 0xe001e001f101f101ull,
-      0x01fe01fe01fe01feull, 0xfe01fe01fe01fe01ull, 0x1fe01fe00ef10ef1ull, 0xe01fe01ff10ef10eull,
-      0x1ffe1ffe0efe0efeull, 0xfe1ffe1ffe0efe0eull, 0xe0fee0fef1fef1feull, 0xfee0fee0fef1fef1ull,
-  };
+  // Weak and semi-weak keys, parity-corrected, from FIPS 74 / Davies & Price,
+  // pre-sorted so membership is a binary search (this sits inside the
+  // string-to-key weak-key rejection, i.e. in the cracking inner loop).
+  static constexpr std::array<uint64_t, 16> kWeakSorted = [] {
+    std::array<uint64_t, 16> keys = {
+        0x0101010101010101ull, 0xfefefefefefefefeull, 0x1f1f1f1f0e0e0e0eull,
+        0xe0e0e0e0f1f1f1f1ull,
+        // Semi-weak pairs.
+        0x011f011f010e010eull, 0x1f011f010e010e01ull, 0x01e001e001f101f1ull,
+        0xe001e001f101f101ull, 0x01fe01fe01fe01feull, 0xfe01fe01fe01fe01ull,
+        0x1fe01fe00ef10ef1ull, 0xe01fe01ff10ef10eull, 0x1ffe1ffe0efe0efeull,
+        0xfe1ffe1ffe0efe0eull, 0xe0fee0fef1fef1feull, 0xfee0fee0fef1fef1ull,
+    };
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }();
   uint64_t k = BlockToU64(FixParity(key));
-  for (uint64_t w : kWeak) {
-    if (k == w) {
-      return true;
-    }
-  }
-  return false;
+  return std::binary_search(kWeakSorted.begin(), kWeakSorted.end(), k);
 }
 
 }  // namespace kcrypto

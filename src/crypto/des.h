@@ -1,16 +1,19 @@
 // From-scratch implementation of the Data Encryption Standard (FIPS 46).
 //
 // Kerberos V4 and the V5 Draft 3 model in this repository are built on DES,
-// exactly as the original systems were. The implementation is a direct,
-// table-driven transcription of the standard: initial/final permutations,
-// 16 Feistel rounds with the E expansion, S-boxes and P permutation, and the
-// PC-1/PC-2 key schedule. It is verified against published test vectors in
-// tests/crypto/des_test.cc.
+// exactly as the original systems were. This is the production path: a
+// classic table-driven core in which IP/FP are eight byte-indexed lookups,
+// the round function is eight fused S-box+P lookups, and each round subkey
+// is stored as the eight 6-bit chunks those lookups consume. Every table is
+// derived at compile time from the canonical FIPS tables (des_tables.h).
 //
-// Performance note: this is a clarity-first bit-permutation implementation,
-// not a bitsliced one. The benchmark suite (bench_b1_desmodes) measures it
-// as-is; all comparative results in EXPERIMENTS.md are ratios between modes
-// of this same core, so the shape of the paper's cost claims is preserved.
+// A clarity-first bit-permutation transcription of the same standard is kept
+// in src/crypto/des_ref.h as a reference oracle; the two are cross-checked
+// on published test vectors and tens of thousands of randomized (key, block)
+// pairs in tests/crypto/des_fastref_test.cc. The benchmark suite
+// (bench_b1_desmodes, bench_b4_crack) measures this fast path; comparative
+// results in EXPERIMENTS.md are ratios between modes of this same core, so
+// the shape of the paper's cost claims is preserved.
 
 #ifndef SRC_CRYPTO_DES_H_
 #define SRC_CRYPTO_DES_H_
@@ -25,6 +28,26 @@ namespace kcrypto {
 
 // One 64-bit DES block as raw bytes, big-endian bit numbering per FIPS 46.
 using DesBlock = std::array<uint8_t, 8>;
+
+// Big-endian (FIPS bit order) load/store of one block. These are the bridge
+// between byte buffers and the uint64_t block form all the fast paths use.
+inline uint64_t LoadU64BE(const uint8_t* p) {
+  return (static_cast<uint64_t>(p[0]) << 56) | (static_cast<uint64_t>(p[1]) << 48) |
+         (static_cast<uint64_t>(p[2]) << 40) | (static_cast<uint64_t>(p[3]) << 32) |
+         (static_cast<uint64_t>(p[4]) << 24) | (static_cast<uint64_t>(p[5]) << 16) |
+         (static_cast<uint64_t>(p[6]) << 8) | static_cast<uint64_t>(p[7]);
+}
+
+inline void StoreU64BE(uint8_t* p, uint64_t v) {
+  p[0] = static_cast<uint8_t>(v >> 56);
+  p[1] = static_cast<uint8_t>(v >> 48);
+  p[2] = static_cast<uint8_t>(v >> 40);
+  p[3] = static_cast<uint8_t>(v >> 32);
+  p[4] = static_cast<uint8_t>(v >> 24);
+  p[5] = static_cast<uint8_t>(v >> 16);
+  p[6] = static_cast<uint8_t>(v >> 8);
+  p[7] = static_cast<uint8_t>(v);
+}
 
 uint64_t BlockToU64(const DesBlock& b);
 DesBlock U64ToBlock(uint64_t v);
@@ -62,7 +85,9 @@ class DesKey {
   void Schedule();
 
   DesBlock bytes_{};
-  std::array<uint64_t, 16> subkeys_{};  // 48-bit round keys in the low bits
+  // Each 48-bit round key as the eight 6-bit S-box-aligned chunks the
+  // table-driven round function consumes directly.
+  std::array<std::array<uint8_t, 8>, 16> subkeys6_{};
 };
 
 // Sets each byte of `key` to odd parity (modifying only bit 0 of each byte).
@@ -72,7 +97,8 @@ DesBlock FixParity(const DesBlock& key);
 bool HasOddParity(const DesBlock& key);
 
 // True for the four weak and twelve semi-weak DES keys (parity-adjusted
-// comparison). Kerberos key generation must reject these.
+// comparison, O(log n) over a sorted table). Kerberos key generation must
+// reject these.
 bool IsWeakKey(const DesBlock& key);
 
 }  // namespace kcrypto

@@ -1,0 +1,73 @@
+#include "src/crypto/des_ref.h"
+
+#include "src/crypto/des_tables.h"
+
+namespace kcrypto {
+
+namespace {
+
+using destables::Permute;
+
+// The Feistel function: expand R to 48 bits, XOR the subkey, substitute
+// through the eight S-boxes, and permute with P.
+uint64_t Feistel(uint32_t r, uint64_t subkey) {
+  uint64_t expanded = Permute(r, 32, destables::kE, 48) ^ subkey;
+  uint32_t sbox_out = 0;
+  for (int box = 0; box < 8; ++box) {
+    uint32_t six = static_cast<uint32_t>((expanded >> (42 - 6 * box)) & 0x3f);
+    // Row is the outer two bits, column the inner four.
+    uint32_t row = ((six & 0x20) >> 4) | (six & 0x01);
+    uint32_t col = (six >> 1) & 0x0f;
+    sbox_out = (sbox_out << 4) | destables::kSBox[box][row * 16 + col];
+  }
+  return Permute(sbox_out, 32, destables::kP, 32);
+}
+
+uint32_t RotateLeft28(uint32_t v, int n) {
+  return ((v << n) | (v >> (28 - n))) & 0x0fffffff;
+}
+
+}  // namespace
+
+DesKeyRef::DesKeyRef(uint64_t key) { Schedule(key); }
+
+void DesKeyRef::Schedule(uint64_t key) {
+  uint64_t key56 = Permute(key, 64, destables::kPc1, 56);
+  uint32_t c = static_cast<uint32_t>(key56 >> 28) & 0x0fffffff;
+  uint32_t d = static_cast<uint32_t>(key56) & 0x0fffffff;
+  for (int round = 0; round < 16; ++round) {
+    c = RotateLeft28(c, destables::kShifts[round]);
+    d = RotateLeft28(d, destables::kShifts[round]);
+    uint64_t cd = (static_cast<uint64_t>(c) << 28) | d;
+    subkeys_[round] = Permute(cd, 56, destables::kPc2, 48);
+  }
+}
+
+uint64_t DesKeyRef::EncryptBlock(uint64_t plaintext) const {
+  uint64_t block = Permute(plaintext, 64, destables::kIp, 64);
+  uint32_t l = static_cast<uint32_t>(block >> 32);
+  uint32_t r = static_cast<uint32_t>(block);
+  for (int round = 0; round < 16; ++round) {
+    uint32_t next_l = r;
+    r = l ^ static_cast<uint32_t>(Feistel(r, subkeys_[round]));
+    l = next_l;
+  }
+  // Note the final swap: the output is R16 || L16.
+  uint64_t preout = (static_cast<uint64_t>(r) << 32) | l;
+  return Permute(preout, 64, destables::kFp, 64);
+}
+
+uint64_t DesKeyRef::DecryptBlock(uint64_t ciphertext) const {
+  uint64_t block = Permute(ciphertext, 64, destables::kIp, 64);
+  uint32_t l = static_cast<uint32_t>(block >> 32);
+  uint32_t r = static_cast<uint32_t>(block);
+  for (int round = 15; round >= 0; --round) {
+    uint32_t next_l = r;
+    r = l ^ static_cast<uint32_t>(Feistel(r, subkeys_[round]));
+    l = next_l;
+  }
+  uint64_t preout = (static_cast<uint64_t>(r) << 32) | l;
+  return Permute(preout, 64, destables::kFp, 64);
+}
+
+}  // namespace kcrypto

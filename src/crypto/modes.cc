@@ -1,36 +1,19 @@
 #include "src/crypto/modes.h"
 
 #include <cassert>
+#include <cstring>
 
 namespace kcrypto {
 
-namespace {
-
-DesBlock LoadBlock(kerb::BytesView data, size_t offset) {
-  DesBlock b;
-  for (size_t i = 0; i < 8; ++i) {
-    b[i] = data[offset + i];
-  }
-  return b;
-}
-
-void StoreBlock(kerb::Bytes& out, const DesBlock& b) { out.insert(out.end(), b.begin(), b.end()); }
-
-DesBlock XorBlocks(const DesBlock& a, const DesBlock& b) {
-  DesBlock out;
-  for (size_t i = 0; i < 8; ++i) {
-    out[i] = static_cast<uint8_t>(a[i] ^ b[i]);
-  }
-  return out;
-}
-
-}  // namespace
-
 kerb::Bytes Pkcs5Pad(kerb::BytesView data) {
-  size_t pad = 8 - (data.size() % 8);
   kerb::Bytes out(data.begin(), data.end());
-  out.insert(out.end(), pad, static_cast<uint8_t>(pad));
+  Pkcs5PadInPlace(out);
   return out;
+}
+
+void Pkcs5PadInPlace(kerb::Bytes& data) {
+  size_t pad = 8 - (data.size() % 8);
+  data.insert(data.end(), pad, static_cast<uint8_t>(pad));
 }
 
 kerb::Result<kerb::Bytes> Pkcs5Unpad(kerb::BytesView data) {
@@ -51,92 +34,184 @@ kerb::Result<kerb::Bytes> Pkcs5Unpad(kerb::BytesView data) {
 
 kerb::Bytes ZeroPadTo8(kerb::BytesView data) {
   kerb::Bytes out(data.begin(), data.end());
-  while (out.size() % 8 != 0) {
-    out.push_back(0);
-  }
+  out.resize((out.size() + 7) & ~size_t{7}, 0);
   return out;
 }
 
-kerb::Bytes EncryptEcb(const DesKey& key, kerb::BytesView plaintext) {
-  assert(plaintext.size() % 8 == 0);
-  kerb::Bytes out;
-  out.reserve(plaintext.size());
-  for (size_t off = 0; off < plaintext.size(); off += 8) {
-    StoreBlock(out, key.EncryptBlock(LoadBlock(plaintext, off)));
+// --- Bulk primitives over spans of 64-bit blocks. ------------------------
+
+void EcbEncryptBlocks(const DesKey& key, const uint64_t* in, uint64_t* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = key.EncryptBlock(in[i]);
   }
+}
+
+void EcbDecryptBlocks(const DesKey& key, const uint64_t* in, uint64_t* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = key.DecryptBlock(in[i]);
+  }
+}
+
+void CbcEncryptBlocks(const DesKey& key, uint64_t iv, const uint64_t* in, uint64_t* out,
+                      size_t n) {
+  uint64_t chain = iv;
+  for (size_t i = 0; i < n; ++i) {
+    chain = key.EncryptBlock(in[i] ^ chain);
+    out[i] = chain;
+  }
+}
+
+void CbcDecryptBlocks(const DesKey& key, uint64_t iv, const uint64_t* in, uint64_t* out,
+                      size_t n) {
+  uint64_t chain = iv;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t c = in[i];  // read before out[i] is written: in == out is fine
+    out[i] = key.DecryptBlock(c) ^ chain;
+    chain = c;
+  }
+}
+
+void PcbcEncryptBlocks(const DesKey& key, uint64_t iv, const uint64_t* in, uint64_t* out,
+                       size_t n) {
+  uint64_t chain = iv;  // holds P_{i-1} ^ C_{i-1}
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t p = in[i];
+    uint64_t c = key.EncryptBlock(p ^ chain);
+    out[i] = c;
+    chain = p ^ c;
+  }
+}
+
+void PcbcDecryptBlocks(const DesKey& key, uint64_t iv, const uint64_t* in, uint64_t* out,
+                       size_t n) {
+  uint64_t chain = iv;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t c = in[i];
+    uint64_t p = key.DecryptBlock(c) ^ chain;
+    out[i] = p;
+    chain = p ^ c;
+  }
+}
+
+uint64_t CbcMacBlocks(const DesKey& key, uint64_t iv, const uint64_t* in, size_t n) {
+  uint64_t chain = iv;
+  for (size_t i = 0; i < n; ++i) {
+    chain = key.EncryptBlock(in[i] ^ chain);
+  }
+  return chain;
+}
+
+// --- In-place byte-buffer transforms. ------------------------------------
+
+void EncryptEcbInPlace(const DesKey& key, uint8_t* data, size_t size) {
+  assert(size % 8 == 0);
+  for (size_t off = 0; off < size; off += 8) {
+    StoreU64BE(data + off, key.EncryptBlock(LoadU64BE(data + off)));
+  }
+}
+
+void DecryptEcbInPlace(const DesKey& key, uint8_t* data, size_t size) {
+  assert(size % 8 == 0);
+  for (size_t off = 0; off < size; off += 8) {
+    StoreU64BE(data + off, key.DecryptBlock(LoadU64BE(data + off)));
+  }
+}
+
+void EncryptCbcInPlace(const DesKey& key, const DesBlock& iv, uint8_t* data, size_t size) {
+  assert(size % 8 == 0);
+  uint64_t chain = BlockToU64(iv);
+  for (size_t off = 0; off < size; off += 8) {
+    chain = key.EncryptBlock(LoadU64BE(data + off) ^ chain);
+    StoreU64BE(data + off, chain);
+  }
+}
+
+void DecryptCbcInPlace(const DesKey& key, const DesBlock& iv, uint8_t* data, size_t size) {
+  assert(size % 8 == 0);
+  uint64_t chain = BlockToU64(iv);
+  for (size_t off = 0; off < size; off += 8) {
+    uint64_t c = LoadU64BE(data + off);
+    StoreU64BE(data + off, key.DecryptBlock(c) ^ chain);
+    chain = c;
+  }
+}
+
+void EncryptPcbcInPlace(const DesKey& key, const DesBlock& iv, uint8_t* data, size_t size) {
+  assert(size % 8 == 0);
+  uint64_t chain = BlockToU64(iv);
+  for (size_t off = 0; off < size; off += 8) {
+    uint64_t p = LoadU64BE(data + off);
+    uint64_t c = key.EncryptBlock(p ^ chain);
+    StoreU64BE(data + off, c);
+    chain = p ^ c;
+  }
+}
+
+void DecryptPcbcInPlace(const DesKey& key, const DesBlock& iv, uint8_t* data, size_t size) {
+  assert(size % 8 == 0);
+  uint64_t chain = BlockToU64(iv);
+  for (size_t off = 0; off < size; off += 8) {
+    uint64_t c = LoadU64BE(data + off);
+    uint64_t p = key.DecryptBlock(c) ^ chain;
+    StoreU64BE(data + off, p);
+    chain = p ^ c;
+  }
+}
+
+// --- Allocating convenience wrappers. ------------------------------------
+
+kerb::Bytes EncryptEcb(const DesKey& key, kerb::BytesView plaintext) {
+  kerb::Bytes out(plaintext.begin(), plaintext.end());
+  EncryptEcbInPlace(key, out.data(), out.size());
   return out;
 }
 
 kerb::Bytes DecryptEcb(const DesKey& key, kerb::BytesView ciphertext) {
-  assert(ciphertext.size() % 8 == 0);
-  kerb::Bytes out;
-  out.reserve(ciphertext.size());
-  for (size_t off = 0; off < ciphertext.size(); off += 8) {
-    StoreBlock(out, key.DecryptBlock(LoadBlock(ciphertext, off)));
-  }
+  kerb::Bytes out(ciphertext.begin(), ciphertext.end());
+  DecryptEcbInPlace(key, out.data(), out.size());
   return out;
 }
 
 kerb::Bytes EncryptCbc(const DesKey& key, const DesBlock& iv, kerb::BytesView plaintext) {
-  assert(plaintext.size() % 8 == 0);
-  kerb::Bytes out;
-  out.reserve(plaintext.size());
-  DesBlock chain = iv;
-  for (size_t off = 0; off < plaintext.size(); off += 8) {
-    chain = key.EncryptBlock(XorBlocks(LoadBlock(plaintext, off), chain));
-    StoreBlock(out, chain);
-  }
+  kerb::Bytes out(plaintext.begin(), plaintext.end());
+  EncryptCbcInPlace(key, iv, out.data(), out.size());
   return out;
 }
 
 kerb::Bytes DecryptCbc(const DesKey& key, const DesBlock& iv, kerb::BytesView ciphertext) {
-  assert(ciphertext.size() % 8 == 0);
-  kerb::Bytes out;
-  out.reserve(ciphertext.size());
-  DesBlock chain = iv;
-  for (size_t off = 0; off < ciphertext.size(); off += 8) {
-    DesBlock c = LoadBlock(ciphertext, off);
-    StoreBlock(out, XorBlocks(key.DecryptBlock(c), chain));
-    chain = c;
-  }
+  kerb::Bytes out(ciphertext.begin(), ciphertext.end());
+  DecryptCbcInPlace(key, iv, out.data(), out.size());
   return out;
 }
 
 kerb::Bytes EncryptPcbc(const DesKey& key, const DesBlock& iv, kerb::BytesView plaintext) {
-  assert(plaintext.size() % 8 == 0);
-  kerb::Bytes out;
-  out.reserve(plaintext.size());
-  DesBlock chain = iv;  // holds P_{i-1} ^ C_{i-1}
-  for (size_t off = 0; off < plaintext.size(); off += 8) {
-    DesBlock p = LoadBlock(plaintext, off);
-    DesBlock c = key.EncryptBlock(XorBlocks(p, chain));
-    StoreBlock(out, c);
-    chain = XorBlocks(p, c);
-  }
+  kerb::Bytes out(plaintext.begin(), plaintext.end());
+  EncryptPcbcInPlace(key, iv, out.data(), out.size());
   return out;
 }
 
 kerb::Bytes DecryptPcbc(const DesKey& key, const DesBlock& iv, kerb::BytesView ciphertext) {
-  assert(ciphertext.size() % 8 == 0);
-  kerb::Bytes out;
-  out.reserve(ciphertext.size());
-  DesBlock chain = iv;
-  for (size_t off = 0; off < ciphertext.size(); off += 8) {
-    DesBlock c = LoadBlock(ciphertext, off);
-    DesBlock p = XorBlocks(key.DecryptBlock(c), chain);
-    StoreBlock(out, p);
-    chain = XorBlocks(p, c);
-  }
+  kerb::Bytes out(ciphertext.begin(), ciphertext.end());
+  DecryptPcbcInPlace(key, iv, out.data(), out.size());
   return out;
 }
 
 DesBlock CbcMac(const DesKey& key, const DesBlock& iv, kerb::BytesView data) {
-  kerb::Bytes padded = ZeroPadTo8(data);
-  DesBlock chain = iv;
-  for (size_t off = 0; off < padded.size(); off += 8) {
-    chain = key.EncryptBlock(XorBlocks(LoadBlock(padded, off), chain));
+  uint64_t chain = BlockToU64(iv);
+  size_t full = data.size() & ~size_t{7};
+  for (size_t off = 0; off < full; off += 8) {
+    chain = key.EncryptBlock(LoadU64BE(data.data() + off) ^ chain);
   }
-  return chain;
+  // Trailing partial block, zero-padded. Empty input degenerates to exactly
+  // one zero block — the MAC must never be the unencrypted IV.
+  if (data.size() > full) {
+    uint8_t last[8] = {0};
+    std::memcpy(last, data.data() + full, data.size() - full);
+    chain = key.EncryptBlock(LoadU64BE(last) ^ chain);
+  } else if (data.empty()) {
+    chain = key.EncryptBlock(chain);  // the zero block XORs to the chain itself
+  }
+  return U64ToBlock(chain);
 }
 
 }  // namespace kcrypto

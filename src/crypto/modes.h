@@ -11,12 +11,21 @@
 //     modification weakness that led Version 5 to abandon PCBC (E8).
 // Both properties are demonstrated by tests and experiments in this repo.
 //
+// Two API layers are provided:
+//   * Bulk primitives over uint64_t block spans and in-place byte-buffer
+//     transforms. These are allocation-free and are what the protocol
+//     layers (enclayer, krbpriv) and the attack inner loops use.
+//   * The original kerb::Bytes convenience wrappers, now a single
+//     allocation plus an in-place transform.
+//
 // These functions provide raw modes with no integrity protection; integrity
 // (checksums, confounders, rolling IVs) belongs to the encryption *layer*
 // (src/hardened/enclayer.h), exactly as the paper recommends.
 
 #ifndef SRC_CRYPTO_MODES_H_
 #define SRC_CRYPTO_MODES_H_
+
+#include <cstddef>
 
 #include "src/common/bytes.h"
 #include "src/common/result.h"
@@ -31,12 +40,46 @@ constexpr DesBlock kZeroIv{};
 // Appends PKCS#5-style padding (1..8 bytes, each equal to the pad length).
 kerb::Bytes Pkcs5Pad(kerb::BytesView data);
 
+// Appends PKCS#5 padding to `data` in place.
+void Pkcs5PadInPlace(kerb::Bytes& data);
+
 // Removes PKCS#5 padding; fails with kBadFormat on malformed padding.
 kerb::Result<kerb::Bytes> Pkcs5Unpad(kerb::BytesView data);
 
 // Appends zero bytes until the length is a multiple of 8 (Kerberos V4
 // style; the plaintext must carry its own length field).
 kerb::Bytes ZeroPadTo8(kerb::BytesView data);
+
+// --- Bulk primitives over spans of 64-bit blocks (FIPS bit order). -------
+//
+// All of them allow in == out (in-place); CBC/PCBC decryption keeps the
+// needed previous-ciphertext state in locals. None of them allocate.
+
+void EcbEncryptBlocks(const DesKey& key, const uint64_t* in, uint64_t* out, size_t n);
+void EcbDecryptBlocks(const DesKey& key, const uint64_t* in, uint64_t* out, size_t n);
+void CbcEncryptBlocks(const DesKey& key, uint64_t iv, const uint64_t* in, uint64_t* out,
+                      size_t n);
+void CbcDecryptBlocks(const DesKey& key, uint64_t iv, const uint64_t* in, uint64_t* out,
+                      size_t n);
+void PcbcEncryptBlocks(const DesKey& key, uint64_t iv, const uint64_t* in, uint64_t* out,
+                       size_t n);
+void PcbcDecryptBlocks(const DesKey& key, uint64_t iv, const uint64_t* in, uint64_t* out,
+                       size_t n);
+
+// CBC-MAC over whole blocks: returns the final chaining value.
+uint64_t CbcMacBlocks(const DesKey& key, uint64_t iv, const uint64_t* in, size_t n);
+
+// --- In-place transforms over byte buffers (size must be a multiple of 8,
+// asserted). The workhorses for the protocol layers: one pass, no copies. --
+
+void EncryptEcbInPlace(const DesKey& key, uint8_t* data, size_t size);
+void DecryptEcbInPlace(const DesKey& key, uint8_t* data, size_t size);
+void EncryptCbcInPlace(const DesKey& key, const DesBlock& iv, uint8_t* data, size_t size);
+void DecryptCbcInPlace(const DesKey& key, const DesBlock& iv, uint8_t* data, size_t size);
+void EncryptPcbcInPlace(const DesKey& key, const DesBlock& iv, uint8_t* data, size_t size);
+void DecryptPcbcInPlace(const DesKey& key, const DesBlock& iv, uint8_t* data, size_t size);
+
+// --- Allocating convenience wrappers (copy once, transform in place). ----
 
 // ECB. Input must be a multiple of 8 bytes (asserted).
 kerb::Bytes EncryptEcb(const DesKey& key, kerb::BytesView plaintext);
@@ -52,7 +95,9 @@ kerb::Bytes EncryptPcbc(const DesKey& key, const DesBlock& iv, kerb::BytesView p
 kerb::Bytes DecryptPcbc(const DesKey& key, const DesBlock& iv, kerb::BytesView ciphertext);
 
 // CBC-MAC (the DES "cipher block chaining checksum" of FIPS 113 flavor):
-// returns the final CBC block over zero-padded data.
+// returns the final CBC block over zero-padded data. Empty input is treated
+// as one zero block, so the MAC is always the output of at least one
+// encryption — never the raw IV.
 DesBlock CbcMac(const DesKey& key, const DesBlock& iv, kerb::BytesView data);
 
 }  // namespace kcrypto

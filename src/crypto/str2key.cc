@@ -12,9 +12,7 @@ DesKey StringToKey(std::string_view password, std::string_view salt) {
   }
   // Pad to a multiple of 8 and fan-fold, reversing the bit order of every
   // other 8-byte group (the V4 "forward then backward" fold).
-  while (input.size() % 8 != 0) {
-    input.push_back(0);
-  }
+  input.resize((input.size() + 7) & ~size_t{7}, 0);
   DesBlock fold{};
   bool forward = true;
   for (size_t off = 0; off < input.size(); off += 8) {

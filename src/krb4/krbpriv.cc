@@ -12,7 +12,8 @@ kerb::Bytes PrivMessage4::Seal(const kcrypto::DesKey& session_key) const {
   w.PutU32(sender_addr);
   w.PutU8(direction);
   kerb::Bytes padded = kcrypto::ZeroPadTo8(w.Peek());
-  return kcrypto::EncryptPcbc(session_key, kcrypto::kZeroIv, padded);
+  kcrypto::EncryptPcbcInPlace(session_key, kcrypto::kZeroIv, padded.data(), padded.size());
+  return padded;
 }
 
 kerb::Result<PrivMessage4> PrivMessage4::Unseal(const kcrypto::DesKey& session_key,
@@ -20,7 +21,8 @@ kerb::Result<PrivMessage4> PrivMessage4::Unseal(const kcrypto::DesKey& session_k
   if (sealed.empty() || sealed.size() % 8 != 0) {
     return kerb::MakeError(kerb::ErrorCode::kBadFormat, "sealed data not block-aligned");
   }
-  kerb::Bytes plain = kcrypto::DecryptPcbc(session_key, kcrypto::kZeroIv, sealed);
+  kerb::Bytes plain(sealed.begin(), sealed.end());
+  kcrypto::DecryptPcbcInPlace(session_key, kcrypto::kZeroIv, plain.data(), plain.size());
   kenc::Reader r(plain);
   PrivMessage4 msg;
   auto data = r.GetLengthPrefixed();

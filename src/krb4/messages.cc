@@ -37,18 +37,32 @@ kerb::Bytes Seal4(const kcrypto::DesKey& key, kerb::BytesView plaintext) {
   w.PutBytes(kerb::BytesView(kSealMagic, 4));
   w.PutLengthPrefixed(plaintext);
   kerb::Bytes padded = kcrypto::ZeroPadTo8(w.Peek());
-  return kcrypto::EncryptPcbc(key, kcrypto::kZeroIv, padded);
+  kcrypto::EncryptPcbcInPlace(key, kcrypto::kZeroIv, padded.data(), padded.size());
+  return padded;
 }
 
 kerb::Result<kerb::Bytes> Unseal4(const kcrypto::DesKey& key, kerb::BytesView ciphertext) {
   if (ciphertext.empty() || ciphertext.size() % 8 != 0) {
     return kerb::MakeError(kerb::ErrorCode::kBadFormat, "sealed data not block-aligned");
   }
-  kerb::Bytes plain = kcrypto::DecryptPcbc(key, kcrypto::kZeroIv, ciphertext);
+  // Decrypt only the first block before committing to the rest: a wrong key
+  // shows up in the magic with overwhelming probability, and the dictionary
+  // attack's inner loop (E4/B4) hits exactly this path once per guess.
+  uint64_t c0 = kcrypto::LoadU64BE(ciphertext.data());
+  uint64_t p0 = key.DecryptBlock(c0);  // zero IV
+  uint8_t first[8];
+  kcrypto::StoreU64BE(first, p0);
+  if (!kerb::ConstantTimeEqual(kerb::BytesView(first, 4), kerb::BytesView(kSealMagic, 4))) {
+    return kerb::MakeError(kerb::ErrorCode::kIntegrity, "seal magic mismatch (wrong key?)");
+  }
+  kerb::Bytes plain(ciphertext.begin(), ciphertext.end());
+  kcrypto::StoreU64BE(plain.data(), p0);
+  // The PCBC chain continues from P_0 ^ C_0 acting as the tail's IV.
+  kcrypto::DecryptPcbcInPlace(key, kcrypto::U64ToBlock(p0 ^ c0), plain.data() + 8,
+                              plain.size() - 8);
   kenc::Reader r(plain);
   auto magic = r.GetBytes(4);
-  if (!magic.ok() ||
-      !kerb::ConstantTimeEqual(magic.value(), kerb::BytesView(kSealMagic, 4))) {
+  if (!magic.ok()) {
     return kerb::MakeError(kerb::ErrorCode::kIntegrity, "seal magic mismatch (wrong key?)");
   }
   auto body = r.GetLengthPrefixed();

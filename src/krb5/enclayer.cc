@@ -23,7 +23,9 @@ kerb::Bytes SealTlvWithIv(const kcrypto::DesKey& key, const kcrypto::DesBlock& i
   kerb::Bytes plain = w.Take();
   kerb::Bytes checksum = kcrypto::ComputeChecksum(config.checksum, plain, key);
   std::copy(checksum.begin(), checksum.end(), plain.begin() + checksum_offset);
-  return kcrypto::EncryptCbc(key, iv, kcrypto::Pkcs5Pad(plain));
+  kcrypto::Pkcs5PadInPlace(plain);
+  kcrypto::EncryptCbcInPlace(key, iv, plain.data(), plain.size());
+  return plain;
 }
 
 kerb::Result<kenc::TlvMessage> UnsealTlvWithIv(const kcrypto::DesKey& key,
@@ -33,7 +35,8 @@ kerb::Result<kenc::TlvMessage> UnsealTlvWithIv(const kcrypto::DesKey& key,
   if (sealed.empty() || sealed.size() % 8 != 0) {
     return kerb::MakeError(kerb::ErrorCode::kBadFormat, "sealed data not block-aligned");
   }
-  kerb::Bytes padded = kcrypto::DecryptCbc(key, iv, sealed);
+  kerb::Bytes padded(sealed.begin(), sealed.end());
+  kcrypto::DecryptCbcInPlace(key, iv, padded.data(), padded.size());
   auto plain = kcrypto::Pkcs5Unpad(padded);
   if (!plain.ok()) {
     return kerb::MakeError(kerb::ErrorCode::kIntegrity, "padding invalid (wrong key/IV?)");
@@ -65,7 +68,7 @@ kerb::Result<kenc::TlvMessage> UnsealTlvWithIv(const kcrypto::DesKey& key,
 }
 
 kcrypto::DesBlock NextChainedIv(const kcrypto::DesKey& key, const kcrypto::DesBlock& iv) {
-  return key.EncryptBlock(kcrypto::U64ToBlock(kcrypto::BlockToU64(iv) + 1));
+  return kcrypto::U64ToBlock(key.EncryptBlock(kcrypto::BlockToU64(iv) + 1));
 }
 
 kerb::Bytes SealTlv(const kcrypto::DesKey& key, const kenc::TlvMessage& msg,
@@ -84,14 +87,18 @@ kerb::Bytes Draft2PrivSeal(const kcrypto::DesKey& key, const Draft2Priv& msg) {
   w.PutU64(static_cast<uint64_t>(msg.timestamp));
   w.PutU8(msg.direction);
   w.PutU32(msg.host_address);
-  return kcrypto::EncryptCbc(key, kcrypto::kZeroIv, kcrypto::Pkcs5Pad(w.Peek()));
+  kerb::Bytes sealed = w.Take();
+  kcrypto::Pkcs5PadInPlace(sealed);
+  kcrypto::EncryptCbcInPlace(key, kcrypto::kZeroIv, sealed.data(), sealed.size());
+  return sealed;
 }
 
 kerb::Result<Draft2Priv> Draft2PrivUnseal(const kcrypto::DesKey& key, kerb::BytesView sealed) {
   if (sealed.empty() || sealed.size() % 8 != 0) {
     return kerb::MakeError(kerb::ErrorCode::kBadFormat, "sealed data not block-aligned");
   }
-  kerb::Bytes padded = kcrypto::DecryptCbc(key, kcrypto::kZeroIv, sealed);
+  kerb::Bytes padded(sealed.begin(), sealed.end());
+  kcrypto::DecryptCbcInPlace(key, kcrypto::kZeroIv, padded.data(), padded.size());
   auto plain = kcrypto::Pkcs5Unpad(padded);
   if (!plain.ok()) {
     return kerb::MakeError(kerb::ErrorCode::kIntegrity, "padding invalid");

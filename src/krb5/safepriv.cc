@@ -17,7 +17,7 @@ SecureChannel::SecureChannel(const kcrypto::DesKey& key, const ksim::HostClock* 
   // The initial IV derives from the handshake material (here: the initial
   // sequence value), as the paper suggests: "Initial values for it should
   // be exchanged during (or derived from) the authentication handshake."
-  send_iv_ = key_.EncryptBlock(kcrypto::U64ToBlock(initial_seq));
+  send_iv_ = kcrypto::U64ToBlock(key_.EncryptBlock(initial_seq));
   recv_iv_ = send_iv_;
 }
 

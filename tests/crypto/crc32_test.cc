@@ -12,10 +12,17 @@ using kerb::Bytes;
 using kerb::ToBytes;
 
 TEST(Crc32Test, KnownVectors) {
+  // CRC-32/ISO-HDLC standard vectors, including the canonical "123456789"
+  // check value.
   EXPECT_EQ(Crc32(ToBytes("")), 0x00000000u);
   EXPECT_EQ(Crc32(ToBytes("123456789")), 0xCBF43926u);
   EXPECT_EQ(Crc32(ToBytes("The quick brown fox jumps over the lazy dog")), 0x414FA339u);
   EXPECT_EQ(Crc32(Bytes{0x00}), 0xD202EF8Du);
+  EXPECT_EQ(Crc32(ToBytes("a")), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32(ToBytes("abc")), 0x352441C2u);
+  EXPECT_EQ(Crc32(ToBytes("message digest")), 0x20159D7Fu);
+  EXPECT_EQ(Crc32(ToBytes("abcdefghijklmnopqrstuvwxyz")), 0x4C2750BDu);
+  EXPECT_EQ(Crc32(Bytes{0xFF, 0xFF, 0xFF, 0xFF}), 0xFFFFFFFFu);
 }
 
 TEST(Crc32Test, IncrementalMatchesOneShot) {

@@ -147,6 +147,92 @@ TEST(ModesTest, CbcMacDeterministicAndKeyed) {
   EXPECT_NE(CbcMac(k1, kZeroIv, data), CbcMac(k1, kZeroIv, tweaked));
 }
 
+// Regression: CbcMac on empty input must not return the (public) IV — it
+// processes one zero block, so the MAC is always at least one encryption.
+TEST(ModesTest, CbcMacEmptyInputIsEncrypted) {
+  Prng prng(22);
+  DesKey key = prng.NextDesKey();
+  DesBlock iv = U64ToBlock(prng.NextU64());
+  DesBlock mac = CbcMac(key, iv, Bytes{});
+  EXPECT_NE(mac, iv);
+  // One zero block XORed into the chain is the chain itself: MAC == E(IV).
+  EXPECT_EQ(BlockToU64(mac), key.EncryptBlock(BlockToU64(iv)));
+  // And padding equivalence still holds for nonempty data: a 3-byte message
+  // MACs the same as its zero-padded 8-byte form.
+  Bytes short_msg{0xde, 0xad, 0xbe};
+  EXPECT_EQ(CbcMac(key, iv, short_msg), CbcMac(key, iv, ZeroPadTo8(short_msg)));
+}
+
+// The uint64_t-span bulk primitives and the in-place byte transforms must
+// agree exactly with the allocating wrappers (which the seed pinned to
+// FIPS 81 vectors above).
+TEST(ModesTest, BulkPrimitivesMatchWrappers) {
+  Prng prng(23);
+  for (int i = 0; i < 20; ++i) {
+    DesKey key = prng.NextDesKey();
+    DesBlock iv = U64ToBlock(prng.NextU64());
+    size_t nblocks = 1 + prng.NextBelow(12);
+    Bytes pt = prng.NextBytes(8 * nblocks);
+
+    std::vector<uint64_t> blocks(nblocks);
+    for (size_t b = 0; b < nblocks; ++b) {
+      blocks[b] = LoadU64BE(pt.data() + 8 * b);
+    }
+
+    auto as_bytes = [&](const std::vector<uint64_t>& v) {
+      Bytes out(8 * v.size());
+      for (size_t b = 0; b < v.size(); ++b) {
+        StoreU64BE(out.data() + 8 * b, v[b]);
+      }
+      return out;
+    };
+
+    std::vector<uint64_t> tmp(nblocks);
+    EcbEncryptBlocks(key, blocks.data(), tmp.data(), nblocks);
+    EXPECT_EQ(as_bytes(tmp), EncryptEcb(key, pt));
+    CbcEncryptBlocks(key, BlockToU64(iv), blocks.data(), tmp.data(), nblocks);
+    EXPECT_EQ(as_bytes(tmp), EncryptCbc(key, iv, pt));
+    PcbcEncryptBlocks(key, BlockToU64(iv), blocks.data(), tmp.data(), nblocks);
+    EXPECT_EQ(as_bytes(tmp), EncryptPcbc(key, iv, pt));
+    EXPECT_EQ(CbcMacBlocks(key, BlockToU64(iv), blocks.data(), nblocks),
+              BlockToU64(CbcMac(key, iv, pt)));
+
+    // In-place aliasing (in == out) for the decrypt direction, which must
+    // stash the previous ciphertext before overwriting it.
+    std::vector<uint64_t> alias = tmp;  // PCBC ciphertext from above
+    PcbcDecryptBlocks(key, BlockToU64(iv), alias.data(), alias.data(), nblocks);
+    EXPECT_EQ(as_bytes(alias), pt);
+    CbcEncryptBlocks(key, BlockToU64(iv), blocks.data(), tmp.data(), nblocks);
+    alias = tmp;
+    CbcDecryptBlocks(key, BlockToU64(iv), alias.data(), alias.data(), nblocks);
+    EXPECT_EQ(as_bytes(alias), pt);
+
+    Bytes inplace = pt;
+    EncryptCbcInPlace(key, iv, inplace.data(), inplace.size());
+    EXPECT_EQ(inplace, EncryptCbc(key, iv, pt));
+    DecryptCbcInPlace(key, iv, inplace.data(), inplace.size());
+    EXPECT_EQ(inplace, pt);
+    EncryptPcbcInPlace(key, iv, inplace.data(), inplace.size());
+    EXPECT_EQ(inplace, EncryptPcbc(key, iv, pt));
+    DecryptPcbcInPlace(key, iv, inplace.data(), inplace.size());
+    EXPECT_EQ(inplace, pt);
+    EncryptEcbInPlace(key, inplace.data(), inplace.size());
+    EXPECT_EQ(inplace, EncryptEcb(key, pt));
+    DecryptEcbInPlace(key, inplace.data(), inplace.size());
+    EXPECT_EQ(inplace, pt);
+  }
+}
+
+TEST(ModesTest, Pkcs5PadInPlaceMatchesCopy) {
+  Prng prng(24);
+  for (size_t len = 0; len < 20; ++len) {
+    Bytes data = prng.NextBytes(len);
+    Bytes copied = Pkcs5Pad(data);
+    Pkcs5PadInPlace(data);
+    EXPECT_EQ(data, copied);
+  }
+}
+
 TEST(ModesTest, DifferentIvDifferentCiphertext) {
   Prng prng(16);
   DesKey key = prng.NextDesKey();
