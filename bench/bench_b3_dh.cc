@@ -81,6 +81,24 @@ void BM_DlogPollardRhoBreak(benchmark::State& state) {
 }
 BENCHMARK(BM_DlogPollardRhoBreak)->Arg(20)->Arg(28)->Arg(36)->Unit(benchmark::kMillisecond);
 
+void BM_DlogBsgsTableSweep(benchmark::State& state) {
+  // Times the baby-step table itself: the target is g^(p-2), which the
+  // giant-step phase reaches last, so every iteration pays the full table
+  // build (m inserts) plus ~m probes. This is the workload the flat
+  // open-addressing table replaced unordered_map for.
+  Prng prng(static_cast<uint64_t>(state.range(0)) ^ 0x7ab1e);
+  DhGroup group = MakeToyGroup(prng, static_cast<int>(state.range(0)));
+  uint64_t p = group.p.LowU64();
+  uint64_t g = group.g.LowU64();
+  uint64_t target = kcrypto::PowMod64(g, p - 2, p);
+  for (auto _ : state) {
+    auto x = kcrypto::DlogBabyStepGiantStep(g, target, p);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + "-bit modulus, worst-case sweep");
+}
+BENCHMARK(BM_DlogBsgsTableSweep)->Arg(24)->Arg(32)->Unit(benchmark::kMillisecond);
+
 void BM_FullDhLoginHandshakeCost(benchmark::State& state) {
   // The per-login cost recommendation (h) adds: two modexps per side.
   const DhGroup& group = kcrypto::OakleyGroup1();

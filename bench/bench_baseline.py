@@ -7,10 +7,14 @@ distills the numbers every PR cares about:
 
     blocks_per_sec: ECB / CBC / PCBC at 8 KiB buffers
     guesses_per_sec: string-to-key alone, and string-to-key + trial unseal
-    kdc_requests_per_sec: bare AS exchange, preauth AS exchange, TGS exchange
+    kdc_requests_per_sec: bare AS, preauth AS, TGS — handler-level (B11),
+        i.e. KdcCore5 serving cost on a pre-encoded request, without the
+        client-side encode/decode the PR-1 numbers included
+    kdc_parallel: requests/sec per worker-pool size (wall-clock), plus the
+        machine's core count for interpreting the scaling curve
 
 Usage:
-    python3 bench/bench_baseline.py --build-dir build --out BENCH_PR1.json
+    python3 bench/bench_baseline.py --build-dir build --out BENCH_PR2.json
 
 or via the CMake target:  cmake --build build --target bench_baseline
 Stdlib only; no third-party packages.
@@ -60,7 +64,7 @@ def metric(benchmarks, name, field):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--out", default="BENCH_PR1.json")
+    parser.add_argument("--out", default="BENCH_PR2.json")
     parser.add_argument("--min-time", default=None,
                         help="override --benchmark_min_time (bare seconds, e.g. 0.05)")
     args = parser.parse_args()
@@ -72,9 +76,9 @@ def main():
     b4 = run_bench(os.path.join(bench_dir, "bench_b4_crack"),
                    "BM_StringToKey|BM_GuessConfirmation|BM_ParallelCrackSweep",
                    args.min_time)
-    b7 = run_bench(os.path.join(bench_dir, "bench_b7_kdc"),
-                   "BM_AsExchangeBare|BM_AsExchangePreauth|BM_TgsExchange",
-                   args.min_time)
+    b11 = run_bench(os.path.join(bench_dir, "bench_b11_kdcparallel"),
+                    "BM_KdcAsBare|BM_KdcAsPreauth|BM_KdcTgs$|BM_KdcParallel(As|Tgs)/",
+                    args.min_time)
 
     doc = {
         "blocks_per_sec": {
@@ -90,9 +94,22 @@ def main():
                                      "items_per_second"),
         },
         "kdc_requests_per_sec": {
-            "as_bare": metric(b7, "BM_AsExchangeBare", "items_per_second"),
-            "as_preauth": metric(b7, "BM_AsExchangePreauth", "items_per_second"),
-            "tgs": metric(b7, "BM_TgsExchange", "items_per_second"),
+            "as_bare": metric(b11, "BM_KdcAsBare", "items_per_second"),
+            "as_preauth": metric(b11, "BM_KdcAsPreauth", "items_per_second"),
+            "tgs": metric(b11, "BM_KdcTgs", "items_per_second"),
+        },
+        "kdc_parallel": {
+            "cores": os.cpu_count() or 1,
+            "as_workers": {
+                str(n): metric(b11, f"BM_KdcParallelAs/{n}/real_time",
+                               "items_per_second")
+                for n in (1, 2, 4, 8)
+            },
+            "tgs_workers": {
+                str(n): metric(b11, f"BM_KdcParallelTgs/{n}/real_time",
+                               "items_per_second")
+                for n in (1, 2, 4, 8)
+            },
         },
     }
 
@@ -100,9 +117,14 @@ def main():
         json.dump(doc, f, indent=2)
         f.write("\n")
     print(f"wrote {args.out}")
-    for section, values in doc.items():
+    def show(prefix, values):
         for name, value in values.items():
-            print(f"  {section}.{name}: {value:,.0f}")
+            if isinstance(value, dict):
+                show(f"{prefix}.{name}", value)
+            else:
+                print(f"  {prefix}.{name}: {value:,.0f}")
+    for section, values in doc.items():
+        show(section, values)
     return 0
 
 

@@ -1,0 +1,65 @@
+#include "src/attacks/kdcload.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace kattack {
+
+unsigned KdcWorkerThreads() {
+  constexpr long kMaxThreads = 256;
+  if (const char* env = std::getenv("KERB_KDC_THREADS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) {
+      return static_cast<unsigned>(std::min(v, kMaxThreads));
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+KdcLoadResult RunKdcLoad(const KdcHandler& handler, const ksim::Message& request,
+                         unsigned threads, uint64_t requests_per_worker, uint64_t seed) {
+  if (threads == 0) {
+    threads = 1;
+  }
+  // Contexts are forked on the calling thread so their PRNG streams are a
+  // pure function of (seed, worker index), not of scheduling.
+  kcrypto::Prng master(seed);
+  std::vector<krb4::KdcContext> contexts;
+  contexts.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    contexts.emplace_back(master.Fork());
+  }
+
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> failed{0};
+  auto worker = [&](unsigned t) {
+    uint64_t local_ok = 0;
+    uint64_t local_failed = 0;
+    for (uint64_t i = 0; i < requests_per_worker; ++i) {
+      if (handler(request, contexts[t]).ok()) {
+        ++local_ok;
+      } else {
+        ++local_failed;
+      }
+    }
+    ok.fetch_add(local_ok, std::memory_order_relaxed);
+    failed.fetch_add(local_failed, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) {
+    pool.emplace_back(worker, t);
+  }
+  worker(0);
+  for (auto& th : pool) {
+    th.join();
+  }
+  return KdcLoadResult{ok.load(), failed.load()};
+}
+
+}  // namespace kattack

@@ -1,0 +1,43 @@
+// Parallel KDC load harness.
+//
+// Drives a KdcCore handler from a pool of worker threads, one KdcContext
+// per worker — the multi-threaded serving configuration the deterministic
+// simulation never exercises (it owns a single context). Used by the
+// bench_b11_kdcparallel benchmark and the threaded stress tests.
+//
+// Thread count comes from KERB_KDC_THREADS when set (mirroring the PR-1
+// KERB_CRACK_THREADS convention for the cracking harness), else from
+// hardware concurrency.
+
+#ifndef SRC_ATTACKS_KDCLOAD_H_
+#define SRC_ATTACKS_KDCLOAD_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/krb4/kdccore.h"
+#include "src/sim/network.h"
+
+namespace kattack {
+
+// KERB_KDC_THREADS (≥ 1, capped at 256) when set, else hardware
+// concurrency.
+unsigned KdcWorkerThreads();
+
+struct KdcLoadResult {
+  uint64_t requests_ok = 0;
+  uint64_t requests_failed = 0;
+};
+
+using KdcHandler =
+    std::function<kerb::Result<kerb::Bytes>(const ksim::Message&, krb4::KdcContext&)>;
+
+// Presents `requests_per_worker` copies of `request` to `handler` from
+// `threads` workers, each with its own KdcContext whose PRNG is forked
+// deterministically from `seed`. Returns aggregate accept/fail counts.
+KdcLoadResult RunKdcLoad(const KdcHandler& handler, const ksim::Message& request,
+                         unsigned threads, uint64_t requests_per_worker, uint64_t seed);
+
+}  // namespace kattack
+
+#endif  // SRC_ATTACKS_KDCLOAD_H_

@@ -80,16 +80,18 @@ inline uint64_t ApplyFp(uint64_t x) {
          kFpTab[6][(x >> 8) & 0xff] | kFpTab[7][x & 0xff];
 }
 
-// The round function. The E expansion is the 34-bit string
-// r32 r1 r2 ... r32 r1 read as eight overlapping 6-bit windows at stride 4,
-// so building that string once replaces the 48-step E table walk.
-inline uint32_t FeistelFast(uint32_t r, const uint8_t* k) {
-  const uint64_t e = (static_cast<uint64_t>(r) << 1) | (r >> 31) |
-                     (static_cast<uint64_t>(r & 1) << 33);
-  return kSp[0][((e >> 28) & 0x3f) ^ k[0]] ^ kSp[1][((e >> 24) & 0x3f) ^ k[1]] ^
-         kSp[2][((e >> 20) & 0x3f) ^ k[2]] ^ kSp[3][((e >> 16) & 0x3f) ^ k[3]] ^
-         kSp[4][((e >> 12) & 0x3f) ^ k[4]] ^ kSp[5][((e >> 8) & 0x3f) ^ k[5]] ^
-         kSp[6][((e >> 4) & 0x3f) ^ k[6]] ^ kSp[7][(e & 0x3f) ^ k[7]];
+// The round function. The E expansion is eight overlapping 6-bit windows of
+// R at stride 4; the even-numbered windows are non-overlapping 6-bit fields
+// of rotr(R, 1) and the odd ones the same fields of rotl(R, 3), so two
+// rotations materialise all of E, and the 48-bit subkey — stored as chunks
+// pre-placed at those field positions — is applied with two word XORs.
+inline uint32_t FeistelFast(uint32_t r, const uint32_t* k) {
+  const uint32_t u = std::rotr(r, 1) ^ k[0];
+  const uint32_t t = std::rotl(r, 3) ^ k[1];
+  return kSp[0][(u >> 26) & 0x3f] ^ kSp[1][(t >> 26) & 0x3f] ^
+         kSp[2][(u >> 18) & 0x3f] ^ kSp[3][(t >> 18) & 0x3f] ^
+         kSp[4][(u >> 10) & 0x3f] ^ kSp[5][(t >> 10) & 0x3f] ^
+         kSp[6][(u >> 2) & 0x3f] ^ kSp[7][(t >> 2) & 0x3f];
 }
 
 uint32_t RotateLeft28(uint32_t v, int n) {
@@ -126,10 +128,17 @@ void DesKey::Schedule() {
                         kPc2Tab[2][(cd >> 32) & 0xff] | kPc2Tab[3][(cd >> 24) & 0xff] |
                         kPc2Tab[4][(cd >> 16) & 0xff] | kPc2Tab[5][(cd >> 8) & 0xff] |
                         kPc2Tab[6][cd & 0xff];
-    // Stored as the eight 6-bit S-box-aligned chunks the round function wants.
-    for (int i = 0; i < 8; ++i) {
-      subkeys6_[round][i] = static_cast<uint8_t>((subkey48 >> (42 - 6 * i)) & 0x3f);
+    // Split into even/odd S-box chunks placed where the round function's
+    // rotated-R windows sit (31..26 / 23..18 / 15..10 / 7..2).
+    uint32_t even = 0;
+    uint32_t odd = 0;
+    for (int i = 0; i < 4; ++i) {
+      const int shift = 26 - 8 * i;
+      even |= static_cast<uint32_t>((subkey48 >> (42 - 12 * i)) & 0x3f) << shift;
+      odd |= static_cast<uint32_t>((subkey48 >> (36 - 12 * i)) & 0x3f) << shift;
     }
+    roundkeys_[round][0] = even;
+    roundkeys_[round][1] = odd;
   }
 }
 
@@ -139,8 +148,8 @@ uint64_t DesKey::EncryptBlock(uint64_t plaintext) const {
   uint32_t r = static_cast<uint32_t>(block);
   for (int round = 0; round < 16; round += 2) {
     // Two rounds per step keeps L and R in registers without a swap.
-    l ^= FeistelFast(r, subkeys6_[round].data());
-    r ^= FeistelFast(l, subkeys6_[round + 1].data());
+    l ^= FeistelFast(r, roundkeys_[round].data());
+    r ^= FeistelFast(l, roundkeys_[round + 1].data());
   }
   // Note the final swap: the output is R16 || L16.
   uint64_t preout = (static_cast<uint64_t>(r) << 32) | l;
@@ -152,8 +161,8 @@ uint64_t DesKey::DecryptBlock(uint64_t ciphertext) const {
   uint32_t l = static_cast<uint32_t>(block >> 32);
   uint32_t r = static_cast<uint32_t>(block);
   for (int round = 15; round >= 0; round -= 2) {
-    l ^= FeistelFast(r, subkeys6_[round].data());
-    r ^= FeistelFast(l, subkeys6_[round - 1].data());
+    l ^= FeistelFast(r, roundkeys_[round].data());
+    r ^= FeistelFast(l, roundkeys_[round - 1].data());
   }
   uint64_t preout = (static_cast<uint64_t>(r) << 32) | l;
   return ApplyFp(preout);

@@ -85,9 +85,12 @@ class DesKey {
   void Schedule();
 
   DesBlock bytes_{};
-  // Each 48-bit round key as the eight 6-bit S-box-aligned chunks the
-  // table-driven round function consumes directly.
-  std::array<std::array<uint8_t, 8>, 16> subkeys6_{};
+  // Each 48-bit round key as two 32-bit words: [0] holds the even S-box
+  // chunks (boxes 0/2/4/6) and [1] the odd ones, each 6-bit chunk placed at
+  // bits 31..26 / 23..18 / 15..10 / 7..2 — the positions where the matching
+  // E-expansion window sits in a rotated copy of R, so the round function
+  // applies the whole subkey with two word XORs instead of eight byte XORs.
+  std::array<std::array<uint32_t, 2>, 16> roundkeys_{};
 };
 
 // Sets each byte of `key` to odd parity (modifying only bit 0 of each byte).

@@ -1,6 +1,7 @@
 #include "src/crypto/dlog.h"
 
-#include <unordered_map>
+#include <bit>
+#include <vector>
 
 #include "src/crypto/primes.h"
 
@@ -33,20 +34,81 @@ uint64_t SubMod(uint64_t a, uint64_t b, uint64_t m) {
   return a >= b ? (a - b) % m : m - ((b - a) % m);
 }
 
+// Floor of sqrt(n) by Newton's method — exact for all 64-bit n, unlike a
+// linear count-up (which costs sqrt(n) iterations before the search begins).
+uint64_t ISqrt(uint64_t n) {
+  if (n == 0) {
+    return 0;
+  }
+  uint64_t x = uint64_t{1} << ((65 - std::countl_zero(n)) / 2);  // >= sqrt(n)
+  while (true) {
+    uint64_t y = (x + n / x) / 2;
+    if (y >= x) {
+      return x;
+    }
+    x = y;
+  }
+}
+
+// Open-addressed baby-step table: power-of-two slots, linear probing, keys
+// stored as value+1 so 0 marks an empty slot (group elements are < p, so
+// +1 never wraps). Flat storage beats unordered_map's node-per-entry layout
+// on both build time and probe locality for the sqrt(p)-sized table.
+class BabyStepTable {
+ public:
+  explicit BabyStepTable(uint64_t entries) {
+    size_t cap = std::bit_ceil(static_cast<size_t>(entries) * 2 + 1);
+    mask_ = cap - 1;
+    keys_.assign(cap, 0);
+    indices_.resize(cap);
+  }
+
+  void Insert(uint64_t element, uint64_t index) {
+    size_t slot = Hash(element);
+    while (keys_[slot] != 0) {
+      if (keys_[slot] == element + 1) {
+        return;  // keep the smallest index for a repeated element
+      }
+      slot = (slot + 1) & mask_;
+    }
+    keys_[slot] = element + 1;
+    indices_[slot] = index;
+  }
+
+  std::optional<uint64_t> Find(uint64_t element) const {
+    size_t slot = Hash(element);
+    while (keys_[slot] != 0) {
+      if (keys_[slot] == element + 1) {
+        return indices_[slot];
+      }
+      slot = (slot + 1) & mask_;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  size_t Hash(uint64_t element) const {
+    return static_cast<size_t>((element + 1) * 0x9e3779b97f4a7c15ull >> 32) & mask_;
+  }
+
+  size_t mask_ = 0;
+  std::vector<uint64_t> keys_;
+  std::vector<uint64_t> indices_;
+};
+
 }  // namespace
 
 std::optional<uint64_t> DlogBabyStepGiantStep(uint64_t g, uint64_t target, uint64_t p) {
   uint64_t n = p - 1;  // search the full exponent range
-  uint64_t m = 1;
-  while (m * m < n) {
-    ++m;
+  uint64_t m = ISqrt(n);
+  if (m * m < n) {
+    ++m;  // ceil(sqrt(n))
   }
   // Baby steps: g^j for j in [0, m).
-  std::unordered_map<uint64_t, uint64_t> table;
-  table.reserve(static_cast<size_t>(m));
+  BabyStepTable table(m);
   uint64_t cur = 1 % p;
   for (uint64_t j = 0; j < m; ++j) {
-    table.emplace(cur, j);
+    table.Insert(cur, j);
     cur = MulMod64(cur, g, p);
   }
   // Giant steps: target * (g^-m)^i.
@@ -58,9 +120,9 @@ std::optional<uint64_t> DlogBabyStepGiantStep(uint64_t g, uint64_t target, uint6
   uint64_t giant = PowMod64(inv_g, m, p);
   uint64_t gamma = target % p;
   for (uint64_t i = 0; i <= m; ++i) {
-    auto it = table.find(gamma);
-    if (it != table.end()) {
-      uint64_t x = (i * m + it->second) % n;
+    auto j = table.Find(gamma);
+    if (j.has_value()) {
+      uint64_t x = (i * m + *j) % n;
       if (PowMod64(g, x, p) == target % p) {
         return x;
       }
@@ -102,35 +164,46 @@ std::optional<uint64_t> DlogPollardRho(uint64_t g, uint64_t target, uint64_t p, 
   for (int attempt = 0; attempt < max_restarts; ++attempt) {
     uint64_t a0 = prng.NextBelow(n);
     uint64_t b0 = prng.NextBelow(n);
-    Walker slow{MulMod64(PowMod64(g, a0, p), PowMod64(h, b0, p), p), a0, b0};
-    Walker fast = slow;
-    // Floyd cycle detection; bound the walk to avoid pathological loops.
+    // Brent cycle detection: the anchor teleports to the hare's position
+    // every time the probe length doubles, so each iteration advances the
+    // walk once — versus three step() calls per iteration under Floyd —
+    // and still finds a collision within O(cycle length) steps.
+    Walker anchor{MulMod64(PowMod64(g, a0, p), PowMod64(h, b0, p), p), a0, b0};
+    Walker hare = anchor;
+    step(hare);
     uint64_t bound = 8 * (1ull << (64 - __builtin_clzll(n)) / 2);  // ~8*2^(bits/2)
-    for (uint64_t i = 0; i < bound + (uint64_t)1e7; ++i) {
-      step(slow);
-      step(fast);
-      step(fast);
-      if (slow.y == fast.y) {
-        // g^(a_s) h^(b_s) = g^(a_f) h^(b_f)  =>  (b_s - b_f) x = a_f - a_s (mod n)
-        uint64_t db = SubMod(slow.b, fast.b, n);
-        uint64_t da = SubMod(fast.a, slow.a, n);
-        if (db == 0) {
-          break;  // degenerate collision; restart
+    bound += (uint64_t)1e7;
+    uint64_t power = 1;
+    uint64_t lam = 1;
+    bool collided = false;
+    for (uint64_t i = 0; i < bound && !(collided = anchor.y == hare.y); ++i) {
+      if (lam == power) {
+        anchor = hare;
+        power *= 2;
+        lam = 0;
+      }
+      step(hare);
+      ++lam;
+    }
+    if (collided) {
+      // g^(a_s) h^(b_s) = g^(a_f) h^(b_f)  =>  (b_s - b_f) x = a_f - a_s (mod n)
+      uint64_t db = SubMod(anchor.b, hare.b, n);
+      uint64_t da = SubMod(hare.a, anchor.a, n);
+      if (db == 0) {
+        continue;  // degenerate collision; restart
+      }
+      uint64_t inv;
+      uint64_t d = ExtGcd(db, n, inv);
+      if (da % d != 0) {
+        continue;
+      }
+      uint64_t n_d = n / d;
+      uint64_t base_x = MulMod64((da / d) % n_d, inv % n_d, n_d);
+      for (uint64_t k = 0; k < d && k < 4096; ++k) {
+        uint64_t x = (base_x + k * n_d) % n;
+        if (PowMod64(g, x, p) == h) {
+          return x;
         }
-        uint64_t inv;
-        uint64_t d = ExtGcd(db, n, inv);
-        if (da % d != 0) {
-          break;
-        }
-        uint64_t n_d = n / d;
-        uint64_t base_x = MulMod64((da / d) % n_d, inv % n_d, n_d);
-        for (uint64_t k = 0; k < d && k < 4096; ++k) {
-          uint64_t x = (base_x + k * n_d) % n;
-          if (PowMod64(g, x, p) == h) {
-            return x;
-          }
-        }
-        break;
       }
     }
   }

@@ -25,16 +25,20 @@ uint64_t Prng::NextBelow(uint64_t bound) {
 }
 
 kerb::Bytes Prng::NextBytes(size_t n) {
-  kerb::Bytes out;
-  out.reserve(n);
-  while (out.size() < n) {
+  kerb::Bytes out(n);
+  Fill(out.data(), n);
+  return out;
+}
+
+void Prng::Fill(uint8_t* out, size_t n) {
+  size_t pos = 0;
+  while (pos < n) {
     uint64_t v = NextU64();
-    for (int i = 0; i < 8 && out.size() < n; ++i) {
-      out.push_back(static_cast<uint8_t>(v & 0xff));
+    for (int i = 0; i < 8 && pos < n; ++i) {
+      out[pos++] = static_cast<uint8_t>(v & 0xff);
       v >>= 8;
     }
   }
-  return out;
 }
 
 DesKey Prng::NextDesKey() {

@@ -33,6 +33,10 @@ class Prng {
 
   kerb::Bytes NextBytes(size_t n);
 
+  // Same byte stream as NextBytes, written into caller storage — the
+  // allocation-free encode path draws confounders this way.
+  void Fill(uint8_t* out, size_t n);
+
   // A fresh DES key: random 56 bits, odd parity, never weak/semi-weak.
   DesKey NextDesKey();
 

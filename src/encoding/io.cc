@@ -3,19 +3,19 @@
 namespace kenc {
 
 void Writer::PutU16(uint16_t v) {
-  out_.push_back(static_cast<uint8_t>(v >> 8));
-  out_.push_back(static_cast<uint8_t>(v & 0xff));
+  out_->push_back(static_cast<uint8_t>(v >> 8));
+  out_->push_back(static_cast<uint8_t>(v & 0xff));
 }
 
 void Writer::PutU32(uint32_t v) {
   for (int shift = 24; shift >= 0; shift -= 8) {
-    out_.push_back(static_cast<uint8_t>((v >> shift) & 0xff));
+    out_->push_back(static_cast<uint8_t>((v >> shift) & 0xff));
   }
 }
 
 void Writer::PutU64(uint64_t v) {
   for (int shift = 56; shift >= 0; shift -= 8) {
-    out_.push_back(static_cast<uint8_t>((v >> shift) & 0xff));
+    out_->push_back(static_cast<uint8_t>((v >> shift) & 0xff));
   }
 }
 
@@ -26,7 +26,7 @@ void Writer::PutLengthPrefixed(kerb::BytesView b) {
 
 void Writer::PutString(std::string_view s) {
   PutU32(static_cast<uint32_t>(s.size()));
-  out_.insert(out_.end(), s.begin(), s.end());
+  out_->insert(out_->end(), s.begin(), s.end());
 }
 
 kerb::Result<uint8_t> Reader::GetU8() {

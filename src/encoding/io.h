@@ -23,22 +23,35 @@ namespace kenc {
 
 class Writer {
  public:
-  void PutU8(uint8_t v) { out_.push_back(v); }
+  // Owns its output buffer; Take() moves it out.
+  Writer() = default;
+
+  // Appends into a caller-owned buffer instead — the allocation-free serving
+  // path hands the same buffer back every request, so after warm-up the
+  // capacity is already there and no encode allocates. The buffer is cleared
+  // (capacity kept) on construction; it is NOT valid to call Take().
+  explicit Writer(kerb::Bytes* reuse) : out_(reuse) { out_->clear(); }
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  void PutU8(uint8_t v) { out_->push_back(v); }
   void PutU16(uint16_t v);
   void PutU32(uint32_t v);
   void PutU64(uint64_t v);
-  void PutBytes(kerb::BytesView b) { kerb::Append(out_, b); }
+  void PutBytes(kerb::BytesView b) { kerb::Append(*out_, b); }
   // 32-bit length followed by the raw bytes.
   void PutLengthPrefixed(kerb::BytesView b);
   // Length-prefixed UTF-8 string.
   void PutString(std::string_view s);
 
-  size_t size() const { return out_.size(); }
-  kerb::Bytes Take() { return std::move(out_); }
-  const kerb::Bytes& Peek() const { return out_; }
+  size_t size() const { return out_->size(); }
+  kerb::Bytes Take() { return std::move(owned_); }
+  const kerb::Bytes& Peek() const { return *out_; }
 
  private:
-  kerb::Bytes out_;
+  kerb::Bytes owned_;
+  kerb::Bytes* out_ = &owned_;
 };
 
 class Reader {

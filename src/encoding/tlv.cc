@@ -1,8 +1,48 @@
 #include "src/encoding/tlv.h"
 
+#include <cassert>
+
 #include "src/encoding/io.h"
 
 namespace kenc {
+
+TlvFieldWriter::TlvFieldWriter(Writer& w, uint16_t type, uint16_t field_count)
+    : w_(w), declared_(field_count) {
+  w_.PutU16(type);
+  w_.PutU16(field_count);
+}
+
+TlvFieldWriter::~TlvFieldWriter() { assert(added_ == declared_); }
+
+void TlvFieldWriter::Header(uint16_t tag, size_t len) {
+  assert(static_cast<int32_t>(tag) > last_tag_);
+  last_tag_ = tag;
+  ++added_;
+  w_.PutU16(tag);
+  w_.PutU32(static_cast<uint32_t>(len));
+}
+
+void TlvFieldWriter::AddU32(uint16_t tag, uint32_t value) {
+  Header(tag, 4);
+  w_.PutU32(value);
+}
+
+void TlvFieldWriter::AddU64(uint16_t tag, uint64_t value) {
+  Header(tag, 8);
+  w_.PutU64(value);
+}
+
+void TlvFieldWriter::AddString(uint16_t tag, std::string_view value) {
+  // Raw characters, no length prefix — the TLV header already carries the
+  // length (matches TlvMessage, which stores strings as bare bytes).
+  Header(tag, value.size());
+  w_.PutBytes(kerb::BytesView(reinterpret_cast<const uint8_t*>(value.data()), value.size()));
+}
+
+void TlvFieldWriter::AddBytes(uint16_t tag, kerb::BytesView value) {
+  Header(tag, value.size());
+  w_.PutBytes(value);
+}
 
 void TlvMessage::SetU32(uint16_t tag, uint32_t value) {
   Writer w;
@@ -81,6 +121,11 @@ std::optional<kerb::Bytes> TlvMessage::GetOptionalBytes(uint16_t tag) const {
 
 kerb::Bytes TlvMessage::Encode() const {
   Writer w;
+  AppendTo(w);
+  return w.Take();
+}
+
+void TlvMessage::AppendTo(Writer& w) const {
   w.PutU16(type_);
   w.PutU16(static_cast<uint16_t>(fields_.size()));
   for (const auto& [tag, value] : fields_) {
@@ -88,7 +133,11 @@ kerb::Bytes TlvMessage::Encode() const {
     w.PutU32(static_cast<uint32_t>(value.size()));
     w.PutBytes(value);
   }
-  return w.Take();
+}
+
+void TlvMessage::EncodeInto(kerb::Bytes& out) const {
+  Writer w(&out);
+  AppendTo(w);
 }
 
 kerb::Result<TlvMessage> TlvMessage::Decode(kerb::BytesView data) {

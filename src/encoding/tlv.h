@@ -28,6 +28,8 @@
 
 namespace kenc {
 
+class Writer;
+
 class TlvMessage {
  public:
   TlvMessage() = default;
@@ -56,6 +58,10 @@ class TlvMessage {
   std::optional<kerb::Bytes> GetOptionalBytes(uint16_t tag) const;
 
   kerb::Bytes Encode() const;
+  // Appends the encoding to an in-progress Writer / reusable buffer — the
+  // allocation-free variants of Encode() used by the KDC serving path.
+  void AppendTo(Writer& w) const;
+  void EncodeInto(kerb::Bytes& out) const;
   static kerb::Result<TlvMessage> Decode(kerb::BytesView data);
 
   // Decode that additionally requires the message type to match — the
@@ -69,6 +75,31 @@ class TlvMessage {
  private:
   uint16_t type_ = 0;
   std::map<uint16_t, kerb::Bytes> fields_;
+};
+
+// Streams a TLV message straight into a Writer, without the field map a
+// TlvMessage carries. Produces byte-identical output to building a
+// TlvMessage and encoding it PROVIDED the caller adds fields in strictly
+// ascending tag order (the map's iteration order) and `field_count` matches
+// the number of Add calls — both asserted in debug builds. This is the
+// encode path for messages the KDC emits per request.
+class TlvFieldWriter {
+ public:
+  TlvFieldWriter(Writer& w, uint16_t type, uint16_t field_count);
+  ~TlvFieldWriter();
+
+  void AddU32(uint16_t tag, uint32_t value);
+  void AddU64(uint16_t tag, uint64_t value);
+  void AddString(uint16_t tag, std::string_view value);
+  void AddBytes(uint16_t tag, kerb::BytesView value);
+
+ private:
+  void Header(uint16_t tag, size_t len);
+
+  Writer& w_;
+  uint16_t declared_ = 0;
+  uint16_t added_ = 0;
+  int32_t last_tag_ = -1;
 };
 
 }  // namespace kenc

@@ -85,13 +85,9 @@ kerb::Result<VerifiedSession> AppServer4::VerifyApRequest(const ApRequest4& req,
   }
 
   if (options_.replay_cache) {
-    // Prune entries that have aged out of the window, then check and insert.
-    auto key = std::make_tuple(auth.value().client.ToString(), auth.value().client_addr,
-                               auth.value().timestamp);
-    std::erase_if(seen_authenticators_, [&](const auto& entry) {
-      return std::get<2>(entry) < now - options_.clock_skew_limit;
-    });
-    if (!seen_authenticators_.insert(key).second) {
+    if (!seen_authenticators_.CheckAndInsert(auth.value().client.ToString(),
+                                             auth.value().client_addr, auth.value().timestamp,
+                                             now, options_.clock_skew_limit)) {
       return fail(kerb::ErrorCode::kReplay, "authenticator replayed");
     }
   }

@@ -14,13 +14,12 @@
 
 #include <functional>
 #include <map>
-#include <set>
-#include <tuple>
 
 #include "src/crypto/prng.h"
 #include "src/krb4/messages.h"
 #include "src/sim/clock.h"
 #include "src/sim/network.h"
+#include "src/sim/replaycache.h"
 
 namespace krb4 {
 
@@ -81,8 +80,10 @@ class AppServer4 {
   ksim::HostClock clock_;
   AppHandler app_;
   AppServerOptions options_;
-  // (client, addr, timestamp) tuples inside the live window.
-  std::set<std::tuple<std::string, uint32_t, ksim::Time>> seen_authenticators_;
+  // (client, addr, timestamp) tuples inside the live window — the sharded
+  // cache a multi-threaded server implementation needs (the paper: "we know
+  // of no multi-threaded server implementation which caches authenticators").
+  ksim::ShardedReplayCache seen_authenticators_;
   // Outstanding challenge nonces → issue time (challenge/response mode).
   std::map<uint64_t, ksim::Time> challenges_;
   kcrypto::Prng challenge_prng_;

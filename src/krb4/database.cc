@@ -5,18 +5,17 @@
 namespace krb4 {
 
 void KdcDatabase::AddUser(const Principal& user, std::string_view password) {
-  keys_.insert_or_assign(user, kcrypto::StringToKey(password, user.Salt()));
-  kinds_.insert_or_assign(user, PrincipalKind::kUser);
+  store_.Upsert(user, kcrypto::StringToKey(password, user.Salt()), PrincipalKind::kUser);
 }
 
 void KdcDatabase::AddService(const Principal& service, const kcrypto::DesKey& key) {
-  keys_.insert_or_assign(service, key);
-  kinds_.insert_or_assign(service, PrincipalKind::kService);
+  store_.Upsert(service, key, PrincipalKind::kService);
 }
 
 PrincipalKind KdcDatabase::Kind(const Principal& principal) const {
-  auto it = kinds_.find(principal);
-  return it == kinds_.end() ? PrincipalKind::kService : it->second;
+  PrincipalKind kind = PrincipalKind::kService;
+  store_.Lookup(principal, nullptr, &kind);
+  return kind;
 }
 
 kcrypto::DesKey KdcDatabase::AddServiceWithRandomKey(const Principal& service,
@@ -27,21 +26,12 @@ kcrypto::DesKey KdcDatabase::AddServiceWithRandomKey(const Principal& service,
 }
 
 kerb::Result<kcrypto::DesKey> KdcDatabase::Lookup(const Principal& principal) const {
-  auto it = keys_.find(principal);
-  if (it == keys_.end()) {
+  kcrypto::DesKey key;
+  if (!store_.Lookup(principal, &key)) {
     return kerb::MakeError(kerb::ErrorCode::kNotFound,
                            "unknown principal " + principal.ToString());
   }
-  return it->second;
-}
-
-std::vector<Principal> KdcDatabase::Principals() const {
-  std::vector<Principal> out;
-  out.reserve(keys_.size());
-  for (const auto& [principal, key] : keys_) {
-    out.push_back(principal);
-  }
-  return out;
+  return key;
 }
 
 }  // namespace krb4

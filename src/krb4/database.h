@@ -5,11 +5,14 @@
 // the one component the paper's threat model assumes physically secure
 // ("the Kerberos master server, for which strong physical security must be
 // assumed in any event").
+//
+// Storage is a sharded open-addressing table (src/krb4/principal_store.h):
+// one probe per lookup instead of the seed's two std::map walks, and safe
+// for concurrent reads from a multi-threaded serving core.
 
 #ifndef SRC_KRB4_DATABASE_H_
 #define SRC_KRB4_DATABASE_H_
 
-#include <map>
 #include <string>
 #include <vector>
 
@@ -17,17 +20,9 @@
 #include "src/crypto/des.h"
 #include "src/crypto/prng.h"
 #include "src/krb4/principal.h"
+#include "src/krb4/principal_store.h"
 
 namespace krb4 {
-
-// Whether a principal is a human (password-derived key) or a service
-// (random key). The distinction matters: the paper notes that treating
-// "clients as services" lets anyone obtain tickets encrypted with a user's
-// password key — another password-guessing avenue (experiment E15).
-enum class PrincipalKind {
-  kUser,
-  kService,
-};
 
 class KdcDatabase {
  public:
@@ -41,7 +36,7 @@ class KdcDatabase {
   // Registers a service with a fresh random key and returns it.
   kcrypto::DesKey AddServiceWithRandomKey(const Principal& service, kcrypto::Prng& prng);
 
-  bool Has(const Principal& principal) const { return keys_.count(principal) != 0; }
+  bool Has(const Principal& principal) const { return store_.Contains(principal); }
   kerb::Result<kcrypto::DesKey> Lookup(const Principal& principal) const;
 
   // kService for unknown principals (the caller will fail the Lookup).
@@ -49,13 +44,17 @@ class KdcDatabase {
 
   // All registered principals — used by harvesting experiments, which model
   // an attacker who knows the user list (usernames are public).
-  std::vector<Principal> Principals() const;
+  std::vector<Principal> Principals() const { return store_.Principals(); }
 
-  size_t size() const { return keys_.size(); }
+  size_t size() const { return store_.size(); }
+
+  // Advances on every registration; derived-key caches key off this.
+  uint64_t generation() const { return store_.generation(); }
+
+  const PrincipalStore& store() const { return store_; }
 
  private:
-  std::map<Principal, kcrypto::DesKey> keys_;
-  std::map<Principal, PrincipalKind> kinds_;
+  PrincipalStore store_;
 };
 
 }  // namespace krb4

@@ -1,6 +1,6 @@
 #include "src/krb4/kdc.h"
 
-#include <algorithm>
+#include <utility>
 
 namespace krb4 {
 
@@ -9,136 +9,10 @@ Kdc4::Kdc4(ksim::Network* net, const ksim::NetAddress& as_addr, const ksim::NetA
            KdcOptions options)
     : as_addr_(as_addr),
       tgs_addr_(tgs_addr),
-      clock_(clock),
-      realm_(std::move(realm)),
-      db_(std::move(db)),
-      prng_(prng),
-      options_(options) {
-  net->Bind(as_addr_, [this](const ksim::Message& msg) { return HandleAs(msg); });
-  net->Bind(tgs_addr_, [this](const ksim::Message& msg) { return HandleTgs(msg); });
-}
-
-kerb::Result<kerb::Bytes> Kdc4::HandleAs(const ksim::Message& msg) {
-  ++as_requests_;
-  auto framed = Unframe4(msg.payload);
-  if (!framed.ok() || framed.value().first != MsgType::kAsRequest) {
-    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "expected AS request");
-  }
-  auto req = AsRequest4::Decode(framed.value().second);
-  if (!req.ok()) {
-    return req.error();
-  }
-
-  // V4: no preauthentication. Whoever asked, for whatever principal,
-  // receives a reply encrypted in that principal's key.
-  auto client_key = db_.Lookup(req.value().client);
-  if (!client_key.ok()) {
-    return client_key.error();
-  }
-  Principal tgs = TgsPrincipal(realm_);
-  auto tgs_key = db_.Lookup(tgs);
-  if (!tgs_key.ok()) {
-    return tgs_key.error();
-  }
-
-  ksim::Time now = clock_.Now();
-  // V4 quantization: the grant is whatever fits a one-byte 5-minute count.
-  ksim::Duration lifetime = V4UnitsToLifetime(
-      LifetimeToV4Units(std::min(req.value().lifetime, options_.max_ticket_lifetime)));
-
-  kcrypto::DesKey session_key = prng_.NextDesKey();
-  Ticket4 tgt;
-  tgt.service = tgs;
-  tgt.client = req.value().client;
-  tgt.client_addr = msg.src.host;  // trusts the claimed source address
-  tgt.issued_at = now;
-  tgt.lifetime = lifetime;
-  tgt.session_key = session_key.bytes();
-
-  AsReplyBody4 body;
-  body.tgs_session_key = session_key.bytes();
-  body.sealed_tgt = tgt.Seal(tgs_key.value());
-  body.issued_at = now;
-  body.lifetime = lifetime;
-
-  return Frame4(MsgType::kAsReply, Seal4(client_key.value(), body.Encode()));
-}
-
-kerb::Result<kerb::Bytes> Kdc4::HandleTgs(const ksim::Message& msg) {
-  ++tgs_requests_;
-  auto framed = Unframe4(msg.payload);
-  if (!framed.ok() || framed.value().first != MsgType::kTgsRequest) {
-    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "expected TGS request");
-  }
-  auto req = TgsRequest4::Decode(framed.value().second);
-  if (!req.ok()) {
-    return req.error();
-  }
-
-  Principal tgs = TgsPrincipal(realm_);
-  auto tgs_key = db_.Lookup(tgs);
-  if (!tgs_key.ok()) {
-    return tgs_key.error();
-  }
-  auto tgt = Ticket4::Unseal(tgs_key.value(), req.value().sealed_tgt);
-  if (!tgt.ok()) {
-    return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "ticket-granting ticket invalid");
-  }
-
-  ksim::Time now = clock_.Now();
-  if (tgt.value().Expired(now)) {
-    return kerb::MakeError(kerb::ErrorCode::kExpired, "ticket-granting ticket expired");
-  }
-
-  kcrypto::DesKey tgs_session(tgt.value().session_key);
-  auto auth = Authenticator4::Unseal(tgs_session, req.value().sealed_auth);
-  if (!auth.ok()) {
-    return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "authenticator undecryptable");
-  }
-  if (!(auth.value().client == tgt.value().client)) {
-    return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "authenticator/ticket client mismatch");
-  }
-  // The time-based freshness check the paper criticises: any copy of this
-  // authenticator replayed within the window passes.
-  if (std::llabs(auth.value().timestamp - now) > options_.clock_skew_limit) {
-    return kerb::MakeError(kerb::ErrorCode::kSkew, "authenticator outside skew window");
-  }
-  // Address binding (V4 semantics): ticket addr must match both the claimed
-  // packet source and the authenticator.
-  if (tgt.value().client_addr != msg.src.host ||
-      auth.value().client_addr != tgt.value().client_addr) {
-    return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "address mismatch");
-  }
-
-  auto service_key = db_.Lookup(req.value().service);
-  if (!service_key.ok()) {
-    return service_key.error();
-  }
-
-  // An issued ticket must not outlive the TGT that vouched for it, and the
-  // grant is quantized to V4's one-byte five-minute units (rounded down
-  // here so quantization can never extend past the TGT).
-  ksim::Duration tgt_remaining = tgt.value().issued_at + tgt.value().lifetime - now;
-  ksim::Duration requested =
-      std::min({req.value().lifetime, options_.max_ticket_lifetime, tgt_remaining});
-  ksim::Duration lifetime = (requested / kV4LifetimeUnit) * kV4LifetimeUnit;
-  kcrypto::DesKey session_key = prng_.NextDesKey();
-
-  Ticket4 ticket;
-  ticket.service = req.value().service;
-  ticket.client = tgt.value().client;
-  ticket.client_addr = tgt.value().client_addr;
-  ticket.issued_at = now;
-  ticket.lifetime = lifetime;
-  ticket.session_key = session_key.bytes();
-
-  TgsReplyBody4 body;
-  body.session_key = session_key.bytes();
-  body.sealed_ticket = ticket.Seal(service_key.value());
-  body.issued_at = now;
-  body.lifetime = lifetime;
-
-  return Frame4(MsgType::kTgsReply, Seal4(tgs_session, body.Encode()));
+      core_(clock, std::move(realm), std::move(db), options),
+      ctx_(prng) {
+  net->Bind(as_addr_, [this](const ksim::Message& msg) { return core_.HandleAs(msg, ctx_); });
+  net->Bind(tgs_addr_, [this](const ksim::Message& msg) { return core_.HandleTgs(msg, ctx_); });
 }
 
 }  // namespace krb4

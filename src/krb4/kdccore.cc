@@ -1,0 +1,171 @@
+#include "src/krb4/kdccore.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+namespace krb4 {
+
+KdcCore4::KdcCore4(ksim::HostClock clock, std::string realm, KdcDatabase db, KdcOptions options)
+    : clock_(clock),
+      realm_(std::move(realm)),
+      tgs_principal_(TgsPrincipal(realm_)),
+      db_(std::move(db)),
+      options_(options) {}
+
+kerb::Result<kcrypto::DesKey> KdcCore4::CachedLookup(const Principal& principal,
+                                                     KdcContext& ctx) const {
+  const uint64_t hash = PrincipalStore::Hash(principal);
+  const uint64_t generation = db_.generation();
+  kcrypto::DesKey key;
+  if (ctx.keys.Get(generation, hash, principal, &key)) {
+    return key;
+  }
+  auto looked_up = db_.Lookup(principal);
+  if (looked_up.ok()) {
+    ctx.keys.Put(generation, hash, principal, looked_up.value());
+  }
+  return looked_up;
+}
+
+kerb::Result<kerb::Bytes> KdcCore4::HandleAs(const ksim::Message& msg, KdcContext& ctx) {
+  as_requests_.fetch_add(1, std::memory_order_relaxed);
+  auto framed = Unframe4(msg.payload);
+  if (!framed.ok() || framed.value().first != MsgType::kAsRequest) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "expected AS request");
+  }
+  auto req = AsRequest4::Decode(framed.value().second);
+  if (!req.ok()) {
+    return req.error();
+  }
+
+  // V4: no preauthentication. Whoever asked, for whatever principal,
+  // receives a reply encrypted in that principal's key.
+  auto client_key = CachedLookup(req.value().client, ctx);
+  if (!client_key.ok()) {
+    return client_key.error();
+  }
+  auto tgs_key = CachedLookup(tgs_principal_, ctx);
+  if (!tgs_key.ok()) {
+    return tgs_key.error();
+  }
+
+  ksim::Time now = clock_.Now();
+  // V4 quantization: the grant is whatever fits a one-byte 5-minute count.
+  ksim::Duration lifetime = V4UnitsToLifetime(
+      LifetimeToV4Units(std::min(req.value().lifetime, options_.max_ticket_lifetime)));
+
+  kcrypto::DesKey session_key = ctx.prng.NextDesKey();
+  Ticket4 tgt;
+  tgt.service = tgs_principal_;
+  tgt.client = req.value().client;
+  tgt.client_addr = msg.src.host;  // trusts the claimed source address
+  tgt.issued_at = now;
+  tgt.lifetime = lifetime;
+  tgt.session_key = session_key.bytes();
+
+  // The reply is {K_c,tgs, {T_c,tgs}K_tgs, times}K_c, assembled through the
+  // context's scratch buffers instead of AsReplyBody4 temporaries.
+  kenc::Writer ticket_writer(&ctx.scratch.ticket_plain);
+  tgt.AppendTo(ticket_writer);
+  ctx.scratch.ticket_sealed.clear();
+  Seal4Into(tgs_key.value(), ctx.scratch.ticket_plain, ctx.scratch.ticket_sealed);
+
+  kenc::Writer body_writer(&ctx.scratch.body_plain);
+  AppendReplyBody4(body_writer, session_key.bytes(), ctx.scratch.ticket_sealed, now, lifetime);
+
+  SealedFrame4Into(MsgType::kAsReply, client_key.value(), ctx.scratch.body_plain,
+                   ctx.scratch.reply);
+  return ctx.scratch.reply;
+}
+
+kerb::Result<kerb::Bytes> KdcCore4::HandleTgs(const ksim::Message& msg, KdcContext& ctx) {
+  tgs_requests_.fetch_add(1, std::memory_order_relaxed);
+  auto framed = Unframe4(msg.payload);
+  if (!framed.ok() || framed.value().first != MsgType::kTgsRequest) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "expected TGS request");
+  }
+  auto req = TgsRequest4::Decode(framed.value().second);
+  if (!req.ok()) {
+    return req.error();
+  }
+
+  auto tgs_key = CachedLookup(tgs_principal_, ctx);
+  if (!tgs_key.ok()) {
+    return tgs_key.error();
+  }
+  // The same sealed TGT arrives on every request of a client's session, so
+  // the decoded ticket is memoised per context (expiry is still checked
+  // against `now` on every request, below).
+  constexpr uint32_t kMemoTgt4 = 0x7467'3404;
+  const Ticket4* tgt =
+      ctx.unseals.Get<Ticket4>(kMemoTgt4, tgs_key.value(), req.value().sealed_tgt);
+  if (tgt == nullptr) {
+    auto unsealed = Ticket4::Unseal(tgs_key.value(), req.value().sealed_tgt);
+    if (!unsealed.ok()) {
+      return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "ticket-granting ticket invalid");
+    }
+    tgt = ctx.unseals.Put(kMemoTgt4, tgs_key.value(), req.value().sealed_tgt,
+                          std::move(unsealed.value()));
+  }
+
+  ksim::Time now = clock_.Now();
+  if (tgt->Expired(now)) {
+    return kerb::MakeError(kerb::ErrorCode::kExpired, "ticket-granting ticket expired");
+  }
+
+  kcrypto::DesKey tgs_session(tgt->session_key);
+  auto auth = Authenticator4::Unseal(tgs_session, req.value().sealed_auth);
+  if (!auth.ok()) {
+    return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "authenticator undecryptable");
+  }
+  if (!(auth.value().client == tgt->client)) {
+    return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "authenticator/ticket client mismatch");
+  }
+  // The time-based freshness check the paper criticises: any copy of this
+  // authenticator replayed within the window passes.
+  if (std::llabs(auth.value().timestamp - now) > options_.clock_skew_limit) {
+    return kerb::MakeError(kerb::ErrorCode::kSkew, "authenticator outside skew window");
+  }
+  // Address binding (V4 semantics): ticket addr must match both the claimed
+  // packet source and the authenticator.
+  if (tgt->client_addr != msg.src.host ||
+      auth.value().client_addr != tgt->client_addr) {
+    return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "address mismatch");
+  }
+
+  auto service_key = CachedLookup(req.value().service, ctx);
+  if (!service_key.ok()) {
+    return service_key.error();
+  }
+
+  // An issued ticket must not outlive the TGT that vouched for it, and the
+  // grant is quantized to V4's one-byte five-minute units (rounded down
+  // here so quantization can never extend past the TGT).
+  ksim::Duration tgt_remaining = tgt->issued_at + tgt->lifetime - now;
+  ksim::Duration requested =
+      std::min({req.value().lifetime, options_.max_ticket_lifetime, tgt_remaining});
+  ksim::Duration lifetime = (requested / kV4LifetimeUnit) * kV4LifetimeUnit;
+  kcrypto::DesKey session_key = ctx.prng.NextDesKey();
+
+  Ticket4 ticket;
+  ticket.service = req.value().service;
+  ticket.client = tgt->client;
+  ticket.client_addr = tgt->client_addr;
+  ticket.issued_at = now;
+  ticket.lifetime = lifetime;
+  ticket.session_key = session_key.bytes();
+
+  kenc::Writer ticket_writer(&ctx.scratch.ticket_plain);
+  ticket.AppendTo(ticket_writer);
+  ctx.scratch.ticket_sealed.clear();
+  Seal4Into(service_key.value(), ctx.scratch.ticket_plain, ctx.scratch.ticket_sealed);
+
+  kenc::Writer body_writer(&ctx.scratch.body_plain);
+  AppendReplyBody4(body_writer, session_key.bytes(), ctx.scratch.ticket_sealed, now, lifetime);
+
+  SealedFrame4Into(MsgType::kTgsReply, tgs_session, ctx.scratch.body_plain, ctx.scratch.reply);
+  return ctx.scratch.reply;
+}
+
+}  // namespace krb4

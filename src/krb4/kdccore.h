@@ -1,0 +1,186 @@
+// Thread-safe V4 KDC serving core.
+//
+// The protocol logic of the V4 authentication and ticket-granting servers,
+// factored out of the network-facing Kdc4 wrapper so two drivers can share
+// it:
+//   * the deterministic simulation (src/krb4/kdc.h) drives it with ONE
+//     KdcContext on one thread, producing byte-identical replies to the
+//     pre-split handlers (pinned by tests/integration/kdc_capture_test.cc);
+//   * the parallel bench harness (src/attacks/kdcload.h) drives it with a
+//     KERB_KDC_THREADS worker pool, one KdcContext per worker.
+//
+// The core itself holds only state that is safe to share: the sharded
+// principal store (reader-locked) and atomic request counters. Everything
+// per-request — the PRNG stream, the derived-key cache, the encode scratch
+// buffers — lives in the caller-owned KdcContext, so handlers never contend
+// on anything but the store's shard locks.
+
+#ifndef SRC_KRB4_KDCCORE_H_
+#define SRC_KRB4_KDCCORE_H_
+
+#include <algorithm>
+#include <any>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/crypto/prng.h"
+#include "src/krb4/database.h"
+#include "src/krb4/messages.h"
+#include "src/sim/clock.h"
+#include "src/sim/network.h"
+
+namespace krb4 {
+
+struct KdcOptions {
+  ksim::Duration max_ticket_lifetime = 8 * ksim::kHour;
+  ksim::Duration clock_skew_limit = ksim::kDefaultClockSkewLimit;
+};
+
+// Small direct-mapped cache of keys copied out of the principal store,
+// validated against the store's generation counter so post-construction
+// registrations (several attack scenarios add services mid-run) invalidate
+// it automatically. Returns keys by value: a later insert may overwrite any
+// slot, so references into the cache would dangle within one request.
+class KdcKeyCache {
+ public:
+  bool Get(uint64_t generation, uint64_t hash, const Principal& principal,
+           kcrypto::DesKey* key_out) const {
+    const Slot& slot = slots_[hash % kSlots];
+    if (slot.used && slot.generation == generation && slot.hash == hash &&
+        slot.principal == principal) {
+      *key_out = slot.key;
+      return true;
+    }
+    return false;
+  }
+
+  void Put(uint64_t generation, uint64_t hash, const Principal& principal,
+           const kcrypto::DesKey& key) {
+    Slot& slot = slots_[hash % kSlots];
+    slot.used = true;
+    slot.generation = generation;
+    slot.hash = hash;
+    slot.principal = principal;
+    slot.key = key;
+  }
+
+ private:
+  static constexpr size_t kSlots = 64;
+  struct Slot {
+    uint64_t generation = 0;
+    uint64_t hash = 0;
+    bool used = false;
+    Principal principal;
+    kcrypto::DesKey key;
+  };
+  std::array<Slot, kSlots> slots_;
+};
+
+// Memo of deterministic unseal results, keyed by (tag, sealing key,
+// ciphertext). A KDC sees the same sealed TGT on every ticket-granting
+// request a client makes for the lifetime of its login session; decrypting
+// and decoding it is a pure function of key and ciphertext, so the decoded
+// ticket can be reused instead of re-unsealed. Only constant-per-session
+// blobs belong here — never authenticators or preauth data, which change
+// per request in real traffic. Direct-mapped; the stored ciphertext and key
+// bytes are compared in full on lookup, so a hash collision costs a miss,
+// never a wrong ticket. Failures are not cached (garbage varies).
+class KdcUnsealMemo {
+ public:
+  template <typename T>
+  const T* Get(uint32_t tag, const kcrypto::DesKey& key, kerb::BytesView sealed) const {
+    const Entry& entry = entries_[Slot(sealed)];
+    if (!entry.used || entry.tag != tag || entry.key_bytes != key.bytes() ||
+        entry.sealed.size() != sealed.size() ||
+        !std::equal(entry.sealed.begin(), entry.sealed.end(), sealed.begin())) {
+      return nullptr;
+    }
+    return std::any_cast<T>(&entry.value);
+  }
+
+  template <typename T>
+  const T* Put(uint32_t tag, const kcrypto::DesKey& key, kerb::BytesView sealed, T value) {
+    Entry& entry = entries_[Slot(sealed)];
+    entry.used = true;
+    entry.tag = tag;
+    entry.key_bytes = key.bytes();
+    entry.sealed.assign(sealed.begin(), sealed.end());
+    entry.value = std::move(value);
+    return std::any_cast<T>(&entry.value);
+  }
+
+ private:
+  static constexpr size_t kSlots = 16;
+
+  static size_t Slot(kerb::BytesView sealed) {
+    uint64_t h = 1469598103934665603ull;
+    for (uint8_t b : sealed) {
+      h = (h ^ b) * 1099511628211ull;
+    }
+    return static_cast<size_t>(h & (kSlots - 1));
+  }
+
+  struct Entry {
+    bool used = false;
+    uint32_t tag = 0;
+    kcrypto::DesBlock key_bytes{};
+    kerb::Bytes sealed;
+    std::any value;
+  };
+  std::array<Entry, kSlots> entries_;
+};
+
+// Reusable encode buffers. After the first few requests every buffer has
+// its high-water capacity and the encode path stops allocating (the one
+// exception is the reply handed back to the network, which the caller
+// owns).
+struct KdcScratch {
+  kerb::Bytes ticket_plain;
+  kerb::Bytes ticket_sealed;
+  kerb::Bytes body_plain;
+  kerb::Bytes body_sealed;
+  kerb::Bytes reply;
+};
+
+// Everything one serving thread owns exclusively.
+struct KdcContext {
+  explicit KdcContext(kcrypto::Prng context_prng) : prng(context_prng) {}
+
+  kcrypto::Prng prng;
+  KdcKeyCache keys;
+  KdcUnsealMemo unseals;
+  KdcScratch scratch;
+};
+
+class KdcCore4 {
+ public:
+  KdcCore4(ksim::HostClock clock, std::string realm, KdcDatabase db, KdcOptions options);
+
+  kerb::Result<kerb::Bytes> HandleAs(const ksim::Message& msg, KdcContext& ctx);
+  kerb::Result<kerb::Bytes> HandleTgs(const ksim::Message& msg, KdcContext& ctx);
+
+  const std::string& realm() const { return realm_; }
+  KdcDatabase& database() { return db_; }
+  const KdcOptions& options() const { return options_; }
+
+  uint64_t as_requests_served() const { return as_requests_.load(std::memory_order_relaxed); }
+  uint64_t tgs_requests_served() const { return tgs_requests_.load(std::memory_order_relaxed); }
+
+ private:
+  // db_.Lookup through the context's generation-checked key cache.
+  kerb::Result<kcrypto::DesKey> CachedLookup(const Principal& principal, KdcContext& ctx) const;
+
+  ksim::HostClock clock_;
+  std::string realm_;
+  Principal tgs_principal_;
+  KdcDatabase db_;
+  KdcOptions options_;
+  std::atomic<uint64_t> as_requests_{0};
+  std::atomic<uint64_t> tgs_requests_{0};
+};
+
+}  // namespace krb4
+
+#endif  // SRC_KRB4_KDCCORE_H_

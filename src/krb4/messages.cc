@@ -41,6 +41,24 @@ kerb::Bytes Seal4(const kcrypto::DesKey& key, kerb::BytesView plaintext) {
   return padded;
 }
 
+void Seal4Into(const kcrypto::DesKey& key, kerb::BytesView plaintext, kerb::Bytes& out) {
+  const size_t start = out.size();
+  out.push_back(kSealMagic[0]);
+  out.push_back(kSealMagic[1]);
+  out.push_back(kSealMagic[2]);
+  out.push_back(kSealMagic[3]);
+  const uint32_t len = static_cast<uint32_t>(plaintext.size());
+  out.push_back(static_cast<uint8_t>(len >> 24));
+  out.push_back(static_cast<uint8_t>(len >> 16));
+  out.push_back(static_cast<uint8_t>(len >> 8));
+  out.push_back(static_cast<uint8_t>(len));
+  kerb::Append(out, plaintext);
+  while ((out.size() - start) % 8 != 0) {
+    out.push_back(0);
+  }
+  kcrypto::EncryptPcbcInPlace(key, kcrypto::kZeroIv, out.data() + start, out.size() - start);
+}
+
 kerb::Result<kerb::Bytes> Unseal4(const kcrypto::DesKey& key, kerb::BytesView ciphertext) {
   if (ciphertext.empty() || ciphertext.size() % 8 != 0) {
     return kerb::MakeError(kerb::ErrorCode::kBadFormat, "sealed data not block-aligned");
@@ -76,13 +94,17 @@ kerb::Result<kerb::Bytes> Unseal4(const kcrypto::DesKey& key, kerb::BytesView ci
 
 kerb::Bytes Ticket4::Encode() const {
   kenc::Writer w;
+  AppendTo(w);
+  return w.Take();
+}
+
+void Ticket4::AppendTo(kenc::Writer& w) const {
   service.EncodeTo(w);
   client.EncodeTo(w);
   w.PutU32(client_addr);
   w.PutU64(static_cast<uint64_t>(issued_at));
   w.PutU64(static_cast<uint64_t>(lifetime));
   w.PutBytes(kerb::BytesView(session_key.data(), session_key.size()));
-  return w.Take();
 }
 
 kerb::Result<Ticket4> Ticket4::Decode(kerb::BytesView data) {
@@ -205,10 +227,7 @@ kerb::Result<AsRequest4> AsRequest4::Decode(kerb::BytesView data) {
 
 kerb::Bytes AsReplyBody4::Encode() const {
   kenc::Writer w;
-  w.PutBytes(kerb::BytesView(tgs_session_key.data(), tgs_session_key.size()));
-  w.PutLengthPrefixed(sealed_tgt);
-  w.PutU64(static_cast<uint64_t>(issued_at));
-  w.PutU64(static_cast<uint64_t>(lifetime));
+  AppendReplyBody4(w, tgs_session_key, sealed_tgt, issued_at, lifetime);
   return w.Take();
 }
 
@@ -265,10 +284,7 @@ kerb::Result<TgsRequest4> TgsRequest4::Decode(kerb::BytesView data) {
 
 kerb::Bytes TgsReplyBody4::Encode() const {
   kenc::Writer w;
-  w.PutBytes(kerb::BytesView(session_key.data(), session_key.size()));
-  w.PutLengthPrefixed(sealed_ticket);
-  w.PutU64(static_cast<uint64_t>(issued_at));
-  w.PutU64(static_cast<uint64_t>(lifetime));
+  AppendReplyBody4(w, session_key, sealed_ticket, issued_at, lifetime);
   return w.Take();
 }
 
@@ -374,6 +390,23 @@ kerb::Bytes Frame4(MsgType type, kerb::BytesView body) {
   w.PutU8(static_cast<uint8_t>(type));
   w.PutBytes(body);
   return w.Take();
+}
+
+void SealedFrame4Into(MsgType type, const kcrypto::DesKey& key, kerb::BytesView plaintext,
+                      kerb::Bytes& out) {
+  out.clear();
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<uint8_t>(type));
+  Seal4Into(key, plaintext, out);
+}
+
+void AppendReplyBody4(kenc::Writer& w, const kcrypto::DesBlock& session_key,
+                      kerb::BytesView sealed_blob, ksim::Time issued_at,
+                      ksim::Duration lifetime) {
+  w.PutBytes(kerb::BytesView(session_key.data(), session_key.size()));
+  w.PutLengthPrefixed(sealed_blob);
+  w.PutU64(static_cast<uint64_t>(issued_at));
+  w.PutU64(static_cast<uint64_t>(lifetime));
 }
 
 kerb::Result<std::pair<MsgType, kerb::Bytes>> Unframe4(kerb::BytesView data) {

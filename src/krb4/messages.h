@@ -63,6 +63,12 @@ enum class MsgType : uint8_t {
 kerb::Bytes Seal4(const kcrypto::DesKey& key, kerb::BytesView plaintext);
 kerb::Result<kerb::Bytes> Unseal4(const kcrypto::DesKey& key, kerb::BytesView ciphertext);
 
+// Appends the sealed form of `plaintext` to `out` (same bytes Seal4 would
+// produce), encrypting in place in the destination buffer — the
+// allocation-free serving path reuses `out` across requests. `plaintext`
+// must not alias `out`.
+void Seal4Into(const kcrypto::DesKey& key, kerb::BytesView plaintext, kerb::Bytes& out);
+
 // ---------------------------------------------------------------------------
 // Ticket: encrypted in the *service's* key.
 struct Ticket4 {
@@ -74,6 +80,7 @@ struct Ticket4 {
   kcrypto::DesBlock session_key{};  // K_c,s — a multi-session key in truth
 
   kerb::Bytes Encode() const;
+  void AppendTo(kenc::Writer& w) const;
   static kerb::Result<Ticket4> Decode(kerb::BytesView data);
 
   kerb::Bytes Seal(const kcrypto::DesKey& service_key) const;
@@ -175,6 +182,19 @@ kerb::Result<std::pair<uint32_t, kerb::Bytes>> ParseError4(kerb::BytesView body)
 // Framing: every V4 message on the wire is version byte + type byte + body.
 kerb::Bytes Frame4(MsgType type, kerb::BytesView body);
 kerb::Result<std::pair<MsgType, kerb::Bytes>> Unframe4(kerb::BytesView data);
+
+// Builds `Frame4(type, Seal4(key, plaintext))` directly into `out` — the
+// shape of every KDC reply — with zero intermediate buffers. `out` is
+// cleared first (capacity kept).
+void SealedFrame4Into(MsgType type, const kcrypto::DesKey& key, kerb::BytesView plaintext,
+                      kerb::Bytes& out);
+
+// The common layout of AsReplyBody4 / TgsReplyBody4: 8-byte session key,
+// length-prefixed sealed blob, issue time, lifetime. Shared so the serving
+// path and the struct Encode()s cannot drift apart.
+void AppendReplyBody4(kenc::Writer& w, const kcrypto::DesBlock& session_key,
+                      kerb::BytesView sealed_blob, ksim::Time issued_at,
+                      ksim::Duration lifetime);
 
 }  // namespace krb4
 

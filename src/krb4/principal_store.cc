@@ -1,0 +1,155 @@
+#include "src/krb4/principal_store.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+namespace krb4 {
+
+namespace {
+
+void HashField(uint64_t& h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  // Separator so ("ab","c") and ("a","bc") hash differently.
+  h ^= 0xff;
+  h *= 0x100000001b3ull;
+}
+
+}  // namespace
+
+uint64_t PrincipalStore::Hash(const Principal& principal) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  HashField(h, principal.name);
+  HashField(h, principal.instance);
+  HashField(h, principal.realm);
+  return h;
+}
+
+PrincipalStore::PrincipalStore() : shards_(new Shard[kShardCount]) {
+  for (size_t s = 0; s < kShardCount; ++s) {
+    shards_[s].slots.resize(kInitialSlots);
+  }
+}
+
+PrincipalStore::PrincipalStore(const PrincipalStore& other) : shards_(new Shard[kShardCount]) {
+  for (size_t s = 0; s < kShardCount; ++s) {
+    std::shared_lock lock(other.shards_[s].mu);
+    shards_[s].slots = other.shards_[s].slots;
+    shards_[s].used = other.shards_[s].used;
+  }
+  generation_.store(other.generation_.load(std::memory_order_acquire), std::memory_order_release);
+}
+
+PrincipalStore& PrincipalStore::operator=(const PrincipalStore& other) {
+  if (this != &other) {
+    PrincipalStore copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+PrincipalStore::PrincipalStore(PrincipalStore&& other) noexcept
+    : shards_(std::move(other.shards_)),
+      generation_(other.generation_.load(std::memory_order_acquire)) {}
+
+PrincipalStore& PrincipalStore::operator=(PrincipalStore&& other) noexcept {
+  shards_ = std::move(other.shards_);
+  generation_.store(other.generation_.load(std::memory_order_acquire), std::memory_order_release);
+  return *this;
+}
+
+PrincipalStore::Slot* PrincipalStore::FindSlot(std::vector<Slot>& slots, uint64_t hash,
+                                               const Principal& principal) {
+  const size_t mask = slots.size() - 1;
+  for (size_t i = hash & mask;; i = (i + 1) & mask) {
+    Slot& slot = slots[i];
+    if (!slot.used || (slot.hash == hash && slot.principal == principal)) {
+      return &slot;
+    }
+  }
+}
+
+void PrincipalStore::GrowLocked(Shard& shard) {
+  std::vector<Slot> bigger(shard.slots.size() * 2);
+  for (Slot& old : shard.slots) {
+    if (old.used) {
+      *FindSlot(bigger, old.hash, old.principal) = std::move(old);
+    }
+  }
+  shard.slots = std::move(bigger);
+}
+
+void PrincipalStore::Upsert(const Principal& principal, const kcrypto::DesKey& key,
+                            PrincipalKind kind) {
+  const uint64_t hash = Hash(principal);
+  Shard& shard = shards_[ShardIndex(hash)];
+  {
+    std::unique_lock lock(shard.mu);
+    // Grow before probing so the load factor stays below 3/4 and probe
+    // chains stay short.
+    if ((shard.used + 1) * 4 > shard.slots.size() * 3) {
+      GrowLocked(shard);
+    }
+    Slot* slot = FindSlot(shard.slots, hash, principal);
+    if (!slot->used) {
+      slot->used = true;
+      slot->hash = hash;
+      slot->principal = principal;
+      ++shard.used;
+    }
+    slot->key = key;
+    slot->kind = kind;
+  }
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool PrincipalStore::Lookup(const Principal& principal, kcrypto::DesKey* key_out,
+                            PrincipalKind* kind_out) const {
+  const uint64_t hash = Hash(principal);
+  const Shard& shard = shards_[ShardIndex(hash)];
+  std::shared_lock lock(shard.mu);
+  const size_t mask = shard.slots.size() - 1;
+  for (size_t i = hash & mask;; i = (i + 1) & mask) {
+    const Slot& slot = shard.slots[i];
+    if (!slot.used) {
+      return false;
+    }
+    if (slot.hash == hash && slot.principal == principal) {
+      if (key_out != nullptr) {
+        *key_out = slot.key;
+      }
+      if (kind_out != nullptr) {
+        *kind_out = slot.kind;
+      }
+      return true;
+    }
+  }
+}
+
+std::vector<Principal> PrincipalStore::Principals() const {
+  std::vector<Principal> out;
+  for (size_t s = 0; s < kShardCount; ++s) {
+    std::shared_lock lock(shards_[s].mu);
+    for (const Slot& slot : shards_[s].slots) {
+      if (slot.used) {
+        out.push_back(slot.principal);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t PrincipalStore::size() const {
+  size_t total = 0;
+  for (size_t s = 0; s < kShardCount; ++s) {
+    std::shared_lock lock(shards_[s].mu);
+    total += shards_[s].used;
+  }
+  return total;
+}
+
+}  // namespace krb4

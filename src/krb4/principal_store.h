@@ -1,0 +1,102 @@
+// Sharded open-addressing principal table — the KDC's hot lookup structure.
+//
+// The seed KdcDatabase kept two parallel std::maps (principal → key,
+// principal → kind), so every request paid two O(log n) string-comparison
+// walks plus node-pointer chasing. This store keeps one entry per principal
+// in an open-addressing table (power-of-two capacity, linear probing, one
+// hash → typically one probe), split into shards each guarded by its own
+// reader/writer lock so a multi-threaded serving core can look keys up
+// concurrently while registrations proceed.
+//
+// Keys are stored with their DES subkey schedule already expanded (DesKey
+// precomputes it at construction), so string-to-key and schedule derivation
+// happen once per principal at registration, never per request. The
+// `generation()` counter advances on every mutation; per-worker derived-key
+// caches (src/krb4/kdccore.h) use it to detect staleness without locks.
+
+#ifndef SRC_KRB4_PRINCIPAL_STORE_H_
+#define SRC_KRB4_PRINCIPAL_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "src/crypto/des.h"
+#include "src/krb4/principal.h"
+
+namespace krb4 {
+
+// Whether a principal is a human (password-derived key) or a service
+// (random key). The distinction matters: the paper notes that treating
+// "clients as services" lets anyone obtain tickets encrypted with a user's
+// password key — another password-guessing avenue (experiment E15).
+enum class PrincipalKind {
+  kUser,
+  kService,
+};
+
+class PrincipalStore {
+ public:
+  PrincipalStore();
+  PrincipalStore(const PrincipalStore& other);
+  PrincipalStore& operator=(const PrincipalStore& other);
+  PrincipalStore(PrincipalStore&& other) noexcept;
+  PrincipalStore& operator=(PrincipalStore&& other) noexcept;
+
+  // Inserts or replaces the entry for `principal`. Thread-safe.
+  void Upsert(const Principal& principal, const kcrypto::DesKey& key, PrincipalKind kind);
+
+  // Copies the entry out under the shard's reader lock. Either output may be
+  // null. Returns false when the principal is unknown. Thread-safe.
+  bool Lookup(const Principal& principal, kcrypto::DesKey* key_out,
+              PrincipalKind* kind_out = nullptr) const;
+
+  bool Contains(const Principal& principal) const { return Lookup(principal, nullptr); }
+
+  // All registered principals in sorted order (the iteration order the old
+  // std::map-backed database exposed — harvesting experiments rely on a
+  // deterministic listing).
+  std::vector<Principal> Principals() const;
+
+  size_t size() const;
+
+  // Advances on every Upsert. A cache holding keys copied out of this store
+  // is valid only while the generation it recorded still matches.
+  uint64_t generation() const { return generation_.load(std::memory_order_acquire); }
+
+  // Stable 64-bit hash of the principal tuple (FNV-1a over name, instance,
+  // realm with separators). Exposed so derived-key caches hash only once.
+  static uint64_t Hash(const Principal& principal);
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    bool used = false;
+    Principal principal;
+    kcrypto::DesKey key;
+    PrincipalKind kind = PrincipalKind::kService;
+  };
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::vector<Slot> slots;  // power-of-two capacity
+    size_t used = 0;
+  };
+
+  // Shard count is a power of two; the top hash bits pick the shard, the low
+  // bits drive the probe sequence, so the two choices stay independent.
+  static constexpr size_t kShardCount = 16;
+  static constexpr size_t kInitialSlots = 16;
+
+  static size_t ShardIndex(uint64_t hash) { return (hash >> 60) & (kShardCount - 1); }
+  static Slot* FindSlot(std::vector<Slot>& slots, uint64_t hash, const Principal& principal);
+  static void GrowLocked(Shard& shard);
+
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> generation_{0};
+};
+
+}  // namespace krb4
+
+#endif  // SRC_KRB4_PRINCIPAL_STORE_H_

@@ -64,11 +64,9 @@ kerb::Result<VerifiedSession5> AppServer5::VerifyApRequest(const ApRequest5& req
       return fail(kerb::ErrorCode::kSkew, "authenticator outside skew window");
     }
     if (options_.replay_cache) {
-      std::erase_if(seen_authenticators_, [&](const auto& entry) {
-        return std::get<1>(entry) < now - options_.clock_skew_limit;
-      });
-      auto key = std::make_tuple(auth.value().client.ToString(), auth.value().timestamp);
-      if (!seen_authenticators_.insert(key).second) {
+      if (!seen_authenticators_.CheckAndInsert(auth.value().client.ToString(), 0,
+                                               auth.value().timestamp, now,
+                                               options_.clock_skew_limit)) {
         return fail(kerb::ErrorCode::kReplay, "authenticator replayed");
       }
     }

@@ -22,10 +22,10 @@
 
 #include <functional>
 #include <map>
-#include <set>
 
 #include "src/krb5/messages.h"
 #include "src/sim/network.h"
+#include "src/sim/replaycache.h"
 
 namespace krb5 {
 
@@ -91,7 +91,7 @@ class AppServer5 {
 
   // Outstanding challenge nonces with issue times (challenge/response mode).
   std::map<uint64_t, ksim::Time> challenges_;
-  std::set<std::tuple<std::string, ksim::Time>> seen_authenticators_;
+  ksim::ShardedReplayCache seen_authenticators_;
   uint64_t accepted_ = 0;
   uint64_t rejected_ = 0;
 };

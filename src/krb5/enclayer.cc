@@ -28,6 +28,47 @@ kerb::Bytes SealTlvWithIv(const kcrypto::DesKey& key, const kcrypto::DesBlock& i
   return plain;
 }
 
+namespace {
+
+// Shared tail of the Into-style seals: writes the confounder/checksum-type
+// prefix, lets `append_body` add the TLV bytes, then checksums (over the
+// zeroed checksum field), pads, and encrypts — the same order SealTlvWithIv
+// uses.
+template <typename AppendBody>
+void SealBodyInto(const kcrypto::DesKey& key, const EncLayerConfig& config,
+                  kcrypto::Prng& prng, kerb::Bytes& out, AppendBody&& append_body) {
+  const size_t checksum_len = kcrypto::ChecksumSize(config.checksum);
+  kenc::Writer w(&out);  // clears `out`, keeps its capacity
+  if (config.use_confounder) {
+    uint8_t confounder[8];
+    prng.Fill(confounder, 8);
+    w.PutBytes(kerb::BytesView(confounder, 8));
+  }
+  w.PutU8(static_cast<uint8_t>(config.checksum));
+  const size_t checksum_offset = w.size();
+  for (size_t i = 0; i < checksum_len; ++i) {
+    w.PutU8(0);
+  }
+  append_body(w);
+  kerb::Bytes checksum = kcrypto::ComputeChecksum(config.checksum, out, key);
+  std::copy(checksum.begin(), checksum.end(), out.begin() + checksum_offset);
+  kcrypto::Pkcs5PadInPlace(out);
+  kcrypto::EncryptCbcInPlace(key, kcrypto::kZeroIv, out.data(), out.size());
+}
+
+}  // namespace
+
+void SealTlvInto(const kcrypto::DesKey& key, const kenc::TlvMessage& msg,
+                 const EncLayerConfig& config, kcrypto::Prng& prng, kerb::Bytes& out) {
+  SealBodyInto(key, config, prng, out, [&msg](kenc::Writer& w) { msg.AppendTo(w); });
+}
+
+void SealEncodedInto(const kcrypto::DesKey& key, kerb::BytesView encoded_msg,
+                     const EncLayerConfig& config, kcrypto::Prng& prng, kerb::Bytes& out) {
+  SealBodyInto(key, config, prng, out,
+               [encoded_msg](kenc::Writer& w) { w.PutBytes(encoded_msg); });
+}
+
 kerb::Result<kenc::TlvMessage> UnsealTlvWithIv(const kcrypto::DesKey& key,
                                                const kcrypto::DesBlock& iv,
                                                uint16_t expected_type, kerb::BytesView sealed,

@@ -41,6 +41,17 @@ struct EncLayerConfig {
 kerb::Bytes SealTlv(const kcrypto::DesKey& key, const kenc::TlvMessage& msg,
                     const EncLayerConfig& config, kcrypto::Prng& prng);
 
+// Same bytes as SealTlv, built in a caller-owned buffer (cleared first,
+// capacity kept) with no intermediate allocations — the KDC serving path
+// seals every ticket and enc-part through here.
+void SealTlvInto(const kcrypto::DesKey& key, const kenc::TlvMessage& msg,
+                 const EncLayerConfig& config, kcrypto::Prng& prng, kerb::Bytes& out);
+
+// SealTlvInto for a message already encoded into a flat buffer (e.g. via
+// kenc::TlvFieldWriter) — skips the TlvMessage field map entirely.
+void SealEncodedInto(const kcrypto::DesKey& key, kerb::BytesView encoded_msg,
+                     const EncLayerConfig& config, kcrypto::Prng& prng, kerb::Bytes& out);
+
 // Unseals and verifies; also checks the embedded message type.
 kerb::Result<kenc::TlvMessage> UnsealTlv(const kcrypto::DesKey& key, uint16_t expected_type,
                                          kerb::BytesView sealed, const EncLayerConfig& config);

@@ -1,7 +1,6 @@
 #include "src/krb5/kdc.h"
 
-#include <algorithm>
-#include <cstdlib>
+#include <utility>
 
 namespace krb5 {
 
@@ -10,350 +9,10 @@ Kdc5::Kdc5(ksim::Network* net, const ksim::NetAddress& as_addr, const ksim::NetA
            KdcPolicy5 policy)
     : as_addr_(as_addr),
       tgs_addr_(tgs_addr),
-      clock_(clock),
-      realm_(std::move(realm)),
-      db_(std::move(db)),
-      prng_(prng),
-      policy_(policy) {
-  net->Bind(as_addr_, [this](const ksim::Message& msg) { return HandleAs(msg); });
-  net->Bind(tgs_addr_, [this](const ksim::Message& msg) { return HandleTgs(msg); });
-}
-
-void Kdc5::AddInterRealmKey(const std::string& other_realm, const kcrypto::DesKey& key) {
-  interrealm_keys_.insert_or_assign(other_realm, key);
-}
-
-void Kdc5::AddRealmRoute(const std::string& target_realm, const std::string& via_neighbor) {
-  realm_routes_.insert_or_assign(target_realm, via_neighbor);
-}
-
-std::string Kdc5::RouteToward(const std::string& target) const {
-  if (interrealm_keys_.count(target) != 0) {
-    return target;  // direct neighbor
-  }
-  auto it = realm_routes_.find(target);
-  return it != realm_routes_.end() ? it->second : std::string();
-}
-
-kerb::Result<kerb::Bytes> Kdc5::HandleAs(const ksim::Message& msg) {
-  ++as_requests_;
-  auto tlv = kenc::TlvMessage::DecodeExpecting(kMsgAsReq, msg.payload);
-  if (!tlv.ok()) {
-    return tlv.error();
-  }
-  auto req = AsRequest5::FromTlv(tlv.value());
-  if (!req.ok()) {
-    return req.error();
-  }
-
-  ksim::Time now = clock_.Now();
-
-  // Rate limiting (the paper: "an enhancement to the server, to limit the
-  // rate of requests from a single source, may be useful").
-  if (policy_.as_rate_limit_per_minute > 0) {
-    auto& times = as_request_times_[msg.src.host];
-    std::erase_if(times, [&](ksim::Time t) { return t < now - ksim::kMinute; });
-    if (times.size() >= policy_.as_rate_limit_per_minute) {
-      ++as_rate_limited_;
-      return kerb::MakeError(kerb::ErrorCode::kRateLimited, "AS request rate exceeded");
-    }
-    times.push_back(now);
-  }
-
-  auto client_key = db_.Lookup(req.value().client);
-  if (!client_key.ok()) {
-    return client_key.error();
-  }
-
-  // Preauthentication (recommendation g): the request must carry
-  // {nonce, timestamp}K_c, so only the key holder can obtain the reply —
-  // and eavesdropping is required to harvest guessable material.
-  if (policy_.require_preauth) {
-    if (!req.value().padata.has_value()) {
-      return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "preauthentication required");
-    }
-    auto padata =
-        UnsealTlv(client_key.value(), kMsgPreauth, *req.value().padata, policy_.enc);
-    if (!padata.ok()) {
-      return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "preauthentication invalid");
-    }
-    auto pa_nonce = padata.value().GetU64(tag::kNonce);
-    auto pa_time = padata.value().GetU64(tag::kTimestamp);
-    if (!pa_nonce.ok() || !pa_time.ok() || pa_nonce.value() != req.value().nonce) {
-      return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "preauthentication nonce mismatch");
-    }
-    if (std::llabs(static_cast<ksim::Time>(pa_time.value()) - now) >
-        policy_.clock_skew_limit) {
-      return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "preauthentication stale");
-    }
-  }
-
-  Principal tgs = krb4::TgsPrincipal(realm_);
-  auto tgs_key = db_.Lookup(tgs);
-  if (!tgs_key.ok()) {
-    return tgs_key.error();
-  }
-
-  ksim::Duration lifetime = std::min(req.value().lifetime, policy_.max_ticket_lifetime);
-  kcrypto::DesKey session_key = prng_.NextDesKey();
-
-  Ticket5 tgt;
-  tgt.service = tgs;
-  tgt.client = req.value().client;
-  tgt.flags = kFlagForwardable;
-  if (!(policy_.allow_address_omission && (req.value().options & kOptOmitAddress))) {
-    tgt.client_addr = msg.src.host;
-  }
-  tgt.issued_at = now;
-  tgt.lifetime = lifetime;
-  tgt.session_key = session_key.bytes();
-
-  EncAsRepPart5 part;
-  part.tgs_session_key = session_key.bytes();
-  part.nonce = req.value().nonce;  // Draft 3's challenge/response to the client
-  part.issued_at = now;
-  part.lifetime = lifetime;
-
-  AsReply5 reply;
-  reply.sealed_tgt = tgt.Seal(tgs_key.value(), policy_.enc, prng_);
-  reply.sealed_enc_part = SealTlv(client_key.value(), part.ToTlv(), policy_.enc, prng_);
-  return reply.ToTlv().Encode();
-}
-
-kerb::Result<kerb::Bytes> Kdc5::HandleTgs(const ksim::Message& msg) {
-  ++tgs_requests_;
-  auto tlv = kenc::TlvMessage::DecodeExpecting(kMsgTgsReq, msg.payload);
-  if (!tlv.ok()) {
-    return tlv.error();
-  }
-  auto decoded = TgsRequest5::FromTlv(tlv.value());
-  if (!decoded.ok()) {
-    return decoded.error();
-  }
-  const TgsRequest5& req = decoded.value();
-  ksim::Time now = clock_.Now();
-
-  // Which key seals the presented TGT?
-  kcrypto::DesKey tgt_key = [&]() -> kcrypto::DesKey {
-    if (req.tgt_realm == realm_) {
-      auto k = db_.Lookup(krb4::TgsPrincipal(realm_));
-      return k.ok() ? k.value() : kcrypto::DesKey();
-    }
-    auto it = interrealm_keys_.find(req.tgt_realm);
-    return it != interrealm_keys_.end() ? it->second : kcrypto::DesKey();
-  }();
-
-  auto tgt = Ticket5::Unseal(tgt_key, req.sealed_tgt, policy_.enc);
-  if (!tgt.ok()) {
-    return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "ticket-granting ticket invalid");
-  }
-  if (tgt.value().Expired(now)) {
-    return kerb::MakeError(kerb::ErrorCode::kExpired, "ticket-granting ticket expired");
-  }
-  // A TGT must name a ticket-granting service for this realm.
-  if (tgt.value().service.name != "krbtgt" || tgt.value().service.instance != realm_) {
-    return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "enclosed ticket is not a TGT for us");
-  }
-
-  kcrypto::DesKey tgs_session(tgt.value().session_key);
-  auto auth =
-      Authenticator5::Unseal(tgs_session, req.sealed_authenticator, policy_.enc);
-  if (!auth.ok()) {
-    return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "authenticator undecryptable");
-  }
-  if (!(auth.value().client == tgt.value().client)) {
-    return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "authenticator/ticket client mismatch");
-  }
-  if (std::llabs(auth.value().timestamp - now) > policy_.clock_skew_limit) {
-    return kerb::MakeError(kerb::ErrorCode::kSkew, "authenticator outside skew window");
-  }
-  if (tgt.value().client_addr.has_value() && *tgt.value().client_addr != msg.src.host) {
-    return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "address mismatch");
-  }
-
-  // Verify the request checksum sealed in the authenticator. This is the
-  // integrity protection for every unencrypted request field.
-  if (!auth.value().checksum_type.has_value() || !auth.value().request_checksum.has_value()) {
-    return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "request checksum missing");
-  }
-  kcrypto::ChecksumType checksum_type = *auth.value().checksum_type;
-  if (policy_.require_collision_proof_checksum && !kcrypto::IsCollisionProof(checksum_type)) {
-    return kerb::MakeError(kerb::ErrorCode::kPolicy,
-                           "collision-proof request checksum required");
-  }
-  if (!kcrypto::VerifyChecksum(checksum_type, req.ChecksumInput(),
-                               *auth.value().request_checksum, tgs_session)) {
-    return kerb::MakeError(kerb::ErrorCode::kIntegrity, "request checksum mismatch");
-  }
-
-  // Transited path: the serving TGS, not the client, appends the realm the
-  // TGT came from.
-  std::vector<std::string> transited = tgt.value().transited;
-  if (req.tgt_realm != realm_) {
-    transited.push_back(req.tgt_realm);
-  }
-
-  // An issued ticket must not outlive the credentials that vouched for it.
-  ksim::Duration tgt_remaining = tgt.value().issued_at + tgt.value().lifetime - now;
-  ksim::Duration lifetime =
-      std::min({req.lifetime, policy_.max_ticket_lifetime, tgt_remaining});
-
-  // Ticket forwarding (kOptForward): reissue the TGT, flagged FORWARDED,
-  // bound to no address if requested. "Kerberos has a flag bit to indicate
-  // that a ticket was forwarded, but does not include the original source."
-  if (req.options & kOptForward) {
-    if (!(tgt.value().flags & kFlagForwardable)) {
-      return kerb::MakeError(kerb::ErrorCode::kPolicy, "TGT not forwardable");
-    }
-    kcrypto::DesKey new_session = prng_.NextDesKey();
-    Ticket5 forwarded = tgt.value();
-    forwarded.flags |= kFlagForwarded;
-    forwarded.session_key = new_session.bytes();
-    forwarded.issued_at = now;
-    forwarded.lifetime = lifetime;
-    if (req.options & kOptOmitAddress) {
-      forwarded.client_addr.reset();
-    } else {
-      forwarded.client_addr = msg.src.host;
-    }
-
-    EncTgsRepPart5 part;
-    part.session_key = new_session.bytes();
-    part.nonce = req.nonce;
-    part.issued_at = now;
-    part.lifetime = lifetime;
-
-    TgsReply5 reply;
-    reply.sealed_ticket = forwarded.Seal(tgt_key, policy_.enc, prng_);
-    reply.sealed_enc_part = SealTlv(tgs_session, part.ToTlv(), policy_.enc, prng_);
-    return reply.ToTlv().Encode();
-  }
-
-  // Cross-realm: route toward the service's realm.
-  if (req.service.realm != realm_) {
-    std::string neighbor = RouteToward(req.service.realm);
-    if (neighbor.empty()) {
-      return kerb::MakeError(kerb::ErrorCode::kNotFound,
-                             "no route to realm " + req.service.realm);
-    }
-    kcrypto::DesKey hop_key = interrealm_keys_.at(neighbor);
-    kcrypto::DesKey session_key = prng_.NextDesKey();
-
-    Ticket5 hop_tgt;
-    hop_tgt.service = Principal{"krbtgt", neighbor, realm_};
-    hop_tgt.client = tgt.value().client;
-    hop_tgt.flags = tgt.value().flags;
-    hop_tgt.client_addr = tgt.value().client_addr;
-    hop_tgt.issued_at = now;
-    hop_tgt.lifetime = lifetime;
-    hop_tgt.session_key = session_key.bytes();
-    hop_tgt.transited = transited;  // path so far; next hop appends us
-
-    EncTgsRepPart5 part;
-    part.session_key = session_key.bytes();
-    part.nonce = req.nonce;
-    part.issued_at = now;
-    part.lifetime = lifetime;
-
-    TgsReply5 reply;
-    reply.sealed_ticket = hop_tgt.Seal(hop_key, policy_.enc, prng_);
-    reply.sealed_enc_part = SealTlv(tgs_session, part.ToTlv(), policy_.enc, prng_);
-    return reply.ToTlv().Encode();
-  }
-
-  // Which key will seal the new ticket, and which session key goes inside?
-  kcrypto::DesKey sealing_key;
-  kcrypto::DesKey session_key = prng_.NextDesKey();
-
-  if (req.options & kOptEncTktInSkey) {
-    if (!policy_.allow_enc_tkt_in_skey) {
-      return kerb::MakeError(kerb::ErrorCode::kPolicy, "ENC-TKT-IN-SKEY disabled");
-    }
-    // The enclosed ticket must be a TGT of this realm; the new ticket is
-    // sealed in ITS session key rather than the service's key.
-    auto tgs_db_key = db_.Lookup(krb4::TgsPrincipal(realm_));
-    if (!tgs_db_key.ok()) {
-      return tgs_db_key.error();
-    }
-    auto enclosed = Ticket5::Unseal(tgs_db_key.value(), req.additional_ticket, policy_.enc);
-    if (!enclosed.ok()) {
-      return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "additional ticket invalid");
-    }
-    if (policy_.enforce_enc_tkt_cname_match) {
-      // The requirement the Draft omitted: the enclosed ticket's client must
-      // BE the service the new ticket is requested for (user-to-user).
-      if (!(enclosed.value().client == req.service)) {
-        return kerb::MakeError(kerb::ErrorCode::kPolicy,
-                               "additional ticket cname does not match requested service");
-      }
-    }
-    sealing_key = kcrypto::DesKey(enclosed.value().session_key);
-  } else if (req.options & kOptReuseSkey) {
-    if (!policy_.allow_reuse_skey) {
-      return kerb::MakeError(kerb::ErrorCode::kPolicy, "REUSE-SKEY disabled");
-    }
-    // Multicast-style issuance: the new ticket carries the SAME session key
-    // as the enclosed ticket. (Draft 3 warns servers about DUPLICATE-SKEY
-    // tickets; the option nevertheless overloads the basic protocol.)
-    if (!req.additional_ticket_service.has_value()) {
-      return kerb::MakeError(kerb::ErrorCode::kBadFormat,
-                             "REUSE-SKEY needs the additional ticket's service");
-    }
-    auto donor_key = db_.Lookup(*req.additional_ticket_service);
-    if (!donor_key.ok()) {
-      return donor_key.error();
-    }
-    auto donor = Ticket5::Unseal(donor_key.value(), req.additional_ticket, policy_.enc);
-    if (!donor.ok()) {
-      return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "additional ticket invalid");
-    }
-    if (!(donor.value().client == tgt.value().client)) {
-      return kerb::MakeError(kerb::ErrorCode::kAuthFailed,
-                             "additional ticket belongs to another client");
-    }
-    session_key = kcrypto::DesKey(donor.value().session_key);
-    auto service_key = db_.Lookup(req.service);
-    if (!service_key.ok()) {
-      return service_key.error();
-    }
-    sealing_key = service_key.value();
-  } else {
-    if (!policy_.allow_tickets_for_user_principals &&
-        db_.Kind(req.service) == krb4::PrincipalKind::kUser) {
-      return kerb::MakeError(kerb::ErrorCode::kPolicy,
-                             "tickets for user principals are not issued; register a "
-                             "service instance with a random key");
-    }
-    auto service_key = db_.Lookup(req.service);
-    if (!service_key.ok()) {
-      return service_key.error();
-    }
-    sealing_key = service_key.value();
-  }
-
-  Ticket5 ticket;
-  ticket.service = req.service;
-  ticket.client = tgt.value().client;
-  ticket.flags = tgt.value().flags & ~kFlagForwardable;
-  ticket.client_addr = tgt.value().client_addr;
-  if (policy_.allow_address_omission && (req.options & kOptOmitAddress)) {
-    ticket.client_addr.reset();
-  }
-  ticket.issued_at = now;
-  ticket.lifetime = lifetime;
-  ticket.session_key = session_key.bytes();
-  ticket.transited = transited;
-
-  EncTgsRepPart5 part;
-  part.session_key = session_key.bytes();
-  part.nonce = req.nonce;
-  part.issued_at = now;
-  part.lifetime = lifetime;
-
-  TgsReply5 reply;
-  reply.sealed_ticket = ticket.Seal(sealing_key, policy_.enc, prng_);
-  reply.sealed_enc_part = SealTlv(tgs_session, part.ToTlv(), policy_.enc, prng_);
-  return reply.ToTlv().Encode();
+      core_(clock, std::move(realm), std::move(db), policy),
+      ctx_(prng) {
+  net->Bind(as_addr_, [this](const ksim::Message& msg) { return core_.HandleAs(msg, ctx_); });
+  net->Bind(tgs_addr_, [this](const ksim::Message& msg) { return core_.HandleTgs(msg, ctx_); });
 }
 
 }  // namespace krb5

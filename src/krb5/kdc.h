@@ -9,47 +9,23 @@
 //   * per-source rate limiting of AS requests;
 //   * hierarchical inter-realm ticket granting with a transited list the
 //     serving TGS (not the client) extends.
+//
+// This class is the network-facing wrapper around KdcCore5
+// (src/krb5/kdccore.h): the deterministic sim drives the core through one
+// KdcContext here; the parallel serving harness drives the same core with
+// one context per worker.
 
 #ifndef SRC_KRB5_KDC_H_
 #define SRC_KRB5_KDC_H_
 
-#include <map>
 #include <string>
 
 #include "src/krb4/database.h"
+#include "src/krb5/kdccore.h"
 #include "src/krb5/messages.h"
 #include "src/sim/network.h"
 
 namespace krb5 {
-
-using krb4::KdcDatabase;
-
-struct KdcPolicy5 {
-  EncLayerConfig enc;  // checksum defaults to CRC-32, per Draft 3
-  bool allow_enc_tkt_in_skey = true;
-  bool allow_reuse_skey = true;
-  // "the designers intended to require that the cname in the additional
-  // ticket match the name of the server for which the new ticket is being
-  // requested ... the requirement was inadvertently omitted from Draft 3."
-  bool enforce_enc_tkt_cname_match = false;
-  // Recommendation (g): authenticate the user to Kerberos in the initial
-  // exchange (padata = {nonce}K_c).
-  bool require_preauth = false;
-  // Require a collision-proof checksum on TGS request integrity.
-  bool require_collision_proof_checksum = false;
-  // AS requests per source host per minute; 0 = unlimited.
-  uint32_t as_rate_limit_per_minute = 0;
-  ksim::Duration max_ticket_lifetime = 8 * ksim::kHour;
-  ksim::Duration clock_skew_limit = ksim::kDefaultClockSkewLimit;
-  // V5 permits tickets without addresses when the client asks.
-  bool allow_address_omission = true;
-  // Draft-era behaviour: "Clients may be treated as services, and tickets
-  // to the client, encrypted by K_c, may be obtained by any user." When
-  // false, service tickets naming user principals are refused (E15); the
-  // supported alternative is registering separate instances with truly
-  // random keys (the keystore supplies them).
-  bool allow_tickets_for_user_principals = true;
-};
 
 class Kdc5 {
  public:
@@ -57,46 +33,33 @@ class Kdc5 {
        ksim::HostClock clock, std::string realm, KdcDatabase db, kcrypto::Prng prng,
        KdcPolicy5 policy = {});
 
-  const std::string& realm() const { return realm_; }
-  KdcDatabase& database() { return db_; }
-  KdcPolicy5& policy() { return policy_; }
+  const std::string& realm() const { return core_.realm(); }
+  KdcDatabase& database() { return core_.database(); }
+  KdcPolicy5& policy() { return core_.policy(); }
   const ksim::NetAddress& as_address() const { return as_addr_; }
   const ksim::NetAddress& tgs_address() const { return tgs_addr_; }
+
+  KdcCore5& core() { return core_; }
 
   // Registers the inter-realm key shared with `other_realm`. Both realms
   // must register the same key. `next_hop_toward` routes non-neighbor
   // realms: target realm prefix → neighbor realm to forward through.
-  void AddInterRealmKey(const std::string& other_realm, const kcrypto::DesKey& key);
-  void AddRealmRoute(const std::string& target_realm, const std::string& via_neighbor);
+  void AddInterRealmKey(const std::string& other_realm, const kcrypto::DesKey& key) {
+    core_.AddInterRealmKey(other_realm, key);
+  }
+  void AddRealmRoute(const std::string& target_realm, const std::string& via_neighbor) {
+    core_.AddRealmRoute(target_realm, via_neighbor);
+  }
 
-  uint64_t as_requests_served() const { return as_requests_; }
-  uint64_t as_requests_rate_limited() const { return as_rate_limited_; }
-  uint64_t tgs_requests_served() const { return tgs_requests_; }
+  uint64_t as_requests_served() const { return core_.as_requests_served(); }
+  uint64_t as_requests_rate_limited() const { return core_.as_requests_rate_limited(); }
+  uint64_t tgs_requests_served() const { return core_.tgs_requests_served(); }
 
  private:
-  kerb::Result<kerb::Bytes> HandleAs(const ksim::Message& msg);
-  kerb::Result<kerb::Bytes> HandleTgs(const ksim::Message& msg);
-
-  // Which neighbor realm leads toward `target`; empty if unknown.
-  std::string RouteToward(const std::string& target) const;
-
   ksim::NetAddress as_addr_;
   ksim::NetAddress tgs_addr_;
-  ksim::HostClock clock_;
-  std::string realm_;
-  KdcDatabase db_;
-  kcrypto::Prng prng_;
-  KdcPolicy5 policy_;
-
-  std::map<std::string, kcrypto::DesKey> interrealm_keys_;
-  std::map<std::string, std::string> realm_routes_;
-
-  // Sliding-window rate limiter state per source host.
-  std::map<uint32_t, std::vector<ksim::Time>> as_request_times_;
-
-  uint64_t as_requests_ = 0;
-  uint64_t as_rate_limited_ = 0;
-  uint64_t tgs_requests_ = 0;
+  KdcCore5 core_;
+  KdcContext ctx_;
 };
 
 }  // namespace krb5

@@ -102,6 +102,28 @@ kenc::TlvMessage Ticket5::ToTlv() const {
   return msg;
 }
 
+void Ticket5::AppendTlvTo(kenc::Writer& w) const {
+  const uint16_t count = static_cast<uint16_t>(10 + (client_addr.has_value() ? 1 : 0) +
+                                               (transited.empty() ? 0 : 1));
+  kenc::TlvFieldWriter f(w, kMsgTicket, count);
+  f.AddString(tag::kCname, client.name);
+  f.AddString(tag::kCinstance, client.instance);
+  f.AddString(tag::kCrealm, client.realm);
+  f.AddString(tag::kSname, service.name);
+  f.AddString(tag::kSinstance, service.instance);
+  f.AddString(tag::kSrealm, service.realm);
+  if (client_addr.has_value()) {
+    f.AddU32(tag::kAddress, *client_addr);
+  }
+  f.AddU64(tag::kIssuedAt, static_cast<uint64_t>(issued_at));
+  f.AddU64(tag::kLifetime, static_cast<uint64_t>(lifetime));
+  f.AddBytes(tag::kSessionKey, kerb::BytesView(session_key.data(), session_key.size()));
+  f.AddU32(tag::kFlags, flags);
+  if (!transited.empty()) {
+    f.AddString(tag::kTransited, JoinTransited(transited));
+  }
+}
+
 kerb::Result<Ticket5> Ticket5::FromTlv(const kenc::TlvMessage& msg) {
   if (msg.type() != kMsgTicket) {
     return kerb::MakeError(kerb::ErrorCode::kBadFormat, "not a ticket");
@@ -257,6 +279,15 @@ kenc::TlvMessage EncAsRepPart5::ToTlv() const {
   return msg;
 }
 
+void EncAsRepPart5::AppendTlvTo(kenc::Writer& w) const {
+  kenc::TlvFieldWriter f(w, kMsgEncAsRepPart, 4);
+  f.AddU64(tag::kIssuedAt, static_cast<uint64_t>(issued_at));
+  f.AddU64(tag::kLifetime, static_cast<uint64_t>(lifetime));
+  f.AddBytes(tag::kSessionKey,
+             kerb::BytesView(tgs_session_key.data(), tgs_session_key.size()));
+  f.AddU64(tag::kNonce, nonce);
+}
+
 kerb::Result<EncAsRepPart5> EncAsRepPart5::FromTlv(const kenc::TlvMessage& msg) {
   if (msg.type() != kMsgEncAsRepPart) {
     return kerb::MakeError(kerb::ErrorCode::kBadFormat, "not an AS reply part");
@@ -388,6 +419,14 @@ kenc::TlvMessage EncTgsRepPart5::ToTlv() const {
   msg.SetU64(tag::kIssuedAt, static_cast<uint64_t>(issued_at));
   msg.SetU64(tag::kLifetime, static_cast<uint64_t>(lifetime));
   return msg;
+}
+
+void EncTgsRepPart5::AppendTlvTo(kenc::Writer& w) const {
+  kenc::TlvFieldWriter f(w, kMsgEncTgsRepPart, 4);
+  f.AddU64(tag::kIssuedAt, static_cast<uint64_t>(issued_at));
+  f.AddU64(tag::kLifetime, static_cast<uint64_t>(lifetime));
+  f.AddBytes(tag::kSessionKey, kerb::BytesView(session_key.data(), session_key.size()));
+  f.AddU64(tag::kNonce, nonce);
 }
 
 kerb::Result<EncTgsRepPart5> EncTgsRepPart5::FromTlv(const kenc::TlvMessage& msg) {

@@ -123,6 +123,8 @@ struct Ticket5 {
   std::vector<std::string> transited;  // realms crossed, oldest first
 
   kenc::TlvMessage ToTlv() const;
+  // Streams the same bytes as ToTlv().Encode() without building a field map.
+  void AppendTlvTo(kenc::Writer& w) const;
   static kerb::Result<Ticket5> FromTlv(const kenc::TlvMessage& msg);
 
   kerb::Bytes Seal(const kcrypto::DesKey& key, const EncLayerConfig& config,
@@ -180,6 +182,7 @@ struct EncAsRepPart5 {
   ksim::Duration lifetime = 0;
 
   kenc::TlvMessage ToTlv() const;
+  void AppendTlvTo(kenc::Writer& w) const;
   static kerb::Result<EncAsRepPart5> FromTlv(const kenc::TlvMessage& msg);
 };
 
@@ -223,6 +226,7 @@ struct EncTgsRepPart5 {
   ksim::Duration lifetime = 0;
 
   kenc::TlvMessage ToTlv() const;
+  void AppendTlvTo(kenc::Writer& w) const;
   static kerb::Result<EncTgsRepPart5> FromTlv(const kenc::TlvMessage& msg);
 };
 

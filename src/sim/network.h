@@ -16,9 +16,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/bytes.h"
@@ -40,6 +40,15 @@ struct NetAddress {
     return host != other.host ? host < other.host : port < other.port;
   }
   std::string ToString() const;
+};
+
+// Hash for unordered containers keyed by address: host and port pack into
+// one word, mixed by a single 64-bit multiply (Fibonacci hashing).
+struct NetAddressHash {
+  size_t operator()(const NetAddress& addr) const {
+    uint64_t packed = (static_cast<uint64_t>(addr.host) << 16) | addr.port;
+    return static_cast<size_t>((packed + 1) * 0x9e3779b97f4a7c15ull >> 16);
+  }
 };
 
 struct Message {
@@ -156,8 +165,8 @@ class Network {
 
  private:
   SimClock* clock_;
-  std::map<NetAddress, Handler> handlers_;
-  std::map<NetAddress, DatagramHandler> datagram_handlers_;
+  std::unordered_map<NetAddress, Handler, NetAddressHash> handlers_;
+  std::unordered_map<NetAddress, DatagramHandler, NetAddressHash> datagram_handlers_;
   Adversary* adversary_ = nullptr;
   uint64_t next_id_ = 0;
 };

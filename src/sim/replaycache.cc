@@ -1,0 +1,61 @@
+#include "src/sim/replaycache.h"
+
+namespace ksim {
+
+ShardedReplayCache::ShardedReplayCache() : shards_(new Shard[kShardCount]) {}
+
+size_t ShardedReplayCache::ShardIndex(const std::string& identity) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a
+  for (unsigned char c : identity) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return (h >> 60) & (kShardCount - 1);
+}
+
+void ShardedReplayCache::PruneAll(Time now, Duration window) {
+  for (size_t s = 0; s < kShardCount; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard lock(shard.mu);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (std::get<2>(*it) < now - window) {
+        it = shard.entries.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+bool ShardedReplayCache::CheckAndInsert(const std::string& identity, uint32_t addr,
+                                        Time timestamp, Time now, Duration window) {
+  // Age out stale entries once per distinct `now`. Whether a given tuple is
+  // accepted depends only on the entries' own timestamps versus `now`, so
+  // skipping redundant prunes cannot change any accept/reject decision.
+  Time last = last_prune_.load(std::memory_order_acquire);
+  if (last != now && last_prune_.compare_exchange_strong(last, now, std::memory_order_acq_rel)) {
+    PruneAll(now, window);
+  }
+
+  Shard& shard = shards_[ShardIndex(identity)];
+  std::lock_guard lock(shard.mu);
+  return shard.entries.emplace(identity, addr, timestamp).second;
+}
+
+size_t ShardedReplayCache::size() const {
+  size_t total = 0;
+  for (size_t s = 0; s < kShardCount; ++s) {
+    std::lock_guard lock(shards_[s].mu);
+    total += shards_[s].entries.size();
+  }
+  return total;
+}
+
+void ShardedReplayCache::Clear() {
+  for (size_t s = 0; s < kShardCount; ++s) {
+    std::lock_guard lock(shards_[s].mu);
+    shards_[s].entries.clear();
+  }
+}
+
+}  // namespace ksim

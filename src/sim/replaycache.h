@@ -1,0 +1,63 @@
+// Sharded replay / last-timestamp cache.
+//
+// "The only known defense ... is to cache all live authenticators and
+// reject duplicates" — both application servers and a preauthenticating KDC
+// need this cache, and a multi-threaded server needs it without a single
+// global lock. Entries are (identity, address, timestamp) tuples; a tuple
+// is accepted exactly once within the liveness window, regardless of which
+// thread presents it or how many threads race on the same tuple.
+//
+// Sharding: the identity string hashes to one of 16 shards, each with its
+// own mutex and ordered set. Expired entries age out the first time any
+// thread observes a new `now` value — an optimization over pruning on every
+// call that is observationally identical, because aging depends only on
+// `now` and the sim clock never moves backwards.
+
+#ifndef SRC_SIM_REPLAYCACHE_H_
+#define SRC_SIM_REPLAYCACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "src/sim/clock.h"
+
+namespace ksim {
+
+class ShardedReplayCache {
+ public:
+  ShardedReplayCache();
+
+  // Returns true when (identity, addr, timestamp) is fresh — first
+  // presentation within the window — and records it. Returns false for a
+  // replay. Entries older than `now - window` are discarded. Thread-safe;
+  // concurrent presentations of the same tuple admit exactly one caller.
+  bool CheckAndInsert(const std::string& identity, uint32_t addr, Time timestamp, Time now,
+                      Duration window);
+
+  size_t size() const;
+  void Clear();
+
+ private:
+  using Entry = std::tuple<std::string, uint32_t, Time>;
+  struct Shard {
+    mutable std::mutex mu;
+    std::set<Entry> entries;
+  };
+
+  static constexpr size_t kShardCount = 16;
+  static size_t ShardIndex(const std::string& identity);
+
+  void PruneAll(Time now, Duration window);
+
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<Time> last_prune_{INT64_MIN};
+};
+
+}  // namespace ksim
+
+#endif  // SRC_SIM_REPLAYCACHE_H_

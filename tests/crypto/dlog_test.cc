@@ -61,6 +61,27 @@ TEST(DlogTest, PollardRhoRecoversExponent) {
   }
 }
 
+TEST(DlogTest, SolversAgreeOnRandomInstances) {
+  // Cross-check: BSGS (deterministic, flat-table) and Pollard rho (Brent
+  // cycle detection) must both recover a working exponent for the same
+  // random instances — any disagreement means one walk or table is broken.
+  Prng prng(55);
+  for (int trial = 0; trial < 12; ++trial) {
+    int bits = 18 + 2 * (trial % 6);  // 18..28 bit moduli
+    DhGroup group = MakeToyGroup(prng, bits);
+    uint64_t p = group.p.LowU64();
+    uint64_t g = group.g.LowU64();
+    uint64_t secret = 2 + prng.NextBelow(p - 4);
+    uint64_t target = PowMod64(g, secret, p);
+    auto bsgs = DlogBabyStepGiantStep(g, target, p);
+    auto rho = DlogPollardRho(g, target, p, prng);
+    ASSERT_TRUE(bsgs.has_value()) << "bsgs failed: bits=" << bits << " p=" << p;
+    ASSERT_TRUE(rho.has_value()) << "rho failed: bits=" << bits << " p=" << p;
+    EXPECT_EQ(PowMod64(g, *bsgs, p), target);
+    EXPECT_EQ(PowMod64(g, *rho, p), target);
+  }
+}
+
 TEST(DlogTest, IdentityTargetIsZeroExponent) {
   Prng prng(54);
   DhGroup group = MakeToyGroup(prng, 20);

@@ -28,6 +28,55 @@ TEST(NetworkTest, UnboundAddressIsTransportError) {
   EXPECT_EQ(reply.code(), kerb::ErrorCode::kTransport);
 }
 
+TEST(NetworkTest, RebindReplacesHandlerAndUnbindRemovesIt) {
+  // Bind/lookup semantics pinned across the map -> hashed-container change:
+  // rebinding an address replaces its handler (how attacks take over a
+  // service's address), unbinding makes it a transport error again, and
+  // other bindings are unaffected.
+  World world(1);
+  const NetAddress kOther{0x0a000003, 750};
+  world.network().Bind(kServer, [](const Message&) -> kerb::Result<kerb::Bytes> {
+    return kerb::Bytes{1};
+  });
+  world.network().Bind(kOther, [](const Message&) -> kerb::Result<kerb::Bytes> {
+    return kerb::Bytes{9};
+  });
+
+  auto first = world.network().Call(kClient, kServer, kerb::Bytes{});
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), kerb::Bytes{1});
+
+  world.network().Bind(kServer, [](const Message&) -> kerb::Result<kerb::Bytes> {
+    return kerb::Bytes{2};
+  });
+  auto rebound = world.network().Call(kClient, kServer, kerb::Bytes{});
+  ASSERT_TRUE(rebound.ok());
+  EXPECT_EQ(rebound.value(), kerb::Bytes{2});
+
+  world.network().Unbind(kServer);
+  EXPECT_EQ(world.network().Call(kClient, kServer, kerb::Bytes{}).code(),
+            kerb::ErrorCode::kTransport);
+
+  // A same-host different-port binding must not be disturbed by any of it.
+  auto other = world.network().Call(kClient, kOther, kerb::Bytes{});
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(other.value(), kerb::Bytes{9});
+}
+
+TEST(NetworkTest, DatagramBindingsFollowTheSameSemantics) {
+  World world(1);
+  int delivered_to_first = 0;
+  int delivered_to_second = 0;
+  world.network().BindDatagram(kServer, [&](const Message&) { ++delivered_to_first; });
+  ASSERT_TRUE(world.network().SendDatagram(kClient, kServer, kerb::Bytes{1}).ok());
+  world.network().BindDatagram(kServer, [&](const Message&) { ++delivered_to_second; });
+  ASSERT_TRUE(world.network().SendDatagram(kClient, kServer, kerb::Bytes{2}).ok());
+  world.network().Unbind(kServer);
+  EXPECT_FALSE(world.network().SendDatagram(kClient, kServer, kerb::Bytes{3}).ok());
+  EXPECT_EQ(delivered_to_first, 1);
+  EXPECT_EQ(delivered_to_second, 1);
+}
+
 TEST(NetworkTest, SourceAddressIsAClaim) {
   // Core threat-model property: the handler sees whatever source the caller
   // asserts. Address spoofing needs no special machinery.
