@@ -1,0 +1,85 @@
+// B12 — goodput under chaos: the retry/failover stack against a faulty
+// network.
+//
+// Sweeps the chaos study (src/attacks/chaos.h) over fault rates 0–30% and
+// reports goodput (exchanges that returned exactly the honest payload) per
+// wall-clock second of simulation, plus the goodput percentage as a
+// counter. The simulation runs on virtual time, so wall-clock here measures
+// the cost of *simulating* resilience — the recorded trajectory number is
+// goodput_pct: how much of the workload the retry stack salvages as the
+// network degrades.
+
+#include "bench/bench_util.h"
+#include "src/attacks/chaos.h"
+
+namespace {
+
+void PrintExperimentReport() {
+  kbench::Header("B12", "goodput vs fault rate under the chaos harness");
+  kattack::ChaosConfig config;
+  config.retry.max_attempts = 8;
+  kbench::Line("  rate   V4 goodput   V5 goodput   retries(V4)   cache hits(V4)");
+  for (double rate : {0.0, 0.05, 0.10, 0.20, 0.30}) {
+    config.drop = config.duplicate = rate;
+    config.reorder = rate / 2;
+    auto v4 = kattack::RunChaosStudy4(config);
+    auto v5 = kattack::RunChaosStudy5(config);
+    char row[160];
+    std::snprintf(row, sizeof(row),
+                  "  %3.0f%%     %2llu/%llu        %2llu/%llu        %4llu          %4llu",
+                  rate * 100, (unsigned long long)v4.succeeded,
+                  (unsigned long long)v4.attempted, (unsigned long long)v5.succeeded,
+                  (unsigned long long)v5.attempted, (unsigned long long)v4.retry.retries,
+                  (unsigned long long)v4.kdc_reply_cache_hits);
+    kbench::Line(row);
+  }
+}
+
+void RunChaosBenchmark(benchmark::State& state, bool v5) {
+  kattack::ChaosConfig config;
+  const double rate = static_cast<double>(state.range(0)) / 100.0;
+  config.drop = config.duplicate = rate;
+  config.reorder = rate / 2;
+  config.retry.max_attempts = 8;
+
+  uint64_t succeeded = 0;
+  uint64_t attempted = 0;
+  for (auto _ : state) {
+    config.seed = 0xb12c0de + state.iterations();  // fresh schedule per run
+    kattack::ChaosReport report =
+        v5 ? kattack::RunChaosStudy5(config) : kattack::RunChaosStudy4(config);
+    if (report.internal_errors != 0 || report.kdc_divergences != 0) {
+      state.SkipWithError("chaos invariant violated");
+      return;
+    }
+    succeeded += report.succeeded;
+    attempted += report.attempted;
+  }
+  state.counters["fault_pct"] = static_cast<double>(state.range(0));
+  state.counters["goodput_pct"] =
+      attempted ? 100.0 * static_cast<double>(succeeded) / static_cast<double>(attempted)
+                : 0.0;
+  state.SetItemsProcessed(static_cast<int64_t>(succeeded));
+}
+
+void BM_ChaosGoodput4(benchmark::State& state) { RunChaosBenchmark(state, false); }
+BENCHMARK(BM_ChaosGoodput4)
+    ->Arg(0)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ChaosGoodput5(benchmark::State& state) { RunChaosBenchmark(state, true); }
+BENCHMARK(BM_ChaosGoodput5)
+    ->Arg(0)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+KERB_BENCH_MAIN()

@@ -12,9 +12,12 @@ distills the numbers every PR cares about:
         client-side encode/decode the PR-1 numbers included
     kdc_parallel: requests/sec per worker-pool size (wall-clock), plus the
         machine's core count for interpreting the scaling curve
+    chaos: goodput percentage (exchanges that returned the honest payload)
+        per injected fault rate, V4 and V5, under the B12 chaos study —
+        the robustness trajectory of the retry/failover stack
 
 Usage:
-    python3 bench/bench_baseline.py --build-dir build --out BENCH_PR2.json
+    python3 bench/bench_baseline.py --build-dir build --out BENCH_PR3.json
 
 or via the CMake target:  cmake --build build --target bench_baseline
 Stdlib only; no third-party packages.
@@ -64,7 +67,7 @@ def metric(benchmarks, name, field):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--out", default="BENCH_PR2.json")
+    parser.add_argument("--out", default="BENCH_PR3.json")
     parser.add_argument("--min-time", default=None,
                         help="override --benchmark_min_time (bare seconds, e.g. 0.05)")
     args = parser.parse_args()
@@ -79,6 +82,8 @@ def main():
     b11 = run_bench(os.path.join(bench_dir, "bench_b11_kdcparallel"),
                     "BM_KdcAsBare|BM_KdcAsPreauth|BM_KdcTgs$|BM_KdcParallel(As|Tgs)/",
                     args.min_time)
+    b12 = run_bench(os.path.join(bench_dir, "bench_b12_chaos"),
+                    "BM_ChaosGoodput(4|5)/", args.min_time or "0.01")
 
     doc = {
         "blocks_per_sec": {
@@ -109,6 +114,16 @@ def main():
                 str(n): metric(b11, f"BM_KdcParallelTgs/{n}/real_time",
                                "items_per_second")
                 for n in (1, 2, 4, 8)
+            },
+        },
+        "chaos": {
+            "goodput_pct_v4": {
+                str(pct): metric(b12, f"BM_ChaosGoodput4/{pct}", "goodput_pct")
+                for pct in (0, 5, 10, 20, 30)
+            },
+            "goodput_pct_v5": {
+                str(pct): metric(b12, f"BM_ChaosGoodput5/{pct}", "goodput_pct")
+                for pct in (0, 5, 10, 20, 30)
             },
         },
     }

@@ -16,8 +16,10 @@ krb4::AppServerOptions ServerOptions(const TestbedConfig& config) {
 
 }  // namespace
 
-Testbed4::Testbed4(TestbedConfig config) {
-  world_ = std::make_unique<ksim::World>(config.seed);
+Testbed4::Testbed4(TestbedConfig config) : config_(config) {
+  world_ = config.faults.has_value()
+               ? std::make_unique<ksim::World>(config.seed, *config.faults)
+               : std::make_unique<ksim::World>(config.seed);
   // Start the simulation at a plausible "afternoon" so negative skews stay
   // positive in absolute time.
   world_->clock().Set(1000000 * ksim::kSecond);
@@ -46,9 +48,15 @@ Testbed4::Testbed4(TestbedConfig config) {
     db.AddUser(principal, password);
   }
 
-  kdc_ = std::make_unique<krb4::Kdc4>(&world_->network(), kAsAddr, kTgsAddr,
-                                      world_->MakeHostClock(0), realm, std::move(db),
-                                      world_->prng().Fork());
+  krb4::KdcOptions kdc_options;
+  kdc_options.reply_cache_window = config.kdc_reply_cache_window;
+  // With zero slaves the replica set passes its PRNG fork straight through
+  // to the primary, so default-config reply bytes stay pinned
+  // (tests/integration/kdc_capture_test.cc).
+  kdcs_ = std::make_unique<krb4::KdcReplicaSet4>(&world_->network(), kAsAddr, kTgsAddr,
+                                                 world_->MakeHostClock(0), realm, std::move(db),
+                                                 world_->prng().Fork(), config.kdc_slaves,
+                                                 kdc_options);
 
   mail_server_ = std::make_unique<krb4::AppServer4>(
       &world_->network(), kMailAddr, mail_principal(), mail_key_, world_->MakeHostClock(0),
@@ -97,8 +105,14 @@ krb4::Principal Testbed4::bob_principal() const { return krb4::Principal::User("
 
 std::unique_ptr<krb4::Client4> Testbed4::MakeClient(const krb4::Principal& user,
                                                     const ksim::NetAddress& addr) {
-  return std::make_unique<krb4::Client4>(&world_->network(), addr, world_->MakeHostClock(0),
-                                         user, kAsAddr, kTgsAddr);
+  auto client = std::make_unique<krb4::Client4>(&world_->network(), addr,
+                                                world_->MakeHostClock(0), user, kAsAddr,
+                                                kTgsAddr);
+  if (config_.client_retry.has_value()) {
+    client->ConfigureRetry(&world_->clock(), *config_.client_retry, world_->prng().NextU64());
+    kdcs_->AttachClient(*client);
+  }
+  return client;
 }
 
 }  // namespace kattack

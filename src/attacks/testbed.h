@@ -9,12 +9,14 @@
 #define SRC_ATTACKS_TESTBED_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/krb4/appserver.h"
 #include "src/krb4/client.h"
 #include "src/krb4/kdc.h"
+#include "src/krb4/replica.h"
 #include "src/sim/world.h"
 
 namespace kattack {
@@ -28,6 +30,13 @@ struct TestbedConfig {
   bool server_replay_cache = false;
   bool server_check_address = true;
   ksim::Duration clock_skew_limit = ksim::kDefaultClockSkewLimit;
+  // Robustness knobs (all default to the historical lossless testbed):
+  // route traffic through a seeded FaultyNetwork, add read-only slave KDCs,
+  // give clients a retry/failover policy, enable the KDC reply cache.
+  std::optional<ksim::FaultPlan> faults;
+  int kdc_slaves = 0;
+  std::optional<ksim::RetryPolicy> client_retry;
+  ksim::Duration kdc_reply_cache_window = 0;
 };
 
 class Testbed4 {
@@ -49,7 +58,8 @@ class Testbed4 {
   static constexpr const char* kBobPassword = "password";  // bob chose badly
 
   ksim::World& world() { return *world_; }
-  krb4::Kdc4& kdc() { return *kdc_; }
+  krb4::Kdc4& kdc() { return kdcs_->primary(); }
+  krb4::KdcReplicaSet4& kdc_replicas() { return *kdcs_; }
   krb4::Client4& alice() { return *alice_; }
   krb4::Client4& bob() { return *bob_; }
   krb4::AppServer4& mail_server() { return *mail_server_; }
@@ -80,8 +90,9 @@ class Testbed4 {
                                             const ksim::NetAddress& addr);
 
  private:
+  TestbedConfig config_;
   std::unique_ptr<ksim::World> world_;
-  std::unique_ptr<krb4::Kdc4> kdc_;
+  std::unique_ptr<krb4::KdcReplicaSet4> kdcs_;
   kcrypto::DesKey mail_key_;
   kcrypto::DesKey file_key_;
   kcrypto::DesKey backup_key_;

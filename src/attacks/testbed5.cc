@@ -3,7 +3,9 @@
 namespace kattack {
 
 Testbed5::Testbed5(Testbed5Config config) : config_(config) {
-  world_ = std::make_unique<ksim::World>(config.seed);
+  world_ = config.faults.has_value()
+               ? std::make_unique<ksim::World>(config.seed, *config.faults)
+               : std::make_unique<ksim::World>(config.seed);
   world_->clock().Set(1000000 * ksim::kSecond);
 
   krb5::KdcDatabase db;
@@ -16,9 +18,12 @@ Testbed5::Testbed5(Testbed5Config config) : config_(config) {
   db.AddUser(bob_principal(), kBobPassword);
   db.AddUser(eve_principal(), kEvePassword);
 
-  kdc_ = std::make_unique<krb5::Kdc5>(&world_->network(), kAsAddr, kTgsAddr,
-                                      world_->MakeHostClock(0), realm, std::move(db),
-                                      world_->prng().Fork(), config.kdc_policy);
+  // Zero slaves passes the PRNG fork straight through to the primary, so
+  // default-config reply bytes stay pinned (kdc_capture_test).
+  kdcs_ = std::make_unique<krb5::KdcReplicaSet5>(&world_->network(), kAsAddr, kTgsAddr,
+                                                 world_->MakeHostClock(0), realm, std::move(db),
+                                                 world_->prng().Fork(), config.kdc_slaves,
+                                                 config.kdc_policy);
 
   auto make_server = [&](const ksim::NetAddress& addr, const krb5::Principal& principal,
                          const kcrypto::DesKey& key, std::vector<std::string>* log,
@@ -69,6 +74,10 @@ std::unique_ptr<krb5::Client5> Testbed5::MakeClient(const krb5::Principal& user,
                                                 world_->MakeHostClock(0), user, kAsAddr,
                                                 world_->prng().Fork(), options);
   client->AddRealmTgs(realm, kTgsAddr);
+  if (config_.client_retry.has_value()) {
+    client->ConfigureRetry(&world_->clock(), *config_.client_retry, world_->prng().NextU64());
+    kdcs_->AttachClient(*client);
+  }
   return client;
 }
 

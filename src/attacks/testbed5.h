@@ -5,21 +5,28 @@
 #define SRC_ATTACKS_TESTBED5_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/krb5/appserver.h"
 #include "src/krb5/client.h"
 #include "src/krb5/kdc.h"
+#include "src/krb5/replica.h"
 #include "src/sim/world.h"
 
 namespace kattack {
 
 struct Testbed5Config {
   uint64_t seed = 4321;
-  krb5::KdcPolicy5 kdc_policy;
+  krb5::KdcPolicy5 kdc_policy;  // reply_cache_window lives here
   krb5::AppServer5Options server_options;
   krb5::Client5Options client_options;
+  // Robustness knobs, mirroring TestbedConfig: seeded fault injection,
+  // slave KDCs, client retry/failover. Defaults keep the lossless testbed.
+  std::optional<ksim::FaultPlan> faults;
+  int kdc_slaves = 0;
+  std::optional<ksim::RetryPolicy> client_retry;
 };
 
 class Testbed5 {
@@ -41,7 +48,8 @@ class Testbed5 {
   static constexpr const char* kEvePassword = "evil-but-registered";
 
   ksim::World& world() { return *world_; }
-  krb5::Kdc5& kdc() { return *kdc_; }
+  krb5::Kdc5& kdc() { return kdcs_->primary(); }
+  krb5::KdcReplicaSet5& kdc_replicas() { return *kdcs_; }
   krb5::Client5& alice() { return *alice_; }
   krb5::Client5& bob() { return *bob_; }
   // Eve holds a legitimate account — the paper's adversary "may be in
@@ -73,7 +81,7 @@ class Testbed5 {
  private:
   Testbed5Config config_;
   std::unique_ptr<ksim::World> world_;
-  std::unique_ptr<krb5::Kdc5> kdc_;
+  std::unique_ptr<krb5::KdcReplicaSet5> kdcs_;
   kcrypto::DesKey mail_key_;
   kcrypto::DesKey file_key_;
   kcrypto::DesKey backup_key_;

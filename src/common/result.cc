@@ -34,6 +34,18 @@ const char* ErrorCodeName(ErrorCode code) {
   return "UNKNOWN";
 }
 
+bool IsRetryable(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kTransport:    // delivery failure: nothing was judged
+    case ErrorCode::kRateLimited:  // throttled: acceptable after backoff
+    case ErrorCode::kBadFormat:    // request corrupted in flight
+    case ErrorCode::kIntegrity:    // ciphertext damaged in flight
+      return true;
+    default:
+      return false;
+  }
+}
+
 std::string Error::ToString() const {
   std::string out = ErrorCodeName(code);
   if (!detail.empty()) {

@@ -37,6 +37,21 @@ enum class ErrorCode {
 
 const char* ErrorCodeName(ErrorCode code);
 
+// Classifies an error as observed at the transport/exchange boundary: true
+// when re-presenting the request (or a freshly built copy of it) has a
+// chance of succeeding, false when the server has judged the request and
+// rejected it on its merits. All simulated delivery failures — drops, lost
+// replies, blackouts, unbound services — surface as kTransport, so retry
+// loops key off this single predicate instead of string-matching details.
+//
+// kBadFormat and kIntegrity count as retryable here because, from the
+// sender's side of an exchange, they mean the bytes the server judged were
+// not the bytes the client sent: the request was truncated or corrupted in
+// flight, and the client's intact copy is still worth retransmitting. A
+// server that could not parse or verify a request has taken no action on
+// it, so the retry is also side-effect free.
+bool IsRetryable(ErrorCode code);
+
 struct Error {
   ErrorCode code = ErrorCode::kInternal;
   std::string detail;

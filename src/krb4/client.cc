@@ -11,7 +11,40 @@ Client4::Client4(ksim::Network* net, const ksim::NetAddress& self, ksim::HostClo
       clock_(clock),
       user_(std::move(user)),
       as_addr_(as_addr),
-      tgs_addr_(tgs_addr) {}
+      tgs_addr_(tgs_addr),
+      as_endpoints_{as_addr},
+      tgs_endpoints_{tgs_addr} {}
+
+void Client4::ConfigureRetry(ksim::SimClock* sim_clock, const ksim::RetryPolicy& policy,
+                             uint64_t jitter_seed) {
+  exchanger_.emplace(net_, sim_clock, kcrypto::Prng(jitter_seed), policy);
+}
+
+void Client4::AddSlaveKdc(const ksim::NetAddress& as_addr, const ksim::NetAddress& tgs_addr) {
+  as_endpoints_.push_back(as_addr);
+  tgs_endpoints_.push_back(tgs_addr);
+}
+
+kerb::Result<kerb::Bytes> Client4::KdcExchange(const std::vector<ksim::NetAddress>& endpoints,
+                                               const kerb::Bytes& payload) {
+  if (exchanger_.has_value()) {
+    return exchanger_->Exchange(self_, endpoints,
+                                [&]() -> kerb::Result<kerb::Bytes> { return payload; });
+  }
+  return net_->Call(self_, endpoints.front(), payload);
+}
+
+kerb::Result<kerb::Bytes> Client4::ServiceExchange(const ksim::NetAddress& addr,
+                                                   const ksim::Exchanger::Builder& build) {
+  if (exchanger_.has_value()) {
+    return exchanger_->Exchange(self_, {addr}, build);
+  }
+  auto payload = build();
+  if (!payload.ok()) {
+    return payload.error();
+  }
+  return net_->Call(self_, addr, payload.value());
+}
 
 kerb::Status Client4::Login(std::string_view password, ksim::Duration lifetime) {
   return LoginWithKey(kcrypto::StringToKey(password, user_.Salt()), lifetime);
@@ -24,7 +57,7 @@ kerb::Status Client4::LoginWithKey(const kcrypto::DesKey& client_key,
   req.service_realm = user_.realm;
   req.lifetime = lifetime;
 
-  auto reply = net_->Call(self_, as_addr_, Frame4(MsgType::kAsRequest, req.Encode()));
+  auto reply = KdcExchange(as_endpoints_, Frame4(MsgType::kAsRequest, req.Encode()));
   if (!reply.ok()) {
     return reply.error();
   }
@@ -74,7 +107,7 @@ kerb::Result<ServiceCredentials> Client4::GetServiceTicket(const Principal& serv
   req.sealed_auth = auth.Seal(tgs_creds_->session_key);
   req.lifetime = lifetime;
 
-  auto reply = net_->Call(self_, tgs_addr_, Frame4(MsgType::kTgsRequest, req.Encode()));
+  auto reply = KdcExchange(tgs_endpoints_, Frame4(MsgType::kTgsRequest, req.Encode()));
   if (!reply.ok()) {
     return reply.error();
   }
@@ -132,12 +165,20 @@ kerb::Result<kerb::Bytes> Client4::CallService(const ksim::NetAddress& service_a
   kerb::Result<kerb::Bytes> reply =
       kerb::MakeError(kerb::ErrorCode::kInternal, "no attempt made");
   for (int attempt = 0; attempt < 2; ++attempt) {
-    auth_time = clock_.Now();
-    auto request = MakeApRequest(service, want_mutual, app_data, challenge_response);
-    if (!request.ok()) {
-      return request.error();
-    }
-    reply = net_->Call(self_, service_addr, request.value());
+    // Built fresh per send — and per retry: a retransmitted AP request
+    // carries a new authenticator, so the server's replay cache never
+    // mistakes a legitimate retry for an attack (the paper's E16 fix).
+    reply = ServiceExchange(service_addr, [&]() -> kerb::Result<kerb::Bytes> {
+      // Fetch the ticket before reading the clock: an uncached ticket costs
+      // a TGS exchange, and in-flight latency would otherwise advance time
+      // between `auth_time` and the authenticator's own timestamp.
+      auto creds = GetServiceTicket(service);
+      if (!creds.ok()) {
+        return creds.error();
+      }
+      auth_time = clock_.Now();
+      return MakeApRequest(service, want_mutual, app_data, challenge_response);
+    });
     if (!reply.ok()) {
       return reply.error();
     }

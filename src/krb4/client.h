@@ -12,10 +12,12 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/krb4/messages.h"
 #include "src/sim/clock.h"
 #include "src/sim/network.h"
+#include "src/sim/retry.h"
 
 namespace krb4 {
 
@@ -71,6 +73,24 @@ class Client4 {
                                         const Principal& service, bool want_mutual,
                                         kerb::BytesView app_data = {});
 
+  // Opts into resilient exchanges (src/sim/retry.h): every KDC and service
+  // call retries per `policy`, charging timeouts and backoff to the shared
+  // SimClock so retransmitted authenticators carry fresh timestamps. KDC
+  // retries resend identical bytes (the KDC reply cache absorbs them); AP
+  // retries rebuild the authenticator — the paper's retransmission fix.
+  // Without this call the client sends exactly one packet per exchange,
+  // byte-identical to the pre-retry client.
+  void ConfigureRetry(ksim::SimClock* sim_clock, const ksim::RetryPolicy& policy,
+                      uint64_t jitter_seed);
+
+  // Appends a read-only slave KDC to the failover lists; exchanges try the
+  // primary first, slaves in registration order.
+  void AddSlaveKdc(const ksim::NetAddress& as_addr, const ksim::NetAddress& tgs_addr);
+
+  ksim::RetryStats retry_stats() const {
+    return exchanger_.has_value() ? exchanger_->stats() : ksim::RetryStats{};
+  }
+
   // "Kerberos attempts to wipe out old keys at logoff time."
   void Logout();
 
@@ -83,12 +103,23 @@ class Client4 {
   const std::map<Principal, ServiceCredentials>& credentials() const { return service_creds_; }
 
  private:
+  // Fixed request bytes through the AS/TGS failover list (retransmission);
+  // single direct call when retry is not configured.
+  kerb::Result<kerb::Bytes> KdcExchange(const std::vector<ksim::NetAddress>& endpoints,
+                                        const kerb::Bytes& payload);
+  // Fresh request per attempt against one service address.
+  kerb::Result<kerb::Bytes> ServiceExchange(const ksim::NetAddress& addr,
+                                            const ksim::Exchanger::Builder& build);
+
   ksim::Network* net_;
   ksim::NetAddress self_;
   ksim::HostClock clock_;
   Principal user_;
   ksim::NetAddress as_addr_;
   ksim::NetAddress tgs_addr_;
+  std::vector<ksim::NetAddress> as_endpoints_;
+  std::vector<ksim::NetAddress> tgs_endpoints_;
+  std::optional<ksim::Exchanger> exchanger_;
 
   std::optional<TgsCredentials> tgs_creds_;
   std::map<Principal, ServiceCredentials> service_creds_;

@@ -28,8 +28,31 @@ kerb::Result<kcrypto::DesKey> KdcCore4::CachedLookup(const Principal& principal,
   return looked_up;
 }
 
+const kerb::Bytes* KdcCore4::CachedReply(const ksim::Message& msg, KdcContext& ctx) {
+  if (options_.reply_cache_window <= 0) {
+    return nullptr;
+  }
+  const kerb::Bytes* cached =
+      ctx.replies.Get(msg.src, msg.payload, clock_.Now(), options_.reply_cache_window);
+  if (cached != nullptr) {
+    reply_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return cached;
+}
+
+kerb::Bytes KdcCore4::RememberReply(const ksim::Message& msg, const kerb::Bytes& reply,
+                                    KdcContext& ctx) {
+  if (options_.reply_cache_window > 0) {
+    ctx.replies.Put(msg.src, msg.payload, reply, clock_.Now());
+  }
+  return reply;
+}
+
 kerb::Result<kerb::Bytes> KdcCore4::HandleAs(const ksim::Message& msg, KdcContext& ctx) {
   as_requests_.fetch_add(1, std::memory_order_relaxed);
+  if (const kerb::Bytes* cached = CachedReply(msg, ctx)) {
+    return *cached;
+  }
   auto framed = Unframe4(msg.payload);
   if (!framed.ok() || framed.value().first != MsgType::kAsRequest) {
     return kerb::MakeError(kerb::ErrorCode::kBadFormat, "expected AS request");
@@ -76,11 +99,14 @@ kerb::Result<kerb::Bytes> KdcCore4::HandleAs(const ksim::Message& msg, KdcContex
 
   SealedFrame4Into(MsgType::kAsReply, client_key.value(), ctx.scratch.body_plain,
                    ctx.scratch.reply);
-  return ctx.scratch.reply;
+  return RememberReply(msg, ctx.scratch.reply, ctx);
 }
 
 kerb::Result<kerb::Bytes> KdcCore4::HandleTgs(const ksim::Message& msg, KdcContext& ctx) {
   tgs_requests_.fetch_add(1, std::memory_order_relaxed);
+  if (const kerb::Bytes* cached = CachedReply(msg, ctx)) {
+    return *cached;
+  }
   auto framed = Unframe4(msg.payload);
   if (!framed.ok() || framed.value().first != MsgType::kTgsRequest) {
     return kerb::MakeError(kerb::ErrorCode::kBadFormat, "expected TGS request");
@@ -165,7 +191,7 @@ kerb::Result<kerb::Bytes> KdcCore4::HandleTgs(const ksim::Message& msg, KdcConte
   AppendReplyBody4(body_writer, session_key.bytes(), ctx.scratch.ticket_sealed, now, lifetime);
 
   SealedFrame4Into(MsgType::kTgsReply, tgs_session, ctx.scratch.body_plain, ctx.scratch.reply);
-  return ctx.scratch.reply;
+  return RememberReply(msg, ctx.scratch.reply, ctx);
 }
 
 }  // namespace krb4

@@ -36,6 +36,15 @@ namespace krb4 {
 struct KdcOptions {
   ksim::Duration max_ticket_lifetime = 8 * ksim::kHour;
   ksim::Duration clock_skew_limit = ksim::kDefaultClockSkewLimit;
+  // Retransmit-safe reply cache: a request whose (source, bytes) pair was
+  // answered within this window returns the stored reply instead of minting
+  // a second ticket with a fresh session key. Zero disables. Off by default
+  // because V4 AS requests carry no nonce — two *distinct* logins inside
+  // the window are byte-identical, and experiments that model repeated
+  // logins expect fresh issuance. Enable it (kept to retransmission
+  // timescales, seconds not minutes) wherever clients retry: the chaos
+  // testbeds do.
+  ksim::Duration reply_cache_window = 0;
 };
 
 // Small direct-mapped cache of keys copied out of the principal store,
@@ -132,6 +141,67 @@ class KdcUnsealMemo {
   std::array<Entry, kSlots> entries_;
 };
 
+// Retransmit-safe reply memo, keyed by (claimed source, full request
+// bytes). A client that never saw a reply resends the identical packet; a
+// faulty network duplicates packets on its own. Either way the KDC must not
+// issue twice: the duplicate gets the stored reply, byte for byte. Entries
+// expire after a freshness window so the cache answers retransmissions, not
+// history. Direct-mapped with full-bytes compare on lookup — a hash
+// collision evicts, never mis-serves. Per-context like the other memos, so
+// the serving path stays lock-free.
+class KdcReplyCache {
+ public:
+  // Returns the cached reply for a fresh duplicate, or nullptr.
+  const kerb::Bytes* Get(const ksim::NetAddress& src, kerb::BytesView request, ksim::Time now,
+                         ksim::Duration window) const {
+    const Entry& entry = entries_[Slot(src, request)];
+    if (!entry.used || entry.src_host != src.host || entry.src_port != src.port ||
+        now - entry.stored_at > window || entry.request.size() != request.size() ||
+        !std::equal(entry.request.begin(), entry.request.end(), request.begin())) {
+      return nullptr;
+    }
+    return &entry.reply;
+  }
+
+  void Put(const ksim::NetAddress& src, kerb::BytesView request, kerb::BytesView reply,
+           ksim::Time now) {
+    Entry& entry = entries_[Slot(src, request)];
+    entry.used = true;
+    entry.src_host = src.host;
+    entry.src_port = src.port;
+    entry.request.assign(request.begin(), request.end());
+    entry.reply.assign(reply.begin(), reply.end());
+    entry.stored_at = now;
+  }
+
+ private:
+  static constexpr size_t kSlots = 16;
+
+  static size_t Slot(const ksim::NetAddress& src, kerb::BytesView request) {
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint8_t b) { h = (h ^ b) * 1099511628211ull; };
+    for (int i = 0; i < 4; ++i) {
+      mix(static_cast<uint8_t>(src.host >> (8 * i)));
+    }
+    mix(static_cast<uint8_t>(src.port));
+    mix(static_cast<uint8_t>(src.port >> 8));
+    for (uint8_t b : request) {
+      mix(b);
+    }
+    return static_cast<size_t>(h & (kSlots - 1));
+  }
+
+  struct Entry {
+    bool used = false;
+    uint32_t src_host = 0;
+    uint16_t src_port = 0;
+    kerb::Bytes request;
+    kerb::Bytes reply;
+    ksim::Time stored_at = 0;
+  };
+  std::array<Entry, kSlots> entries_;
+};
+
 // Reusable encode buffers. After the first few requests every buffer has
 // its high-water capacity and the encode path stops allocating (the one
 // exception is the reply handed back to the network, which the caller
@@ -151,6 +221,7 @@ struct KdcContext {
   kcrypto::Prng prng;
   KdcKeyCache keys;
   KdcUnsealMemo unseals;
+  KdcReplyCache replies;
   KdcScratch scratch;
 };
 
@@ -167,10 +238,15 @@ class KdcCore4 {
 
   uint64_t as_requests_served() const { return as_requests_.load(std::memory_order_relaxed); }
   uint64_t tgs_requests_served() const { return tgs_requests_.load(std::memory_order_relaxed); }
+  uint64_t reply_cache_hits() const { return reply_cache_hits_.load(std::memory_order_relaxed); }
 
  private:
   // db_.Lookup through the context's generation-checked key cache.
   kerb::Result<kcrypto::DesKey> CachedLookup(const Principal& principal, KdcContext& ctx) const;
+  // Serves a fresh duplicate from the context's reply cache, if enabled.
+  const kerb::Bytes* CachedReply(const ksim::Message& msg, KdcContext& ctx);
+  // Remembers a successful reply for retransmission, then returns it.
+  kerb::Bytes RememberReply(const ksim::Message& msg, const kerb::Bytes& reply, KdcContext& ctx);
 
   ksim::HostClock clock_;
   std::string realm_;
@@ -179,6 +255,7 @@ class KdcCore4 {
   KdcOptions options_;
   std::atomic<uint64_t> as_requests_{0};
   std::atomic<uint64_t> tgs_requests_{0};
+  std::atomic<uint64_t> reply_cache_hits_{0};
 };
 
 }  // namespace krb4

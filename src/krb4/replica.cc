@@ -1,0 +1,43 @@
+#include "src/krb4/replica.h"
+
+#include <utility>
+
+namespace krb4 {
+
+KdcReplicaSet4::KdcReplicaSet4(ksim::Network* net, const ksim::NetAddress& as_addr,
+                               const ksim::NetAddress& tgs_addr, ksim::HostClock clock,
+                               std::string realm, KdcDatabase db, kcrypto::Prng prng, int slaves,
+                               KdcOptions options) {
+  as_endpoints_.push_back(as_addr);
+  tgs_endpoints_.push_back(tgs_addr);
+  // Fork the slave streams first: with zero slaves, `prng` reaches the
+  // primary untouched and its reply bytes match a standalone Kdc4's.
+  std::vector<kcrypto::Prng> slave_prngs;
+  for (int i = 0; i < slaves; ++i) {
+    slave_prngs.push_back(prng.Fork());
+  }
+  for (int i = 0; i < slaves; ++i) {
+    ksim::NetAddress slave_as{as_addr.host + 1 + static_cast<uint32_t>(i), as_addr.port};
+    ksim::NetAddress slave_tgs{tgs_addr.host + 1 + static_cast<uint32_t>(i), tgs_addr.port};
+    as_endpoints_.push_back(slave_as);
+    tgs_endpoints_.push_back(slave_tgs);
+    slaves_.push_back(std::make_unique<Kdc4>(net, slave_as, slave_tgs, clock, realm, db,
+                                             slave_prngs[static_cast<size_t>(i)], options));
+  }
+  primary_ = std::make_unique<Kdc4>(net, as_addr, tgs_addr, clock, std::move(realm),
+                                    std::move(db), prng, options);
+}
+
+void KdcReplicaSet4::Propagate() {
+  for (auto& slave : slaves_) {
+    slave->database() = primary_->database();
+  }
+}
+
+void KdcReplicaSet4::AttachClient(Client4& client) const {
+  for (size_t i = 1; i < as_endpoints_.size(); ++i) {
+    client.AddSlaveKdc(as_endpoints_[i], tgs_endpoints_[i]);
+  }
+}
+
+}  // namespace krb4

@@ -1,0 +1,60 @@
+// V4 KDC replica set: one primary plus N read-only slaves.
+//
+// The paper's availability story, made concrete: "there are several slave
+// Kerberos servers which can respond to ticket requests", with database
+// changes flowing master → slaves by periodic bulk transfer (kprop). Here
+// the primary owns the authoritative database; each slave starts from a
+// snapshot copy and serves AS/TGS requests at its own derived address
+// (primary host + 1 + index, same ports). Registrations made on the primary
+// after construction reach the slaves only through Propagate() — exactly
+// the real system's propagation lag, which several experiments depend on
+// noticing.
+//
+// Clients fail over by endpoint order (as_endpoints()/tgs_endpoints():
+// primary first, slaves after), which AttachClient wires up.
+
+#ifndef SRC_KRB4_REPLICA_H_
+#define SRC_KRB4_REPLICA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/krb4/client.h"
+#include "src/krb4/kdc.h"
+
+namespace krb4 {
+
+class KdcReplicaSet4 {
+ public:
+  // Forks one PRNG stream per slave off `prng` before seeding the primary
+  // with what remains, so a zero-slave set drives the primary with the
+  // exact stream a bare Kdc4 would see.
+  KdcReplicaSet4(ksim::Network* net, const ksim::NetAddress& as_addr,
+                 const ksim::NetAddress& tgs_addr, ksim::HostClock clock, std::string realm,
+                 KdcDatabase db, kcrypto::Prng prng, int slaves, KdcOptions options = {});
+
+  Kdc4& primary() { return *primary_; }
+  Kdc4& slave(int i) { return *slaves_.at(static_cast<size_t>(i)); }
+  int slave_count() const { return static_cast<int>(slaves_.size()); }
+
+  // Failover-ordered endpoint lists: primary first, then slaves.
+  const std::vector<ksim::NetAddress>& as_endpoints() const { return as_endpoints_; }
+  const std::vector<ksim::NetAddress>& tgs_endpoints() const { return tgs_endpoints_; }
+
+  // Re-snapshots the primary's database onto every slave — one kprop cycle.
+  void Propagate();
+
+  // Registers the slave endpoints on a client's failover lists.
+  void AttachClient(Client4& client) const;
+
+ private:
+  std::unique_ptr<Kdc4> primary_;
+  std::vector<std::unique_ptr<Kdc4>> slaves_;
+  std::vector<ksim::NetAddress> as_endpoints_;
+  std::vector<ksim::NetAddress> tgs_endpoints_;
+};
+
+}  // namespace krb4
+
+#endif  // SRC_KRB4_REPLICA_H_

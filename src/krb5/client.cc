@@ -13,10 +13,42 @@ Client5::Client5(ksim::Network* net, const ksim::NetAddress& self, ksim::HostClo
       user_(std::move(user)),
       as_addr_(as_addr),
       prng_(prng),
-      options_(options) {}
+      options_(options),
+      as_endpoints_{as_addr} {}
 
 void Client5::AddRealmTgs(const std::string& realm, const ksim::NetAddress& tgs_addr) {
   realm_tgs_.insert_or_assign(realm, tgs_addr);
+}
+
+void Client5::ConfigureRetry(ksim::SimClock* sim_clock, const ksim::RetryPolicy& policy,
+                             uint64_t jitter_seed) {
+  exchanger_.emplace(net_, sim_clock, kcrypto::Prng(jitter_seed), policy);
+}
+
+void Client5::AddSlaveKdc(const ksim::NetAddress& as_addr, const ksim::NetAddress& tgs_addr) {
+  as_endpoints_.push_back(as_addr);
+  tgs_slaves_.push_back(tgs_addr);
+}
+
+kerb::Result<kerb::Bytes> Client5::KdcExchange(const std::vector<ksim::NetAddress>& endpoints,
+                                               const kerb::Bytes& payload) {
+  if (exchanger_.has_value()) {
+    return exchanger_->Exchange(self_, endpoints,
+                                [&]() -> kerb::Result<kerb::Bytes> { return payload; });
+  }
+  return net_->Call(self_, endpoints.front(), payload);
+}
+
+kerb::Result<kerb::Bytes> Client5::ServiceExchange(const ksim::NetAddress& addr,
+                                                   const ksim::Exchanger::Builder& build) {
+  if (exchanger_.has_value()) {
+    return exchanger_->Exchange(self_, {addr}, build);
+  }
+  auto payload = build();
+  if (!payload.ok()) {
+    return payload.error();
+  }
+  return net_->Call(self_, addr, payload.value());
 }
 
 kerb::Status Client5::Login(std::string_view password, ksim::Duration lifetime) {
@@ -35,7 +67,7 @@ kerb::Status Client5::Login(std::string_view password, ksim::Duration lifetime) 
     req.padata = SealTlv(client_key, preauth, options_.enc, prng_);
   }
 
-  auto reply = net_->Call(self_, as_addr_, req.ToTlv().Encode());
+  auto reply = KdcExchange(as_endpoints_, req.ToTlv().Encode());
   if (!reply.ok()) {
     return reply.error();
   }
@@ -108,7 +140,13 @@ kerb::Result<TgsReply5> Client5::RawTgsRequest(const std::string& tgs_realm, Tgs
                                                    req.ChecksumInput(), creds->session_key);
   req.sealed_authenticator = auth.Seal(creds->session_key, options_.enc, prng_);
 
-  auto reply = net_->Call(self_, tgs_it->second, req.ToTlv().Encode());
+  // Home-realm TGS requests fail over to the realm's slaves; cross-realm
+  // hops keep their one configured TGS (replication is per realm).
+  std::vector<ksim::NetAddress> endpoints{tgs_it->second};
+  if (tgs_realm == user_.realm) {
+    endpoints.insert(endpoints.end(), tgs_slaves_.begin(), tgs_slaves_.end());
+  }
+  auto reply = KdcExchange(endpoints, req.ToTlv().Encode());
   if (!reply.ok()) {
     return reply.error();
   }
@@ -338,18 +376,27 @@ kerb::Result<ServiceCallResult> Client5::CallService(const ksim::NetAddress& ser
 
   std::optional<kerb::Bytes> challenge_response;
   for (int attempt = 0; attempt < 2; ++attempt) {
-    ksim::Time auth_time = clock_.Now();
-    auto request = MakeApRequest(service, want_mutual, app_data, challenge_response);
-    if (!request.ok()) {
-      return request.error();
-    }
-    auto reply = net_->Call(self_, service_addr, request.value());
+    ksim::Time auth_time = 0;
+    // Built fresh per send — and per retry: a retransmitted AP request
+    // carries a new authenticator, so the server's replay cache never
+    // mistakes a legitimate retry for an attack (the paper's E16 fix).
+    auto reply = ServiceExchange(service_addr, [&]() -> kerb::Result<kerb::Bytes> {
+      auth_time = clock_.Now();
+      return MakeApRequest(service, want_mutual, app_data, challenge_response);
+    });
     if (!reply.ok()) {
       return reply.error();
     }
 
     auto tlv = kenc::TlvMessage::Decode(reply.value());
     if (!tlv.ok()) {
+      if (want_mutual) {
+        // Fail closed: we demanded proof of the server's identity, so an
+        // undecodable reply (e.g. corrupted in flight) is a failure, not an
+        // application payload.
+        return kerb::MakeError(kerb::ErrorCode::kBadFormat,
+                               "expected mutual-auth reply, got undecodable bytes");
+      }
       // Bare application payload — no mutual auth or negotiation requested.
       ServiceCallResult result;
       result.channel_key = creds.value().session_key;
@@ -416,6 +463,10 @@ kerb::Result<ServiceCallResult> Client5::CallService(const ksim::NetAddress& ser
     }
 
     // Bare application reply.
+    if (want_mutual) {
+      return kerb::MakeError(kerb::ErrorCode::kAuthFailed,
+                             "expected mutual-auth reply, got bare payload");
+    }
     result.app_reply = reply.value();
     return result;
   }

@@ -13,10 +13,12 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/krb5/appserver.h"
 #include "src/krb5/kdc.h"
 #include "src/krb5/messages.h"
+#include "src/sim/retry.h"
 
 namespace krb5 {
 
@@ -85,6 +87,21 @@ class Client5 {
                                               const Principal& service, bool want_mutual,
                                               kerb::BytesView app_data = {});
 
+  // Opts into resilient exchanges, mirroring Client4::ConfigureRetry: KDC
+  // requests retransmit identical bytes through the failover list, AP
+  // requests rebuild their authenticator per attempt, and all waits charge
+  // the shared SimClock deterministically.
+  void ConfigureRetry(ksim::SimClock* sim_clock, const ksim::RetryPolicy& policy,
+                      uint64_t jitter_seed);
+
+  // Appends a home-realm slave KDC to the failover lists. Cross-realm hops
+  // keep their single configured TGS: replication is per realm.
+  void AddSlaveKdc(const ksim::NetAddress& as_addr, const ksim::NetAddress& tgs_addr);
+
+  ksim::RetryStats retry_stats() const {
+    return exchanger_.has_value() ? exchanger_->stats() : ksim::RetryStats{};
+  }
+
   void Logout();
   bool logged_in() const { return tgs_creds_.has_value(); }
   const Principal& user() const { return user_; }
@@ -99,6 +116,13 @@ class Client5 {
  private:
   kerb::Result<TgsCredentials5> GetTgtForRealm(const std::string& realm,
                                                ksim::Duration lifetime);
+  // Fixed request bytes through a failover list (retransmission); single
+  // direct call when retry is not configured.
+  kerb::Result<kerb::Bytes> KdcExchange(const std::vector<ksim::NetAddress>& endpoints,
+                                        const kerb::Bytes& payload);
+  // Fresh request per attempt against one service address.
+  kerb::Result<kerb::Bytes> ServiceExchange(const ksim::NetAddress& addr,
+                                            const ksim::Exchanger::Builder& build);
 
   ksim::Network* net_;
   ksim::NetAddress self_;
@@ -107,6 +131,9 @@ class Client5 {
   ksim::NetAddress as_addr_;
   kcrypto::Prng prng_;
   Client5Options options_;
+  std::vector<ksim::NetAddress> as_endpoints_;
+  std::vector<ksim::NetAddress> tgs_slaves_;  // home-realm failover targets
+  std::optional<ksim::Exchanger> exchanger_;
 
   std::map<std::string, ksim::NetAddress> realm_tgs_;
   std::optional<TgsCredentials5> tgs_creds_;  // home-realm TGT

@@ -71,8 +71,31 @@ kerb::Result<kcrypto::DesKey> KdcCore5::CachedLookup(const krb4::Principal& prin
   return looked_up;
 }
 
+const kerb::Bytes* KdcCore5::CachedReply(const ksim::Message& msg, KdcContext& ctx) {
+  if (policy_.reply_cache_window <= 0) {
+    return nullptr;
+  }
+  const kerb::Bytes* cached =
+      ctx.replies.Get(msg.src, msg.payload, clock_.Now(), policy_.reply_cache_window);
+  if (cached != nullptr) {
+    reply_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return cached;
+}
+
+kerb::Bytes KdcCore5::RememberReply(const ksim::Message& msg, const kerb::Bytes& reply,
+                                    KdcContext& ctx) {
+  if (policy_.reply_cache_window > 0) {
+    ctx.replies.Put(msg.src, msg.payload, reply, clock_.Now());
+  }
+  return reply;
+}
+
 kerb::Result<kerb::Bytes> KdcCore5::HandleAs(const ksim::Message& msg, KdcContext& ctx) {
   as_requests_.fetch_add(1, std::memory_order_relaxed);
+  if (const kerb::Bytes* cached = CachedReply(msg, ctx)) {
+    return *cached;
+  }
   auto tlv = kenc::TlvMessage::DecodeExpecting(kMsgAsReq, msg.payload);
   if (!tlv.ok()) {
     return tlv.error();
@@ -154,12 +177,17 @@ kerb::Result<kerb::Bytes> KdcCore5::HandleAs(const ksim::Message& msg, KdcContex
                   ctx.scratch.ticket_sealed);
   SealMessageInto(client_key.value(), part, policy_.enc, ctx.prng, ctx.scratch.body_plain,
                   ctx.scratch.body_sealed);
-  return EncodeReplyInto(kMsgAsRep, ctx.scratch.ticket_sealed, ctx.scratch.body_sealed,
-                         ctx.scratch);
+  return RememberReply(msg,
+                       EncodeReplyInto(kMsgAsRep, ctx.scratch.ticket_sealed,
+                                       ctx.scratch.body_sealed, ctx.scratch),
+                       ctx);
 }
 
 kerb::Result<kerb::Bytes> KdcCore5::HandleTgs(const ksim::Message& msg, KdcContext& ctx) {
   tgs_requests_.fetch_add(1, std::memory_order_relaxed);
+  if (const kerb::Bytes* cached = CachedReply(msg, ctx)) {
+    return *cached;
+  }
   auto tlv = kenc::TlvMessage::DecodeExpecting(kMsgTgsReq, msg.payload);
   if (!tlv.ok()) {
     return tlv.error();
@@ -273,8 +301,10 @@ kerb::Result<kerb::Bytes> KdcCore5::HandleTgs(const ksim::Message& msg, KdcConte
                     ctx.scratch.ticket_sealed);
     SealMessageInto(tgs_session, part, policy_.enc, ctx.prng, ctx.scratch.body_plain,
                     ctx.scratch.body_sealed);
-    return EncodeReplyInto(kMsgTgsRep, ctx.scratch.ticket_sealed, ctx.scratch.body_sealed,
-                           ctx.scratch);
+    return RememberReply(msg,
+                         EncodeReplyInto(kMsgTgsRep, ctx.scratch.ticket_sealed,
+                                         ctx.scratch.body_sealed, ctx.scratch),
+                         ctx);
   }
 
   // Cross-realm: route toward the service's realm.
@@ -307,8 +337,10 @@ kerb::Result<kerb::Bytes> KdcCore5::HandleTgs(const ksim::Message& msg, KdcConte
                     ctx.scratch.ticket_sealed);
     SealMessageInto(tgs_session, part, policy_.enc, ctx.prng, ctx.scratch.body_plain,
                     ctx.scratch.body_sealed);
-    return EncodeReplyInto(kMsgTgsRep, ctx.scratch.ticket_sealed, ctx.scratch.body_sealed,
-                           ctx.scratch);
+    return RememberReply(msg,
+                         EncodeReplyInto(kMsgTgsRep, ctx.scratch.ticket_sealed,
+                                         ctx.scratch.body_sealed, ctx.scratch),
+                         ctx);
   }
 
   // Which key will seal the new ticket, and which session key goes inside?
@@ -404,8 +436,10 @@ kerb::Result<kerb::Bytes> KdcCore5::HandleTgs(const ksim::Message& msg, KdcConte
                   ctx.scratch.ticket_sealed);
   SealMessageInto(tgs_session, part, policy_.enc, ctx.prng, ctx.scratch.body_plain,
                   ctx.scratch.body_sealed);
-  return EncodeReplyInto(kMsgTgsRep, ctx.scratch.ticket_sealed, ctx.scratch.body_sealed,
-                         ctx.scratch);
+  return RememberReply(msg,
+                       EncodeReplyInto(kMsgTgsRep, ctx.scratch.ticket_sealed,
+                                       ctx.scratch.body_sealed, ctx.scratch),
+                       ctx);
 }
 
 }  // namespace krb5

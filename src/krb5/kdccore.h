@@ -53,6 +53,10 @@ struct KdcPolicy5 {
   ksim::Duration clock_skew_limit = ksim::kDefaultClockSkewLimit;
   // V5 permits tickets without addresses when the client asks.
   bool allow_address_omission = true;
+  // Retransmit-safe reply cache (see krb4::KdcOptions::reply_cache_window):
+  // a duplicated request returns the stored reply instead of minting a
+  // second ticket. Zero disables; the chaos testbeds enable it.
+  ksim::Duration reply_cache_window = 0;
   // Draft-era behaviour: "Clients may be treated as services, and tickets
   // to the client, encrypted by K_c, may be obtained by any user." When
   // false, service tickets naming user principals are refused (E15); the
@@ -80,10 +84,15 @@ class KdcCore5 {
     return as_rate_limited_.load(std::memory_order_relaxed);
   }
   uint64_t tgs_requests_served() const { return tgs_requests_.load(std::memory_order_relaxed); }
+  uint64_t reply_cache_hits() const { return reply_cache_hits_.load(std::memory_order_relaxed); }
 
  private:
   kerb::Result<kcrypto::DesKey> CachedLookup(const krb4::Principal& principal,
                                              KdcContext& ctx) const;
+  // Serves a fresh duplicate from the context's reply cache, if enabled.
+  const kerb::Bytes* CachedReply(const ksim::Message& msg, KdcContext& ctx);
+  // Remembers a successful reply for retransmission, then returns it.
+  kerb::Bytes RememberReply(const ksim::Message& msg, const kerb::Bytes& reply, KdcContext& ctx);
 
   // Which neighbor realm leads toward `target`; empty if unknown.
   std::string RouteToward(const std::string& target) const;
@@ -104,6 +113,7 @@ class KdcCore5 {
   std::atomic<uint64_t> as_requests_{0};
   std::atomic<uint64_t> as_rate_limited_{0};
   std::atomic<uint64_t> tgs_requests_{0};
+  std::atomic<uint64_t> reply_cache_hits_{0};
 };
 
 }  // namespace krb5

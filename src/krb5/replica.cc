@@ -1,0 +1,48 @@
+#include "src/krb5/replica.h"
+
+#include <utility>
+
+namespace krb5 {
+
+KdcReplicaSet5::KdcReplicaSet5(ksim::Network* net, const ksim::NetAddress& as_addr,
+                               const ksim::NetAddress& tgs_addr, ksim::HostClock clock,
+                               std::string realm, KdcDatabase db, kcrypto::Prng prng, int slaves,
+                               KdcPolicy5 policy) {
+  as_endpoints_.push_back(as_addr);
+  tgs_endpoints_.push_back(tgs_addr);
+  std::vector<kcrypto::Prng> slave_prngs;
+  for (int i = 0; i < slaves; ++i) {
+    slave_prngs.push_back(prng.Fork());
+  }
+  for (int i = 0; i < slaves; ++i) {
+    ksim::NetAddress slave_as{as_addr.host + 1 + static_cast<uint32_t>(i), as_addr.port};
+    ksim::NetAddress slave_tgs{tgs_addr.host + 1 + static_cast<uint32_t>(i), tgs_addr.port};
+    as_endpoints_.push_back(slave_as);
+    tgs_endpoints_.push_back(slave_tgs);
+    slaves_.push_back(std::make_unique<Kdc5>(net, slave_as, slave_tgs, clock, realm, db,
+                                             slave_prngs[static_cast<size_t>(i)], policy));
+  }
+  primary_ = std::make_unique<Kdc5>(net, as_addr, tgs_addr, clock, std::move(realm),
+                                    std::move(db), prng, policy);
+}
+
+void KdcReplicaSet5::Propagate() {
+  for (auto& slave : slaves_) {
+    slave->database() = primary_->database();
+  }
+}
+
+void KdcReplicaSet5::AttachClient(Client5& client) const {
+  for (size_t i = 1; i < as_endpoints_.size(); ++i) {
+    client.AddSlaveKdc(as_endpoints_[i], tgs_endpoints_[i]);
+  }
+}
+
+void KdcReplicaSet5::ForEach(const std::function<void(Kdc5&)>& fn) {
+  fn(*primary_);
+  for (auto& slave : slaves_) {
+    fn(*slave);
+  }
+}
+
+}  // namespace krb5

@@ -1,0 +1,56 @@
+// V5 KDC replica set: one primary plus N read-only slaves.
+//
+// Same model as krb4::KdcReplicaSet4 (see that header for the paper
+// context): slaves serve from a snapshot of the primary's database at
+// derived addresses (primary host + 1 + index), Propagate() re-snapshots,
+// and clients fail over primary-first. Inter-realm keys and routes are part
+// of policy-time setup, so configure them on every replica via ForEach
+// before traffic starts.
+
+#ifndef SRC_KRB5_REPLICA_H_
+#define SRC_KRB5_REPLICA_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/krb5/client.h"
+#include "src/krb5/kdc.h"
+
+namespace krb5 {
+
+class KdcReplicaSet5 {
+ public:
+  // Slave PRNG streams fork off `prng` first; a zero-slave set drives the
+  // primary with the untouched stream, byte-identical to a bare Kdc5.
+  KdcReplicaSet5(ksim::Network* net, const ksim::NetAddress& as_addr,
+                 const ksim::NetAddress& tgs_addr, ksim::HostClock clock, std::string realm,
+                 KdcDatabase db, kcrypto::Prng prng, int slaves, KdcPolicy5 policy = {});
+
+  Kdc5& primary() { return *primary_; }
+  Kdc5& slave(int i) { return *slaves_.at(static_cast<size_t>(i)); }
+  int slave_count() const { return static_cast<int>(slaves_.size()); }
+
+  const std::vector<ksim::NetAddress>& as_endpoints() const { return as_endpoints_; }
+  const std::vector<ksim::NetAddress>& tgs_endpoints() const { return tgs_endpoints_; }
+
+  // Re-snapshots the primary's database onto every slave — one kprop cycle.
+  void Propagate();
+
+  // Registers the slave endpoints on a client's failover lists.
+  void AttachClient(Client5& client) const;
+
+  // Applies setup (inter-realm keys, routes) to the primary and all slaves.
+  void ForEach(const std::function<void(Kdc5&)>& fn);
+
+ private:
+  std::unique_ptr<Kdc5> primary_;
+  std::vector<std::unique_ptr<Kdc5>> slaves_;
+  std::vector<ksim::NetAddress> as_endpoints_;
+  std::vector<ksim::NetAddress> tgs_endpoints_;
+};
+
+}  // namespace krb5
+
+#endif  // SRC_KRB5_REPLICA_H_

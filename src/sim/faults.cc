@@ -1,0 +1,249 @@
+#include "src/sim/faults.h"
+
+#include <utility>
+
+namespace ksim {
+namespace {
+
+// Event kinds folded into the schedule digest, so the digest distinguishes
+// "drop then duplicate" from "duplicate then drop" even when the underlying
+// PRNG draws happen to collide.
+enum EventKind : uint64_t {
+  kEvChance = 1,
+  kEvBlackout,
+  kEvDelay,
+  kEvDropRequest,
+  kEvCorruptRequest,
+  kEvDuplicate,
+  kEvReorder,
+  kEvDropReply,
+  kEvCorruptReply,
+  kEvRedeliver,
+  kEvDatagramDrop,
+};
+
+}  // namespace
+
+FaultyNetwork::FaultyNetwork(SimClock* clock, kcrypto::Prng prng, FaultPlan plan)
+    : Network(clock), clock_(clock), prng_(prng), plan_(std::move(plan)) {}
+
+const LinkFaults& FaultyNetwork::FaultsFor(uint32_t host) const {
+  auto it = plan_.per_host.find(host);
+  return it != plan_.per_host.end() ? it->second : plan_.link;
+}
+
+void FaultyNetwork::Fold(uint64_t v) {
+  // FNV-1a over the eight octets of v.
+  for (int i = 0; i < 8; ++i) {
+    digest_ ^= (v >> (8 * i)) & 0xff;
+    digest_ *= 0x100000001b3ull;
+  }
+}
+
+bool FaultyNetwork::Chance(double p) {
+  // Zero-probability faults draw nothing, so an all-zero plan leaves the
+  // PRNG stream — and therefore every downstream decision — untouched.
+  if (p <= 0) {
+    return false;
+  }
+  uint64_t draw = prng_.NextU64();
+  // Compare the top 53 bits against p scaled to the same range; exact for
+  // any p representable as a double in [0, 1].
+  bool hit = static_cast<double>(draw >> 11) < p * 9007199254740992.0;  // 2^53
+  Fold(kEvChance);
+  Fold(draw);
+  Fold(hit ? 1 : 0);
+  return hit;
+}
+
+Duration FaultyNetwork::JitterBelow(Duration bound) {
+  if (bound <= 0) {
+    return 0;
+  }
+  Duration d = static_cast<Duration>(prng_.NextBelow(static_cast<uint64_t>(bound)));
+  Fold(kEvDelay);
+  Fold(static_cast<uint64_t>(d));
+  return d;
+}
+
+void FaultyNetwork::Corrupt(kerb::Bytes& payload) {
+  if (payload.empty()) {
+    return;
+  }
+  // One to three bit flips at PRNG-chosen positions — the minimal damage an
+  // integrity layer must catch (the paper's argument against plain CRCs).
+  uint64_t flips = 1 + prng_.NextBelow(3);
+  for (uint64_t i = 0; i < flips; ++i) {
+    uint64_t bit = prng_.NextBelow(payload.size() * 8);
+    payload[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    Fold(bit);
+  }
+}
+
+bool FaultyNetwork::BlackedOut(uint32_t host, Time now) const {
+  for (const Blackout& b : plan_.blackouts) {
+    if (b.host == host && now >= b.from && now < b.until) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Duration FaultyNetwork::StallDelay(uint32_t host, Time now) const {
+  Duration total = 0;
+  for (const Stall& s : plan_.stalls) {
+    if (s.host == host && now >= s.from && now < s.until) {
+      total += s.extra_delay;
+    }
+  }
+  return total;
+}
+
+void FaultyNetwork::CompareDuplicateReply(uint32_t host, bool original_ok,
+                                          const kerb::Bytes& original_reply,
+                                          const kerb::Result<kerb::Bytes>& duplicate_reply) {
+  if (!duplicate_reply.ok()) {
+    // The duplicate was refused (replay cache, rate limit, blackout) — the
+    // server failed closed rather than acting twice.
+    ++stats_.duplicate_rejections;
+    return;
+  }
+  if (original_ok && duplicate_reply.value() == original_reply) {
+    ++stats_.duplicate_reply_matches;
+    return;
+  }
+  ++stats_.duplicate_reply_divergences;
+  ++divergences_by_host_[host];
+}
+
+uint64_t FaultyNetwork::divergences_at(uint32_t host) const {
+  auto it = divergences_by_host_.find(host);
+  return it != divergences_by_host_.end() ? it->second : 0;
+}
+
+void FaultyNetwork::DrainHeldPackets() {
+  if (held_.empty() || draining_) {
+    return;
+  }
+  draining_ = true;
+  std::vector<HeldPacket> packets;
+  packets.swap(held_);
+  for (HeldPacket& p : packets) {
+    // The stale copy arrives out of order, after the network has moved on.
+    // Its reply goes nowhere (the original sender stopped listening), but
+    // the server still sees and answers it — which is how reordering turns
+    // into an accidental replay.
+    Fold(kEvRedeliver);
+    Fold(p.dst.host);
+    ++stats_.late_redeliveries;
+    kerb::Result<kerb::Bytes> reply = Network::Call(p.src, p.dst, p.payload);
+    CompareDuplicateReply(p.dst.host, p.original_ok, p.original_reply, reply);
+  }
+  draining_ = false;
+}
+
+kerb::Result<kerb::Bytes> FaultyNetwork::Call(const NetAddress& src, const NetAddress& dst,
+                                              kerb::BytesView payload) {
+  ++stats_.calls;
+  // Packets held for reordering surface just before the next send.
+  DrainHeldPackets();
+
+  const Time now = clock_->Now();
+  if (BlackedOut(dst.host, now)) {
+    Fold(kEvBlackout);
+    Fold(dst.host);
+    ++stats_.blackout_refusals;
+    return kerb::MakeError(kerb::ErrorCode::kTransport,
+                           "host blacked out: " + dst.ToString());
+  }
+
+  const LinkFaults& faults = FaultsFor(dst.host);
+  Duration latency = faults.delay + JitterBelow(faults.delay_jitter);
+  Duration stall = StallDelay(dst.host, now);
+  if (stall > 0) {
+    ++stats_.stalled_deliveries;
+    latency += stall;
+  }
+  if (latency > 0) {
+    clock_->Advance(latency);
+  }
+
+  if (Chance(faults.drop_request)) {
+    Fold(kEvDropRequest);
+    ++stats_.requests_dropped;
+    return kerb::MakeError(kerb::ErrorCode::kTransport, "request lost");
+  }
+
+  kerb::Bytes wire(payload.begin(), payload.end());
+  if (Chance(faults.corrupt_request)) {
+    Fold(kEvCorruptRequest);
+    Corrupt(wire);
+    ++stats_.requests_corrupted;
+  }
+
+  kerb::Result<kerb::Bytes> reply = Network::Call(src, dst, wire);
+
+  if (Chance(faults.duplicate_request)) {
+    // The same wire bytes arrive a second time, back to back. A KDC without
+    // a reply cache mints a second ticket here — with a fresh session key —
+    // and the two replies diverge.
+    Fold(kEvDuplicate);
+    Fold(dst.host);
+    ++stats_.duplicates_delivered;
+    kerb::Result<kerb::Bytes> dup = Network::Call(src, dst, wire);
+    CompareDuplicateReply(dst.host, reply.ok(),
+                          reply.ok() ? reply.value() : kerb::Bytes{}, dup);
+  }
+  if (Chance(faults.reorder_request)) {
+    Fold(kEvReorder);
+    Fold(dst.host);
+    held_.push_back(HeldPacket{src, dst, wire,
+                               reply.ok() ? reply.value() : kerb::Bytes{}, reply.ok()});
+  }
+
+  if (!reply.ok()) {
+    return reply;  // server-side verdicts propagate with their own codes
+  }
+  if (Chance(faults.drop_reply)) {
+    Fold(kEvDropReply);
+    ++stats_.replies_dropped;
+    return kerb::MakeError(kerb::ErrorCode::kTransport, "reply lost");
+  }
+  kerb::Bytes out = std::move(reply).value();
+  if (Chance(faults.corrupt_reply)) {
+    Fold(kEvCorruptReply);
+    Corrupt(out);
+    ++stats_.replies_corrupted;
+  }
+  ++stats_.delivered;
+  return out;
+}
+
+kerb::Status FaultyNetwork::SendDatagram(const NetAddress& src, const NetAddress& dst,
+                                         kerb::BytesView payload) {
+  if (!plan_.fault_datagrams) {
+    return Network::SendDatagram(src, dst, payload);
+  }
+  if (BlackedOut(dst.host, clock_->Now())) {
+    Fold(kEvBlackout);
+    Fold(dst.host);
+    ++stats_.blackout_refusals;
+    return kerb::MakeError(kerb::ErrorCode::kTransport,
+                           "host blacked out: " + dst.ToString());
+  }
+  const LinkFaults& faults = FaultsFor(dst.host);
+  if (Chance(faults.drop_request)) {
+    Fold(kEvDatagramDrop);
+    ++stats_.requests_dropped;
+    return kerb::MakeError(kerb::ErrorCode::kTransport, "datagram lost");
+  }
+  kerb::Bytes wire(payload.begin(), payload.end());
+  if (Chance(faults.corrupt_request)) {
+    Fold(kEvCorruptRequest);
+    Corrupt(wire);
+    ++stats_.requests_corrupted;
+  }
+  return Network::SendDatagram(src, dst, wire);
+}
+
+}  // namespace ksim

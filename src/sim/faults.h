@@ -1,0 +1,150 @@
+// Seeded, deterministic fault injection — the *unreliable* network.
+//
+// The Adversary interface (src/sim/network.h) models a hostile network; this
+// layer models a merely faulty one: packets are lost, duplicated, reordered,
+// corrupted, and delayed, hosts black out and stall. The paper's threat
+// model ("the network must be considered as completely open") covers both,
+// and the retransmission discussion in its UDP section is precisely the
+// failure class exercised here: a lost reply makes the client resend, and a
+// naive server then sees what looks like a replay.
+//
+// FaultyNetwork subclasses Network and overlays faults on each Call before
+// delegating to the adversarial base layer, so faults compose with any
+// installed Adversary. Every fault decision is drawn from one seeded PRNG in
+// call order and folded into a running schedule digest: two runs with the
+// same seed and workload produce byte-identical fault schedules, which
+// chaos_test asserts directly.
+
+#ifndef SRC_SIM_FAULTS_H_
+#define SRC_SIM_FAULTS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/crypto/prng.h"
+#include "src/sim/clock.h"
+#include "src/sim/network.h"
+
+namespace ksim {
+
+// Per-destination fault probabilities, each in [0, 1]. A probability of
+// zero consumes no randomness, so an all-zero LinkFaults is byte-for-byte
+// equivalent to the plain Network.
+struct LinkFaults {
+  double drop_request = 0;       // request lost before delivery
+  double drop_reply = 0;         // server acted, reply lost in transit
+  double duplicate_request = 0;  // request delivered twice back to back
+  double reorder_request = 0;    // stale copy re-delivered before a later call
+  double corrupt_request = 0;    // bit flips in the request payload
+  double corrupt_reply = 0;      // bit flips in the reply payload
+  Duration delay = 0;            // fixed in-flight latency per exchange
+  Duration delay_jitter = 0;     // extra uniform latency in [0, jitter)
+};
+
+// A scripted total outage of one host: every Call to it within the window
+// fails with kTransport, as a crashed or partitioned KDC would.
+struct Blackout {
+  uint32_t host = 0;
+  Time from = 0;
+  Time until = 0;
+};
+
+// A scripted slow host: Calls to it within the window incur extra latency
+// but still complete — the overloaded-server case, distinct from an outage.
+struct Stall {
+  uint32_t host = 0;
+  Time from = 0;
+  Time until = 0;
+  Duration extra_delay = 0;
+};
+
+struct FaultPlan {
+  LinkFaults link;                          // default for every destination
+  std::map<uint32_t, LinkFaults> per_host;  // destination-host overrides
+  std::vector<Blackout> blackouts;
+  std::vector<Stall> stalls;
+  bool fault_datagrams = false;  // apply drop/corrupt to datagrams too
+};
+
+class FaultyNetwork : public Network {
+ public:
+  struct Stats {
+    uint64_t calls = 0;
+    uint64_t delivered = 0;  // replies that reached the caller intact or corrupted
+    uint64_t requests_dropped = 0;
+    uint64_t replies_dropped = 0;
+    uint64_t requests_corrupted = 0;
+    uint64_t replies_corrupted = 0;
+    uint64_t duplicates_delivered = 0;
+    uint64_t late_redeliveries = 0;
+    uint64_t blackout_refusals = 0;
+    uint64_t stalled_deliveries = 0;
+    // Outcomes of comparing the reply to a duplicated/redelivered request
+    // against the original reply. A divergence at a KDC address means the
+    // duplicate was answered with *different* bytes — a double-issued
+    // ticket. The reply cache (src/krb4/kdccore.h) exists to keep the KDC
+    // rows of divergences_by_host() at zero.
+    uint64_t duplicate_reply_matches = 0;
+    uint64_t duplicate_reply_divergences = 0;
+    uint64_t duplicate_rejections = 0;  // duplicate answered with an error
+  };
+
+  // Fault decisions fork off the caller-provided PRNG; pass
+  // world.prng().Fork() (World's fault constructor does exactly that).
+  FaultyNetwork(SimClock* clock, kcrypto::Prng prng, FaultPlan plan);
+
+  kerb::Result<kerb::Bytes> Call(const NetAddress& src, const NetAddress& dst,
+                                 kerb::BytesView payload) override;
+  kerb::Status SendDatagram(const NetAddress& src, const NetAddress& dst,
+                            kerb::BytesView payload) override;
+
+  // The plan is mutable between calls, so scenarios can script mid-run
+  // changes (start a blackout, clear it) at deterministic points.
+  FaultPlan& plan() { return plan_; }
+
+  const Stats& stats() const { return stats_; }
+
+  // Divergent duplicate replies seen per destination host. Nonzero at a KDC
+  // host is the chaos harness's double-issue detector.
+  uint64_t divergences_at(uint32_t host) const;
+
+  // Running FNV-1a digest of every fault decision (draw outcomes, event
+  // kinds, affected hosts) in order. Equal digests across two runs mean the
+  // fault schedules were identical.
+  uint64_t schedule_digest() const { return digest_; }
+
+ private:
+  struct HeldPacket {
+    NetAddress src;
+    NetAddress dst;
+    kerb::Bytes payload;
+    kerb::Bytes original_reply;
+    bool original_ok = false;
+  };
+
+  const LinkFaults& FaultsFor(uint32_t host) const;
+  bool Chance(double p);
+  Duration JitterBelow(Duration bound);
+  void Corrupt(kerb::Bytes& payload);
+  void Fold(uint64_t v);
+  bool BlackedOut(uint32_t host, Time now) const;
+  Duration StallDelay(uint32_t host, Time now) const;
+  void CompareDuplicateReply(uint32_t host, bool original_ok,
+                             const kerb::Bytes& original_reply,
+                             const kerb::Result<kerb::Bytes>& duplicate_reply);
+  void DrainHeldPackets();
+
+  SimClock* clock_;
+  kcrypto::Prng prng_;
+  FaultPlan plan_;
+  Stats stats_;
+  std::map<uint32_t, uint64_t> divergences_by_host_;
+  std::vector<HeldPacket> held_;
+  bool draining_ = false;
+  uint64_t digest_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+};
+
+}  // namespace ksim
+
+#endif  // SRC_SIM_FAULTS_H_

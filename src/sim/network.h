@@ -141,6 +141,7 @@ class Network {
   using DatagramHandler = std::function<void(const Message&)>;
 
   explicit Network(SimClock* clock) : clock_(clock) {}
+  virtual ~Network() = default;
 
   // Binds a request/reply service at `addr`. Rebinding replaces the handler
   // (used by attacks that impersonate a service after taking its address).
@@ -150,12 +151,14 @@ class Network {
 
   // Sends a request claiming source `src` and waits for the reply. The
   // claimed source is not verified — spoofing is a one-line operation.
-  kerb::Result<kerb::Bytes> Call(const NetAddress& src, const NetAddress& dst,
-                                 kerb::BytesView payload);
+  // Virtual so FaultyNetwork (src/sim/faults.h) can overlay unreliable
+  // delivery on top of this adversarial base layer.
+  virtual kerb::Result<kerb::Bytes> Call(const NetAddress& src, const NetAddress& dst,
+                                         kerb::BytesView payload);
 
   // One-way datagram.
-  kerb::Status SendDatagram(const NetAddress& src, const NetAddress& dst,
-                            kerb::BytesView payload);
+  virtual kerb::Status SendDatagram(const NetAddress& src, const NetAddress& dst,
+                                    kerb::BytesView payload);
 
   // Installs the adversary (nullptr to remove). Only one at a time; compose
   // via delegation if an attack also wants recording.

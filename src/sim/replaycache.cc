@@ -13,33 +13,17 @@ size_t ShardedReplayCache::ShardIndex(const std::string& identity) {
   return (h >> 60) & (kShardCount - 1);
 }
 
-void ShardedReplayCache::PruneAll(Time now, Duration window) {
-  for (size_t s = 0; s < kShardCount; ++s) {
-    Shard& shard = shards_[s];
-    std::lock_guard lock(shard.mu);
-    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
-      if (std::get<2>(*it) < now - window) {
-        it = shard.entries.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-}
-
 bool ShardedReplayCache::CheckAndInsert(const std::string& identity, uint32_t addr,
                                         Time timestamp, Time now, Duration window) {
-  // Age out stale entries once per distinct `now`. Whether a given tuple is
-  // accepted depends only on the entries' own timestamps versus `now`, so
-  // skipping redundant prunes cannot change any accept/reject decision.
-  Time last = last_prune_.load(std::memory_order_acquire);
-  if (last != now && last_prune_.compare_exchange_strong(last, now, std::memory_order_acq_rel)) {
-    PruneAll(now, window);
-  }
-
   Shard& shard = shards_[ShardIndex(identity)];
   std::lock_guard lock(shard.mu);
-  return shard.entries.emplace(identity, addr, timestamp).second;
+  // Stale entries sort before (cutoff, "", 0); erase the prefix. Upstream
+  // freshness checks reject out-of-window timestamps before they reach this
+  // cache, so discarding them here never readmits a live replay.
+  const Time cutoff = now - window;
+  shard.entries.erase(shard.entries.begin(),
+                      shard.entries.lower_bound(Entry{cutoff, std::string(), 0}));
+  return shard.entries.emplace(timestamp, identity, addr).second;
 }
 
 size_t ShardedReplayCache::size() const {

@@ -3,20 +3,20 @@
 // "The only known defense ... is to cache all live authenticators and
 // reject duplicates" — both application servers and a preauthenticating KDC
 // need this cache, and a multi-threaded server needs it without a single
-// global lock. Entries are (identity, address, timestamp) tuples; a tuple
+// global lock. Entries are (timestamp, identity, address) tuples; a tuple
 // is accepted exactly once within the liveness window, regardless of which
 // thread presents it or how many threads race on the same tuple.
 //
 // Sharding: the identity string hashes to one of 16 shards, each with its
-// own mutex and ordered set. Expired entries age out the first time any
-// thread observes a new `now` value — an optimization over pruning on every
-// call that is observationally identical, because aging depends only on
-// `now` and the sim clock never moves backwards.
+// own mutex and ordered set. Entries order by timestamp first, so expiry is
+// a prefix erase: every insert prunes its own shard's stale prefix under
+// the same lock, bounding each shard to the entries inserted within one
+// liveness window. (An earlier revision pruned only when `now` changed,
+// which grew without bound while the clock stood still.)
 
 #ifndef SRC_SIM_REPLAYCACHE_H_
 #define SRC_SIM_REPLAYCACHE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -43,7 +43,8 @@ class ShardedReplayCache {
   void Clear();
 
  private:
-  using Entry = std::tuple<std::string, uint32_t, Time>;
+  // Timestamp leads so a shard's stale entries form a contiguous prefix.
+  using Entry = std::tuple<Time, std::string, uint32_t>;
   struct Shard {
     mutable std::mutex mu;
     std::set<Entry> entries;
@@ -52,10 +53,7 @@ class ShardedReplayCache {
   static constexpr size_t kShardCount = 16;
   static size_t ShardIndex(const std::string& identity);
 
-  void PruneAll(Time now, Duration window);
-
   std::unique_ptr<Shard[]> shards_;
-  std::atomic<Time> last_prune_{INT64_MIN};
 };
 
 }  // namespace ksim

@@ -1,0 +1,80 @@
+#include "src/sim/retry.h"
+
+#include <cassert>
+
+namespace ksim {
+
+void Exchanger::Wait(Duration d) {
+  if (d <= 0) {
+    return;
+  }
+  if (clock_ != nullptr) {
+    clock_->Advance(d);
+  }
+  stats_.virtual_wait += d;
+}
+
+Duration Exchanger::BackoffFor(int round) {
+  Duration backoff = policy_.backoff_base;
+  for (int i = 0; i < round && backoff < policy_.backoff_cap; ++i) {
+    backoff *= 2;
+  }
+  if (backoff > policy_.backoff_cap) {
+    backoff = policy_.backoff_cap;
+  }
+  if (policy_.jitter_pct > 0 && backoff > 0) {
+    // Deterministic jitter in [-jitter, +jitter]: same seed, same schedule.
+    Duration jitter = backoff * policy_.jitter_pct / 100;
+    if (jitter > 0) {
+      backoff += static_cast<Duration>(prng_.NextBelow(2 * jitter + 1)) - jitter;
+    }
+  }
+  return backoff;
+}
+
+kerb::Result<kerb::Bytes> Exchanger::Exchange(const NetAddress& src,
+                                              const std::vector<NetAddress>& endpoints,
+                                              const Builder& build) {
+  assert(!endpoints.empty());
+  ++stats_.exchanges;
+  kerb::Error last = kerb::MakeError(kerb::ErrorCode::kTransport, "no attempt made");
+  const int per_round = static_cast<int>(endpoints.size());
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    // Failover ordering: each round walks the list from the primary down.
+    const int endpoint = attempt % per_round;
+    const int round = attempt / per_round;
+    if (attempt > 0 && endpoint == 0) {
+      // A full round failed everywhere; back off before hammering again.
+      Wait(BackoffFor(round - 1));
+    }
+    ++stats_.attempts;
+    if (endpoint > 0) {
+      ++stats_.failovers;
+    }
+    kerb::Result<kerb::Bytes> payload = build();
+    if (!payload.ok()) {
+      return payload.error();  // local construction failure, not transport
+    }
+    kerb::Result<kerb::Bytes> reply = net_->Call(src, endpoints[endpoint], payload.value());
+    if (reply.ok()) {
+      ++stats_.successes;
+      return reply;
+    }
+    last = reply.error();
+    if (!kerb::IsRetryable(last.code)) {
+      ++stats_.terminal_failures;
+      return last;
+    }
+    // Charge the timeout the client waited before declaring this attempt
+    // lost. Advancing virtual time here also timestamps the next attempt's
+    // authenticator later than this one's — a fresh build is never a replay.
+    Wait(policy_.timeout);
+    if (attempt + 1 < policy_.max_attempts) {
+      ++stats_.retries;
+    }
+  }
+  ++stats_.exhausted;
+  return last;
+}
+
+}  // namespace ksim

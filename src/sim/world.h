@@ -2,23 +2,39 @@
 //
 // Every experiment and example constructs a World, wires principals into
 // it, optionally installs an adversary, and drives simulated time forward.
+// A World built with a FaultPlan routes all traffic through a FaultyNetwork
+// (src/sim/faults.h); the fault stream forks off the world seed, so one
+// seed fixes both the workload and the fault schedule.
 
 #ifndef SRC_SIM_WORLD_H_
 #define SRC_SIM_WORLD_H_
 
+#include <memory>
+
 #include "src/crypto/prng.h"
 #include "src/sim/clock.h"
+#include "src/sim/faults.h"
 #include "src/sim/network.h"
 
 namespace ksim {
 
 class World {
  public:
-  explicit World(uint64_t seed) : prng_(seed), network_(&clock_) {}
+  explicit World(uint64_t seed)
+      : prng_(seed), network_(std::make_unique<Network>(&clock_)) {}
+
+  World(uint64_t seed, const FaultPlan& plan) : prng_(seed) {
+    auto faulty = std::make_unique<FaultyNetwork>(&clock_, prng_.Fork(), plan);
+    faults_ = faulty.get();
+    network_ = std::move(faulty);
+  }
 
   SimClock& clock() { return clock_; }
-  Network& network() { return network_; }
+  Network& network() { return *network_; }
   kcrypto::Prng& prng() { return prng_; }
+
+  // Non-null only for fault-injecting worlds.
+  FaultyNetwork* faults() { return faults_; }
 
   // A fresh skewed clock for a host.
   HostClock MakeHostClock(Duration skew = 0) { return HostClock(&clock_, skew); }
@@ -26,7 +42,8 @@ class World {
  private:
   SimClock clock_;
   kcrypto::Prng prng_;
-  Network network_;
+  std::unique_ptr<Network> network_;
+  FaultyNetwork* faults_ = nullptr;
 };
 
 }  // namespace ksim
