@@ -15,9 +15,14 @@ distills the numbers every PR cares about:
     chaos: goodput percentage (exchanges that returned the honest payload)
         per injected fault rate, V4 and V5, under the B12 chaos study —
         the robustness trajectory of the retry/failover stack
+    obs: kobs tracing cost on the handler-level AS exchange (B13) — the
+        disabled path (the zero-overhead contract, acceptance: within 3%
+        of kdc_requests_per_sec.as_bare), the enabled path, the derived
+        overhead percentage, and the per-run trace counters of one traced
+        chaos study
 
 Usage:
-    python3 bench/bench_baseline.py --build-dir build --out BENCH_PR3.json
+    python3 bench/bench_baseline.py --build-dir build --out BENCH_PR4.json
 
 or via the CMake target:  cmake --build build --target bench_baseline
 Stdlib only; no third-party packages.
@@ -84,6 +89,9 @@ def main():
                     args.min_time)
     b12 = run_bench(os.path.join(bench_dir, "bench_b12_chaos"),
                     "BM_ChaosGoodput(4|5)/", args.min_time or "0.01")
+    b13 = run_bench(os.path.join(bench_dir, "bench_b13_obs"),
+                    "BM_EmitDisabled|BM_KdcAsObs(Off|On)$|BM_TracedChaos4",
+                    args.min_time)
 
     doc = {
         "blocks_per_sec": {
@@ -125,6 +133,18 @@ def main():
                 str(pct): metric(b12, f"BM_ChaosGoodput5/{pct}", "goodput_pct")
                 for pct in (0, 5, 10, 20, 30)
             },
+        },
+    }
+
+    as_off = metric(b13, "BM_KdcAsObsOff", "items_per_second")
+    as_on = metric(b13, "BM_KdcAsObsOn", "items_per_second")
+    doc["obs"] = {
+        "emit_disabled_per_sec": metric(b13, "BM_EmitDisabled", "items_per_second"),
+        "kdc_as_per_sec": {"tracing_off": as_off, "tracing_on": as_on},
+        "tracing_overhead_pct": (as_off - as_on) / as_off * 100.0,
+        "traced_chaos_per_run": {
+            name: metric(b13, "BM_TracedChaos4", name)
+            for name in ("trace_events", "kdc_issues", "net_drops", "seal_bytes")
         },
     }
 

@@ -20,7 +20,42 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/kobs.h"
+
 namespace kbench {
+
+// When the KERB_TRACE environment variable names a file, installs a kobs
+// trace for its lifetime and writes the ndjson dump (events, counters,
+// histograms, digest trailer) there on destruction. KERB_BENCH_MAIN wraps
+// the experiment report in one of these, so
+//
+//     KERB_TRACE=/tmp/e01.ndjson bench_e01_replay --benchmark_filter=ZZZNOMATCH
+//
+// dumps the experiment's full trace without touching the timed loops.
+class EnvTrace {
+ public:
+  EnvTrace() {
+    const char* path = std::getenv("KERB_TRACE");
+    if (path != nullptr && path[0] != '\0') {
+      path_ = path;
+      trace_.Install();
+    }
+  }
+  ~EnvTrace() {
+    if (!path_.empty()) {
+      trace_.Uninstall();
+      if (!trace_.WriteNdjsonFile(path_)) {
+        std::fprintf(stderr, "failed to write KERB_TRACE ndjson to %s\n", path_.c_str());
+      }
+    }
+  }
+  EnvTrace(const EnvTrace&) = delete;
+  EnvTrace& operator=(const EnvTrace&) = delete;
+
+ private:
+  kobs::Trace trace_;
+  std::string path_;
+};
 
 // Minimal JSON document writer: experiment outcomes plus named scalar
 // metrics. No dependencies, deliberately append-only.
@@ -140,7 +175,10 @@ inline void MaybeWriteJson() {
 // BENCHMARK()s, then instantiates this main.
 #define KERB_BENCH_MAIN()                                       \
   int main(int argc, char** argv) {                             \
-    PrintExperimentReport();                                    \
+    {                                                           \
+      ::kbench::EnvTrace env_trace;                             \
+      PrintExperimentReport();                                  \
+    }                                                           \
     ::benchmark::Initialize(&argc, argv);                       \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) { \
       return 1;                                                 \

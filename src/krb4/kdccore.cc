@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <utility>
 
+#include "src/obs/kobs.h"
+
 namespace krb4 {
 
 KdcCore4::KdcCore4(ksim::HostClock clock, std::string realm, KdcDatabase db, KdcOptions options)
@@ -19,7 +21,13 @@ kerb::Result<kcrypto::DesKey> KdcCore4::CachedLookup(const Principal& principal,
   const uint64_t generation = db_.generation();
   kcrypto::DesKey key;
   if (ctx.keys.Get(generation, hash, principal, &key)) {
+    if (kobs::Enabled()) {
+      kobs::Emit(kobs::kSrcKdc4, kobs::Ev::kKdcKeyCacheHit, clock_.Now(), hash);
+    }
     return key;
+  }
+  if (kobs::Enabled()) {
+    kobs::Emit(kobs::kSrcKdc4, kobs::Ev::kKdcKeyCacheMiss, clock_.Now(), hash);
   }
   auto looked_up = db_.Lookup(principal);
   if (looked_up.ok()) {
@@ -36,6 +44,10 @@ const kerb::Bytes* KdcCore4::CachedReply(const ksim::Message& msg, KdcContext& c
       ctx.replies.Get(msg.src, msg.payload, clock_.Now(), options_.reply_cache_window);
   if (cached != nullptr) {
     reply_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (kobs::Enabled()) {
+      kobs::Emit(kobs::kSrcKdc4, kobs::Ev::kKdcReplyCacheHit, clock_.Now(), msg.src.host,
+                 cached->size());
+    }
   }
   return cached;
 }
@@ -44,11 +56,39 @@ kerb::Bytes KdcCore4::RememberReply(const ksim::Message& msg, const kerb::Bytes&
                                     KdcContext& ctx) {
   if (options_.reply_cache_window > 0) {
     ctx.replies.Put(msg.src, msg.payload, reply, clock_.Now());
+    if (kobs::Enabled()) {
+      kobs::Emit(kobs::kSrcKdc4, kobs::Ev::kKdcReplyCacheStore, clock_.Now(), msg.src.host,
+                 reply.size());
+    }
   }
   return reply;
 }
 
 kerb::Result<kerb::Bytes> KdcCore4::HandleAs(const ksim::Message& msg, KdcContext& ctx) {
+  return kobs::Enabled() ? TracedHandle(false, msg, ctx) : DoHandleAs(msg, ctx);
+}
+
+kerb::Result<kerb::Bytes> KdcCore4::HandleTgs(const ksim::Message& msg, KdcContext& ctx) {
+  return kobs::Enabled() ? TracedHandle(true, msg, ctx) : DoHandleTgs(msg, ctx);
+}
+
+kerb::Result<kerb::Bytes> KdcCore4::TracedHandle(bool tgs, const ksim::Message& msg,
+                                                 KdcContext& ctx) {
+  const uint64_t exchange = tgs ? 1 : 0;
+  kobs::Emit(kobs::kSrcKdc4, tgs ? kobs::Ev::kKdcTgsRequest : kobs::Ev::kKdcAsRequest,
+             clock_.Now(), msg.src.host, msg.payload.size());
+  kerb::Result<kerb::Bytes> reply = tgs ? DoHandleTgs(msg, ctx) : DoHandleAs(msg, ctx);
+  if (reply.ok()) {
+    kobs::Emit(kobs::kSrcKdc4, kobs::Ev::kKdcIssue, clock_.Now(), exchange,
+               reply.value().size());
+  } else {
+    kobs::Emit(kobs::kSrcKdc4, kobs::Ev::kKdcDeny, clock_.Now(), exchange,
+               static_cast<uint64_t>(reply.error().code));
+  }
+  return reply;
+}
+
+kerb::Result<kerb::Bytes> KdcCore4::DoHandleAs(const ksim::Message& msg, KdcContext& ctx) {
   as_requests_.fetch_add(1, std::memory_order_relaxed);
   if (const kerb::Bytes* cached = CachedReply(msg, ctx)) {
     return *cached;
@@ -102,7 +142,7 @@ kerb::Result<kerb::Bytes> KdcCore4::HandleAs(const ksim::Message& msg, KdcContex
   return RememberReply(msg, ctx.scratch.reply, ctx);
 }
 
-kerb::Result<kerb::Bytes> KdcCore4::HandleTgs(const ksim::Message& msg, KdcContext& ctx) {
+kerb::Result<kerb::Bytes> KdcCore4::DoHandleTgs(const ksim::Message& msg, KdcContext& ctx) {
   tgs_requests_.fetch_add(1, std::memory_order_relaxed);
   if (const kerb::Bytes* cached = CachedReply(msg, ctx)) {
     return *cached;
@@ -126,6 +166,11 @@ kerb::Result<kerb::Bytes> KdcCore4::HandleTgs(const ksim::Message& msg, KdcConte
   constexpr uint32_t kMemoTgt4 = 0x7467'3404;
   const Ticket4* tgt =
       ctx.unseals.Get<Ticket4>(kMemoTgt4, tgs_key.value(), req.value().sealed_tgt);
+  if (kobs::Enabled()) {
+    kobs::Emit(kobs::kSrcKdc4,
+               tgt != nullptr ? kobs::Ev::kKdcUnsealMemoHit : kobs::Ev::kKdcUnsealMemoMiss,
+               clock_.Now(), req.value().sealed_tgt.size());
+  }
   if (tgt == nullptr) {
     auto unsealed = Ticket4::Unseal(tgs_key.value(), req.value().sealed_tgt);
     if (!unsealed.ok()) {

@@ -1,6 +1,7 @@
 #include "src/krb4/messages.h"
 
 #include "src/crypto/modes.h"
+#include "src/obs/kobs.h"
 
 namespace krb4 {
 
@@ -38,6 +39,7 @@ kerb::Bytes Seal4(const kcrypto::DesKey& key, kerb::BytesView plaintext) {
   w.PutLengthPrefixed(plaintext);
   kerb::Bytes padded = kcrypto::ZeroPadTo8(w.Peek());
   kcrypto::EncryptPcbcInPlace(key, kcrypto::kZeroIv, padded.data(), padded.size());
+  kobs::EmitNow(kobs::kSrcSeal4, kobs::Ev::kSeal, padded.size(), 0);
   return padded;
 }
 
@@ -57,9 +59,12 @@ void Seal4Into(const kcrypto::DesKey& key, kerb::BytesView plaintext, kerb::Byte
     out.push_back(0);
   }
   kcrypto::EncryptPcbcInPlace(key, kcrypto::kZeroIv, out.data() + start, out.size() - start);
+  kobs::EmitNow(kobs::kSrcSeal4, kobs::Ev::kSeal, out.size() - start, 0);
 }
 
-kerb::Result<kerb::Bytes> Unseal4(const kcrypto::DesKey& key, kerb::BytesView ciphertext) {
+namespace {
+
+kerb::Result<kerb::Bytes> Unseal4Impl(const kcrypto::DesKey& key, kerb::BytesView ciphertext) {
   if (ciphertext.empty() || ciphertext.size() % 8 != 0) {
     return kerb::MakeError(kerb::ErrorCode::kBadFormat, "sealed data not block-aligned");
   }
@@ -87,6 +92,20 @@ kerb::Result<kerb::Bytes> Unseal4(const kcrypto::DesKey& key, kerb::BytesView ci
   if (!body.ok()) {
     return kerb::MakeError(kerb::ErrorCode::kIntegrity, "seal length invalid");
   }
+  return body;
+}
+
+}  // namespace
+
+kerb::Result<kerb::Bytes> Unseal4(const kcrypto::DesKey& key, kerb::BytesView ciphertext) {
+  // The dictionary attack's inner loop lands here once per guess; keep the
+  // untraced path a tail call with no extra work.
+  if (!kobs::Enabled()) {
+    return Unseal4Impl(key, ciphertext);
+  }
+  auto body = Unseal4Impl(key, ciphertext);
+  kobs::EmitNow(kobs::kSrcSeal4, body.ok() ? kobs::Ev::kUnsealOk : kobs::Ev::kUnsealFail,
+                ciphertext.size(), 0);
   return body;
 }
 

@@ -2,6 +2,7 @@
 
 #include "src/crypto/modes.h"
 #include "src/encoding/io.h"
+#include "src/obs/kobs.h"
 
 namespace krb5 {
 
@@ -25,6 +26,8 @@ kerb::Bytes SealTlvWithIv(const kcrypto::DesKey& key, const kcrypto::DesBlock& i
   std::copy(checksum.begin(), checksum.end(), plain.begin() + checksum_offset);
   kcrypto::Pkcs5PadInPlace(plain);
   kcrypto::EncryptCbcInPlace(key, iv, plain.data(), plain.size());
+  kobs::EmitNow(kobs::kSrcSeal5, kobs::Ev::kSeal, plain.size(),
+                static_cast<uint64_t>(config.checksum));
   return plain;
 }
 
@@ -54,6 +57,8 @@ void SealBodyInto(const kcrypto::DesKey& key, const EncLayerConfig& config,
   std::copy(checksum.begin(), checksum.end(), out.begin() + checksum_offset);
   kcrypto::Pkcs5PadInPlace(out);
   kcrypto::EncryptCbcInPlace(key, kcrypto::kZeroIv, out.data(), out.size());
+  kobs::EmitNow(kobs::kSrcSeal5, kobs::Ev::kSeal, out.size(),
+                static_cast<uint64_t>(config.checksum));
 }
 
 }  // namespace
@@ -69,10 +74,13 @@ void SealEncodedInto(const kcrypto::DesKey& key, kerb::BytesView encoded_msg,
                [encoded_msg](kenc::Writer& w) { w.PutBytes(encoded_msg); });
 }
 
-kerb::Result<kenc::TlvMessage> UnsealTlvWithIv(const kcrypto::DesKey& key,
-                                               const kcrypto::DesBlock& iv,
-                                               uint16_t expected_type, kerb::BytesView sealed,
-                                               const EncLayerConfig& config) {
+namespace {
+
+kerb::Result<kenc::TlvMessage> UnsealTlvWithIvImpl(const kcrypto::DesKey& key,
+                                                   const kcrypto::DesBlock& iv,
+                                                   uint16_t expected_type,
+                                                   kerb::BytesView sealed,
+                                                   const EncLayerConfig& config) {
   if (sealed.empty() || sealed.size() % 8 != 0) {
     return kerb::MakeError(kerb::ErrorCode::kBadFormat, "sealed data not block-aligned");
   }
@@ -106,6 +114,21 @@ kerb::Result<kenc::TlvMessage> UnsealTlvWithIv(const kcrypto::DesKey& key,
     return kerb::MakeError(kerb::ErrorCode::kIntegrity, "checksum mismatch");
   }
   return kenc::TlvMessage::DecodeExpecting(expected_type, r.Rest());
+}
+
+}  // namespace
+
+kerb::Result<kenc::TlvMessage> UnsealTlvWithIv(const kcrypto::DesKey& key,
+                                               const kcrypto::DesBlock& iv,
+                                               uint16_t expected_type, kerb::BytesView sealed,
+                                               const EncLayerConfig& config) {
+  if (!kobs::Enabled()) {
+    return UnsealTlvWithIvImpl(key, iv, expected_type, sealed, config);
+  }
+  auto plain = UnsealTlvWithIvImpl(key, iv, expected_type, sealed, config);
+  kobs::EmitNow(kobs::kSrcSeal5, plain.ok() ? kobs::Ev::kUnsealOk : kobs::Ev::kUnsealFail,
+                sealed.size(), static_cast<uint64_t>(config.checksum));
+  return plain;
 }
 
 kcrypto::DesBlock NextChainedIv(const kcrypto::DesKey& key, const kcrypto::DesBlock& iv) {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/encoding/io.h"
+#include "src/obs/kobs.h"
 
 namespace krb5 {
 
@@ -62,7 +63,13 @@ kerb::Result<kcrypto::DesKey> KdcCore5::CachedLookup(const krb4::Principal& prin
   const uint64_t generation = db_.generation();
   kcrypto::DesKey key;
   if (ctx.keys.Get(generation, hash, principal, &key)) {
+    if (kobs::Enabled()) {
+      kobs::Emit(kobs::kSrcKdc5, kobs::Ev::kKdcKeyCacheHit, clock_.Now(), hash);
+    }
     return key;
+  }
+  if (kobs::Enabled()) {
+    kobs::Emit(kobs::kSrcKdc5, kobs::Ev::kKdcKeyCacheMiss, clock_.Now(), hash);
   }
   auto looked_up = db_.Lookup(principal);
   if (looked_up.ok()) {
@@ -79,6 +86,10 @@ const kerb::Bytes* KdcCore5::CachedReply(const ksim::Message& msg, KdcContext& c
       ctx.replies.Get(msg.src, msg.payload, clock_.Now(), policy_.reply_cache_window);
   if (cached != nullptr) {
     reply_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (kobs::Enabled()) {
+      kobs::Emit(kobs::kSrcKdc5, kobs::Ev::kKdcReplyCacheHit, clock_.Now(), msg.src.host,
+                 cached->size());
+    }
   }
   return cached;
 }
@@ -87,11 +98,39 @@ kerb::Bytes KdcCore5::RememberReply(const ksim::Message& msg, const kerb::Bytes&
                                     KdcContext& ctx) {
   if (policy_.reply_cache_window > 0) {
     ctx.replies.Put(msg.src, msg.payload, reply, clock_.Now());
+    if (kobs::Enabled()) {
+      kobs::Emit(kobs::kSrcKdc5, kobs::Ev::kKdcReplyCacheStore, clock_.Now(), msg.src.host,
+                 reply.size());
+    }
   }
   return reply;
 }
 
 kerb::Result<kerb::Bytes> KdcCore5::HandleAs(const ksim::Message& msg, KdcContext& ctx) {
+  return kobs::Enabled() ? TracedHandle(false, msg, ctx) : DoHandleAs(msg, ctx);
+}
+
+kerb::Result<kerb::Bytes> KdcCore5::HandleTgs(const ksim::Message& msg, KdcContext& ctx) {
+  return kobs::Enabled() ? TracedHandle(true, msg, ctx) : DoHandleTgs(msg, ctx);
+}
+
+kerb::Result<kerb::Bytes> KdcCore5::TracedHandle(bool tgs, const ksim::Message& msg,
+                                                 KdcContext& ctx) {
+  const uint64_t exchange = tgs ? 1 : 0;
+  kobs::Emit(kobs::kSrcKdc5, tgs ? kobs::Ev::kKdcTgsRequest : kobs::Ev::kKdcAsRequest,
+             clock_.Now(), msg.src.host, msg.payload.size());
+  kerb::Result<kerb::Bytes> reply = tgs ? DoHandleTgs(msg, ctx) : DoHandleAs(msg, ctx);
+  if (reply.ok()) {
+    kobs::Emit(kobs::kSrcKdc5, kobs::Ev::kKdcIssue, clock_.Now(), exchange,
+               reply.value().size());
+  } else {
+    kobs::Emit(kobs::kSrcKdc5, kobs::Ev::kKdcDeny, clock_.Now(), exchange,
+               static_cast<uint64_t>(reply.error().code));
+  }
+  return reply;
+}
+
+kerb::Result<kerb::Bytes> KdcCore5::DoHandleAs(const ksim::Message& msg, KdcContext& ctx) {
   as_requests_.fetch_add(1, std::memory_order_relaxed);
   if (const kerb::Bytes* cached = CachedReply(msg, ctx)) {
     return *cached;
@@ -183,7 +222,7 @@ kerb::Result<kerb::Bytes> KdcCore5::HandleAs(const ksim::Message& msg, KdcContex
                        ctx);
 }
 
-kerb::Result<kerb::Bytes> KdcCore5::HandleTgs(const ksim::Message& msg, KdcContext& ctx) {
+kerb::Result<kerb::Bytes> KdcCore5::DoHandleTgs(const ksim::Message& msg, KdcContext& ctx) {
   tgs_requests_.fetch_add(1, std::memory_order_relaxed);
   if (const kerb::Bytes* cached = CachedReply(msg, ctx)) {
     return *cached;
@@ -214,6 +253,11 @@ kerb::Result<kerb::Bytes> KdcCore5::HandleTgs(const ksim::Message& msg, KdcConte
   // against `now` on every request, below).
   constexpr uint32_t kMemoTgt5 = 0x7467'3505;
   const Ticket5* tgt = ctx.unseals.Get<Ticket5>(kMemoTgt5, tgt_key, req.sealed_tgt);
+  if (kobs::Enabled()) {
+    kobs::Emit(kobs::kSrcKdc5,
+               tgt != nullptr ? kobs::Ev::kKdcUnsealMemoHit : kobs::Ev::kKdcUnsealMemoMiss,
+               clock_.Now(), req.sealed_tgt.size());
+  }
   if (tgt == nullptr) {
     auto unsealed = Ticket5::Unseal(tgt_key, req.sealed_tgt, policy_.enc);
     if (!unsealed.ok()) {

@@ -87,6 +87,12 @@ class KdcCore5 {
   uint64_t reply_cache_hits() const { return reply_cache_hits_.load(std::memory_order_relaxed); }
 
  private:
+  // The protocol logic, unchanged; the public handlers wrap it in request
+  // and issue/deny trace events when a kobs::Trace is installed.
+  kerb::Result<kerb::Bytes> DoHandleAs(const ksim::Message& msg, KdcContext& ctx);
+  kerb::Result<kerb::Bytes> DoHandleTgs(const ksim::Message& msg, KdcContext& ctx);
+  kerb::Result<kerb::Bytes> TracedHandle(bool tgs, const ksim::Message& msg, KdcContext& ctx);
+
   kerb::Result<kcrypto::DesKey> CachedLookup(const krb4::Principal& principal,
                                              KdcContext& ctx) const;
   // Serves a fresh duplicate from the context's reply cache, if enabled.

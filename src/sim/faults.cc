@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/obs/kobs.h"
+
 namespace ksim {
 namespace {
 
@@ -66,9 +68,9 @@ Duration FaultyNetwork::JitterBelow(Duration bound) {
   return d;
 }
 
-void FaultyNetwork::Corrupt(kerb::Bytes& payload) {
+uint64_t FaultyNetwork::Corrupt(kerb::Bytes& payload) {
   if (payload.empty()) {
-    return;
+    return 0;
   }
   // One to three bit flips at PRNG-chosen positions — the minimal damage an
   // integrity layer must catch (the paper's argument against plain CRCs).
@@ -78,6 +80,7 @@ void FaultyNetwork::Corrupt(kerb::Bytes& payload) {
     payload[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
     Fold(bit);
   }
+  return flips;
 }
 
 bool FaultyNetwork::BlackedOut(uint32_t host, Time now) const {
@@ -106,14 +109,17 @@ void FaultyNetwork::CompareDuplicateReply(uint32_t host, bool original_ok,
     // The duplicate was refused (replay cache, rate limit, blackout) — the
     // server failed closed rather than acting twice.
     ++stats_.duplicate_rejections;
+    kobs::Emit(kobs::kSrcFaults, kobs::Ev::kNetDupReject, clock_->Now(), host);
     return;
   }
   if (original_ok && duplicate_reply.value() == original_reply) {
     ++stats_.duplicate_reply_matches;
+    kobs::Emit(kobs::kSrcFaults, kobs::Ev::kNetDupMatch, clock_->Now(), host);
     return;
   }
   ++stats_.duplicate_reply_divergences;
   ++divergences_by_host_[host];
+  kobs::Emit(kobs::kSrcFaults, kobs::Ev::kNetDupDiverge, clock_->Now(), host);
 }
 
 uint64_t FaultyNetwork::divergences_at(uint32_t host) const {
@@ -136,6 +142,7 @@ void FaultyNetwork::DrainHeldPackets() {
     Fold(kEvRedeliver);
     Fold(p.dst.host);
     ++stats_.late_redeliveries;
+    kobs::Emit(kobs::kSrcFaults, kobs::Ev::kNetRedeliver, clock_->Now(), p.dst.host);
     kerb::Result<kerb::Bytes> reply = Network::Call(p.src, p.dst, p.payload);
     CompareDuplicateReply(p.dst.host, p.original_ok, p.original_reply, reply);
   }
@@ -153,6 +160,7 @@ kerb::Result<kerb::Bytes> FaultyNetwork::Call(const NetAddress& src, const NetAd
     Fold(kEvBlackout);
     Fold(dst.host);
     ++stats_.blackout_refusals;
+    kobs::Emit(kobs::kSrcFaults, kobs::Ev::kNetBlackout, now, dst.host);
     return kerb::MakeError(kerb::ErrorCode::kTransport,
                            "host blacked out: " + dst.ToString());
   }
@@ -163,6 +171,8 @@ kerb::Result<kerb::Bytes> FaultyNetwork::Call(const NetAddress& src, const NetAd
   if (stall > 0) {
     ++stats_.stalled_deliveries;
     latency += stall;
+    kobs::Emit(kobs::kSrcFaults, kobs::Ev::kNetStall, now, dst.host,
+               static_cast<uint64_t>(stall));
   }
   if (latency > 0) {
     clock_->Advance(latency);
@@ -171,14 +181,16 @@ kerb::Result<kerb::Bytes> FaultyNetwork::Call(const NetAddress& src, const NetAd
   if (Chance(faults.drop_request)) {
     Fold(kEvDropRequest);
     ++stats_.requests_dropped;
+    kobs::Emit(kobs::kSrcFaults, kobs::Ev::kNetDropRequest, clock_->Now(), dst.host);
     return kerb::MakeError(kerb::ErrorCode::kTransport, "request lost");
   }
 
   kerb::Bytes wire(payload.begin(), payload.end());
   if (Chance(faults.corrupt_request)) {
     Fold(kEvCorruptRequest);
-    Corrupt(wire);
+    uint64_t flips = Corrupt(wire);
     ++stats_.requests_corrupted;
+    kobs::Emit(kobs::kSrcFaults, kobs::Ev::kNetCorruptRequest, clock_->Now(), dst.host, flips);
   }
 
   kerb::Result<kerb::Bytes> reply = Network::Call(src, dst, wire);
@@ -190,6 +202,7 @@ kerb::Result<kerb::Bytes> FaultyNetwork::Call(const NetAddress& src, const NetAd
     Fold(kEvDuplicate);
     Fold(dst.host);
     ++stats_.duplicates_delivered;
+    kobs::Emit(kobs::kSrcFaults, kobs::Ev::kNetDuplicate, clock_->Now(), dst.host);
     kerb::Result<kerb::Bytes> dup = Network::Call(src, dst, wire);
     CompareDuplicateReply(dst.host, reply.ok(),
                           reply.ok() ? reply.value() : kerb::Bytes{}, dup);
@@ -197,6 +210,7 @@ kerb::Result<kerb::Bytes> FaultyNetwork::Call(const NetAddress& src, const NetAd
   if (Chance(faults.reorder_request)) {
     Fold(kEvReorder);
     Fold(dst.host);
+    kobs::Emit(kobs::kSrcFaults, kobs::Ev::kNetReorder, clock_->Now(), dst.host);
     held_.push_back(HeldPacket{src, dst, wire,
                                reply.ok() ? reply.value() : kerb::Bytes{}, reply.ok()});
   }
@@ -207,13 +221,15 @@ kerb::Result<kerb::Bytes> FaultyNetwork::Call(const NetAddress& src, const NetAd
   if (Chance(faults.drop_reply)) {
     Fold(kEvDropReply);
     ++stats_.replies_dropped;
+    kobs::Emit(kobs::kSrcFaults, kobs::Ev::kNetDropReply, clock_->Now(), dst.host);
     return kerb::MakeError(kerb::ErrorCode::kTransport, "reply lost");
   }
   kerb::Bytes out = std::move(reply).value();
   if (Chance(faults.corrupt_reply)) {
     Fold(kEvCorruptReply);
-    Corrupt(out);
+    uint64_t flips = Corrupt(out);
     ++stats_.replies_corrupted;
+    kobs::Emit(kobs::kSrcFaults, kobs::Ev::kNetCorruptReply, clock_->Now(), dst.host, flips);
   }
   ++stats_.delivered;
   return out;
@@ -228,6 +244,7 @@ kerb::Status FaultyNetwork::SendDatagram(const NetAddress& src, const NetAddress
     Fold(kEvBlackout);
     Fold(dst.host);
     ++stats_.blackout_refusals;
+    kobs::Emit(kobs::kSrcFaults, kobs::Ev::kNetBlackout, clock_->Now(), dst.host);
     return kerb::MakeError(kerb::ErrorCode::kTransport,
                            "host blacked out: " + dst.ToString());
   }
@@ -235,13 +252,15 @@ kerb::Status FaultyNetwork::SendDatagram(const NetAddress& src, const NetAddress
   if (Chance(faults.drop_request)) {
     Fold(kEvDatagramDrop);
     ++stats_.requests_dropped;
+    kobs::Emit(kobs::kSrcFaults, kobs::Ev::kNetDatagramDrop, clock_->Now(), dst.host);
     return kerb::MakeError(kerb::ErrorCode::kTransport, "datagram lost");
   }
   kerb::Bytes wire(payload.begin(), payload.end());
   if (Chance(faults.corrupt_request)) {
     Fold(kEvCorruptRequest);
-    Corrupt(wire);
+    uint64_t flips = Corrupt(wire);
     ++stats_.requests_corrupted;
+    kobs::Emit(kobs::kSrcFaults, kobs::Ev::kNetCorruptRequest, clock_->Now(), dst.host, flips);
   }
   return Network::SendDatagram(src, dst, wire);
 }

@@ -126,7 +126,7 @@ class FaultyNetwork : public Network {
   const LinkFaults& FaultsFor(uint32_t host) const;
   bool Chance(double p);
   Duration JitterBelow(Duration bound);
-  void Corrupt(kerb::Bytes& payload);
+  uint64_t Corrupt(kerb::Bytes& payload);  // returns the number of bit flips
   void Fold(uint64_t v);
   bool BlackedOut(uint32_t host, Time now) const;
   Duration StallDelay(uint32_t host, Time now) const;

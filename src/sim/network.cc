@@ -1,5 +1,7 @@
 #include "src/sim/network.h"
 
+#include "src/obs/kobs.h"
+
 namespace ksim {
 
 std::string NetAddress::ToString() const {
@@ -79,6 +81,7 @@ void Network::Unbind(const NetAddress& addr) {
 kerb::Result<kerb::Bytes> Network::Call(const NetAddress& src, const NetAddress& dst,
                                         kerb::BytesView payload) {
   Message msg{src, dst, kerb::Bytes(payload.begin(), payload.end()), clock_->Now(), next_id_++};
+  kobs::Emit(kobs::kSrcNet, kobs::Ev::kNetCall, msg.sent_at, dst.host, payload.size());
 
   if (adversary_ != nullptr) {
     Adversary::Decision decision = adversary_->OnRequest(msg);
@@ -92,10 +95,15 @@ kerb::Result<kerb::Bytes> Network::Call(const NetAddress& src, const NetAddress&
 
   auto it = handlers_.find(msg.dst);
   if (it == handlers_.end()) {
+    kobs::Emit(kobs::kSrcNet, kobs::Ev::kNetNoRoute, clock_->Now(), dst.host);
     return kerb::MakeError(kerb::ErrorCode::kTransport,
                            "no service bound at " + msg.dst.ToString());
   }
   kerb::Result<kerb::Bytes> reply = it->second(msg);
+  if (reply.ok()) {
+    kobs::Emit(kobs::kSrcNet, kobs::Ev::kNetDeliver, clock_->Now(), dst.host,
+               reply.value().size());
+  }
   if (reply.ok() && adversary_ != nullptr) {
     kerb::Bytes mutable_reply = reply.value();
     if (adversary_->OnReply(msg, mutable_reply)) {
@@ -109,6 +117,7 @@ kerb::Result<kerb::Bytes> Network::Call(const NetAddress& src, const NetAddress&
 kerb::Status Network::SendDatagram(const NetAddress& src, const NetAddress& dst,
                                    kerb::BytesView payload) {
   Message msg{src, dst, kerb::Bytes(payload.begin(), payload.end()), clock_->Now(), next_id_++};
+  kobs::Emit(kobs::kSrcNet, kobs::Ev::kNetDatagram, msg.sent_at, dst.host, payload.size());
   if (adversary_ != nullptr && adversary_->OnDatagram(msg)) {
     return kerb::MakeError(kerb::ErrorCode::kTransport, "datagram dropped");
   }

@@ -1,5 +1,9 @@
 #include "src/sim/replaycache.h"
 
+#include <iterator>
+
+#include "src/obs/kobs.h"
+
 namespace ksim {
 
 ShardedReplayCache::ShardedReplayCache() : shards_(new Shard[kShardCount]) {}
@@ -21,9 +25,19 @@ bool ShardedReplayCache::CheckAndInsert(const std::string& identity, uint32_t ad
   // freshness checks reject out-of-window timestamps before they reach this
   // cache, so discarding them here never readmits a live replay.
   const Time cutoff = now - window;
-  shard.entries.erase(shard.entries.begin(),
-                      shard.entries.lower_bound(Entry{cutoff, std::string(), 0}));
-  return shard.entries.emplace(timestamp, identity, addr).second;
+  auto stale_end = shard.entries.lower_bound(Entry{cutoff, std::string(), 0});
+  if (kobs::Enabled() && stale_end != shard.entries.begin()) {
+    kobs::Emit(kobs::kSrcReplay, kobs::Ev::kCachePrune, now,
+               static_cast<uint64_t>(std::distance(shard.entries.begin(), stale_end)));
+  }
+  shard.entries.erase(shard.entries.begin(), stale_end);
+  bool admitted = shard.entries.emplace(timestamp, identity, addr).second;
+  if (kobs::Enabled()) {
+    kobs::Emit(kobs::kSrcReplay,
+               admitted ? kobs::Ev::kCacheAdmit : kobs::Ev::kCacheReplay, now,
+               kobs::FnvOf(identity), addr);
+  }
+  return admitted;
 }
 
 size_t ShardedReplayCache::size() const {

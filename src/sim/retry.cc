@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/obs/kobs.h"
+
 namespace ksim {
 
 void Exchanger::Wait(Duration d) {
@@ -45,11 +47,20 @@ kerb::Result<kerb::Bytes> Exchanger::Exchange(const NetAddress& src,
     const int round = attempt / per_round;
     if (attempt > 0 && endpoint == 0) {
       // A full round failed everywhere; back off before hammering again.
-      Wait(BackoffFor(round - 1));
+      // BackoffFor draws from the PRNG, so it runs unconditionally — the
+      // decision stream must not depend on whether a trace is installed.
+      Duration backoff = BackoffFor(round - 1);
+      kobs::Emit(kobs::kSrcXchg, kobs::Ev::kXchgBackoff, Now(),
+                 static_cast<uint64_t>(backoff));
+      Wait(backoff);
     }
     ++stats_.attempts;
+    kobs::Emit(kobs::kSrcXchg, kobs::Ev::kXchgAttempt, Now(), endpoints[endpoint].host,
+               static_cast<uint64_t>(attempt));
     if (endpoint > 0) {
       ++stats_.failovers;
+      kobs::Emit(kobs::kSrcXchg, kobs::Ev::kXchgFailover, Now(), endpoints[endpoint].host,
+                 static_cast<uint64_t>(attempt));
     }
     kerb::Result<kerb::Bytes> payload = build();
     if (!payload.ok()) {
@@ -58,11 +69,15 @@ kerb::Result<kerb::Bytes> Exchanger::Exchange(const NetAddress& src,
     kerb::Result<kerb::Bytes> reply = net_->Call(src, endpoints[endpoint], payload.value());
     if (reply.ok()) {
       ++stats_.successes;
+      kobs::Emit(kobs::kSrcXchg, kobs::Ev::kXchgSuccess, Now(), endpoints[endpoint].host,
+                 reply.value().size());
       return reply;
     }
     last = reply.error();
     if (!kerb::IsRetryable(last.code)) {
       ++stats_.terminal_failures;
+      kobs::Emit(kobs::kSrcXchg, kobs::Ev::kXchgTerminal, Now(),
+                 static_cast<uint64_t>(last.code));
       return last;
     }
     // Charge the timeout the client waited before declaring this attempt
@@ -71,9 +86,13 @@ kerb::Result<kerb::Bytes> Exchanger::Exchange(const NetAddress& src,
     Wait(policy_.timeout);
     if (attempt + 1 < policy_.max_attempts) {
       ++stats_.retries;
+      kobs::Emit(kobs::kSrcXchg, kobs::Ev::kXchgRetry, Now(), endpoints[endpoint].host,
+                 static_cast<uint64_t>(attempt));
     }
   }
   ++stats_.exhausted;
+  kobs::Emit(kobs::kSrcXchg, kobs::Ev::kXchgExhausted, Now(),
+             static_cast<uint64_t>(last.code));
   return last;
 }
 

@@ -79,6 +79,7 @@ class Exchanger {
  private:
   void Wait(Duration d);
   Duration BackoffFor(int round);
+  Time Now() const { return clock_ != nullptr ? clock_->Now() : 0; }
 
   Network* net_;
   SimClock* clock_;

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "src/crypto/prng.h"
+#include "src/obs/kobs.h"
 #include "src/sim/clock.h"
 #include "src/sim/faults.h"
 #include "src/sim/network.h"
@@ -21,13 +22,20 @@ namespace ksim {
 class World {
  public:
   explicit World(uint64_t seed)
-      : prng_(seed), network_(std::make_unique<Network>(&clock_)) {}
+      : prng_(seed), network_(std::make_unique<Network>(&clock_)) {
+    kobs::BindClock(&clock_);
+  }
 
   World(uint64_t seed, const FaultPlan& plan) : prng_(seed) {
     auto faulty = std::make_unique<FaultyNetwork>(&clock_, prng_.Fork(), plan);
     faults_ = faulty.get();
     network_ = std::move(faulty);
+    kobs::BindClock(&clock_);
   }
+
+  // Release the clock from any active trace so clockless emit sites can
+  // never read a destroyed SimClock.
+  ~World() { kobs::UnbindClock(&clock_); }
 
   SimClock& clock() { return clock_; }
   Network& network() { return *network_; }

@@ -1,0 +1,143 @@
+// Property-based tests: the concurrent caches against naive reference
+// models.
+//
+// ShardedReplayCache is checked for exact agreement with a plain ordered
+// set over in-window presentations (the only inputs it is specified for —
+// upstream freshness checks reject out-of-window timestamps first). The
+// security property is asymmetric: a false *positive* (honest request
+// rejected) is an availability bug, a false *negative* (replay admitted)
+// breaks the paper's "cache all live authenticators" defense, so the replay
+// side is additionally re-verified wholesale after the random walk.
+//
+// KdcReplyCache is direct-mapped and allowed to evict, so the model check
+// is one-sided: a miss is always acceptable, but a hit must return exactly
+// the reply the model stored for that (source, request) pair within the
+// freshness window — never another client's reply, never a stale one.
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/prng.h"
+#include "src/krb4/kdccore.h"
+#include "src/sim/clock.h"
+#include "src/sim/replaycache.h"
+
+namespace {
+
+using ReplayEntry = std::tuple<ksim::Time, std::string, uint32_t>;
+
+TEST(CacheModelTest, ShardedReplayCacheMatchesNaiveModelExactly) {
+  constexpr int kOps = 20000;
+  const ksim::Duration window = ksim::kMinute;
+  kcrypto::Prng prng(0x5eed'cafe);
+  ksim::ShardedReplayCache cache;
+  std::set<ReplayEntry> model;
+  ksim::Time now = 10 * ksim::kMinute;
+
+  for (int i = 0; i < kOps; ++i) {
+    if (prng.NextBelow(8) == 0) {
+      now += static_cast<ksim::Time>(prng.NextBelow(static_cast<uint64_t>(window / 4)));
+    }
+    std::string identity = "client" + std::to_string(prng.NextBelow(32)) + "@mail";
+    uint32_t addr = 0x0a000000u + static_cast<uint32_t>(prng.NextBelow(4));
+    // In-window timestamps only: stamp ∈ (now - window, now].
+    ksim::Time stamp =
+        now - static_cast<ksim::Time>(prng.NextBelow(static_cast<uint64_t>(window)));
+
+    bool admitted = cache.CheckAndInsert(identity, addr, stamp, now, window);
+    std::erase_if(model, [&](const ReplayEntry& e) { return std::get<0>(e) < now - window; });
+    bool expected = model.emplace(stamp, identity, addr).second;
+    ASSERT_EQ(admitted, expected)
+        << "op " << i << ": cache and model disagree for (" << identity << ", " << addr
+        << ", " << stamp << ") at now=" << now;
+  }
+
+  // No false-negative replay admission, wholesale: every tuple the model
+  // still holds live is a replay and must be refused.
+  for (const ReplayEntry& e : model) {
+    EXPECT_FALSE(cache.CheckAndInsert(std::get<1>(e), std::get<2>(e), std::get<0>(e), now,
+                                      window))
+        << "live tuple re-admitted: (" << std::get<1>(e) << ", " << std::get<2>(e) << ", "
+        << std::get<0>(e) << ")";
+  }
+}
+
+TEST(CacheModelTest, ShardedReplayCacheNeverAdmitsConcurrentDuplicates) {
+  // Sequential re-presentation at varying `now` values inside the window:
+  // once admitted, a tuple stays a replay for as long as it is live.
+  const ksim::Duration window = ksim::kMinute;
+  ksim::ShardedReplayCache cache;
+  const std::string identity = "alice@mail";
+  const ksim::Time stamp = 5 * ksim::kMinute;
+  ASSERT_TRUE(cache.CheckAndInsert(identity, 1, stamp, stamp, window));
+  for (ksim::Time now = stamp; now <= stamp + window; now += window / 16) {
+    EXPECT_FALSE(cache.CheckAndInsert(identity, 1, stamp, now, window)) << "now=" << now;
+  }
+}
+
+struct ReplyKey {
+  uint32_t host;
+  uint16_t port;
+  kerb::Bytes request;
+  bool operator<(const ReplyKey& o) const {
+    return std::tie(host, port, request) < std::tie(o.host, o.port, o.request);
+  }
+};
+
+struct ReplyValue {
+  kerb::Bytes reply;
+  ksim::Time stored_at = 0;
+};
+
+TEST(CacheModelTest, KdcReplyCacheHitsAlwaysMatchTheModel) {
+  constexpr int kOps = 20000;
+  const ksim::Duration window = 30 * ksim::kSecond;
+  kcrypto::Prng prng(0x4b5e'99d1);
+  krb4::KdcReplyCache cache;
+  std::map<ReplyKey, ReplyValue> model;
+  ksim::Time now = 0;
+
+  // A small pool of distinct requests and sources maximises collisions in
+  // the direct-mapped table — the interesting regime.
+  std::vector<kerb::Bytes> requests;
+  for (int i = 0; i < 24; ++i) {
+    requests.push_back(prng.NextBytes(16 + prng.NextBelow(48)));
+  }
+
+  uint64_t hits = 0;
+  for (int i = 0; i < kOps; ++i) {
+    if (prng.NextBelow(4) == 0) {
+      now += static_cast<ksim::Time>(prng.NextBelow(static_cast<uint64_t>(window / 2)));
+    }
+    ksim::NetAddress src{0x0a000100u + static_cast<uint32_t>(prng.NextBelow(4)),
+                         static_cast<uint16_t>(1000 + prng.NextBelow(3))};
+    const kerb::Bytes& request = requests[prng.NextBelow(requests.size())];
+    ReplyKey key{src.host, src.port, request};
+
+    const kerb::Bytes* got = cache.Get(src, request, now, window);
+    if (got != nullptr) {
+      ++hits;
+      auto it = model.find(key);
+      ASSERT_NE(it, model.end()) << "op " << i << ": hit for a never-stored request";
+      ASSERT_LE(now - it->second.stored_at, window)
+          << "op " << i << ": hit served a stale reply";
+      ASSERT_EQ(*got, it->second.reply) << "op " << i << ": hit served the wrong reply";
+    }
+
+    if (got == nullptr) {
+      // Miss path: the server mints a fresh reply and remembers it.
+      kerb::Bytes reply = prng.NextBytes(32 + prng.NextBelow(64));
+      cache.Put(src, request, reply, now);
+      model[key] = ReplyValue{reply, now};
+    }
+  }
+  // The pools are small, so the walk must actually exercise the hit path.
+  EXPECT_GT(hits, 0u);
+}
+
+}  // namespace

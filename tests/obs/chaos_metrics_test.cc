@@ -1,0 +1,94 @@
+// Metric-assertion tests: the chaos harness read through kobs counters.
+//
+// The chaos invariants were previously asserted from the harness's own
+// ChaosReport; these tests re-derive them from the trace — proving the
+// counters measure what the report claims, and that the observability layer
+// can stand in for bespoke per-harness accounting.
+
+#include <gtest/gtest.h>
+
+#include "src/attacks/chaos.h"
+#include "src/attacks/testbed5.h"
+#include "src/obs/kobs.h"
+
+namespace {
+
+TEST(ChaosMetricsTest, ZeroFaultRatesProduceZeroFaultAndRetryCounters) {
+  kobs::ScopedTrace trace;
+  kattack::ChaosConfig config;  // every fault probability defaults to zero
+  config.exchanges = 10;
+  kattack::ChaosReport report = kattack::RunChaosStudy4(config);
+  ASSERT_GT(report.succeeded, 0u);
+
+  EXPECT_EQ(trace->Count(kobs::Ev::kNetDropRequest), 0u);
+  EXPECT_EQ(trace->Count(kobs::Ev::kNetDropReply), 0u);
+  EXPECT_EQ(trace->Count(kobs::Ev::kNetDuplicate), 0u);
+  EXPECT_EQ(trace->Count(kobs::Ev::kNetCorruptRequest), 0u);
+  EXPECT_EQ(trace->Count(kobs::Ev::kNetCorruptReply), 0u);
+  EXPECT_EQ(trace->Count(kobs::Ev::kNetReorder), 0u);
+  EXPECT_EQ(trace->Count(kobs::Ev::kNetBlackout), 0u);
+  EXPECT_EQ(trace->Count(kobs::Ev::kXchgRetry), 0u);
+  EXPECT_EQ(trace->Count(kobs::Ev::kXchgFailover), 0u);
+  EXPECT_EQ(trace->Count(kobs::Ev::kXchgExhausted), 0u);
+  // The workload itself still shows up.
+  EXPECT_GT(trace->Count(kobs::Ev::kKdcIssue), 0u);
+  EXPECT_GT(trace->Count(kobs::Ev::kXchgSuccess), 0u);
+}
+
+TEST(ChaosMetricsTest, CountersAgreeWithTheHarnessReport) {
+  kobs::ScopedTrace trace;
+  kattack::ChaosConfig config;
+  config.seed = 919;
+  config.exchanges = 24;
+  config.drop = 0.08;
+  config.duplicate = 0.08;
+  config.corrupt = 0.04;
+  kattack::ChaosReport report = kattack::RunChaosStudy4(config);
+  ASSERT_GT(report.attempted, 0u);
+
+  // Request drops split across the call and datagram paths in the stats.
+  EXPECT_EQ(trace->Count(kobs::Ev::kNetDropRequest) + trace->Count(kobs::Ev::kNetDatagramDrop),
+            report.net.requests_dropped);
+  EXPECT_EQ(trace->Count(kobs::Ev::kNetDropReply), report.net.replies_dropped);
+  EXPECT_EQ(trace->Count(kobs::Ev::kNetDuplicate), report.net.duplicates_delivered);
+  EXPECT_EQ(trace->Count(kobs::Ev::kNetCorruptRequest), report.net.requests_corrupted);
+  EXPECT_EQ(trace->Count(kobs::Ev::kNetCorruptReply), report.net.replies_corrupted);
+  EXPECT_EQ(trace->Count(kobs::Ev::kNetRedeliver), report.net.late_redeliveries);
+  EXPECT_EQ(trace->Count(kobs::Ev::kNetBlackout), report.net.blackout_refusals);
+  EXPECT_EQ(trace->Count(kobs::Ev::kNetDupMatch), report.net.duplicate_reply_matches);
+  EXPECT_EQ(trace->Count(kobs::Ev::kNetDupDiverge), report.net.duplicate_reply_divergences);
+  EXPECT_EQ(trace->Count(kobs::Ev::kNetDupReject), report.net.duplicate_rejections);
+  EXPECT_EQ(trace->Count(kobs::Ev::kXchgRetry), report.retry.retries);
+  EXPECT_EQ(trace->Count(kobs::Ev::kXchgFailover), report.retry.failovers);
+  EXPECT_EQ(trace->Count(kobs::Ev::kXchgSuccess), report.retry.successes);
+  EXPECT_EQ(trace->Count(kobs::Ev::kXchgExhausted), report.retry.exhausted);
+  EXPECT_EQ(trace->Count(kobs::Ev::kXchgAttempt), report.retry.attempts);
+}
+
+TEST(ChaosMetricsTest, BlackoutScenarioFailsOverWithoutDoubleIssue) {
+  // The PR-3 blackout scenario: primary KDC dark for the middle third, one
+  // slave standing by, duplicates on the wire. The trace must show real
+  // failover traffic and a double-issue count of zero at every KDC host —
+  // the reply cache absorbing duplicates.
+  kobs::ScopedTrace trace;
+  kattack::ChaosConfig config;
+  config.seed = 55;
+  config.exchanges = 24;
+  config.drop = 0.05;
+  config.duplicate = 0.10;
+  config.primary_blackout = true;
+  config.kdc_slaves = 1;
+  kattack::ChaosReport report = kattack::RunChaosStudy5(config);
+
+  EXPECT_GT(trace->Count(kobs::Ev::kXchgFailover), 0u);
+  EXPECT_GT(trace->Count(kobs::Ev::kNetBlackout), 0u);
+  EXPECT_EQ(report.bad_successes, 0u);
+  EXPECT_EQ(report.internal_errors, 0u);
+
+  const uint32_t kdc_host = kattack::Testbed5::kAsAddr.host;
+  EXPECT_EQ(trace->CountA(kobs::Ev::kNetDupDiverge, kdc_host), 0u);
+  EXPECT_EQ(trace->CountA(kobs::Ev::kNetDupDiverge, kdc_host + 1), 0u);  // the slave
+  EXPECT_EQ(report.kdc_divergences, 0u);
+}
+
+}  // namespace
