@@ -20,9 +20,13 @@ distills the numbers every PR cares about:
         of kdc_requests_per_sec.as_bare), the enabled path, the derived
         overhead percentage, and the per-run trace counters of one traced
         chaos study
+    persist: durable-store throughput (B14) — WAL appends/sec on the
+        journaled registration path, recovery replay records/sec, and the
+        kprop transfer cost of a one-user change: delta bytes vs wholesale
+        bytes (acceptance: the ratio is strictly below 1)
 
 Usage:
-    python3 bench/bench_baseline.py --build-dir build --out BENCH_PR4.json
+    python3 bench/bench_baseline.py --build-dir build --out BENCH_PR5.json
 
 or via the CMake target:  cmake --build build --target bench_baseline
 Stdlib only; no third-party packages.
@@ -72,7 +76,7 @@ def metric(benchmarks, name, field):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--out", default="BENCH_PR3.json")
+    parser.add_argument("--out", default="BENCH_PR5.json")
     parser.add_argument("--min-time", default=None,
                         help="override --benchmark_min_time (bare seconds, e.g. 0.05)")
     args = parser.parse_args()
@@ -91,6 +95,9 @@ def main():
                     "BM_ChaosGoodput(4|5)/", args.min_time or "0.01")
     b13 = run_bench(os.path.join(bench_dir, "bench_b13_obs"),
                     "BM_EmitDisabled|BM_KdcAsObs(Off|On)$|BM_TracedChaos4",
+                    args.min_time)
+    b14 = run_bench(os.path.join(bench_dir, "bench_b14_persist"),
+                    "BM_WalAppend$|BM_WalRecover/|BM_PropDelta$",
                     args.min_time)
 
     doc = {
@@ -145,6 +152,21 @@ def main():
         "traced_chaos_per_run": {
             name: metric(b13, "BM_TracedChaos4", name)
             for name in ("trace_events", "kdc_issues", "net_drops", "seal_bytes")
+        },
+    }
+
+    delta_bytes = metric(b14, "BM_PropDelta", "delta_bytes")
+    wholesale_bytes = metric(b14, "BM_PropDelta", "wholesale_bytes")
+    doc["persist"] = {
+        "wal_appends_per_sec": metric(b14, "BM_WalAppend", "items_per_second"),
+        "recovery_records_per_sec": {
+            str(n): metric(b14, f"BM_WalRecover/{n}", "items_per_second")
+            for n in (64, 1024)
+        },
+        "prop_one_user_change": {
+            "delta_bytes": delta_bytes,
+            "wholesale_bytes": wholesale_bytes,
+            "delta_over_wholesale": delta_bytes / wholesale_bytes,
         },
     }
 

@@ -1,15 +1,35 @@
 #include "src/krb4/database.h"
 
 #include "src/crypto/str2key.h"
+#include "src/krb4/kdcstore.h"
+#include "src/store/kstore.h"
 
 namespace krb4 {
 
 void KdcDatabase::AddUser(const Principal& user, std::string_view password) {
-  store_.Upsert(user, kcrypto::StringToKey(password, user.Salt()), PrincipalKind::kUser);
+  ApplyUpsert(user, kcrypto::StringToKey(password, user.Salt()), PrincipalKind::kUser);
 }
 
 void KdcDatabase::AddService(const Principal& service, const kcrypto::DesKey& key) {
-  store_.Upsert(service, key, PrincipalKind::kService);
+  ApplyUpsert(service, key, PrincipalKind::kService);
+}
+
+void KdcDatabase::ApplyUpsert(const Principal& principal, const kcrypto::DesKey& key,
+                              PrincipalKind kind) {
+  if (journal_ != nullptr) {
+    journal_->Append(kstore::kWalOpUpsert, EncodePrincipalUpsert(principal, key, kind));
+  }
+  store_.Upsert(principal, key, kind);
+}
+
+bool KdcDatabase::Remove(const Principal& principal) {
+  if (!store_.Contains(principal)) {
+    return false;
+  }
+  if (journal_ != nullptr) {
+    journal_->Append(kstore::kWalOpDelete, EncodePrincipalDelete(principal));
+  }
+  return store_.Erase(principal);
 }
 
 PrincipalKind KdcDatabase::Kind(const Principal& principal) const {

@@ -22,10 +22,29 @@
 #include "src/krb4/principal.h"
 #include "src/krb4/principal_store.h"
 
+namespace kstore {
+class KStore;
+}  // namespace kstore
+
 namespace krb4 {
 
 class KdcDatabase {
  public:
+  KdcDatabase() = default;
+  // Copies replicate the entry set only: a copy is a point-in-time snapshot
+  // (a slave's working set), not a second handle on the durable journal.
+  // Copy-assignment likewise leaves the receiver's journal attachment
+  // untouched.
+  KdcDatabase(const KdcDatabase& other) : store_(other.store_) {}
+  KdcDatabase& operator=(const KdcDatabase& other) {
+    if (this != &other) {
+      store_ = other.store_;
+    }
+    return *this;
+  }
+  KdcDatabase(KdcDatabase&&) = default;
+  KdcDatabase& operator=(KdcDatabase&&) = default;
+
   // Registers a user whose key derives from `password` (string-to-key with
   // the principal's salt).
   void AddUser(const Principal& user, std::string_view password);
@@ -35,6 +54,21 @@ class KdcDatabase {
 
   // Registers a service with a fresh random key and returns it.
   kcrypto::DesKey AddServiceWithRandomKey(const Principal& service, kcrypto::Prng& prng);
+
+  // The single mutation path every registration funnels through: journals
+  // the change first when a journal is attached (write-ahead), then applies
+  // it to the in-memory store under the shard lock.
+  void ApplyUpsert(const Principal& principal, const kcrypto::DesKey& key, PrincipalKind kind);
+
+  // Removes a principal (journaled the same way). False when absent.
+  bool Remove(const Principal& principal);
+
+  // Attaches the durable journal (src/store/kstore.h). Mutations made
+  // after this point are WAL-appended before they touch the store;
+  // mutations made before it must already be captured by the journal's
+  // base snapshot. Null detaches.
+  void AttachJournal(kstore::KStore* journal) { journal_ = journal; }
+  kstore::KStore* journal() const { return journal_; }
 
   bool Has(const Principal& principal) const { return store_.Contains(principal); }
   kerb::Result<kcrypto::DesKey> Lookup(const Principal& principal) const;
@@ -55,6 +89,7 @@ class KdcDatabase {
 
  private:
   PrincipalStore store_;
+  kstore::KStore* journal_ = nullptr;
 };
 
 }  // namespace krb4

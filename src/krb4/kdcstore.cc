@@ -1,0 +1,159 @@
+#include "src/krb4/kdcstore.h"
+
+#include <set>
+#include <utility>
+
+#include "src/crypto/str2key.h"
+#include "src/encoding/io.h"
+
+namespace krb4 {
+
+namespace {
+
+// Fixed seed for the simulated device's fault stream. Deterministic and
+// deliberately NOT drawn from the replica PRNG: the device must not perturb
+// the key-generation streams that capture tests pin byte-for-byte.
+constexpr uint64_t kDeviceSeed = 0x6b70726f70644256ull;
+
+}  // namespace
+
+kerb::Bytes EncodePrincipalUpsert(const Principal& principal, const kcrypto::DesKey& key,
+                                  PrincipalKind kind) {
+  kenc::Writer w;
+  principal.EncodeTo(w);
+  w.PutU8(static_cast<uint8_t>(kind));
+  w.PutBytes(kerb::BytesView(key.bytes().data(), key.bytes().size()));
+  return w.Take();
+}
+
+kerb::Bytes EncodePrincipalDelete(const Principal& principal) {
+  kenc::Writer w;
+  principal.EncodeTo(w);
+  return w.Take();
+}
+
+kerb::Status ApplyStoreRecord(KdcDatabase& db, uint8_t op, kerb::BytesView payload) {
+  kenc::Reader r(payload);
+  auto principal = Principal::DecodeFrom(r);
+  if (!principal.ok()) {
+    return principal.error();
+  }
+  if (op == kstore::kWalOpDelete) {
+    if (!r.AtEnd()) {
+      return kerb::MakeError(kerb::ErrorCode::kBadFormat, "kdcstore: trailing delete bytes");
+    }
+    db.Remove(principal.value());  // removing an absent principal is idempotent
+    return kerb::Status::Ok();
+  }
+  if (op != kstore::kWalOpUpsert) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "kdcstore: unknown record op");
+  }
+  auto kind = r.GetU8();
+  auto key_bytes = r.GetBytes(8);
+  if (!kind.ok() || kind.value() > static_cast<uint8_t>(PrincipalKind::kService) ||
+      !key_bytes.ok() || !r.AtEnd()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "kdcstore: malformed upsert");
+  }
+  kcrypto::DesBlock block;
+  std::copy(key_bytes.value().begin(), key_bytes.value().end(), block.begin());
+  db.ApplyUpsert(principal.value(), kcrypto::DesKey(block),
+                 static_cast<PrincipalKind>(kind.value()));
+  return kerb::Status::Ok();
+}
+
+kstore::Snapshot SnapshotDatabase(const KdcDatabase& db, uint64_t lsn) {
+  kstore::Snapshot snapshot;
+  snapshot.lsn = lsn;
+  for (const Principal& principal : db.Principals()) {
+    kcrypto::DesKey key;
+    PrincipalKind kind = PrincipalKind::kService;
+    if (!db.store().Lookup(principal, &key, &kind)) {
+      continue;  // racing removal; the entry set is re-snapshotted next cycle
+    }
+    snapshot.entries.push_back(EncodePrincipalUpsert(principal, key, kind));
+  }
+  return snapshot;
+}
+
+kerb::Status LoadSnapshotEntries(KdcDatabase& db, const kstore::Snapshot& snapshot) {
+  // Decode everything before mutating anything: a malformed snapshot must
+  // leave the database untouched.
+  struct Entry {
+    Principal principal;
+    kcrypto::DesKey key;
+    PrincipalKind kind;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(snapshot.entries.size());
+  for (const kerb::Bytes& payload : snapshot.entries) {
+    kenc::Reader r(payload);
+    auto principal = Principal::DecodeFrom(r);
+    auto kind = r.GetU8();
+    auto key_bytes = r.GetBytes(8);
+    if (!principal.ok() || !kind.ok() ||
+        kind.value() > static_cast<uint8_t>(PrincipalKind::kService) || !key_bytes.ok() ||
+        !r.AtEnd()) {
+      return kerb::MakeError(kerb::ErrorCode::kBadFormat, "kdcstore: malformed snapshot entry");
+    }
+    kcrypto::DesBlock block;
+    std::copy(key_bytes.value().begin(), key_bytes.value().end(), block.begin());
+    entries.push_back(Entry{std::move(principal).value(), kcrypto::DesKey(block),
+                            static_cast<PrincipalKind>(kind.value())});
+  }
+  std::set<Principal> incoming;
+  for (const Entry& entry : entries) {
+    incoming.insert(entry.principal);
+  }
+  for (const Principal& existing : db.Principals()) {
+    if (incoming.find(existing) == incoming.end()) {
+      db.Remove(existing);
+    }
+  }
+  for (const Entry& entry : entries) {
+    db.ApplyUpsert(entry.principal, entry.key, entry.kind);
+  }
+  return kerb::Status::Ok();
+}
+
+ReplicaPropagation::ReplicaPropagation(ksim::Network* net, const std::string& realm,
+                                       KdcDatabase* primary, uint32_t primary_host,
+                                       kstore::KStoreOptions store_options,
+                                       kstore::Propagator::Options prop_options)
+    : primary_(primary), key_(kcrypto::StringToKey("kprop/" + realm, realm)) {
+  const kstore::Snapshot base = SnapshotDatabase(*primary_, 0);
+  store_ = std::make_unique<kstore::KStore>(kcrypto::Prng(kDeviceSeed), store_options, base);
+  primary_->AttachJournal(store_.get());
+  propagator_ = std::make_unique<kstore::Propagator>(
+      net, store_.get(), key_, primary_host, prop_options,
+      [this] { return SnapshotDatabase(*primary_, store_->last_lsn()); });
+}
+
+ReplicaPropagation::~ReplicaPropagation() {
+  if (primary_ != nullptr) {
+    primary_->AttachJournal(nullptr);
+  }
+}
+
+void ReplicaPropagation::AddSlave(uint32_t slave_host, KdcDatabase* slave_db) {
+  auto sink = std::make_unique<kstore::PropagationSink>(
+      key_, store_->snapshot_lsn(),
+      [slave_db](uint8_t op, kerb::BytesView payload) {
+        return ApplyStoreRecord(*slave_db, op, payload);
+      },
+      [slave_db](const kstore::Snapshot& snapshot) {
+        return LoadSnapshotEntries(*slave_db, snapshot);
+      });
+  propagator_->AddSlave(slave_host, sink.get());
+  sinks_.push_back(std::move(sink));
+}
+
+kstore::Propagator::CycleReport ReplicaPropagation::Propagate() {
+  last_report_ = propagator_->Propagate();
+  return last_report_;
+}
+
+void ReplicaPropagation::Compact() {
+  store_->Compact(SnapshotDatabase(*primary_, store_->last_lsn()));
+}
+
+}  // namespace krb4

@@ -106,6 +106,45 @@ void PrincipalStore::Upsert(const Principal& principal, const kcrypto::DesKey& k
   generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
+bool PrincipalStore::Erase(const Principal& principal) {
+  const uint64_t hash = Hash(principal);
+  Shard& shard = shards_[ShardIndex(hash)];
+  {
+    std::unique_lock lock(shard.mu);
+    const size_t mask = shard.slots.size() - 1;
+    size_t hole = hash & mask;
+    for (;; hole = (hole + 1) & mask) {
+      Slot& slot = shard.slots[hole];
+      if (!slot.used) {
+        return false;
+      }
+      if (slot.hash == hash && slot.principal == principal) {
+        break;
+      }
+    }
+    // Backward-shift deletion: walk the rest of the probe cluster and pull
+    // each entry back into the hole when its home position permits —
+    // i.e. when the hole lies on the entry's probe path (home ... j). This
+    // keeps every surviving entry reachable without tombstones.
+    for (size_t j = (hole + 1) & mask;; j = (j + 1) & mask) {
+      Slot& candidate = shard.slots[j];
+      if (!candidate.used) {
+        break;
+      }
+      const size_t home = candidate.hash & mask;
+      if (((hole - home) & mask) <= ((j - home) & mask)) {
+        shard.slots[hole] = std::move(candidate);
+        candidate = Slot{};
+        hole = j;
+      }
+    }
+    shard.slots[hole] = Slot{};
+    --shard.used;
+  }
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  return true;
+}
+
 bool PrincipalStore::Lookup(const Principal& principal, kcrypto::DesKey* key_out,
                             PrincipalKind* kind_out) const {
   const uint64_t hash = Hash(principal);

@@ -48,6 +48,11 @@ class PrincipalStore {
   // Inserts or replaces the entry for `principal`. Thread-safe.
   void Upsert(const Principal& principal, const kcrypto::DesKey& key, PrincipalKind kind);
 
+  // Removes the entry for `principal` (false when absent). Linear probing
+  // cannot tolerate tombstone-free holes, so removal backward-shifts the
+  // rest of the probe cluster into place. Thread-safe.
+  bool Erase(const Principal& principal);
+
   // Copies the entry out under the shard's reader lock. Either output may be
   // null. Returns false when the principal is unknown. Thread-safe.
   bool Lookup(const Principal& principal, kcrypto::DesKey* key_out,
@@ -62,7 +67,7 @@ class PrincipalStore {
 
   size_t size() const;
 
-  // Advances on every Upsert. A cache holding keys copied out of this store
+  // Advances on every mutation. A cache holding keys copied out of this store
   // is valid only while the generation it recorded still matches.
   uint64_t generation() const { return generation_.load(std::memory_order_acquire); }
 

@@ -2,13 +2,19 @@
 //
 // The paper's availability story, made concrete: "there are several slave
 // Kerberos servers which can respond to ticket requests", with database
-// changes flowing master → slaves by periodic bulk transfer (kprop). Here
-// the primary owns the authoritative database; each slave starts from a
-// snapshot copy and serves AS/TGS requests at its own derived address
-// (primary host + 1 + index, same ports). Registrations made on the primary
-// after construction reach the slaves only through Propagate() — exactly
-// the real system's propagation lag, which several experiments depend on
-// noticing.
+// changes flowing master → slaves by periodic transfer (kprop). The primary
+// owns the authoritative database, journaled through the kstore durability
+// subsystem (src/store); each slave starts from a snapshot copy and serves
+// AS/TGS requests at its own derived address (primary host + 1 + index,
+// same ports). Registrations made on the primary after construction reach
+// the slaves only through Propagate() — one kprop cycle shipping
+// authenticated WAL deltas over the simulated network, exactly the real
+// system's propagation lag, which several experiments depend on noticing.
+//
+// Propagation applies records through the slave store's shard locks, so a
+// cycle is safe while serving workers read concurrently (the old wholesale
+// database assignment raced them). A zero-slave set builds none of this
+// machinery and is byte-identical to a standalone Kdc4.
 //
 // Clients fail over by endpoint order (as_endpoints()/tgs_endpoints():
 // primary first, slaves after), which AttachClient wires up.
@@ -22,6 +28,7 @@
 
 #include "src/krb4/client.h"
 #include "src/krb4/kdc.h"
+#include "src/krb4/kdcstore.h"
 
 namespace krb4 {
 
@@ -42,17 +49,23 @@ class KdcReplicaSet4 {
   const std::vector<ksim::NetAddress>& as_endpoints() const { return as_endpoints_; }
   const std::vector<ksim::NetAddress>& tgs_endpoints() const { return tgs_endpoints_; }
 
-  // Re-snapshots the primary's database onto every slave — one kprop cycle.
+  // One kprop cycle: ships the primary's WAL delta (or a wholesale
+  // snapshot, when a slave predates the compaction horizon) to every
+  // slave. No-op with zero slaves.
   void Propagate();
 
   // Registers the slave endpoints on a client's failover lists.
   void AttachClient(Client4& client) const;
+
+  // The durable-store machinery; null with zero slaves.
+  ReplicaPropagation* propagation() { return propagation_.get(); }
 
  private:
   std::unique_ptr<Kdc4> primary_;
   std::vector<std::unique_ptr<Kdc4>> slaves_;
   std::vector<ksim::NetAddress> as_endpoints_;
   std::vector<ksim::NetAddress> tgs_endpoints_;
+  std::unique_ptr<ReplicaPropagation> propagation_;
 };
 
 }  // namespace krb4

@@ -2,33 +2,32 @@
 
 #include <utility>
 
+#include "src/store/replicaset.h"
+
 namespace krb5 {
 
 KdcReplicaSet5::KdcReplicaSet5(ksim::Network* net, const ksim::NetAddress& as_addr,
                                const ksim::NetAddress& tgs_addr, ksim::HostClock clock,
                                std::string realm, KdcDatabase db, kcrypto::Prng prng, int slaves,
                                KdcPolicy5 policy) {
-  as_endpoints_.push_back(as_addr);
-  tgs_endpoints_.push_back(tgs_addr);
-  std::vector<kcrypto::Prng> slave_prngs;
-  for (int i = 0; i < slaves; ++i) {
-    slave_prngs.push_back(prng.Fork());
+  auto topo = kstore::BuildReplicaTopology<Kdc5>(net, as_addr, tgs_addr, clock, std::move(realm),
+                                                 std::move(db), prng, slaves, policy);
+  primary_ = std::move(topo.primary);
+  slaves_ = std::move(topo.slaves);
+  as_endpoints_ = std::move(topo.as_endpoints);
+  tgs_endpoints_ = std::move(topo.tgs_endpoints);
+  if (!slaves_.empty()) {
+    propagation_ = std::make_unique<krb4::ReplicaPropagation>(
+        net, primary_->realm(), &primary_->database(), as_addr.host);
+    for (size_t i = 0; i < slaves_.size(); ++i) {
+      propagation_->AddSlave(as_endpoints_[i + 1].host, &slaves_[i]->database());
+    }
   }
-  for (int i = 0; i < slaves; ++i) {
-    ksim::NetAddress slave_as{as_addr.host + 1 + static_cast<uint32_t>(i), as_addr.port};
-    ksim::NetAddress slave_tgs{tgs_addr.host + 1 + static_cast<uint32_t>(i), tgs_addr.port};
-    as_endpoints_.push_back(slave_as);
-    tgs_endpoints_.push_back(slave_tgs);
-    slaves_.push_back(std::make_unique<Kdc5>(net, slave_as, slave_tgs, clock, realm, db,
-                                             slave_prngs[static_cast<size_t>(i)], policy));
-  }
-  primary_ = std::make_unique<Kdc5>(net, as_addr, tgs_addr, clock, std::move(realm),
-                                    std::move(db), prng, policy);
 }
 
 void KdcReplicaSet5::Propagate() {
-  for (auto& slave : slaves_) {
-    slave->database() = primary_->database();
+  if (propagation_ != nullptr) {
+    propagation_->Propagate();
   }
 }
 

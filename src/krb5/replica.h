@@ -1,11 +1,12 @@
 // V5 KDC replica set: one primary plus N read-only slaves.
 //
 // Same model as krb4::KdcReplicaSet4 (see that header for the paper
-// context): slaves serve from a snapshot of the primary's database at
-// derived addresses (primary host + 1 + index), Propagate() re-snapshots,
-// and clients fail over primary-first. Inter-realm keys and routes are part
-// of policy-time setup, so configure them on every replica via ForEach
-// before traffic starts.
+// context and the durability/propagation design): slaves serve from a
+// snapshot of the primary's database at derived addresses (primary host +
+// 1 + index), Propagate() runs one authenticated kprop cycle over the
+// simulated network, and clients fail over primary-first. Inter-realm keys
+// and routes are part of policy-time setup, so configure them on every
+// replica via ForEach before traffic starts.
 
 #ifndef SRC_KRB5_REPLICA_H_
 #define SRC_KRB5_REPLICA_H_
@@ -15,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/krb4/kdcstore.h"
 #include "src/krb5/client.h"
 #include "src/krb5/kdc.h"
 
@@ -35,7 +37,8 @@ class KdcReplicaSet5 {
   const std::vector<ksim::NetAddress>& as_endpoints() const { return as_endpoints_; }
   const std::vector<ksim::NetAddress>& tgs_endpoints() const { return tgs_endpoints_; }
 
-  // Re-snapshots the primary's database onto every slave — one kprop cycle.
+  // One kprop cycle shipping WAL deltas to every slave; no-op with zero
+  // slaves.
   void Propagate();
 
   // Registers the slave endpoints on a client's failover lists.
@@ -44,11 +47,15 @@ class KdcReplicaSet5 {
   // Applies setup (inter-realm keys, routes) to the primary and all slaves.
   void ForEach(const std::function<void(Kdc5&)>& fn);
 
+  // The durable-store machinery; null with zero slaves.
+  krb4::ReplicaPropagation* propagation() { return propagation_.get(); }
+
  private:
   std::unique_ptr<Kdc5> primary_;
   std::vector<std::unique_ptr<Kdc5>> slaves_;
   std::vector<ksim::NetAddress> as_endpoints_;
   std::vector<ksim::NetAddress> tgs_endpoints_;
+  std::unique_ptr<krb4::ReplicaPropagation> propagation_;
 };
 
 }  // namespace krb5

@@ -74,6 +74,17 @@ constexpr std::array<EvInfo, kEvCount> kEvTable = {{
     {"seal", false},
     {"unseal_ok", false},
     {"unseal_fail", false},
+    {"store_append", true},
+    {"store_snapshot", false},
+    {"store_recover", false},
+    {"store_crash", false},
+    {"store_dev_write", false},
+    {"store_dev_flush", false},
+    {"prop_ship", true},
+    {"prop_apply", true},
+    {"prop_stale", true},
+    {"prop_reject", true},
+    {"prop_wholesale", true},
 }};
 
 const EvInfo& InfoFor(Ev kind) { return kEvTable[static_cast<size_t>(kind)]; }
@@ -118,6 +129,10 @@ const char* SourceName(uint32_t source) {
       return "seal4";
     case kSrcSeal5:
       return "seal5";
+    case kSrcStore:
+      return "store";
+    case kSrcProp:
+      return "prop";
     default:
       return "other";
   }

@@ -118,6 +118,23 @@ enum class Ev : uint16_t {
   kUnsealOk,
   kUnsealFail,
 
+  // kstore (src/store) — durable KDC database and propagation. The
+  // digest-stable kinds describe the logical history and the wire protocol
+  // (WAL appends carry LSNs; prop frames are network-visible); device-level
+  // byte traffic, local snapshot/compaction timing, and crash/recovery
+  // mechanics are storage-engine artifacts and stay counter-only.
+  kStoreAppend,    // a = lsn, b = record bytes (digest-stable)
+  kStoreSnapshot,  // a = snapshot version lsn, b = snapshot bytes
+  kStoreRecover,   // a = recovered last lsn, b = WAL records replayed
+  kStoreCrash,     // a = files affected, b = volatile bytes lost
+  kStoreDevWrite,  // a = bytes written to the simulated device
+  kStoreDevFlush,  // a = bytes made durable
+  kPropShip,       // a = slave host, b = frame bytes (digest-stable)
+  kPropApply,      // a = to_lsn, b = records applied (digest-stable)
+  kPropStale,      // a = offered to_lsn, b = applied lsn (digest-stable)
+  kPropReject,     // a = error code, b = offered from_lsn (digest-stable)
+  kPropWholesale,  // a = snapshot lsn, b = entries loaded (digest-stable)
+
   kCount
 };
 
@@ -141,6 +158,8 @@ enum Source : uint32_t {
   kSrcKdc5 = 6,
   kSrcSeal4 = 7,
   kSrcSeal5 = 8,
+  kSrcStore = 9,
+  kSrcProp = 10,
 };
 
 const char* SourceName(uint32_t source);

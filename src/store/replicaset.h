@@ -1,0 +1,64 @@
+// Shared replica-set topology construction.
+//
+// The V4 and V5 replica sets (src/krb4/replica.h, src/krb5/replica.h) are
+// the same machine with different KDC types: primary at the given
+// addresses, slave i at host + 1 + i, endpoint lists ordered primary-first
+// for client failover. Their constructors had drifted into near-identical
+// copies; this header is the single implementation both instantiate.
+//
+// PRNG discipline (load-bearing for byte-identical pins): one stream forks
+// off `prng` per slave BEFORE the primary is seeded, so a zero-slave set
+// drives the primary with the untouched stream and its reply bytes match a
+// standalone KDC exactly.
+
+#ifndef SRC_STORE_REPLICASET_H_
+#define SRC_STORE_REPLICASET_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/crypto/prng.h"
+#include "src/sim/clock.h"
+#include "src/sim/network.h"
+
+namespace kstore {
+
+template <typename KdcT>
+struct ReplicaTopology {
+  std::unique_ptr<KdcT> primary;
+  std::vector<std::unique_ptr<KdcT>> slaves;
+  std::vector<ksim::NetAddress> as_endpoints;   // primary first
+  std::vector<ksim::NetAddress> tgs_endpoints;  // primary first
+};
+
+template <typename KdcT, typename DbT, typename OptionsT>
+ReplicaTopology<KdcT> BuildReplicaTopology(ksim::Network* net, const ksim::NetAddress& as_addr,
+                                           const ksim::NetAddress& tgs_addr,
+                                           ksim::HostClock clock, std::string realm, DbT db,
+                                           kcrypto::Prng prng, int slaves,
+                                           const OptionsT& options) {
+  ReplicaTopology<KdcT> topo;
+  topo.as_endpoints.push_back(as_addr);
+  topo.tgs_endpoints.push_back(tgs_addr);
+  std::vector<kcrypto::Prng> slave_prngs;
+  for (int i = 0; i < slaves; ++i) {
+    slave_prngs.push_back(prng.Fork());
+  }
+  for (int i = 0; i < slaves; ++i) {
+    ksim::NetAddress slave_as{as_addr.host + 1 + static_cast<uint32_t>(i), as_addr.port};
+    ksim::NetAddress slave_tgs{tgs_addr.host + 1 + static_cast<uint32_t>(i), tgs_addr.port};
+    topo.as_endpoints.push_back(slave_as);
+    topo.tgs_endpoints.push_back(slave_tgs);
+    topo.slaves.push_back(std::make_unique<KdcT>(net, slave_as, slave_tgs, clock, realm, db,
+                                                 slave_prngs[static_cast<size_t>(i)], options));
+  }
+  topo.primary = std::make_unique<KdcT>(net, as_addr, tgs_addr, clock, std::move(realm),
+                                        std::move(db), prng, options);
+  return topo;
+}
+
+}  // namespace kstore
+
+#endif  // SRC_STORE_REPLICASET_H_

@@ -1,0 +1,63 @@
+#include "src/store/snapshot.h"
+
+#include "src/crypto/crc32.h"
+#include "src/encoding/io.h"
+
+namespace kstore {
+
+kerb::Bytes EncodeSnapshot(const Snapshot& snapshot) {
+  kenc::Writer w;
+  w.PutU32(kSnapshotMagic);
+  w.PutU64(snapshot.lsn);
+  w.PutU32(static_cast<uint32_t>(snapshot.entries.size()));
+  for (const kerb::Bytes& entry : snapshot.entries) {
+    w.PutLengthPrefixed(entry);
+  }
+  kerb::Bytes image = w.Take();
+  const uint32_t crc = kcrypto::Crc32(image);
+  image.push_back(static_cast<uint8_t>(crc >> 24));
+  image.push_back(static_cast<uint8_t>(crc >> 16));
+  image.push_back(static_cast<uint8_t>(crc >> 8));
+  image.push_back(static_cast<uint8_t>(crc));
+  return image;
+}
+
+kerb::Result<Snapshot> DecodeSnapshot(kerb::BytesView image) {
+  if (image.size() < 4) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "snapshot: too short");
+  }
+  const kerb::BytesView sealed = image.subspan(0, image.size() - 4);
+  const uint32_t claimed = (static_cast<uint32_t>(image[image.size() - 4]) << 24) |
+                           (static_cast<uint32_t>(image[image.size() - 3]) << 16) |
+                           (static_cast<uint32_t>(image[image.size() - 2]) << 8) |
+                           static_cast<uint32_t>(image[image.size() - 1]);
+  if (kcrypto::Crc32(sealed) != claimed) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "snapshot: crc mismatch");
+  }
+  kenc::Reader r(sealed);
+  auto magic = r.GetU32();
+  if (!magic.ok() || magic.value() != kSnapshotMagic) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "snapshot: bad magic");
+  }
+  auto lsn = r.GetU64();
+  auto count = r.GetU32();
+  if (!lsn.ok() || !count.ok() || count.value() > kMaxSnapshotEntries) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "snapshot: bad header");
+  }
+  Snapshot snapshot;
+  snapshot.lsn = lsn.value();
+  snapshot.entries.reserve(count.value());
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    auto entry = r.GetLengthPrefixed();
+    if (!entry.ok()) {
+      return kerb::MakeError(kerb::ErrorCode::kBadFormat, "snapshot: truncated entry");
+    }
+    snapshot.entries.push_back(std::move(entry).value());
+  }
+  if (!r.AtEnd()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "snapshot: trailing bytes");
+  }
+  return snapshot;
+}
+
+}  // namespace kstore

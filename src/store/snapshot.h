@@ -1,0 +1,45 @@
+// Versioned database snapshots.
+//
+// A snapshot is the full entry set of the KDC database as of one LSN, in a
+// canonical (sorted-by-encoder) order, CRC-sealed. Snapshots bound recovery
+// time (replay starts at the snapshot LSN, not LSN 0), bound WAL growth
+// (compaction rewrites the log to the post-snapshot suffix), and are the
+// wholesale-transfer fallback when a slave is too far behind for an
+// incremental delta — the kprop "full dump" path.
+//
+// Entries are opaque bytes here, same as WAL payloads: each one is a
+// kWalOpUpsert payload, so loading a snapshot is exactly replaying `count`
+// upserts into an empty database.
+//
+// Layout, big-endian:
+//   u32 magic 'KSN1' | u64 lsn | u32 count | count * lp(entry) | u32 crc
+// where the trailing CRC-32 covers everything before it.
+
+#ifndef SRC_STORE_SNAPSHOT_H_
+#define SRC_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+
+namespace kstore {
+
+constexpr uint32_t kSnapshotMagic = 0x4b534e31;  // "KSN1"
+constexpr uint32_t kMaxSnapshotEntries = 1u << 20;
+
+struct Snapshot {
+  uint64_t lsn = 0;
+  std::vector<kerb::Bytes> entries;  // canonical order, kWalOpUpsert payloads
+};
+
+kerb::Bytes EncodeSnapshot(const Snapshot& snapshot);
+
+// Fail-closed: bad magic, truncation, implausible counts, and CRC damage
+// are all kBadFormat.
+kerb::Result<Snapshot> DecodeSnapshot(kerb::BytesView image);
+
+}  // namespace kstore
+
+#endif  // SRC_STORE_SNAPSHOT_H_

@@ -15,8 +15,12 @@
 #include "src/attacks/testbed.h"
 #include "src/attacks/testbed5.h"
 #include "src/crypto/prng.h"
+#include "src/crypto/str2key.h"
 #include "src/encoding/tlv.h"
 #include "src/krb4/messages.h"
+#include "src/store/kprop.h"
+#include "src/store/snapshot.h"
+#include "src/store/wal.h"
 
 namespace {
 
@@ -155,6 +159,147 @@ TEST(MalformedTest, V4DecodersRejectEveryTruncation) {
     (void)krb4::Authenticator4::Decode(cut);
   }
   SUCCEED();  // no crash under the sanitizer is the assertion
+}
+
+// --- Durability-subsystem parsers (src/store) -------------------------------
+
+TEST(MalformedTest, WalFrameSweepsFailCleanly) {
+  kstore::WalRecord record{/*lsn=*/7, kstore::kWalOpUpsert, kcrypto::Prng(21).NextBytes(40)};
+  const kerb::Bytes frame = kstore::EncodeWalFrame(record);
+
+  auto parse = [](const kerb::Bytes& bytes) {
+    kenc::Reader reader(bytes);
+    return kstore::ParseWalFrame(reader);
+  };
+  for (size_t len = 0; len < frame.size(); ++len) {
+    kerb::Bytes cut(frame.begin(), frame.begin() + len);
+    auto r = parse(cut);
+    ASSERT_FALSE(r.ok()) << "truncation to " << len << " bytes accepted";
+    ExpectCleanFailure(r.error().code, "truncated WAL frame");
+  }
+  for (size_t bit = 0; bit < frame.size() * 8; ++bit) {
+    kerb::Bytes flipped = frame;
+    flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    auto r = parse(flipped);
+    ASSERT_FALSE(r.ok()) << "bit flip " << bit << " accepted (CRC must catch it)";
+    ExpectCleanFailure(r.error().code, "bit-flipped WAL frame");
+  }
+  kcrypto::Prng prng(22);
+  for (int i = 0; i < 500; ++i) {
+    auto r = parse(prng.NextBytes(prng.NextBelow(200)));
+    if (!r.ok()) {
+      ExpectCleanFailure(r.error().code, "garbage WAL frame");
+    }
+  }
+  // ScanWal over every truncation of a multi-record log: a cut log is a
+  // torn tail, so the scan must still succeed with a record PREFIX.
+  kerb::Bytes log;
+  for (uint64_t lsn = 1; lsn <= 4; ++lsn) {
+    kerb::Append(log, kstore::EncodeWalFrame(
+                          kstore::WalRecord{lsn, kstore::kWalOpDelete, prng.NextBytes(10)}));
+  }
+  for (size_t len = 0; len < log.size(); ++len) {
+    kerb::Bytes cut(log.begin(), log.begin() + len);
+    auto scan = kstore::ScanWal(cut);
+    ASSERT_TRUE(scan.ok()) << "torn tail at " << len << " must not fail the scan";
+    ASSERT_LE(scan.value().records.size(), 4u);
+    for (size_t i = 0; i < scan.value().records.size(); ++i) {
+      EXPECT_EQ(scan.value().records[i].lsn, i + 1);
+    }
+  }
+}
+
+TEST(MalformedTest, SnapshotImageSweepsFailCleanly) {
+  kstore::Snapshot snapshot;
+  snapshot.lsn = 9;
+  kcrypto::Prng prng(23);
+  for (int i = 0; i < 5; ++i) {
+    snapshot.entries.push_back(prng.NextBytes(24));
+  }
+  const kerb::Bytes image = kstore::EncodeSnapshot(snapshot);
+
+  for (size_t len = 0; len < image.size(); ++len) {
+    kerb::Bytes cut(image.begin(), image.begin() + len);
+    auto r = kstore::DecodeSnapshot(cut);
+    ASSERT_FALSE(r.ok()) << "truncation to " << len << " bytes accepted";
+    ExpectCleanFailure(r.error().code, "truncated snapshot");
+  }
+  for (size_t bit = 0; bit < image.size() * 8; ++bit) {
+    kerb::Bytes flipped = image;
+    flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    auto r = kstore::DecodeSnapshot(flipped);
+    ASSERT_FALSE(r.ok()) << "bit flip " << bit << " accepted (CRC must catch it)";
+    ExpectCleanFailure(r.error().code, "bit-flipped snapshot");
+  }
+}
+
+// Hostile bytes against the slave-side propagation endpoint: every frame is
+// MAC-checked before anything is parsed, so cuts, flips, garbage, and
+// spliced LSN windows must all bounce without touching the database.
+TEST(MalformedTest, PropagationSinkSweepsFailCleanly) {
+  const kcrypto::DesKey key = kcrypto::StringToKey("kprop/fuzz", "FUZZ");
+  int applies = 0;
+  int loads = 0;
+  kstore::PropagationSink sink(
+      key, /*applied_lsn=*/0,
+      [&](uint8_t, kerb::BytesView) {
+        ++applies;
+        return kerb::Status::Ok();
+      },
+      [&](const kstore::Snapshot&) {
+        ++loads;
+        return kerb::Status::Ok();
+      });
+  auto deliver = [&](kerb::Bytes payload) {
+    ksim::Message msg;
+    msg.src = {0x0a000058, kstore::kPropPort};
+    msg.dst = {0x0a000059, kstore::kPropPort};
+    msg.payload = std::move(payload);
+    return sink.Handle(msg);
+  };
+
+  std::vector<kstore::WalRecord> records;
+  kcrypto::Prng prng(24);
+  for (int i = 0; i < 3; ++i) {
+    records.push_back(kstore::WalRecord{static_cast<uint64_t>(i + 1),
+                                        kstore::kWalOpUpsert, prng.NextBytes(32)});
+  }
+  const kerb::Bytes delta = kstore::EncodeDeltaFrame(key, 0, 3, records);
+
+  for (size_t len = 0; len < delta.size(); ++len) {
+    kerb::Bytes cut(delta.begin(), delta.begin() + len);
+    auto r = deliver(cut);
+    ASSERT_FALSE(r.ok()) << "truncation to " << len << " bytes accepted";
+    ExpectCleanFailure(r.error().code, "truncated prop frame");
+  }
+  for (size_t bit = 0; bit < delta.size() * 8; ++bit) {
+    kerb::Bytes flipped = delta;
+    flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    auto r = deliver(flipped);
+    ASSERT_FALSE(r.ok()) << "bit flip " << bit << " accepted (MAC must catch it)";
+    ExpectCleanFailure(r.error().code, "bit-flipped prop frame");
+  }
+  for (int i = 0; i < 500; ++i) {
+    auto r = deliver(prng.NextBytes(prng.NextBelow(200)));
+    ASSERT_FALSE(r.ok()) << "garbage prop frame accepted";
+    ExpectCleanFailure(r.error().code, "garbage prop frame");
+  }
+  // Correctly MAC'd but spliced: a gapped window is an honest kReplay, an
+  // inconsistent (window, count) pair an honest kBadFormat — never internal.
+  std::vector<kstore::WalRecord> gapped = records;
+  for (auto& rec : gapped) {
+    rec.lsn += 5;
+  }
+  auto r = deliver(kstore::EncodeDeltaFrame(key, 5, 8, gapped));
+  ASSERT_FALSE(r.ok());
+  ExpectCleanFailure(r.error().code, "gapped prop frame");
+  EXPECT_EQ(applies, 0) << "a rejected frame mutated the database";
+  EXPECT_EQ(loads, 0);
+
+  // The untampered frame still applies afterwards — the sweeps above left
+  // the sink's version state untouched.
+  ASSERT_TRUE(deliver(delta).ok());
+  EXPECT_EQ(applies, 3);
 }
 
 TEST(MalformedTest, V5DecoderRejectsEveryTruncation) {
