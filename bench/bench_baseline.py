@@ -11,7 +11,9 @@ distills the numbers every PR cares about:
         i.e. KdcCore5 serving cost on a pre-encoded request, without the
         client-side encode/decode the PR-1 numbers included
     kdc_parallel: requests/sec per worker-pool size (wall-clock), plus the
-        machine's core count for interpreting the scaling curve
+        machine's core count for interpreting the scaling curve; the
+        *_workers_batched curves drive the same cores through the PR-6
+        batched dispatch (HandleAsBatch/HandleTgsBatch via RunKdcLoadBatched)
     chaos: goodput percentage (exchanges that returned the honest payload)
         per injected fault rate, V4 and V5, under the B12 chaos study —
         the robustness trajectory of the retry/failover stack
@@ -26,7 +28,7 @@ distills the numbers every PR cares about:
         bytes (acceptance: the ratio is strictly below 1)
 
 Usage:
-    python3 bench/bench_baseline.py --build-dir build --out BENCH_PR5.json
+    python3 bench/bench_baseline.py --build-dir build --out BENCH_PR6.json
 
 or via the CMake target:  cmake --build build --target bench_baseline
 Stdlib only; no third-party packages.
@@ -65,6 +67,69 @@ def run_bench(binary, bench_filter, min_time=None):
             os.unlink(out_path)
 
 
+def run_bench_best_of(binary, bench_filter, min_time=None, runs=3):
+    """run_bench N times, keeping each benchmark's best throughput fields.
+
+    The perf-gating sections (cipher core, sweep, KDC scaling) are recorded
+    as best-of-N because shared 1-core boxes drift ±10% over a multi-minute
+    recording run; the best sustained rate is the machine-speed-independent
+    number, and taking it per benchmark stops a mid-run slowdown from
+    masquerading as a scaling regression.
+    """
+    merged = {}
+    for _ in range(runs):
+        for b in run_bench(binary, bench_filter, min_time):
+            prev = merged.get(b["name"])
+            if prev is None:
+                merged[b["name"]] = dict(b)
+            else:
+                for field in ("items_per_second", "bytes_per_second"):
+                    if field in b and field in prev:
+                        prev[field] = max(prev[field], b[field])
+    return list(merged.values())
+
+
+def build_meta(build_dir):
+    """Provenance for the numbers: compiler, flags, git SHA, core count."""
+    cache = {}
+    cache_path = os.path.join(build_dir, "CMakeCache.txt")
+    if os.path.exists(cache_path):
+        with open(cache_path) as f:
+            for line in f:
+                line = line.strip()
+                if "=" in line and not line.startswith(("//", "#")):
+                    key, _, value = line.partition("=")
+                    cache[key.partition(":")[0]] = value
+    build_type = cache.get("CMAKE_BUILD_TYPE", "")
+    flags = " ".join(
+        part for part in (
+            cache.get("CMAKE_CXX_FLAGS", ""),
+            cache.get(f"CMAKE_CXX_FLAGS_{build_type.upper()}", ""),
+        ) if part
+    )
+    compiler = cache.get("CMAKE_CXX_COMPILER", "c++")
+    try:
+        version = subprocess.run([compiler, "--version"], capture_output=True,
+                                 text=True, check=True).stdout.splitlines()[0]
+    except (OSError, subprocess.CalledProcessError, IndexError):
+        version = ""
+    try:
+        sha = subprocess.run(["git", "rev-parse", "HEAD"], capture_output=True,
+                             text=True, check=True).stdout.strip()
+        dirty = subprocess.run(["git", "status", "--porcelain"],
+                               capture_output=True, text=True,
+                               check=True).stdout.strip() != ""
+    except (OSError, subprocess.CalledProcessError):
+        sha, dirty = "", False
+    return {
+        "compiler": version or compiler,
+        "build_type": build_type,
+        "cxx_flags": flags,
+        "git_sha": sha + ("-dirty" if dirty else ""),
+        "cores": os.cpu_count() or 1,
+    }
+
+
 def metric(benchmarks, name, field):
     for b in benchmarks:
         if b["name"] == name:
@@ -76,21 +141,22 @@ def metric(benchmarks, name, field):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--out", default="BENCH_PR5.json")
+    parser.add_argument("--out", default="BENCH_PR6.json")
     parser.add_argument("--min-time", default=None,
                         help="override --benchmark_min_time (bare seconds, e.g. 0.05)")
     args = parser.parse_args()
 
     bench_dir = os.path.join(args.build_dir, "bench")
 
-    b1 = run_bench(os.path.join(bench_dir, "bench_b1_desmodes"),
-                   "BM_Des(Ecb|Cbc|Pcbc)/8192$", args.min_time)
-    b4 = run_bench(os.path.join(bench_dir, "bench_b4_crack"),
-                   "BM_StringToKey|BM_GuessConfirmation|BM_ParallelCrackSweep",
-                   args.min_time)
-    b11 = run_bench(os.path.join(bench_dir, "bench_b11_kdcparallel"),
-                    "BM_KdcAsBare|BM_KdcAsPreauth|BM_KdcTgs$|BM_KdcParallel(As|Tgs)/",
-                    args.min_time)
+    b1 = run_bench_best_of(os.path.join(bench_dir, "bench_b1_desmodes"),
+                           "BM_Des(Ecb|Cbc|Pcbc)/8192$", args.min_time)
+    b4 = run_bench_best_of(os.path.join(bench_dir, "bench_b4_crack"),
+                           "BM_StringToKey|BM_GuessConfirmation"
+                           "|BM_ParallelCrackSweep", args.min_time, runs=5)
+    b11 = run_bench_best_of(os.path.join(bench_dir, "bench_b11_kdcparallel"),
+                            "BM_KdcAsBare|BM_KdcAsPreauth|BM_KdcTgs$"
+                            "|BM_KdcParallel(As|Tgs)(Batched)?/",
+                            args.min_time)
     b12 = run_bench(os.path.join(bench_dir, "bench_b12_chaos"),
                     "BM_ChaosGoodput(4|5)/", args.min_time or "0.01")
     b13 = run_bench(os.path.join(bench_dir, "bench_b13_obs"),
@@ -101,6 +167,7 @@ def main():
                     args.min_time)
 
     doc = {
+        "meta": build_meta(args.build_dir),
         "blocks_per_sec": {
             "ecb": metric(b1, "BM_DesEcb/8192", "bytes_per_second") / 8,
             "cbc": metric(b1, "BM_DesCbc/8192", "bytes_per_second") / 8,
@@ -127,6 +194,16 @@ def main():
             },
             "tgs_workers": {
                 str(n): metric(b11, f"BM_KdcParallelTgs/{n}/real_time",
+                               "items_per_second")
+                for n in (1, 2, 4, 8)
+            },
+            "as_workers_batched": {
+                str(n): metric(b11, f"BM_KdcParallelAsBatched/{n}/real_time",
+                               "items_per_second")
+                for n in (1, 2, 4, 8)
+            },
+            "tgs_workers_batched": {
+                str(n): metric(b11, f"BM_KdcParallelTgsBatched/{n}/real_time",
                                "items_per_second")
                 for n in (1, 2, 4, 8)
             },
@@ -178,6 +255,8 @@ def main():
         for name, value in values.items():
             if isinstance(value, dict):
                 show(f"{prefix}.{name}", value)
+            elif isinstance(value, str):
+                print(f"  {prefix}.{name}: {value}")
             else:
                 print(f"  {prefix}.{name}: {value:,.0f}")
     for section, values in doc.items():

@@ -168,6 +168,52 @@ uint64_t DesKey::DecryptBlock(uint64_t ciphertext) const {
   return ApplyFp(preout);
 }
 
+void DesKey::EncryptBlocks2(const uint64_t* in, uint64_t* out, size_t n) const {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    uint64_t b0 = ApplyIp(in[i]);
+    uint64_t b1 = ApplyIp(in[i + 1]);
+    uint32_t l0 = static_cast<uint32_t>(b0 >> 32);
+    uint32_t r0 = static_cast<uint32_t>(b0);
+    uint32_t l1 = static_cast<uint32_t>(b1 >> 32);
+    uint32_t r1 = static_cast<uint32_t>(b1);
+    for (int round = 0; round < 16; round += 2) {
+      l0 ^= FeistelFast(r0, roundkeys_[round].data());
+      l1 ^= FeistelFast(r1, roundkeys_[round].data());
+      r0 ^= FeistelFast(l0, roundkeys_[round + 1].data());
+      r1 ^= FeistelFast(l1, roundkeys_[round + 1].data());
+    }
+    out[i] = ApplyFp((static_cast<uint64_t>(r0) << 32) | l0);
+    out[i + 1] = ApplyFp((static_cast<uint64_t>(r1) << 32) | l1);
+  }
+  if (i < n) {
+    out[i] = EncryptBlock(in[i]);
+  }
+}
+
+void DesKey::DecryptBlocks2(const uint64_t* in, uint64_t* out, size_t n) const {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    uint64_t b0 = ApplyIp(in[i]);
+    uint64_t b1 = ApplyIp(in[i + 1]);
+    uint32_t l0 = static_cast<uint32_t>(b0 >> 32);
+    uint32_t r0 = static_cast<uint32_t>(b0);
+    uint32_t l1 = static_cast<uint32_t>(b1 >> 32);
+    uint32_t r1 = static_cast<uint32_t>(b1);
+    for (int round = 15; round >= 0; round -= 2) {
+      l0 ^= FeistelFast(r0, roundkeys_[round].data());
+      l1 ^= FeistelFast(r1, roundkeys_[round].data());
+      r0 ^= FeistelFast(l0, roundkeys_[round - 1].data());
+      r1 ^= FeistelFast(l1, roundkeys_[round - 1].data());
+    }
+    out[i] = ApplyFp((static_cast<uint64_t>(r0) << 32) | l0);
+    out[i + 1] = ApplyFp((static_cast<uint64_t>(r1) << 32) | l1);
+  }
+  if (i < n) {
+    out[i] = DecryptBlock(in[i]);
+  }
+}
+
 DesBlock DesKey::EncryptBlock(const DesBlock& plaintext) const {
   return U64ToBlock(EncryptBlock(BlockToU64(plaintext)));
 }
@@ -185,12 +231,17 @@ DesKey DesKey::Variant(uint8_t mask) const {
 }
 
 DesBlock FixParity(const DesBlock& key) {
-  DesBlock out = key;
-  for (auto& byte : out) {
-    uint8_t b = byte >> 1;  // the 7 key bits
-    byte = static_cast<uint8_t>((b << 1) | ((std::popcount(b) & 1) ? 0 : 1));
-  }
-  return out;
+  // All eight parity bits at once: fold the seven key bits of every byte
+  // down to bit 0 with three XOR-shifts, then set each low bit to the
+  // complement of that fold (odd parity). This sits inside string-to-key and
+  // the weak-key check, i.e. in the cracking inner loop.
+  const uint64_t k = LoadU64BE(key.data());
+  uint64_t x = (k >> 1) & 0x7f7f7f7f7f7f7f7full;  // the 7 key bits, per byte
+  x ^= x >> 4;
+  x ^= x >> 2;
+  x ^= x >> 1;
+  const uint64_t parity = (x ^ 0x0101010101010101ull) & 0x0101010101010101ull;
+  return U64ToBlock((k & 0xfefefefefefefefeull) | parity);
 }
 
 bool HasOddParity(const DesBlock& key) {

@@ -71,6 +71,14 @@ class DesKey {
   uint64_t EncryptBlock(uint64_t plaintext) const;
   uint64_t DecryptBlock(uint64_t ciphertext) const;
 
+  // Bulk ECB over a span, two blocks in flight per step so the S-box table
+  // loads of one block overlap the XOR/rotate arithmetic of the other —
+  // byte-identical to calling EncryptBlock/DecryptBlock per element but
+  // meaningfully faster on the bulk paths (ECB, CBC/PCBC decrypt, sweeps).
+  // in == out is allowed.
+  void EncryptBlocks2(const uint64_t* in, uint64_t* out, size_t n) const;
+  void DecryptBlocks2(const uint64_t* in, uint64_t* out, size_t n) const;
+
   DesBlock EncryptBlock(const DesBlock& plaintext) const;
   DesBlock DecryptBlock(const DesBlock& ciphertext) const;
 

@@ -1,0 +1,251 @@
+#include "src/crypto/des_slice.h"
+
+#include <utility>
+
+#include "src/crypto/des_tables.h"
+
+namespace kcrypto {
+
+namespace {
+
+// Generated S-box gate circuits (see gen_des_slice_sboxes.py), instantiated
+// with W = DesSliceWord: every gate is a fixed-length uint64_t loop.
+#include "src/crypto/des_slice_sboxes.inc"
+
+// In-place 64x64 bit-matrix transpose (the recursive block-swap of
+// Hacker's Delight fig. 7-6, widened to 64). With rows numbered by array
+// index and columns by bit position counted from the MSB, this is a true
+// transpose; it is an involution.
+void Transpose64(uint64_t a[64]) {
+  uint64_t m = 0x00000000FFFFFFFFull;
+  for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const uint64_t t = (a[k] ^ (a[k + j] >> j)) & m;
+      a[k] ^= t;
+      a[k + j] ^= t << j;
+    }
+  }
+}
+
+// The key schedule as pure wiring: after PC-1 the 56 key bits sit in the
+// C||D register pair, and every round's rotation-then-PC-2 only *renames*
+// bits. kKsIdx[round][j] is the C||D index (post-PC-1) that becomes subkey
+// bit j of that round, so scheduling a batch of keys is one transpose per
+// word group plus copies.
+struct KsIdx {
+  uint8_t idx[16][48];
+};
+
+constexpr KsIdx MakeKsIdx() {
+  KsIdx out{};
+  int rot = 0;
+  for (int r = 0; r < 16; ++r) {
+    rot += destables::kShifts[r];
+    for (int j = 0; j < 48; ++j) {
+      const int pos = destables::kPc2[j] - 1;
+      out.idx[r][j] = static_cast<uint8_t>(
+          pos < 28 ? (pos + rot) % 28 : 28 + ((pos - 28 + rot) % 28));
+    }
+  }
+  return out;
+}
+
+constexpr KsIdx kKsIdx = MakeKsIdx();
+
+inline void SboxLayer(const DesSliceWord e[48], DesSliceWord s[32]) {
+  // Chunk b of E(R) ^ K feeds S-box b+1: FIPS bit b1 (= e[6b]) is a5, b6 is
+  // a0, b2..b5 the column bits a4..a1 — matching the generated signatures.
+  DesSliceSbox1(e[0], e[1], e[2], e[3], e[4], e[5], s[0], s[1], s[2], s[3]);
+  DesSliceSbox2(e[6], e[7], e[8], e[9], e[10], e[11], s[4], s[5], s[6], s[7]);
+  DesSliceSbox3(e[12], e[13], e[14], e[15], e[16], e[17], s[8], s[9], s[10], s[11]);
+  DesSliceSbox4(e[18], e[19], e[20], e[21], e[22], e[23], s[12], s[13], s[14], s[15]);
+  DesSliceSbox5(e[24], e[25], e[26], e[27], e[28], e[29], s[16], s[17], s[18], s[19]);
+  DesSliceSbox6(e[30], e[31], e[32], e[33], e[34], e[35], s[20], s[21], s[22], s[23]);
+  DesSliceSbox7(e[36], e[37], e[38], e[39], e[40], e[41], s[24], s[25], s[26], s[27]);
+  DesSliceSbox8(e[42], e[43], e[44], e[45], e[46], e[47], s[28], s[29], s[30], s[31]);
+}
+
+template <bool decrypt>
+void CryptWires(const DesSliceKeys& keys, DesSliceWord w[64]) {
+  // IP is a renaming: split straight into L and R wires.
+  DesSliceWord x[32];
+  DesSliceWord y[32];
+  for (int i = 0; i < 32; ++i) {
+    x[i] = w[destables::kIp[i] - 1];
+    y[i] = w[destables::kIp[32 + i] - 1];
+  }
+  DesSliceWord* l = x;
+  DesSliceWord* r = y;
+  // Fully unrolled so that, with `decrypt` a template parameter and `round`
+  // a constant, every kKsIdx lookup folds to a compile-time cd[] index —
+  // the subkey wiring costs no runtime indirection at all.
+#pragma GCC unroll 16
+  for (int round = 0; round < 16; ++round) {
+    const uint8_t* ki = kKsIdx.idx[decrypt ? 15 - round : round];
+    DesSliceWord e[48];
+    for (int j = 0; j < 48; ++j) {
+      e[j] = r[destables::kE[j] - 1] ^ keys.cd[ki[j]];  // E is a renaming; + key
+    }
+    DesSliceWord s[32];
+    SboxLayer(e, s);
+    for (int i = 0; i < 32; ++i) {
+      l[i] ^= s[destables::kP[i] - 1];  // P is a renaming
+    }
+    std::swap(l, r);  // pointer swap: the halves never move
+  }
+  // Preoutput is R16 || L16 (note the final swap), FP another renaming.
+  DesSliceWord pre[64];
+  for (int i = 0; i < 32; ++i) {
+    pre[i] = r[i];
+    pre[32 + i] = l[i];
+  }
+  for (int i = 0; i < 64; ++i) {
+    w[i] = pre[destables::kFp[i] - 1];
+  }
+}
+
+}  // namespace
+
+void DesSliceSchedule(const DesBlock* keys, size_t n, DesSliceKeys& out) {
+  // Per 64-lane word group: transpose the key blocks, select the 56 PC-1
+  // bits as C||D wires, then every round subkey is a copy per kKsIdx.
+  if (n > kDesSliceLanes) n = kDesSliceLanes;
+  for (size_t g = 0; g * 64 < kDesSliceLanes; ++g) {
+    uint64_t a[64] = {};
+    const size_t base = g * 64;
+    for (size_t j = base; j < n && j < base + 64; ++j) {
+      a[63 - (j - base)] = LoadU64BE(keys[j].data());
+    }
+    Transpose64(a);
+    for (int i = 0; i < 56; ++i) {
+      out.cd[i].v[g] = a[destables::kPc1[i] - 1];
+    }
+  }
+}
+
+void DesSliceScheduleFromWires(const DesSliceState& key_wires, DesSliceKeys& out) {
+  for (int i = 0; i < 56; ++i) {
+    out.cd[i] = key_wires.w[destables::kPc1[i] - 1];
+  }
+}
+
+void DesSliceLoad(const uint64_t* blocks, size_t n, DesSliceState& st) {
+  if (n > kDesSliceLanes) n = kDesSliceLanes;
+  for (size_t g = 0; g * 64 < kDesSliceLanes; ++g) {
+    uint64_t a[64] = {};
+    const size_t base = g * 64;
+    for (size_t j = base; j < n && j < base + 64; ++j) {
+      a[63 - (j - base)] = blocks[j];
+    }
+    Transpose64(a);
+    for (int i = 0; i < 64; ++i) {
+      st.w[i].v[g] = a[i];
+    }
+  }
+}
+
+void DesSliceLoad(const DesBlock* blocks, size_t n, DesSliceState& st) {
+  uint64_t u[kDesSliceLanes];
+  const size_t m = n < kDesSliceLanes ? n : kDesSliceLanes;
+  for (size_t j = 0; j < m; ++j) {
+    u[j] = LoadU64BE(blocks[j].data());
+  }
+  DesSliceLoad(u, m, st);
+}
+
+void DesSliceStore(const DesSliceState& st, uint64_t* blocks, size_t n) {
+  if (n > kDesSliceLanes) n = kDesSliceLanes;
+  for (size_t g = 0; g * 64 < n; ++g) {
+    uint64_t a[64];
+    for (int i = 0; i < 64; ++i) {
+      a[i] = st.w[i].v[g];
+    }
+    Transpose64(a);
+    const size_t base = g * 64;
+    for (size_t j = base; j < n && j < base + 64; ++j) {
+      blocks[j] = a[63 - (j - base)];
+    }
+  }
+}
+
+void DesSliceStore(const DesSliceState& st, DesBlock* blocks, size_t n) {
+  uint64_t u[kDesSliceLanes];
+  const size_t m = n < kDesSliceLanes ? n : kDesSliceLanes;
+  DesSliceStore(st, u, m);
+  for (size_t j = 0; j < m; ++j) {
+    StoreU64BE(blocks[j].data(), u[j]);
+  }
+}
+
+void DesSliceBroadcast(uint64_t block, DesSliceState& st) {
+  for (int i = 0; i < 64; ++i) {
+    const uint64_t fill = (block >> (63 - i)) & 1 ? ~uint64_t{0} : 0;
+    for (size_t g = 0; g < kDesSliceWords; ++g) {
+      st.w[i].v[g] = fill;
+    }
+  }
+}
+
+void DesSliceEncrypt(const DesSliceKeys& keys, DesSliceState& st) {
+  CryptWires<false>(keys, st.w);
+}
+
+void DesSliceDecrypt(const DesSliceKeys& keys, DesSliceState& st) {
+  CryptWires<true>(keys, st.w);
+}
+
+void DesSliceXor(const DesSliceState& src, DesSliceState& dst) {
+  for (int i = 0; i < 64; ++i) {
+    dst.w[i] ^= src.w[i];
+  }
+}
+
+void DesSliceSelect(const DesSliceMask& mask, const DesSliceState& from, DesSliceState& dst) {
+  for (int i = 0; i < 64; ++i) {
+    for (size_t g = 0; g < kDesSliceWords; ++g) {
+      dst.w[i].v[g] = (from.w[i].v[g] & mask.m[g]) | (dst.w[i].v[g] & ~mask.m[g]);
+    }
+  }
+}
+
+void DesSlicePatchLane(size_t lane, uint64_t block, DesSliceState& st) {
+  const size_t g = lane / 64;
+  const uint64_t bit = uint64_t{1} << (lane % 64);
+  for (int i = 0; i < 64; ++i) {
+    if ((block >> (63 - i)) & 1) {
+      st.w[i].v[g] |= bit;
+    } else {
+      st.w[i].v[g] &= ~bit;
+    }
+  }
+}
+
+void DesSliceFixParity(DesSliceState& st) {
+  for (int k = 0; k < 64; k += 8) {
+    DesSliceWord p = st.w[k];
+    for (int i = 1; i < 7; ++i) {
+      p ^= st.w[k + i];
+    }
+    st.w[k + 7] = ~p;  // odd parity: low bit complements the 7-bit fold
+  }
+}
+
+void DesSliceEcbEncrypt(const DesBlock* keys, const DesBlock* in, DesBlock* out, size_t n) {
+  DesSliceKeys ks;
+  DesSliceSchedule(keys, n, ks);
+  DesSliceState st;
+  DesSliceLoad(in, n, st);
+  DesSliceEncrypt(ks, st);
+  DesSliceStore(st, out, n);
+}
+
+void DesSliceEcbDecrypt(const DesBlock* keys, const DesBlock* in, DesBlock* out, size_t n) {
+  DesSliceKeys ks;
+  DesSliceSchedule(keys, n, ks);
+  DesSliceState st;
+  DesSliceLoad(in, n, st);
+  DesSliceDecrypt(ks, st);
+  DesSliceStore(st, out, n);
+}
+
+}  // namespace kcrypto

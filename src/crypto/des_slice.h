@@ -1,0 +1,153 @@
+// Bitsliced DES: hundreds of independent encryptions at once on one core.
+//
+// Classic Biham-style bitslicing — machine words are treated as arrays of
+// one-bit processors. A block is stored "transposed": wire p holds block
+// bit p (FIPS numbering, 0 = most significant) across all lanes. In this
+// form every DES permutation (IP, FP, E, P, PC-1, PC-2, and the
+// key-schedule rotations) is free — just a renaming of wires, compiled into
+// array indexing — and each S-box is a boolean circuit of ~118 AND/OR/NOT
+// gates (des_slice_sboxes.inc, generated and exhaustively verified by
+// gen_des_slice_sboxes.py) evaluated across all lanes at once.
+//
+// Each wire is kDesSliceWords uint64_t words, so a batch carries
+// 64 * kDesSliceWords lanes. There are no SIMD intrinsics anywhere — every
+// gate is a plain fixed-length loop of uint64_t AND/OR/XOR the compiler is
+// free to autovectorize — so the engine is deterministic, portable, and
+// still an order of magnitude past the table-driven path per core.
+//
+// The engine supports a different key per lane — exactly what the password
+// sweep needs (hundreds of candidate keys against one recorded ciphertext)
+// and what table-driven DES fundamentally cannot batch. Lanes beyond `n`
+// compute unspecified (but deterministic) garbage; callers ignore them.
+//
+// Correctness is anchored the same way as the table-driven path: the
+// generator verifies every S-box circuit against destables::kSBox over all
+// 64 inputs, and tests/crypto/des_slice_test.cc cross-checks whole-block
+// encryption against DesKeyRef on FIPS vectors, random sweeps, weak keys,
+// and partial (<full batch) tails.
+
+#ifndef SRC_CRYPTO_DES_SLICE_H_
+#define SRC_CRYPTO_DES_SLICE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/crypto/des.h"
+
+namespace kcrypto {
+
+// uint64_t words per wire. 4 lets the plain gate loops autovectorize to
+// whatever vector width the build targets while staying correct (and fast)
+// as scalar code on anything else.
+inline constexpr size_t kDesSliceWords = 4;
+
+// Lanes per batch: one per bit across the words of a wire.
+inline constexpr size_t kDesSliceLanes = 64 * kDesSliceWords;
+
+// One wire: a bit position of the block, across all lanes. Lane j lives in
+// word j/64 at bit j%64. The operators are the whole gate set.
+struct DesSliceWord {
+  uint64_t v[kDesSliceWords];
+
+  friend DesSliceWord operator&(const DesSliceWord& a, const DesSliceWord& b) {
+    DesSliceWord r;
+    for (size_t i = 0; i < kDesSliceWords; ++i) r.v[i] = a.v[i] & b.v[i];
+    return r;
+  }
+  friend DesSliceWord operator|(const DesSliceWord& a, const DesSliceWord& b) {
+    DesSliceWord r;
+    for (size_t i = 0; i < kDesSliceWords; ++i) r.v[i] = a.v[i] | b.v[i];
+    return r;
+  }
+  friend DesSliceWord operator^(const DesSliceWord& a, const DesSliceWord& b) {
+    DesSliceWord r;
+    for (size_t i = 0; i < kDesSliceWords; ++i) r.v[i] = a.v[i] ^ b.v[i];
+    return r;
+  }
+  DesSliceWord operator~() const {
+    DesSliceWord r;
+    for (size_t i = 0; i < kDesSliceWords; ++i) r.v[i] = ~v[i];
+    return r;
+  }
+  DesSliceWord& operator^=(const DesSliceWord& o) {
+    for (size_t i = 0; i < kDesSliceWords; ++i) v[i] ^= o.v[i];
+    return *this;
+  }
+};
+
+// A batch of up to kDesSliceLanes blocks in wire (transposed) form.
+struct DesSliceState {
+  DesSliceWord w[64];
+};
+
+// A lane predicate for DesSliceSelect: bit j%64 of m[j/64] covers lane j.
+struct DesSliceMask {
+  uint64_t m[kDesSliceWords]{};
+
+  void Set(size_t lane) { m[lane / 64] |= uint64_t{1} << (lane % 64); }
+};
+
+// Transposed key schedule. In wire form the whole schedule is just the 56
+// post-PC-1 key bits (the C||D register pair): every round's rotation and
+// PC-2 only renames those wires, and the rename indices are compile-time
+// constants, so the crypt core reads cd[] directly — 1.75 KiB of key
+// material per batch instead of a materialized 16x48 table. Built once per
+// batch of keys and reused for any number of blocks, like DesKey's schedule.
+struct DesSliceKeys {
+  DesSliceWord cd[56];
+};
+
+// Builds the schedule for keys[0..n). Lanes >= n are zero-filled (their
+// outputs are meaningless; ignore them).
+void DesSliceSchedule(const DesBlock* keys, size_t n, DesSliceKeys& out);
+
+// Builds the schedule from keys already in wire form (wire p = key bit p,
+// MSB first — the orientation DesSliceLoad produces). PC-1 is a renaming,
+// so this is 56 wire copies and no transpose: the fast path when the keys
+// were themselves computed bitsliced (string-to-key batches).
+void DesSliceScheduleFromWires(const DesSliceState& key_wires, DesSliceKeys& out);
+
+// Blocks <-> wire form. The uint64_t forms use FIPS bit order (the value
+// LoadU64BE would produce). Lanes >= n load as zero / are not stored.
+void DesSliceLoad(const uint64_t* blocks, size_t n, DesSliceState& st);
+void DesSliceLoad(const DesBlock* blocks, size_t n, DesSliceState& st);
+void DesSliceStore(const DesSliceState& st, uint64_t* blocks, size_t n);
+void DesSliceStore(const DesSliceState& st, DesBlock* blocks, size_t n);
+
+// Loads the same block into every lane — no transpose needed: each wire is
+// all-ones or all-zeros. This is the fast path for trying many keys against
+// one ciphertext block.
+void DesSliceBroadcast(uint64_t block, DesSliceState& st);
+
+// Encrypts / decrypts all lanes in place, lane j under key lane j.
+void DesSliceEncrypt(const DesSliceKeys& keys, DesSliceState& st);
+void DesSliceDecrypt(const DesSliceKeys& keys, DesSliceState& st);
+
+// dst ^= src, all wires. (XOR commutes with the transpose, so this is the
+// wire-form CBC chaining step.)
+void DesSliceXor(const DesSliceState& src, DesSliceState& dst);
+
+// Per-lane select: lanes covered by `mask` take `from`'s value, the rest
+// keep dst's. Used to freeze finished lanes when batched inputs have
+// different block counts (CBC-MAC over variable-length passwords).
+void DesSliceSelect(const DesSliceMask& mask, const DesSliceState& from, DesSliceState& dst);
+
+// Overwrites one lane with `block` across all 64 wires. For patching rare
+// odd lanes (weak-key fixups, oversize scalar fallbacks) into a batch that
+// is otherwise computed entirely in wire form.
+void DesSlicePatchLane(size_t lane, uint64_t block, DesSliceState& st);
+
+// Sets the low bit of every byte to odd parity, all lanes at once: wire
+// 8k+7 becomes the complement of the XOR of wires 8k..8k+6. The wire form
+// of FixParity (identical per lane).
+void DesSliceFixParity(DesSliceState& st);
+
+// One-shot convenience: out[i] = E_{keys[i]}(in[i]) (or D). Schedules,
+// transposes, crypts and untransposes; for repeated use against the same
+// keys, hold a DesSliceKeys instead.
+void DesSliceEcbEncrypt(const DesBlock* keys, const DesBlock* in, DesBlock* out, size_t n);
+void DesSliceEcbDecrypt(const DesBlock* keys, const DesBlock* in, DesBlock* out, size_t n);
+
+}  // namespace kcrypto
+
+#endif  // SRC_CRYPTO_DES_SLICE_H_

@@ -1,9 +1,56 @@
 #include "src/crypto/str2key.h"
 
+#include <cstring>
+
 #include "src/common/bytes.h"
+#include "src/crypto/des_slice.h"
 #include "src/crypto/modes.h"
 
 namespace kcrypto {
+
+namespace {
+
+// Reverses the bit order of a 64-bit word (bit 0 <-> bit 63) in six
+// swap-and-mask steps.
+inline uint64_t ReverseBits64(uint64_t v) {
+  v = ((v >> 1) & 0x5555555555555555ull) | ((v & 0x5555555555555555ull) << 1);
+  v = ((v >> 2) & 0x3333333333333333ull) | ((v & 0x3333333333333333ull) << 2);
+  v = ((v >> 4) & 0x0f0f0f0f0f0f0f0full) | ((v & 0x0f0f0f0f0f0f0f0full) << 4);
+  v = ((v >> 8) & 0x00ff00ff00ff00ffull) | ((v & 0x00ff00ff00ff00ffull) << 8);
+  v = ((v >> 16) & 0x0000ffff0000ffffull) | ((v & 0x0000ffff0000ffffull) << 16);
+  return (v >> 32) | (v << 32);
+}
+
+// Fan-fold of the zero-padded salted password: XOR 8-byte groups into the
+// accumulator, reversing bit order (and byte order) of every other group —
+// the V4 "forward then backward" fold. Reversing the bits of each byte AND
+// the order of the bytes is exactly a full 64-bit bit reversal, so each
+// backward group is one ReverseBits64 instead of a per-byte loop. This is
+// the scalar per-candidate portion of the cracking inner loop. `input` must
+// already be zero-padded to a multiple of 8.
+DesBlock FanFold(const uint8_t* input, size_t size) {
+  uint64_t fold = 0;
+  bool forward = true;
+  for (size_t off = 0; off < size; off += 8) {
+    const uint64_t group = LoadU64BE(input + off);
+    fold ^= forward ? group : ReverseBits64(group);
+    forward = !forward;
+  }
+  return U64ToBlock(fold);
+}
+
+// Final-key fixup shared by the scalar and batched paths: fix parity, then
+// nudge weak keys off the weak-key table.
+DesBlock FinalizeKey(const DesBlock& mac) {
+  DesBlock final_key = FixParity(mac);
+  if (IsWeakKey(final_key)) {
+    final_key[7] = static_cast<uint8_t>(final_key[7] ^ 0xf0);
+    final_key = FixParity(final_key);
+  }
+  return final_key;
+}
+
+}  // namespace
 
 DesKey StringToKey(std::string_view password, std::string_view salt) {
   kerb::Bytes input = kerb::ToBytes(std::string(password) + std::string(salt));
@@ -13,35 +60,140 @@ DesKey StringToKey(std::string_view password, std::string_view salt) {
   // Pad to a multiple of 8 and fan-fold, reversing the bit order of every
   // other 8-byte group (the V4 "forward then backward" fold).
   input.resize((input.size() + 7) & ~size_t{7}, 0);
-  DesBlock fold{};
-  bool forward = true;
-  for (size_t off = 0; off < input.size(); off += 8) {
-    for (size_t i = 0; i < 8; ++i) {
-      uint8_t b = input[off + i];
-      if (!forward) {
-        // Reverse the 7 low bits of the byte, mirroring V4's odd-block flip.
-        uint8_t r = 0;
-        for (int bit = 0; bit < 8; ++bit) {
-          r = static_cast<uint8_t>((r << 1) | ((b >> bit) & 1));
-        }
-        b = r;
-        fold[7 - i] = static_cast<uint8_t>(fold[7 - i] ^ b);
-        continue;
-      }
-      fold[i] = static_cast<uint8_t>(fold[i] ^ b);
-    }
-    forward = !forward;
-  }
-  DesKey interim(FixParity(fold));
+  DesKey interim(FixParity(FanFold(input.data(), input.size())));
   // CBC-MAC the whole salted password under the interim key, using the
   // interim key as IV, then fix parity on the result.
   DesBlock mac = CbcMac(interim, interim.bytes(), input);
-  DesBlock final_key = FixParity(mac);
-  if (IsWeakKey(final_key)) {
-    final_key[7] = static_cast<uint8_t>(final_key[7] ^ 0xf0);
-    final_key = FixParity(final_key);
+  return DesKey(FinalizeKey(mac));
+}
+
+void StringToKeyBatch(const std::string* words, size_t n, std::string_view salt,
+                      DesBlock* out) {
+  DesSliceKeys ks;
+  StringToKeyBatchSchedule(words, n, salt, out, ks);
+}
+
+void StringToKeyBatchSchedule(const std::string* words, size_t n, std::string_view salt,
+                              DesBlock* out, DesSliceKeys& ks) {
+  // Everything expensive runs in wire form. The fan-fold is wire-cheap too:
+  // reversing the bits of every byte AND the byte order of a backward group
+  // is a full 64-bit bit reversal, which on wires is the renaming
+  // w[i] -> w[63-i]; the parity fixups are 8 XOR chains across wires. So
+  // the per-lane scalar work is only assembling the padded byte buffers —
+  // the 16 DES rounds per CBC-MAC block, the fold, both parity fixes and
+  // the output key schedule are all shared across the whole batch.
+  if (n > kDesSliceLanes) n = kDesSliceLanes;
+
+  // Salted inputs longer than this take the scalar path for their lane;
+  // dictionary candidates are far shorter.
+  constexpr size_t kMaxInput = 128;
+  constexpr size_t kMaxBlocks = kMaxInput / 8;
+
+  uint64_t mblocks[kMaxBlocks][kDesSliceLanes];
+  size_t nblocks[kDesSliceLanes];
+  size_t max_blocks = 0;
+  uint64_t scalar_lanes[kDesSliceWords] = {};
+  bool any_scalar = false;
+
+  for (size_t j = 0; j < n; ++j) {
+    uint8_t buf[kMaxInput];
+    size_t len = words[j].size() + salt.size();
+    if (len == 0) {
+      len = 1;
+    }
+    const size_t padded = (len + 7) & ~size_t{7};
+    if (padded > kMaxInput) {
+      scalar_lanes[j / 64] |= uint64_t{1} << (j % 64);
+      any_scalar = true;
+      nblocks[j] = 0;
+      continue;
+    }
+    std::memset(buf, 0, padded);
+    std::memcpy(buf, words[j].data(), words[j].size());
+    std::memcpy(buf + words[j].size(), salt.data(), salt.size());
+    nblocks[j] = padded / 8;
+    if (nblocks[j] > max_blocks) {
+      max_blocks = nblocks[j];
+    }
+    for (size_t b = 0; b < nblocks[j]; ++b) {
+      mblocks[b][j] = LoadU64BE(buf + 8 * b);
+    }
   }
-  return DesKey(final_key);
+
+  // Per-block lane masks, noting the blocks where every lane is active —
+  // the overwhelmingly common case for dictionary batches, which then skip
+  // the chain copy and select entirely.
+  DesSliceMask active[kMaxBlocks];
+  bool full[kMaxBlocks];
+  for (size_t b = 0; b < max_blocks; ++b) {
+    size_t covered = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (b < nblocks[j]) {
+        active[b].Set(j);
+        ++covered;
+      }
+    }
+    full[b] = covered == n;
+  }
+
+  DesSliceState mw[kMaxBlocks];
+  for (size_t b = 0; b < max_blocks; ++b) {
+    DesSliceLoad(mblocks[b], n, mw[b]);
+  }
+
+  // Fan-fold in wire form: forward groups XOR straight in, backward groups
+  // XOR in reversed (wire 63-i), inactive lanes masked off. Then the
+  // interim parity fix — the interim key wires double as the CBC-MAC IV.
+  DesSliceState interim{};
+  for (size_t b = 0; b < max_blocks; ++b) {
+    for (int i = 0; i < 64; ++i) {
+      const DesSliceWord& src = (b & 1) ? mw[b].w[63 - i] : mw[b].w[i];
+      if (full[b]) {
+        interim.w[i] ^= src;
+      } else {
+        for (size_t g = 0; g < kDesSliceWords; ++g) {
+          interim.w[i].v[g] ^= src.v[g] & active[b].m[g];
+        }
+      }
+    }
+  }
+  DesSliceFixParity(interim);
+
+  DesSliceKeys iks;
+  DesSliceScheduleFromWires(interim, iks);
+  DesSliceState chain = interim;  // IV = interim key bytes
+  for (size_t b = 0; b < max_blocks; ++b) {
+    if (full[b]) {
+      DesSliceXor(mw[b], chain);
+      DesSliceEncrypt(iks, chain);
+    } else {
+      DesSliceState x = chain;
+      DesSliceXor(mw[b], x);
+      DesSliceEncrypt(iks, x);
+      DesSliceSelect(active[b], x, chain);
+    }
+  }
+
+  // `chain` holds the MACs; the final parity fix happens on wires, then the
+  // rare irregular lanes (weak keys, oversize scalar fallbacks) are patched
+  // back in before the schedule is taken from the key wires.
+  DesSliceFixParity(chain);
+  DesBlock fixed[kDesSliceLanes];
+  DesSliceStore(chain, fixed, n);
+  for (size_t j = 0; j < n; ++j) {
+    if (any_scalar && (scalar_lanes[j / 64] >> (j % 64) & 1)) {
+      out[j] = StringToKey(words[j], salt).bytes();
+      DesSlicePatchLane(j, BlockToU64(out[j]), chain);
+    } else if (IsWeakKey(fixed[j])) {
+      DesBlock nudged = fixed[j];
+      nudged[7] = static_cast<uint8_t>(nudged[7] ^ 0xf0);
+      out[j] = FixParity(nudged);
+      DesSlicePatchLane(j, BlockToU64(out[j]), chain);
+    } else {
+      out[j] = fixed[j];
+    }
+  }
+  DesSliceScheduleFromWires(chain, ks);
 }
 
 }  // namespace kcrypto

@@ -11,14 +11,35 @@
 #ifndef SRC_CRYPTO_STR2KEY_H_
 #define SRC_CRYPTO_STR2KEY_H_
 
+#include <cstddef>
+#include <string>
 #include <string_view>
 
 #include "src/crypto/des.h"
+#include "src/crypto/des_slice.h"
 
 namespace kcrypto {
 
 // `salt` is realm+principal in real Kerberos; any stable string works here.
 DesKey StringToKey(std::string_view password, std::string_view salt);
+
+// Batched derivation through the bitsliced engine (des_slice.h): derives up
+// to kDesSliceLanes keys in one pass, the fan-fold scalar per lane and the
+// CBC-MAC confirmation bitsliced across lanes. out[i] receives exactly the
+// raw key bytes (parity- and weak-key-fixed) that StringToKey(words[i],
+// salt) would schedule — byte-identical, pinned by str2key_test.cc. This is
+// the dictionary sweep's unit of work: one batch = hundreds of candidate
+// passwords through the expensive DES portion at a few gates per key bit.
+void StringToKeyBatch(const std::string* words, size_t n, std::string_view salt,
+                      DesBlock* out);
+
+// As StringToKeyBatch, and additionally returns the bitsliced schedule of
+// the derived keys in `ks` — built directly from the key wires, skipping a
+// store/re-load/transpose round trip. This is what the dictionary sweep
+// uses: derive a batch of keys and immediately trial-decrypt under all of
+// them.
+void StringToKeyBatchSchedule(const std::string* words, size_t n, std::string_view salt,
+                              DesBlock* out, DesSliceKeys& ks);
 
 }  // namespace kcrypto
 

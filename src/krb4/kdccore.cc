@@ -101,10 +101,14 @@ kerb::Result<kerb::Bytes> KdcCore4::DoHandleAs(const ksim::Message& msg, KdcCont
   if (!req.ok()) {
     return req.error();
   }
+  return ServeAs(msg, req.value(), ctx);
+}
 
+kerb::Result<kerb::Bytes> KdcCore4::ServeAs(const ksim::Message& msg, const AsRequest4& req,
+                                            KdcContext& ctx) {
   // V4: no preauthentication. Whoever asked, for whatever principal,
   // receives a reply encrypted in that principal's key.
-  auto client_key = CachedLookup(req.value().client, ctx);
+  auto client_key = CachedLookup(req.client, ctx);
   if (!client_key.ok()) {
     return client_key.error();
   }
@@ -116,12 +120,12 @@ kerb::Result<kerb::Bytes> KdcCore4::DoHandleAs(const ksim::Message& msg, KdcCont
   ksim::Time now = clock_.Now();
   // V4 quantization: the grant is whatever fits a one-byte 5-minute count.
   ksim::Duration lifetime = V4UnitsToLifetime(
-      LifetimeToV4Units(std::min(req.value().lifetime, options_.max_ticket_lifetime)));
+      LifetimeToV4Units(std::min(req.lifetime, options_.max_ticket_lifetime)));
 
   kcrypto::DesKey session_key = ctx.prng.NextDesKey();
   Ticket4 tgt;
   tgt.service = tgs_principal_;
-  tgt.client = req.value().client;
+  tgt.client = req.client;
   tgt.client_addr = msg.src.host;  // trusts the claimed source address
   tgt.issued_at = now;
   tgt.lifetime = lifetime;
@@ -155,7 +159,11 @@ kerb::Result<kerb::Bytes> KdcCore4::DoHandleTgs(const ksim::Message& msg, KdcCon
   if (!req.ok()) {
     return req.error();
   }
+  return ServeTgs(msg, req.value(), ctx);
+}
 
+kerb::Result<kerb::Bytes> KdcCore4::ServeTgs(const ksim::Message& msg, const TgsRequest4& req,
+                                             KdcContext& ctx) {
   auto tgs_key = CachedLookup(tgs_principal_, ctx);
   if (!tgs_key.ok()) {
     return tgs_key.error();
@@ -165,18 +173,18 @@ kerb::Result<kerb::Bytes> KdcCore4::DoHandleTgs(const ksim::Message& msg, KdcCon
   // against `now` on every request, below).
   constexpr uint32_t kMemoTgt4 = 0x7467'3404;
   const Ticket4* tgt =
-      ctx.unseals.Get<Ticket4>(kMemoTgt4, tgs_key.value(), req.value().sealed_tgt);
+      ctx.unseals.Get<Ticket4>(kMemoTgt4, tgs_key.value(), req.sealed_tgt);
   if (kobs::Enabled()) {
     kobs::Emit(kobs::kSrcKdc4,
                tgt != nullptr ? kobs::Ev::kKdcUnsealMemoHit : kobs::Ev::kKdcUnsealMemoMiss,
-               clock_.Now(), req.value().sealed_tgt.size());
+               clock_.Now(), req.sealed_tgt.size());
   }
   if (tgt == nullptr) {
-    auto unsealed = Ticket4::Unseal(tgs_key.value(), req.value().sealed_tgt);
+    auto unsealed = Ticket4::Unseal(tgs_key.value(), req.sealed_tgt);
     if (!unsealed.ok()) {
       return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "ticket-granting ticket invalid");
     }
-    tgt = ctx.unseals.Put(kMemoTgt4, tgs_key.value(), req.value().sealed_tgt,
+    tgt = ctx.unseals.Put(kMemoTgt4, tgs_key.value(), req.sealed_tgt,
                           std::move(unsealed.value()));
   }
 
@@ -186,7 +194,7 @@ kerb::Result<kerb::Bytes> KdcCore4::DoHandleTgs(const ksim::Message& msg, KdcCon
   }
 
   kcrypto::DesKey tgs_session(tgt->session_key);
-  auto auth = Authenticator4::Unseal(tgs_session, req.value().sealed_auth);
+  auto auth = Authenticator4::Unseal(tgs_session, req.sealed_auth);
   if (!auth.ok()) {
     return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "authenticator undecryptable");
   }
@@ -205,7 +213,7 @@ kerb::Result<kerb::Bytes> KdcCore4::DoHandleTgs(const ksim::Message& msg, KdcCon
     return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "address mismatch");
   }
 
-  auto service_key = CachedLookup(req.value().service, ctx);
+  auto service_key = CachedLookup(req.service, ctx);
   if (!service_key.ok()) {
     return service_key.error();
   }
@@ -215,12 +223,12 @@ kerb::Result<kerb::Bytes> KdcCore4::DoHandleTgs(const ksim::Message& msg, KdcCon
   // here so quantization can never extend past the TGT).
   ksim::Duration tgt_remaining = tgt->issued_at + tgt->lifetime - now;
   ksim::Duration requested =
-      std::min({req.value().lifetime, options_.max_ticket_lifetime, tgt_remaining});
+      std::min({req.lifetime, options_.max_ticket_lifetime, tgt_remaining});
   ksim::Duration lifetime = (requested / kV4LifetimeUnit) * kV4LifetimeUnit;
   kcrypto::DesKey session_key = ctx.prng.NextDesKey();
 
   Ticket4 ticket;
-  ticket.service = req.value().service;
+  ticket.service = req.service;
   ticket.client = tgt->client;
   ticket.client_addr = tgt->client_addr;
   ticket.issued_at = now;
@@ -237,6 +245,129 @@ kerb::Result<kerb::Bytes> KdcCore4::DoHandleTgs(const ksim::Message& msg, KdcCon
 
   SealedFrame4Into(MsgType::kTgsReply, tgs_session, ctx.scratch.body_plain, ctx.scratch.reply);
   return RememberReply(msg, ctx.scratch.reply, ctx);
+}
+
+void KdcCore4::WarmKeyCache(const std::vector<const Principal*>& principals,
+                            KdcContext& ctx) const {
+  const uint64_t generation = db_.generation();
+  std::vector<PrincipalStore::LookupRequest> misses;
+  misses.reserve(principals.size());
+  kcrypto::DesKey cached;
+  for (const Principal* p : principals) {
+    const uint64_t hash = PrincipalStore::Hash(*p);
+    if (ctx.keys.Get(generation, hash, *p, &cached)) {
+      continue;  // already warm from an earlier batch
+    }
+    bool queued = false;
+    for (const auto& m : misses) {
+      if (m.hash == hash && *m.principal == *p) {
+        queued = true;
+        break;
+      }
+    }
+    if (!queued) {
+      PrincipalStore::LookupRequest req;
+      req.principal = p;
+      req.hash = hash;
+      misses.push_back(req);
+    }
+  }
+  if (misses.empty()) {
+    return;
+  }
+  db_.store().LookupMany(misses.data(), misses.size());
+  for (const auto& m : misses) {
+    if (m.found) {
+      ctx.keys.Put(generation, m.hash, *m.principal, m.key);
+    }
+  }
+}
+
+void KdcCore4::HandleAsBatch(const ksim::Message* msgs, size_t n, KdcContext& ctx,
+                             std::vector<kerb::Result<kerb::Bytes>>& replies) {
+  replies.reserve(replies.size() + n);
+  if (kobs::Enabled()) {
+    // Sequential fallback keeps the per-request trace event order intact.
+    for (size_t i = 0; i < n; ++i) {
+      replies.push_back(HandleAs(msgs[i], ctx));
+    }
+    return;
+  }
+  // Phase 1: decode every request. Decoding is pure, so hoisting it off the
+  // serve path changes no reply bytes.
+  std::vector<kerb::Result<AsRequest4>> decoded;
+  decoded.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto framed = Unframe4(msgs[i].payload);
+    if (!framed.ok() || framed.value().first != MsgType::kAsRequest) {
+      decoded.push_back(kerb::MakeError(kerb::ErrorCode::kBadFormat, "expected AS request"));
+      continue;
+    }
+    decoded.push_back(AsRequest4::Decode(framed.value().second));
+  }
+  // Phase 2: resolve the batch's principals (every client plus the TGS key
+  // that seals each TGT) with at most one shard-lock acquisition per shard.
+  std::vector<const Principal*> wanted;
+  wanted.reserve(n + 1);
+  wanted.push_back(&tgs_principal_);
+  for (const auto& d : decoded) {
+    if (d.ok()) {
+      wanted.push_back(&d.value().client);
+    }
+  }
+  WarmKeyCache(wanted, ctx);
+  // Phase 3: serve strictly in request order — the PRNG stream and the
+  // reply cache observe the exact one-at-a-time history.
+  for (size_t i = 0; i < n; ++i) {
+    as_requests_.fetch_add(1, std::memory_order_relaxed);
+    if (const kerb::Bytes* cached = CachedReply(msgs[i], ctx)) {
+      replies.push_back(*cached);
+    } else if (!decoded[i].ok()) {
+      replies.push_back(decoded[i].error());
+    } else {
+      replies.push_back(ServeAs(msgs[i], decoded[i].value(), ctx));
+    }
+  }
+}
+
+void KdcCore4::HandleTgsBatch(const ksim::Message* msgs, size_t n, KdcContext& ctx,
+                              std::vector<kerb::Result<kerb::Bytes>>& replies) {
+  replies.reserve(replies.size() + n);
+  if (kobs::Enabled()) {
+    for (size_t i = 0; i < n; ++i) {
+      replies.push_back(HandleTgs(msgs[i], ctx));
+    }
+    return;
+  }
+  std::vector<kerb::Result<TgsRequest4>> decoded;
+  decoded.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto framed = Unframe4(msgs[i].payload);
+    if (!framed.ok() || framed.value().first != MsgType::kTgsRequest) {
+      decoded.push_back(kerb::MakeError(kerb::ErrorCode::kBadFormat, "expected TGS request"));
+      continue;
+    }
+    decoded.push_back(TgsRequest4::Decode(framed.value().second));
+  }
+  std::vector<const Principal*> wanted;
+  wanted.reserve(n + 1);
+  wanted.push_back(&tgs_principal_);
+  for (const auto& d : decoded) {
+    if (d.ok()) {
+      wanted.push_back(&d.value().service);
+    }
+  }
+  WarmKeyCache(wanted, ctx);
+  for (size_t i = 0; i < n; ++i) {
+    tgs_requests_.fetch_add(1, std::memory_order_relaxed);
+    if (const kerb::Bytes* cached = CachedReply(msgs[i], ctx)) {
+      replies.push_back(*cached);
+    } else if (!decoded[i].ok()) {
+      replies.push_back(decoded[i].error());
+    } else {
+      replies.push_back(ServeTgs(msgs[i], decoded[i].value(), ctx));
+    }
+  }
 }
 
 }  // namespace krb4

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/crypto/prng.h"
 #include "src/krb4/database.h"
@@ -232,6 +233,22 @@ class KdcCore4 {
   kerb::Result<kerb::Bytes> HandleAs(const ksim::Message& msg, KdcContext& ctx);
   kerb::Result<kerb::Bytes> HandleTgs(const ksim::Message& msg, KdcContext& ctx);
 
+  // Batched dispatch: serves msgs[0..n) through one context in three
+  // phases — decode every request, resolve the batch's principal keys
+  // through LookupMany (one shard-lock acquisition per shard per batch),
+  // then serve strictly in request order. Replies are appended to
+  // `replies`, byte-identical to calling the one-at-a-time handler on each
+  // message in sequence (pinned by tests/integration/kdc_batch_test.cc):
+  // decoding is pure, key pre-resolution only warms the context's key
+  // cache, and everything ordered — the PRNG stream, the reply cache, the
+  // unseal memo — runs in the serve phase in request order. With tracing
+  // enabled the batch falls back to the sequential handlers so trace
+  // streams keep their per-request event order.
+  void HandleAsBatch(const ksim::Message* msgs, size_t n, KdcContext& ctx,
+                     std::vector<kerb::Result<kerb::Bytes>>& replies);
+  void HandleTgsBatch(const ksim::Message* msgs, size_t n, KdcContext& ctx,
+                      std::vector<kerb::Result<kerb::Bytes>>& replies);
+
   const std::string& realm() const { return realm_; }
   KdcDatabase& database() { return db_; }
   const KdcOptions& options() const { return options_; }
@@ -246,6 +263,18 @@ class KdcCore4 {
   kerb::Result<kerb::Bytes> DoHandleAs(const ksim::Message& msg, KdcContext& ctx);
   kerb::Result<kerb::Bytes> DoHandleTgs(const ksim::Message& msg, KdcContext& ctx);
   kerb::Result<kerb::Bytes> TracedHandle(bool tgs, const ksim::Message& msg, KdcContext& ctx);
+
+  // Everything after the decode — shared by the one-at-a-time handlers and
+  // the serve phase of the batch path.
+  kerb::Result<kerb::Bytes> ServeAs(const ksim::Message& msg, const AsRequest4& req,
+                                    KdcContext& ctx);
+  kerb::Result<kerb::Bytes> ServeTgs(const ksim::Message& msg, const TgsRequest4& req,
+                                     KdcContext& ctx);
+
+  // Pre-resolves the batch's principals into the context's key cache via
+  // PrincipalStore::LookupMany. Purely a cache warm: serve-phase lookups
+  // observe identical keys either way.
+  void WarmKeyCache(const std::vector<const Principal*>& principals, KdcContext& ctx) const;
 
   // db_.Lookup through the context's generation-checked key cache.
   kerb::Result<kcrypto::DesKey> CachedLookup(const Principal& principal, KdcContext& ctx) const;

@@ -143,7 +143,11 @@ kerb::Result<kerb::Bytes> KdcCore5::DoHandleAs(const ksim::Message& msg, KdcCont
   if (!req.ok()) {
     return req.error();
   }
+  return ServeAs(msg, req.value(), ctx);
+}
 
+kerb::Result<kerb::Bytes> KdcCore5::ServeAs(const ksim::Message& msg, const AsRequest5& req,
+                                            KdcContext& ctx) {
   ksim::Time now = clock_.Now();
 
   // Rate limiting (the paper: "an enhancement to the server, to limit the
@@ -159,7 +163,7 @@ kerb::Result<kerb::Bytes> KdcCore5::DoHandleAs(const ksim::Message& msg, KdcCont
     times.push_back(now);
   }
 
-  auto client_key = CachedLookup(req.value().client, ctx);
+  auto client_key = CachedLookup(req.client, ctx);
   if (!client_key.ok()) {
     return client_key.error();
   }
@@ -168,17 +172,17 @@ kerb::Result<kerb::Bytes> KdcCore5::DoHandleAs(const ksim::Message& msg, KdcCont
   // {nonce, timestamp}K_c, so only the key holder can obtain the reply —
   // and eavesdropping is required to harvest guessable material.
   if (policy_.require_preauth) {
-    if (!req.value().padata.has_value()) {
+    if (!req.padata.has_value()) {
       return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "preauthentication required");
     }
     auto padata =
-        UnsealTlv(client_key.value(), kMsgPreauth, *req.value().padata, policy_.enc);
+        UnsealTlv(client_key.value(), kMsgPreauth, *req.padata, policy_.enc);
     if (!padata.ok()) {
       return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "preauthentication invalid");
     }
     auto pa_nonce = padata.value().GetU64(tag::kNonce);
     auto pa_time = padata.value().GetU64(tag::kTimestamp);
-    if (!pa_nonce.ok() || !pa_time.ok() || pa_nonce.value() != req.value().nonce) {
+    if (!pa_nonce.ok() || !pa_time.ok() || pa_nonce.value() != req.nonce) {
       return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "preauthentication nonce mismatch");
     }
     if (std::llabs(static_cast<ksim::Time>(pa_time.value()) - now) >
@@ -192,14 +196,14 @@ kerb::Result<kerb::Bytes> KdcCore5::DoHandleAs(const ksim::Message& msg, KdcCont
     return tgs_key.error();
   }
 
-  ksim::Duration lifetime = std::min(req.value().lifetime, policy_.max_ticket_lifetime);
+  ksim::Duration lifetime = std::min(req.lifetime, policy_.max_ticket_lifetime);
   kcrypto::DesKey session_key = ctx.prng.NextDesKey();
 
   Ticket5 tgt;
   tgt.service = tgs_principal_;
-  tgt.client = req.value().client;
+  tgt.client = req.client;
   tgt.flags = kFlagForwardable;
-  if (!(policy_.allow_address_omission && (req.value().options & kOptOmitAddress))) {
+  if (!(policy_.allow_address_omission && (req.options & kOptOmitAddress))) {
     tgt.client_addr = msg.src.host;
   }
   tgt.issued_at = now;
@@ -208,7 +212,7 @@ kerb::Result<kerb::Bytes> KdcCore5::DoHandleAs(const ksim::Message& msg, KdcCont
 
   EncAsRepPart5 part;
   part.tgs_session_key = session_key.bytes();
-  part.nonce = req.value().nonce;  // Draft 3's challenge/response to the client
+  part.nonce = req.nonce;  // Draft 3's challenge/response to the client
   part.issued_at = now;
   part.lifetime = lifetime;
 
@@ -235,7 +239,11 @@ kerb::Result<kerb::Bytes> KdcCore5::DoHandleTgs(const ksim::Message& msg, KdcCon
   if (!decoded.ok()) {
     return decoded.error();
   }
-  const TgsRequest5& req = decoded.value();
+  return ServeTgs(msg, decoded.value(), ctx);
+}
+
+kerb::Result<kerb::Bytes> KdcCore5::ServeTgs(const ksim::Message& msg, const TgsRequest5& req,
+                                             KdcContext& ctx) {
   ksim::Time now = clock_.Now();
 
   // Which key seals the presented TGT?
@@ -484,6 +492,134 @@ kerb::Result<kerb::Bytes> KdcCore5::DoHandleTgs(const ksim::Message& msg, KdcCon
                        EncodeReplyInto(kMsgTgsRep, ctx.scratch.ticket_sealed,
                                        ctx.scratch.body_sealed, ctx.scratch),
                        ctx);
+}
+
+void KdcCore5::WarmKeyCache(const std::vector<const krb4::Principal*>& principals,
+                            KdcContext& ctx) const {
+  const uint64_t generation = db_.generation();
+  std::vector<krb4::PrincipalStore::LookupRequest> misses;
+  misses.reserve(principals.size());
+  kcrypto::DesKey cached;
+  for (const krb4::Principal* p : principals) {
+    const uint64_t hash = krb4::PrincipalStore::Hash(*p);
+    if (ctx.keys.Get(generation, hash, *p, &cached)) {
+      continue;  // already warm from an earlier batch
+    }
+    bool queued = false;
+    for (const auto& m : misses) {
+      if (m.hash == hash && *m.principal == *p) {
+        queued = true;
+        break;
+      }
+    }
+    if (!queued) {
+      krb4::PrincipalStore::LookupRequest req;
+      req.principal = p;
+      req.hash = hash;
+      misses.push_back(req);
+    }
+  }
+  if (misses.empty()) {
+    return;
+  }
+  db_.store().LookupMany(misses.data(), misses.size());
+  for (const auto& m : misses) {
+    if (m.found) {
+      ctx.keys.Put(generation, m.hash, *m.principal, m.key);
+    }
+  }
+}
+
+void KdcCore5::HandleAsBatch(const ksim::Message* msgs, size_t n, KdcContext& ctx,
+                             std::vector<kerb::Result<kerb::Bytes>>& replies) {
+  replies.reserve(replies.size() + n);
+  if (kobs::Enabled()) {
+    // Sequential fallback keeps the per-request trace event order intact.
+    for (size_t i = 0; i < n; ++i) {
+      replies.push_back(HandleAs(msgs[i], ctx));
+    }
+    return;
+  }
+  // Phase 1: decode every request (pure — no reply bytes depend on when the
+  // decode runs).
+  std::vector<kerb::Result<AsRequest5>> decoded;
+  decoded.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto tlv = kenc::TlvMessage::DecodeExpecting(kMsgAsReq, msgs[i].payload);
+    if (!tlv.ok()) {
+      decoded.push_back(tlv.error());
+      continue;
+    }
+    decoded.push_back(AsRequest5::FromTlv(tlv.value()));
+  }
+  // Phase 2: resolve the batch's principal keys with at most one shard-lock
+  // acquisition per shard.
+  std::vector<const krb4::Principal*> wanted;
+  wanted.reserve(n + 1);
+  wanted.push_back(&tgs_principal_);
+  for (const auto& d : decoded) {
+    if (d.ok()) {
+      wanted.push_back(&d.value().client);
+    }
+  }
+  WarmKeyCache(wanted, ctx);
+  // Phase 3: serve strictly in request order — the PRNG stream, the reply
+  // cache and the rate limiter observe the exact one-at-a-time history.
+  for (size_t i = 0; i < n; ++i) {
+    as_requests_.fetch_add(1, std::memory_order_relaxed);
+    if (const kerb::Bytes* cached = CachedReply(msgs[i], ctx)) {
+      replies.push_back(*cached);
+    } else if (!decoded[i].ok()) {
+      replies.push_back(decoded[i].error());
+    } else {
+      replies.push_back(ServeAs(msgs[i], decoded[i].value(), ctx));
+    }
+  }
+}
+
+void KdcCore5::HandleTgsBatch(const ksim::Message* msgs, size_t n, KdcContext& ctx,
+                              std::vector<kerb::Result<kerb::Bytes>>& replies) {
+  replies.reserve(replies.size() + n);
+  if (kobs::Enabled()) {
+    for (size_t i = 0; i < n; ++i) {
+      replies.push_back(HandleTgs(msgs[i], ctx));
+    }
+    return;
+  }
+  std::vector<kerb::Result<TgsRequest5>> decoded;
+  decoded.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto tlv = kenc::TlvMessage::DecodeExpecting(kMsgTgsReq, msgs[i].payload);
+    if (!tlv.ok()) {
+      decoded.push_back(tlv.error());
+      continue;
+    }
+    decoded.push_back(TgsRequest5::FromTlv(tlv.value()));
+  }
+  // The TGS path may need the service's key, the TGS's own key, and (for
+  // REUSE-SKEY) the donor ticket's service key; warm all of them.
+  std::vector<const krb4::Principal*> wanted;
+  wanted.reserve(2 * n + 1);
+  wanted.push_back(&tgs_principal_);
+  for (const auto& d : decoded) {
+    if (d.ok()) {
+      wanted.push_back(&d.value().service);
+      if (d.value().additional_ticket_service.has_value()) {
+        wanted.push_back(&*d.value().additional_ticket_service);
+      }
+    }
+  }
+  WarmKeyCache(wanted, ctx);
+  for (size_t i = 0; i < n; ++i) {
+    tgs_requests_.fetch_add(1, std::memory_order_relaxed);
+    if (const kerb::Bytes* cached = CachedReply(msgs[i], ctx)) {
+      replies.push_back(*cached);
+    } else if (!decoded[i].ok()) {
+      replies.push_back(decoded[i].error());
+    } else {
+      replies.push_back(ServeTgs(msgs[i], decoded[i].value(), ctx));
+    }
+  }
 }
 
 }  // namespace krb5

@@ -72,6 +72,17 @@ class KdcCore5 {
   kerb::Result<kerb::Bytes> HandleAs(const ksim::Message& msg, KdcContext& ctx);
   kerb::Result<kerb::Bytes> HandleTgs(const ksim::Message& msg, KdcContext& ctx);
 
+  // Batched dispatch, same contract as KdcCore4::HandleAsBatch: decode the
+  // whole batch, resolve its principal keys through one LookupMany pass,
+  // then serve strictly in request order. Replies are appended to
+  // `replies`, byte-identical to the one-at-a-time handlers (pinned by
+  // tests/integration/kdc_batch_test.cc). Falls back to the sequential
+  // handlers while tracing is enabled.
+  void HandleAsBatch(const ksim::Message* msgs, size_t n, KdcContext& ctx,
+                     std::vector<kerb::Result<kerb::Bytes>>& replies);
+  void HandleTgsBatch(const ksim::Message* msgs, size_t n, KdcContext& ctx,
+                      std::vector<kerb::Result<kerb::Bytes>>& replies);
+
   const std::string& realm() const { return realm_; }
   KdcDatabase& database() { return db_; }
   KdcPolicy5& policy() { return policy_; }
@@ -92,6 +103,19 @@ class KdcCore5 {
   kerb::Result<kerb::Bytes> DoHandleAs(const ksim::Message& msg, KdcContext& ctx);
   kerb::Result<kerb::Bytes> DoHandleTgs(const ksim::Message& msg, KdcContext& ctx);
   kerb::Result<kerb::Bytes> TracedHandle(bool tgs, const ksim::Message& msg, KdcContext& ctx);
+
+  // Everything after the decode — shared by the one-at-a-time handlers and
+  // the serve phase of the batch path.
+  kerb::Result<kerb::Bytes> ServeAs(const ksim::Message& msg, const AsRequest5& req,
+                                    KdcContext& ctx);
+  kerb::Result<kerb::Bytes> ServeTgs(const ksim::Message& msg, const TgsRequest5& req,
+                                     KdcContext& ctx);
+
+  // Pre-resolves the batch's principals into the context's key cache via
+  // PrincipalStore::LookupMany. Purely a cache warm: serve-phase lookups
+  // observe identical keys either way.
+  void WarmKeyCache(const std::vector<const krb4::Principal*>& principals,
+                    KdcContext& ctx) const;
 
   kerb::Result<kcrypto::DesKey> CachedLookup(const krb4::Principal& principal,
                                              KdcContext& ctx) const;

@@ -45,7 +45,9 @@ class ShardedReplayCache {
  private:
   // Timestamp leads so a shard's stale entries form a contiguous prefix.
   using Entry = std::tuple<Time, std::string, uint32_t>;
-  struct Shard {
+  // Cache-line padded: adjacent shards' mutexes must not share a line, or
+  // contention on one shard shows up as coherence misses on its neighbours.
+  struct alignas(64) Shard {
     mutable std::mutex mu;
     std::set<Entry> entries;
   };

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "src/crypto/des_slice.h"
+
 namespace kcrypto {
 namespace {
 
@@ -65,6 +70,35 @@ TEST(Str2KeyTest, PinnedRegressionVectors) {
   for (const auto& v : kPinned) {
     EXPECT_EQ(StringToKey(v.password, v.salt).AsU64(), v.key)
         << "password=\"" << v.password << "\" salt=\"" << v.salt << "\"";
+  }
+}
+
+TEST(Str2KeyTest, BatchMatchesScalarOnDictionaryAndEdgeCases) {
+  // The batched (bitsliced) derivation must be byte-identical to the scalar
+  // path for every lane: dictionary-like words, empty strings, long inputs
+  // past the batch's scalar-fallback threshold, and inputs whose MAC lands
+  // on the weak-key fixup.
+  std::vector<std::string> words;
+  for (size_t j = 0; j < kDesSliceLanes + 17; ++j) {
+    switch (j % 5) {
+      case 0: words.push_back("password" + std::to_string(j)); break;
+      case 1: words.push_back(""); break;
+      case 2: words.push_back(std::string(j % 40, 'q')); break;
+      case 3: words.push_back("Tr0ub4dor&" + std::to_string(j)); break;
+      default: words.push_back(std::string(120 + j % 40, 'z')); break;  // > batch cap
+    }
+  }
+  for (const char* salt : {"", "ATHENA.SIMuser9", "REALM.Cuser"}) {
+    for (size_t n : {size_t{1}, size_t{7}, size_t{64}, size_t{65}, words.size()}) {
+      if (n > words.size()) continue;
+      std::vector<DesBlock> got(n);
+      StringToKeyBatch(words.data(), n, salt, got.data());
+      const size_t checked = n < kDesSliceLanes ? n : kDesSliceLanes;
+      for (size_t j = 0; j < checked; ++j) {
+        EXPECT_EQ(got[j], StringToKey(words[j], salt).bytes())
+            << "lane " << j << " word \"" << words[j] << "\" salt \"" << salt << "\"";
+      }
+    }
   }
 }
 

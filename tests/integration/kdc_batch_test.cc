@@ -1,0 +1,343 @@
+// Byte-identity of the batched KDC dispatch (PR-6).
+//
+// HandleAsBatch/HandleTgsBatch restructure the serving hot path — decode
+// the whole batch, resolve principal keys through one LookupMany pass per
+// shard, then serve in request order — and their contract is that none of
+// that restructuring is observable in the replies: a batch of requests
+// produces byte-for-byte the replies the one-at-a-time handlers produce,
+// for every mix of valid requests, malformed frames, unknown principals,
+// and in-batch duplicates (reply-cache hits), and independently of how the
+// queue is carved into dispatches. These tests pin that contract for both
+// the V4 and the V5 cores.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/attacks/kdcload.h"
+#include "src/attacks/testbed.h"
+#include "src/attacks/testbed5.h"
+#include "src/crypto/checksum.h"
+#include "src/crypto/prng.h"
+#include "src/crypto/str2key.h"
+#include "src/krb4/messages.h"
+#include "src/krb5/enclayer.h"
+#include "src/krb5/messages.h"
+
+namespace {
+
+using kattack::Testbed4;
+using kattack::Testbed5;
+
+// Serves every message one-at-a-time through `seq`, then as batches through
+// `batch`, and asserts the two reply streams are identical result-by-result
+// and byte-by-byte. `serve_one` and `serve_batch` adapt to the V4/V5 cores.
+template <typename ServeOne, typename ServeBatch>
+void ExpectBatchMatchesSequential(const std::vector<ksim::Message>& msgs, uint64_t seed,
+                                  ServeOne serve_one, ServeBatch serve_batch) {
+  krb4::KdcContext seq_ctx{kcrypto::Prng(seed)};
+  std::vector<kerb::Result<kerb::Bytes>> sequential;
+  sequential.reserve(msgs.size());
+  for (const auto& msg : msgs) {
+    sequential.push_back(serve_one(msg, seq_ctx));
+  }
+
+  // Whole queue in one dispatch.
+  {
+    krb4::KdcContext batch_ctx{kcrypto::Prng(seed)};
+    std::vector<kerb::Result<kerb::Bytes>> batched;
+    serve_batch(msgs.data(), msgs.size(), batch_ctx, batched);
+    ASSERT_EQ(batched.size(), sequential.size());
+    for (size_t i = 0; i < sequential.size(); ++i) {
+      ASSERT_EQ(batched[i].ok(), sequential[i].ok()) << "reply " << i;
+      if (sequential[i].ok()) {
+        EXPECT_EQ(batched[i].value(), sequential[i].value()) << "reply " << i;
+      } else {
+        EXPECT_EQ(batched[i].error().code, sequential[i].error().code) << "reply " << i;
+        EXPECT_EQ(batched[i].error().detail, sequential[i].error().detail) << "reply " << i;
+      }
+    }
+  }
+
+  // Same queue carved into uneven dispatches — how a draining worker
+  // actually sees it. The carve points must not be observable either.
+  for (size_t first : {size_t{1}, size_t{3}}) {
+    if (first >= msgs.size()) {
+      continue;
+    }
+    krb4::KdcContext batch_ctx{kcrypto::Prng(seed)};
+    std::vector<kerb::Result<kerb::Bytes>> batched;
+    serve_batch(msgs.data(), first, batch_ctx, batched);
+    serve_batch(msgs.data() + first, msgs.size() - first, batch_ctx, batched);
+    ASSERT_EQ(batched.size(), sequential.size());
+    for (size_t i = 0; i < sequential.size(); ++i) {
+      ASSERT_EQ(batched[i].ok(), sequential[i].ok()) << "split " << first << " reply " << i;
+      if (sequential[i].ok()) {
+        EXPECT_EQ(batched[i].value(), sequential[i].value())
+            << "split " << first << " reply " << i;
+      }
+    }
+  }
+}
+
+ksim::Message Msg4(const ksim::NetAddress& src, kerb::Bytes payload, ksim::Time now) {
+  ksim::Message msg;
+  msg.src = src;
+  msg.dst = Testbed4::kAsAddr;
+  msg.payload = std::move(payload);
+  msg.sent_at = now;
+  return msg;
+}
+
+kerb::Bytes AsRequestBytes4(const krb4::Principal& client, const std::string& realm) {
+  krb4::AsRequest4 req;
+  req.client = client;
+  req.service_realm = realm;
+  req.lifetime = 4 * ksim::kHour;
+  return krb4::Frame4(krb4::MsgType::kAsRequest, req.Encode());
+}
+
+TEST(KdcBatchTest, V4AsBatchIsByteIdenticalToSequential) {
+  kattack::TestbedConfig config;
+  config.kdc_reply_cache_window = ksim::kMinute;  // exercise in-batch duplicates
+  Testbed4 bed(config);
+  const ksim::Time now = bed.world().MakeHostClock().Now();
+
+  std::vector<ksim::Message> msgs;
+  msgs.push_back(Msg4(Testbed4::kAliceAddr, AsRequestBytes4(bed.alice_principal(), bed.realm), now));
+  msgs.push_back(Msg4(Testbed4::kBobAddr,
+                      AsRequestBytes4({"bob", "", bed.realm}, bed.realm), now));
+  // Unknown principal: the error reply must match too.
+  msgs.push_back(Msg4(Testbed4::kEveAddr,
+                      AsRequestBytes4({"nobody", "", bed.realm}, bed.realm), now));
+  // Garbage payload: bad-format path.
+  msgs.push_back(Msg4(Testbed4::kEveAddr, kerb::Bytes{0xde, 0xad, 0xbe, 0xef}, now));
+  // Exact duplicate of the first request: a reply-cache hit inside the batch.
+  msgs.push_back(msgs.front());
+  // A second alice request from a different port: NOT a duplicate (distinct
+  // source), so it must mint a fresh ticket in both harnesses.
+  msgs.push_back(Msg4({Testbed4::kAliceAddr.host, 1024},
+                      AsRequestBytes4(bed.alice_principal(), bed.realm), now));
+
+  krb4::KdcCore4& core = bed.kdc().core();
+  ExpectBatchMatchesSequential(
+      msgs, 0x6b646334,
+      [&core](const ksim::Message& m, krb4::KdcContext& ctx) { return core.HandleAs(m, ctx); },
+      [&core](const ksim::Message* m, size_t n, krb4::KdcContext& ctx,
+              std::vector<kerb::Result<kerb::Bytes>>& out) { core.HandleAsBatch(m, n, ctx, out); });
+}
+
+TEST(KdcBatchTest, V4TgsBatchIsByteIdenticalToSequential) {
+  kattack::TestbedConfig config;
+  config.kdc_reply_cache_window = ksim::kMinute;
+  Testbed4 bed(config);
+  const ksim::Time now = bed.world().MakeHostClock().Now();
+  krb4::KdcCore4& core = bed.kdc().core();
+
+  // One real AS exchange yields the TGT + session key the TGS requests need.
+  krb4::KdcContext setup_ctx{kcrypto::Prng(0x5e70)};
+  ksim::Message as_msg =
+      Msg4(Testbed4::kAliceAddr, AsRequestBytes4(bed.alice_principal(), bed.realm), now);
+  auto as_reply = core.HandleAs(as_msg, setup_ctx);
+  ASSERT_TRUE(as_reply.ok());
+  auto framed = krb4::Unframe4(as_reply.value());
+  ASSERT_TRUE(framed.ok());
+  const kcrypto::DesKey alice_key =
+      kcrypto::StringToKey(Testbed4::kAlicePassword, bed.alice_principal().Salt());
+  auto body_plain = krb4::Unseal4(alice_key, framed.value().second);
+  ASSERT_TRUE(body_plain.ok());
+  auto body = krb4::AsReplyBody4::Decode(body_plain.value());
+  ASSERT_TRUE(body.ok());
+  kcrypto::DesKey tgs_session(body.value().tgs_session_key);
+
+  auto tgs_request = [&](const krb4::Principal& service) {
+    krb4::TgsRequest4 req;
+    req.service = service;
+    req.sealed_tgt = body.value().sealed_tgt;
+    krb4::Authenticator4 auth;
+    auth.client = bed.alice_principal();
+    auth.client_addr = Testbed4::kAliceAddr.host;
+    auth.timestamp = now;
+    req.sealed_auth = auth.Seal(tgs_session);
+    req.lifetime = ksim::kHour;
+    ksim::Message msg = Msg4(Testbed4::kAliceAddr,
+                             krb4::Frame4(krb4::MsgType::kTgsRequest, req.Encode()), now);
+    msg.dst = Testbed4::kTgsAddr;
+    return msg;
+  };
+
+  std::vector<ksim::Message> msgs;
+  msgs.push_back(tgs_request(bed.mail_principal()));
+  msgs.push_back(tgs_request(bed.file_principal()));
+  msgs.push_back(tgs_request({"no-such-service", "", bed.realm}));  // unknown service
+  msgs.push_back(Msg4(Testbed4::kEveAddr, kerb::Bytes{0x00, 0x01}, now));  // bad format
+  msgs.push_back(msgs.front());  // in-batch duplicate → reply-cache hit
+
+  ExpectBatchMatchesSequential(
+      msgs, 0x6b646335,
+      [&core](const ksim::Message& m, krb4::KdcContext& ctx) { return core.HandleTgs(m, ctx); },
+      [&core](const ksim::Message* m, size_t n, krb4::KdcContext& ctx,
+              std::vector<kerb::Result<kerb::Bytes>>& out) {
+        core.HandleTgsBatch(m, n, ctx, out);
+      });
+}
+
+TEST(KdcBatchTest, V5AsBatchIsByteIdenticalToSequential) {
+  kattack::Testbed5Config config;
+  config.kdc_policy.reply_cache_window = ksim::kMinute;
+  Testbed5 bed(config);
+  const ksim::Time now = bed.world().MakeHostClock().Now();
+  krb5::KdcCore5& core = bed.kdc().core();
+  kcrypto::Prng nonce_prng(0xa5a5);
+
+  auto as_request = [&](const krb5::Principal& client, const ksim::NetAddress& src) {
+    krb5::AsRequest5 req;
+    req.client = client;
+    req.service_realm = bed.realm;
+    req.lifetime = 2 * ksim::kHour;
+    req.nonce = nonce_prng.NextU64();
+    ksim::Message msg;
+    msg.src = src;
+    msg.dst = Testbed5::kAsAddr;
+    msg.payload = req.ToTlv().Encode();
+    msg.sent_at = now;
+    return msg;
+  };
+
+  std::vector<ksim::Message> msgs;
+  msgs.push_back(as_request(bed.alice_principal(), Testbed5::kAliceAddr));
+  msgs.push_back(as_request({"bob", "", bed.realm}, Testbed5::kBobAddr));
+  msgs.push_back(as_request({"nobody", "", bed.realm}, Testbed5::kEveAddr));
+  {
+    ksim::Message garbage;
+    garbage.src = Testbed5::kEveAddr;
+    garbage.dst = Testbed5::kAsAddr;
+    garbage.payload = kerb::Bytes{0xff, 0xfe, 0xfd};
+    garbage.sent_at = now;
+    msgs.push_back(garbage);
+  }
+  msgs.push_back(msgs.front());  // duplicate → reply-cache hit
+
+  ExpectBatchMatchesSequential(
+      msgs, 0x6b646355,
+      [&core](const ksim::Message& m, krb4::KdcContext& ctx) { return core.HandleAs(m, ctx); },
+      [&core](const ksim::Message* m, size_t n, krb4::KdcContext& ctx,
+              std::vector<kerb::Result<kerb::Bytes>>& out) { core.HandleAsBatch(m, n, ctx, out); });
+}
+
+TEST(KdcBatchTest, V5TgsBatchIsByteIdenticalToSequential) {
+  Testbed5 bed;
+  const ksim::Time now = bed.world().MakeHostClock().Now();
+  krb5::KdcCore5& core = bed.kdc().core();
+  kcrypto::Prng prng(0xbeef5);
+
+  // Real AS exchange for the TGT.
+  krb5::AsRequest5 as_req;
+  as_req.client = bed.alice_principal();
+  as_req.service_realm = bed.realm;
+  as_req.lifetime = 4 * ksim::kHour;
+  as_req.nonce = prng.NextU64();
+  ksim::Message as_msg;
+  as_msg.src = Testbed5::kAliceAddr;
+  as_msg.dst = Testbed5::kAsAddr;
+  as_msg.payload = as_req.ToTlv().Encode();
+  as_msg.sent_at = now;
+  krb4::KdcContext setup_ctx{prng.Fork()};
+  auto as_reply = core.HandleAs(as_msg, setup_ctx);
+  ASSERT_TRUE(as_reply.ok());
+  auto as_tlv = kenc::TlvMessage::DecodeExpecting(krb5::kMsgAsRep, as_reply.value());
+  ASSERT_TRUE(as_tlv.ok());
+  auto rep = krb5::AsReply5::FromTlv(as_tlv.value());
+  ASSERT_TRUE(rep.ok());
+  const kcrypto::DesKey alice_key =
+      kcrypto::StringToKey(Testbed5::kAlicePassword, bed.alice_principal().Salt());
+  auto part_tlv = krb5::UnsealTlv(alice_key, krb5::kMsgEncAsRepPart,
+                                  rep.value().sealed_enc_part, krb5::EncLayerConfig{});
+  ASSERT_TRUE(part_tlv.ok());
+  auto part = krb5::EncAsRepPart5::FromTlv(part_tlv.value());
+  ASSERT_TRUE(part.ok());
+  kcrypto::DesKey tgs_session(part.value().tgs_session_key);
+
+  auto tgs_request = [&](const krb5::Principal& service) {
+    krb5::TgsRequest5 req;
+    req.service = service;
+    req.lifetime = ksim::kHour;
+    req.nonce = prng.NextU64();
+    req.tgt_realm = bed.realm;
+    req.sealed_tgt = rep.value().sealed_tgt;
+    krb5::Authenticator5 auth;
+    auth.client = bed.alice_principal();
+    auth.timestamp = now;
+    auth.checksum_type = kcrypto::ChecksumType::kCrc32;
+    auth.request_checksum = kcrypto::ComputeChecksum(kcrypto::ChecksumType::kCrc32,
+                                                     req.ChecksumInput(), tgs_session);
+    req.sealed_authenticator = auth.Seal(tgs_session, krb5::EncLayerConfig{}, prng);
+    ksim::Message msg;
+    msg.src = Testbed5::kAliceAddr;
+    msg.dst = Testbed5::kTgsAddr;
+    msg.payload = req.ToTlv().Encode();
+    msg.sent_at = now;
+    return msg;
+  };
+
+  std::vector<ksim::Message> msgs;
+  msgs.push_back(tgs_request(bed.mail_principal()));
+  msgs.push_back(tgs_request({"no-such-service", "", bed.realm}));
+  {
+    ksim::Message garbage;
+    garbage.src = Testbed5::kEveAddr;
+    garbage.dst = Testbed5::kTgsAddr;
+    garbage.payload = kerb::Bytes{0x42};
+    garbage.sent_at = now;
+    msgs.push_back(garbage);
+  }
+  msgs.push_back(tgs_request(bed.mail_principal()));  // fresh nonce: distinct request
+
+  ExpectBatchMatchesSequential(
+      msgs, 0x6b646356,
+      [&core](const ksim::Message& m, krb4::KdcContext& ctx) { return core.HandleTgs(m, ctx); },
+      [&core](const ksim::Message* m, size_t n, krb4::KdcContext& ctx,
+              std::vector<kerb::Result<kerb::Bytes>>& out) {
+        core.HandleTgsBatch(m, n, ctx, out);
+      });
+}
+
+// The batched load harness must agree with the sequential one on aggregate
+// accept counts for every batch size, including batch sizes that do not
+// divide the queue length.
+TEST(KdcBatchTest, BatchedLoadHarnessMatchesSequentialCounts) {
+  Testbed5 bed;
+  const ksim::Time now = bed.world().MakeHostClock().Now();
+  krb5::KdcCore5& core = bed.kdc().core();
+  kcrypto::Prng prng(0x10adb);
+
+  krb5::AsRequest5 as_req;
+  as_req.client = bed.alice_principal();
+  as_req.service_realm = bed.realm;
+  as_req.lifetime = ksim::kHour;
+  as_req.nonce = prng.NextU64();
+  ksim::Message request;
+  request.src = Testbed5::kAliceAddr;
+  request.dst = Testbed5::kAsAddr;
+  request.payload = as_req.ToTlv().Encode();
+  request.sent_at = now;
+
+  kattack::KdcBatchHandler batch_handler =
+      [&core](const ksim::Message* msgs, size_t n, krb4::KdcContext& ctx,
+              std::vector<kerb::Result<kerb::Bytes>>& replies) {
+        core.HandleAsBatch(msgs, n, ctx, replies);
+      };
+  constexpr uint64_t kPerWorker = 37;  // deliberately not a batch multiple
+  for (unsigned threads : {1u, 2u, 4u}) {
+    for (size_t batch : {size_t{1}, size_t{7}, size_t{64}}) {
+      auto result = kattack::RunKdcLoadBatched(batch_handler, request, threads, kPerWorker,
+                                               0xfade + threads, batch);
+      EXPECT_EQ(result.requests_failed, 0u) << "threads=" << threads << " batch=" << batch;
+      EXPECT_EQ(result.requests_ok, threads * kPerWorker)
+          << "threads=" << threads << " batch=" << batch;
+    }
+  }
+}
+
+}  // namespace
