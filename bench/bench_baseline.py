@@ -26,9 +26,15 @@ distills the numbers every PR cares about:
         journaled registration path, recovery replay records/sec, and the
         kprop transfer cost of a one-user change: delta bytes vs wholesale
         bytes (acceptance: the ratio is strictly below 1)
+    pk: the PR-7 public-key preauth pipeline (B3) — modexp/sec for the
+        binary ladder, the cached sliding-window context, and the
+        fixed-base comb at 256/512/768/1024-bit moduli (768/1024 are the
+        Oakley groups), the windowed- and fixed-base-over-binary speedups
+        at 1024 bits (acceptance: windowed >= 3x), and bulk verified DH
+        logins/sec through the threaded V4 KDC core per worker count
 
 Usage:
-    python3 bench/bench_baseline.py --build-dir build --out BENCH_PR6.json
+    python3 bench/bench_baseline.py --build-dir build --out BENCH_PR7.json
 
 or via the CMake target:  cmake --build build --target bench_baseline
 Stdlib only; no third-party packages.
@@ -113,10 +119,16 @@ def build_meta(build_dir):
                                  text=True, check=True).stdout.splitlines()[0]
     except (OSError, subprocess.CalledProcessError, IndexError):
         version = ""
+    # Anchor git at the repo root (this script's parent directory) so the
+    # recorded SHA is the repo's HEAD no matter where the script is invoked
+    # from, and ignore untracked files: build leftovers are not "dirty".
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     try:
-        sha = subprocess.run(["git", "rev-parse", "HEAD"], capture_output=True,
-                             text=True, check=True).stdout.strip()
-        dirty = subprocess.run(["git", "status", "--porcelain"],
+        sha = subprocess.run(["git", "-C", repo_root, "rev-parse", "HEAD"],
+                             capture_output=True, text=True,
+                             check=True).stdout.strip()
+        dirty = subprocess.run(["git", "-C", repo_root, "status",
+                                "--porcelain", "--untracked-files=no"],
                                capture_output=True, text=True,
                                check=True).stdout.strip() != ""
     except (OSError, subprocess.CalledProcessError):
@@ -141,7 +153,7 @@ def metric(benchmarks, name, field):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--out", default="BENCH_PR6.json")
+    parser.add_argument("--out", default="BENCH_PR7.json")
     parser.add_argument("--min-time", default=None,
                         help="override --benchmark_min_time (bare seconds, e.g. 0.05)")
     args = parser.parse_args()
@@ -165,6 +177,9 @@ def main():
     b14 = run_bench(os.path.join(bench_dir, "bench_b14_persist"),
                     "BM_WalAppend$|BM_WalRecover/|BM_PropDelta$",
                     args.min_time)
+    b3 = run_bench_best_of(os.path.join(bench_dir, "bench_b3_dh"),
+                           "BM_ModExp(Binary|Windowed|FixedBase)/"
+                           "|BM_PkLogin4Bulk/", args.min_time)
 
     doc = {
         "meta": build_meta(args.build_dir),
@@ -244,6 +259,30 @@ def main():
             "delta_bytes": delta_bytes,
             "wholesale_bytes": wholesale_bytes,
             "delta_over_wholesale": delta_bytes / wholesale_bytes,
+        },
+    }
+
+    pk_sizes = (256, 512, 768, 1024)
+    modexp = {
+        engine: {
+            str(bits): metric(b3, f"BM_ModExp{name}/{bits}", "items_per_second")
+            for bits in pk_sizes
+        }
+        for engine, name in (("binary", "Binary"), ("windowed", "Windowed"),
+                             ("fixed_base", "FixedBase"))
+    }
+    doc["pk"] = {
+        "modexp_per_sec": modexp,
+        "speedup_1024": {
+            "windowed_over_binary":
+                modexp["windowed"]["1024"] / modexp["binary"]["1024"],
+            "fixed_base_over_binary":
+                modexp["fixed_base"]["1024"] / modexp["binary"]["1024"],
+        },
+        "dh_logins_per_sec": {
+            str(n): metric(b3, f"BM_PkLogin4Bulk/{n}/real_time",
+                           "items_per_second")
+            for n in (1, 2, 4)
         },
     }
 

@@ -1,0 +1,95 @@
+// Regression guard: the cached sliding-window Montgomery engine must stay
+// at least 1.5x faster than the binary ladder it replaced at 512 bits.
+//
+// Not a google-benchmark binary — a plain pass/fail ctest (registered as
+// bench_smoke_modexp_guard) so the margin is checked on every test run,
+// not only when someone reads bench output. Both sides exponentiate the
+// same base to the same full-width exponent modulo the same 512-bit odd
+// modulus:
+//
+//   binary:   BigInt::ModExpBinary — the pre-PR-7 square-and-multiply
+//             ladder, kept as the correctness oracle;
+//   windowed: a ModExpCtx built once (Montgomery constants + odd-power
+//             table) and reused across calls — the DhEngine inner loop.
+//
+// The 1.5x floor is conservative: the measured margin on the reference box
+// is ~4-5x, so the guard only fires on a real regression (e.g. the ctx
+// cache silently falling back to per-call setup).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "src/crypto/bigint.h"
+#include "src/crypto/modexp.h"
+#include "src/crypto/prng.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kBits = 512;
+  constexpr int kCalls = 24;
+  constexpr int kRounds = 3;
+
+  kcrypto::Prng prng(0x90dc);
+  kerb::Bytes raw = prng.NextBytes(kBits / 8);
+  raw[0] |= 0x80;
+  raw[raw.size() - 1] |= 1;
+  const kcrypto::BigInt m = kcrypto::BigInt::FromBytes(raw);
+  const kcrypto::BigInt base = kcrypto::BigInt::FromBytes(prng.NextBytes(kBits / 8)).Mod(m);
+  const kcrypto::BigInt exp = kcrypto::BigInt::FromBytes(prng.NextBytes(kBits / 8));
+
+  auto ctx = kcrypto::ModExpCtx::Create(m);
+  if (!ctx.ok()) {
+    std::fprintf(stderr, "FAIL: ModExpCtx::Create rejected an odd 512-bit modulus\n");
+    return 1;
+  }
+
+  // The two engines must agree before being timed.
+  auto oracle = kcrypto::BigInt::ModExpBinary(base, exp, m);
+  if (!oracle.ok() || ctx.value().Pow(base, exp).Compare(oracle.value()) != 0) {
+    std::fprintf(stderr, "FAIL: windowed engine disagrees with the binary ladder\n");
+    return 1;
+  }
+
+  // Best-of-N to shrug off scheduler noise on shared machines.
+  double binary_best = 1e9;
+  double windowed_best = 1e9;
+  volatile uint32_t sink = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    auto start = Clock::now();
+    for (int i = 0; i < kCalls; ++i) {
+      sink = sink ^ static_cast<uint32_t>(
+          kcrypto::BigInt::ModExpBinary(base, exp, m).value().BitLength());
+    }
+    binary_best = std::min(binary_best, SecondsSince(start));
+
+    start = Clock::now();
+    for (int i = 0; i < kCalls; ++i) {
+      sink = sink ^ static_cast<uint32_t>(ctx.value().Pow(base, exp).BitLength());
+    }
+    windowed_best = std::min(windowed_best, SecondsSince(start));
+  }
+
+  const double binary_rate = kCalls / binary_best;
+  const double windowed_rate = kCalls / windowed_best;
+  const double speedup = windowed_rate / binary_rate;
+  std::printf("modulus=%zu bits, %d calls per round\n", kBits, kCalls);
+  std::printf("binary ladder:   %.0f modexp/sec\n", binary_rate);
+  std::printf("cached windowed: %.0f modexp/sec\n", windowed_rate);
+  std::printf("speedup:         %.2fx (floor: 1.5x)\n", speedup);
+  if (speedup < 1.5) {
+    std::fprintf(stderr, "FAIL: windowed engine below the 1.5x floor\n");
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

@@ -58,6 +58,36 @@ KdcLoadResult RunKdcLoadBatched(const KdcBatchHandler& handler, const ksim::Mess
                                 unsigned threads, uint64_t requests_per_worker, uint64_t seed,
                                 size_t batch = 0);
 
+// ---------------------------------------------------------------------------
+// Bulk public-key preauthenticated logins (V4 shape).
+
+// One complete PK AS exchange against `handler`: generates a fresh client
+// DH pair from `client_prng`, frames an AsPkRequest4, and verifies the
+// reply end to end — server public validated, DH layer and password layer
+// unsealed, reply body decoded. `src` is the claimed client address.
+kerb::Result<krb4::AsReplyBody4> DoPkLogin4(const KdcHandler& handler,
+                                            const krb4::Principal& user,
+                                            const kcrypto::DesKey& user_key,
+                                            const kcrypto::DhGroup& group,
+                                            krb4::KdcContext& kdc_ctx,
+                                            kcrypto::Prng& client_prng,
+                                            const ksim::NetAddress& src);
+
+struct PkLoginLoadResult {
+  uint64_t logins_ok = 0;
+  uint64_t logins_failed = 0;
+};
+
+// Drives `logins_per_worker` full PK AS exchanges per worker through
+// `handler` from `threads` workers. Each worker owns a KdcContext (the
+// server side's per-thread state) and a client PRNG, both forked
+// deterministically from `seed` on the calling thread. Every login is
+// verified end to end as in DoPkLogin4; the result counts verified logins,
+// so a throughput number from this harness is also a correctness check.
+PkLoginLoadResult RunPkLoginLoad(const KdcHandler& handler, const krb4::Principal& user,
+                                 const kcrypto::DesKey& user_key, const kcrypto::DhGroup& group,
+                                 unsigned threads, uint64_t logins_per_worker, uint64_t seed);
+
 }  // namespace kattack
 
 #endif  // SRC_ATTACKS_KDCLOAD_H_

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/crypto/modexp.h"
+
 namespace kcrypto {
 
 namespace {
@@ -335,9 +337,33 @@ BigInt BigInt::Mod(const BigInt& modulus) const {
   return rem;
 }
 
-BigInt BigInt::ModExp(const BigInt& base, const BigInt& exponent, const BigInt& modulus) {
-  assert(modulus.IsOdd());
-  assert(modulus.BitLength() > 1);
+BigInt BigInt::FromRawLimbs(std::vector<uint32_t> limbs) {
+  BigInt out;
+  out.limbs_ = std::move(limbs);
+  out.Normalize();
+  return out;
+}
+
+kerb::Result<BigInt> BigInt::ModExp(const BigInt& base, const BigInt& exponent,
+                                    const BigInt& modulus) {
+  auto ctx = ModExpCtx::Create(modulus);
+  if (!ctx.ok()) {
+    return ctx.error();
+  }
+  return ctx.value().Pow(base, exponent);
+}
+
+kerb::Result<BigInt> BigInt::ModExpBinary(const BigInt& base, const BigInt& exponent,
+                                          const BigInt& modulus) {
+  if (modulus.IsZero()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "modexp modulus is zero");
+  }
+  if (!modulus.IsOdd()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "modexp modulus is even");
+  }
+  if (modulus.BitLength() <= 1) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "modexp modulus must exceed 1");
+  }
 
   MontCtx ctx(modulus.limbs_);
   const size_t n = ctx.n();

@@ -61,9 +61,23 @@ class BigInt {
   // Remainder by binary long division. Not on the ModExp hot path.
   BigInt Mod(const BigInt& modulus) const;
 
-  // (base^exponent) mod modulus. Modulus must be odd and > 1 (asserted);
-  // Montgomery ladder, square-and-multiply.
-  static BigInt ModExp(const BigInt& base, const BigInt& exponent, const BigInt& modulus);
+  // (base^exponent) mod modulus. Fail-closed: a zero, even, or ≤1 modulus
+  // returns kBadFormat instead of asserting, so degenerate DH parameters
+  // surface as protocol errors. Delegates to a ModExpCtx built for this one
+  // call — callers on a hot path should build the context themselves (or use
+  // DhGroup's cached engine) and call ModExpCtx::Pow directly.
+  static kerb::Result<BigInt> ModExp(const BigInt& base, const BigInt& exponent,
+                                     const BigInt& modulus);
+
+  // The pre-engine bit-by-bit Montgomery ladder, kept as the cross-check
+  // oracle for the windowed/fixed-base paths (same pattern as DesKeyRef).
+  // Same validation as ModExp.
+  static kerb::Result<BigInt> ModExpBinary(const BigInt& base, const BigInt& exponent,
+                                           const BigInt& modulus);
+
+  // Internal limb access for the modexp engine (src/crypto/modexp.*).
+  const std::vector<uint32_t>& raw_limbs() const { return limbs_; }
+  static BigInt FromRawLimbs(std::vector<uint32_t> limbs);
 
  private:
   void Normalize();

@@ -7,34 +7,91 @@
 
 namespace kcrypto {
 
+std::shared_ptr<const DhEngine> DhEngine::Create(const BigInt& p, const BigInt& g) {
+  auto ctx = ModExpCtx::Create(p);
+  if (!ctx.ok()) {
+    return nullptr;
+  }
+  auto shared_ctx = std::make_shared<const ModExpCtx>(std::move(ctx).value());
+  // Private keys live in [2, p-2], so the comb table covers bits() windows.
+  return std::shared_ptr<const DhEngine>(
+      new DhEngine(std::move(shared_ctx), g, p.BitLength()));
+}
+
+const DhEngine* EnsureEngine(DhGroup& group) {
+  if (!group.engine) {
+    group.engine = DhEngine::Create(group.p, group.g);
+  }
+  return group.engine.get();
+}
+
+kerb::Status ValidateDhPublic(const DhGroup& group, const BigInt& peer_public) {
+  if (peer_public.BitLength() < 2) {  // 0 and 1
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "DH public value below 2");
+  }
+  if (group.p.BitLength() < 2 || !group.p.IsOdd()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "degenerate DH modulus");
+  }
+  // peer_public must be ≤ p-2, i.e. strictly below p-1.
+  if (group.p.Sub(BigInt(1)).Compare(peer_public) <= 0) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "DH public value not in [2, p-2]");
+  }
+  return kerb::Status::Ok();
+}
+
 const DhGroup& OakleyGroup1() {
-  static const DhGroup group{
-      BigInt::MustFromHex(
-          "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
-          "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
-          "4FE1356D6D51C245E485B576625E7EC6F44C42E9A63A3620FFFFFFFFFFFFFFFF"),
-      BigInt(2),
-  };
+  static const DhGroup group = [] {
+    DhGroup grp{
+        BigInt::MustFromHex(
+            "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+            "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+            "4FE1356D6D51C245E485B576625E7EC6F44C42E9A63A3620FFFFFFFFFFFFFFFF"),
+        BigInt(2),
+        nullptr,
+    };
+    EnsureEngine(grp);
+    return grp;
+  }();
   return group;
 }
 
 const DhGroup& OakleyGroup2() {
-  static const DhGroup group{
-      BigInt::MustFromHex(
-          "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
-          "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
-          "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
-          "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF"),
-      BigInt(2),
-  };
+  static const DhGroup group = [] {
+    DhGroup grp{
+        BigInt::MustFromHex(
+            "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+            "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+            "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+            "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF"),
+        BigInt(2),
+        nullptr,
+    };
+    EnsureEngine(grp);
+    return grp;
+  }();
   return group;
 }
 
 DhGroup MakeToyGroup(Prng& prng, int bits) {
   uint64_t p = RandomSafePrime64(prng, bits);
   uint64_t g = FindGenerator64(p, prng);
-  return DhGroup{BigInt(p), BigInt(g)};
+  DhGroup group{BigInt(p), BigInt(g), nullptr};
+  EnsureEngine(group);
+  return group;
 }
+
+namespace {
+
+// Slow-path modexp for hand-built groups with no engine. A degenerate
+// modulus (zero/even/≤1) yields the zero BigInt — callers that accept
+// untrusted parameters must ValidateDhPublic / check the engine first; this
+// keeps the simulation-facing signatures infallible.
+BigInt FallbackModExp(const BigInt& base, const BigInt& exponent, const BigInt& modulus) {
+  auto r = BigInt::ModExp(base, exponent, modulus);
+  return r.ok() ? std::move(r).value() : BigInt();
+}
+
+}  // namespace
 
 DhKeyPair DhGenerate(const DhGroup& group, Prng& prng) {
   size_t bytes = (group.p.BitLength() + 7) / 8;
@@ -44,12 +101,16 @@ DhKeyPair DhGenerate(const DhGroup& group, Prng& prng) {
     priv = BigInt::FromBytes(prng.NextBytes(bytes)).Mod(group.p);
   } while (priv.Compare(p_minus_3) > 0 || priv.BitLength() < 2);
   // priv in [2, p-2] now (loose but uniform enough for the simulation).
-  BigInt pub = BigInt::ModExp(group.g, priv, group.p);
+  BigInt pub = group.engine ? group.engine->PowG(priv)
+                            : FallbackModExp(group.g, priv, group.p);
   return DhKeyPair{priv, pub};
 }
 
 BigInt DhSharedSecret(const DhGroup& group, const BigInt& private_key, const BigInt& peer_public) {
-  return BigInt::ModExp(peer_public, private_key, group.p);
+  if (group.engine) {
+    return group.engine->Pow(peer_public, private_key);
+  }
+  return FallbackModExp(peer_public, private_key, group.p);
 }
 
 DesKey DhDeriveKey(const BigInt& shared_secret) {

@@ -15,18 +15,59 @@
 #define SRC_CRYPTO_DH_H_
 
 #include <cstdint>
+#include <memory>
 
+#include "src/common/result.h"
 #include "src/crypto/bigint.h"
 #include "src/crypto/des.h"
+#include "src/crypto/modexp.h"
 #include "src/crypto/prng.h"
 
 namespace kcrypto {
 
+// Cached fast-exponentiation engine for one (p, g) pair: a shared Montgomery
+// context for the modulus plus a fixed-base comb table for the generator.
+// Built once per group (the factories below do it), immutable afterwards, so
+// one engine serves every KDC worker thread concurrently.
+class DhEngine {
+ public:
+  // nullptr for degenerate parameters (zero/even/≤1 modulus) — callers fall
+  // back to the slow path or fail closed at the trust boundary.
+  static std::shared_ptr<const DhEngine> Create(const BigInt& p, const BigInt& g);
+
+  // g^exponent mod p via the precomputed fixed-base table.
+  BigInt PowG(const BigInt& exponent) const { return g_pow_.Pow(exponent); }
+  // base^exponent mod p via the sliding-window ladder.
+  BigInt Pow(const BigInt& base, const BigInt& exponent) const {
+    return ctx_->Pow(base, exponent);
+  }
+  const ModExpCtx& ctx() const { return *ctx_; }
+
+ private:
+  DhEngine(std::shared_ptr<const ModExpCtx> ctx, const BigInt& g, size_t exp_bits)
+      : ctx_(ctx), g_pow_(std::move(ctx), g, exp_bits) {}
+
+  std::shared_ptr<const ModExpCtx> ctx_;
+  FixedBasePow g_pow_;
+};
+
 struct DhGroup {
   BigInt p;  // prime modulus
   BigInt g;  // generator
+  // Cached engine; null for hand-built (possibly degenerate) groups. The
+  // factories below always populate it.
+  std::shared_ptr<const DhEngine> engine;
   size_t bits() const { return p.BitLength(); }
 };
+
+// Populates group.engine if absent and the parameters admit one. Returns the
+// engine, or nullptr for degenerate parameters.
+const DhEngine* EnsureEngine(DhGroup& group);
+
+// Fail-closed trust-boundary check for a peer's public value: rejects
+// anything outside [2, p-2] (0, 1, and p-1 leak or fix the shared secret;
+// values ≥ p are malformed).
+kerb::Status ValidateDhPublic(const DhGroup& group, const BigInt& peer_public);
 
 // Oakley Group 1 (RFC 2409): 768-bit prime, generator 2.
 const DhGroup& OakleyGroup1();

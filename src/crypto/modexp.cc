@@ -1,0 +1,331 @@
+#include "src/crypto/modexp.h"
+
+#include <cassert>
+
+namespace kcrypto {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+// Packs 32-bit BigInt limbs into n 64-bit limbs (zero-extended).
+std::vector<uint64_t> Pack64(const BigInt& v, size_t n) {
+  const std::vector<uint32_t>& l = v.raw_limbs();
+  std::vector<uint64_t> out(n, 0);
+  for (size_t i = 0; i < l.size() && i / 2 < n; ++i) {
+    out[i / 2] |= static_cast<uint64_t>(l[i]) << (32 * (i % 2));
+  }
+  return out;
+}
+
+BigInt Unpack64(const uint64_t* limbs, size_t n) {
+  std::vector<uint32_t> out;
+  out.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<uint32_t>(limbs[i] & 0xffffffffu));
+    out.push_back(static_cast<uint32_t>(limbs[i] >> 32));
+  }
+  return BigInt::FromRawLimbs(std::move(out));
+}
+
+// a >= b over n limbs?
+bool GeLimbs(const uint64_t* a, const uint64_t* b, size_t n) {
+  for (size_t i = n; i-- > 0;) {
+    if (a[i] != b[i]) {
+      return a[i] > b[i];
+    }
+  }
+  return true;
+}
+
+// out = a - b over n limbs (a >= b).
+void SubLimbs(const uint64_t* a, const uint64_t* b, uint64_t* out, size_t n) {
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t bi = b[i] + borrow;
+    // bi overflowed only if b[i] was all-ones and borrow was 1; then the
+    // subtraction borrows regardless of a[i].
+    uint64_t next_borrow = (bi < b[i]) || (a[i] < bi) ? 1 : 0;
+    out[i] = a[i] - bi;
+    borrow = next_borrow;
+  }
+}
+
+// Sliding-window width by exponent size: the table costs 2^(w-1) multiplies
+// up front and saves ~bits·(1/2 − 1/(w+1)) multiplies in the scan.
+int WindowBits(size_t exp_bits) {
+  if (exp_bits > 512) {
+    return 5;
+  }
+  if (exp_bits > 128) {
+    return 4;
+  }
+  if (exp_bits > 24) {
+    return 3;
+  }
+  return 2;
+}
+
+}  // namespace
+
+kerb::Result<ModExpCtx> ModExpCtx::Create(const BigInt& modulus) {
+  if (modulus.IsZero()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "modexp modulus is zero");
+  }
+  if (!modulus.IsOdd()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat,
+                           "modexp modulus is even (Montgomery needs gcd(m, 2^64) = 1)");
+  }
+  if (modulus.BitLength() <= 1) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "modexp modulus must exceed 1");
+  }
+
+  ModExpCtx ctx;
+  ctx.modulus_ = modulus;
+  const size_t n = (modulus.BitLength() + 63) / 64;
+  ctx.m_ = Pack64(modulus, n);
+
+  // Newton iteration for m[0]^-1 mod 2^64: x·x ≡ 1 (mod 8) seeds three
+  // correct bits, each step doubles them — six steps pass 64.
+  uint64_t x = ctx.m_[0];
+  uint64_t inv = x;
+  for (int i = 0; i < 6; ++i) {
+    inv *= 2 - x * inv;
+  }
+  ctx.n0inv_ = 0 - inv;
+
+  BigInt r_mod = BigInt(1).ShiftLeft(64 * n).Mod(modulus);
+  BigInt r2_mod = r_mod.Mul(r_mod).Mod(modulus);
+  ctx.r_ = Pack64(r_mod, n);
+  ctx.r2_ = Pack64(r2_mod, n);
+  return ctx;
+}
+
+void ModExpCtx::MontMul(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                        std::vector<uint64_t>& scratch) const {
+  const size_t n = m_.size();
+  scratch.assign(n + 2, 0);
+  uint64_t* t = scratch.data();
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t ai = a[i];
+    u128 carry = 0;
+    for (size_t j = 0; j < n; ++j) {
+      u128 cur = static_cast<u128>(t[j]) + static_cast<u128>(ai) * b[j] + carry;
+      t[j] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    u128 cur = static_cast<u128>(t[n]) + carry;
+    t[n] = static_cast<uint64_t>(cur);
+    t[n + 1] += static_cast<uint64_t>(cur >> 64);
+
+    const uint64_t u = t[0] * n0inv_;
+    carry = 0;
+    for (size_t j = 0; j < n; ++j) {
+      u128 c2 = static_cast<u128>(t[j]) + static_cast<u128>(u) * m_[j] + carry;
+      t[j] = static_cast<uint64_t>(c2);
+      carry = c2 >> 64;
+    }
+    cur = static_cast<u128>(t[n]) + carry;
+    t[n] = static_cast<uint64_t>(cur);
+    t[n + 1] += static_cast<uint64_t>(cur >> 64);
+
+    // t[0] is now zero by construction of u: divide by 2^64.
+    for (size_t j = 0; j <= n; ++j) {
+      t[j] = t[j + 1];
+    }
+    t[n + 1] = 0;
+  }
+  if (t[n] != 0 || GeLimbs(t, m_.data(), n)) {
+    SubLimbs(t, m_.data(), out, n);
+  } else {
+    for (size_t j = 0; j < n; ++j) {
+      out[j] = t[j];
+    }
+  }
+}
+
+void ModExpCtx::Reduce(uint64_t* p, uint64_t* out) const {
+  const size_t n = m_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t u = p[i] * n0inv_;
+    u128 carry = 0;
+    for (size_t j = 0; j < n; ++j) {
+      u128 cur = static_cast<u128>(p[i + j]) + static_cast<u128>(u) * m_[j] + carry;
+      p[i + j] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    for (size_t k = i + n; carry != 0; ++k) {
+      u128 cur = static_cast<u128>(p[k]) + carry;
+      p[k] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+  }
+  uint64_t* hi = p + n;
+  if (hi[n] != 0 || GeLimbs(hi, m_.data(), n)) {
+    SubLimbs(hi, m_.data(), out, n);
+  } else {
+    for (size_t j = 0; j < n; ++j) {
+      out[j] = hi[j];
+    }
+  }
+}
+
+void ModExpCtx::MontSqr(const uint64_t* a, uint64_t* out, std::vector<uint64_t>& scratch) const {
+  const size_t n = m_.size();
+  scratch.assign(2 * n + 1, 0);
+  uint64_t* p = scratch.data();
+  // Cross products a_i·a_j for i < j: each row's carry lands in p[i+n],
+  // which no earlier row has touched.
+  for (size_t i = 0; i < n; ++i) {
+    u128 carry = 0;
+    for (size_t j = i + 1; j < n; ++j) {
+      u128 cur = static_cast<u128>(p[i + j]) + static_cast<u128>(a[i]) * a[j] + carry;
+      p[i + j] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    p[i + n] = static_cast<uint64_t>(carry);
+  }
+  // Double (the cross sum is < B^2n/2, so the final shift-out is zero)...
+  uint64_t c = 0;
+  for (size_t k = 0; k < 2 * n; ++k) {
+    uint64_t v = p[k];
+    p[k] = (v << 1) | c;
+    c = v >> 63;
+  }
+  // ...then add the diagonal a_i².
+  u128 carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const u128 sq = static_cast<u128>(a[i]) * a[i];
+    u128 cur = static_cast<u128>(p[2 * i]) + static_cast<uint64_t>(sq) + carry;
+    p[2 * i] = static_cast<uint64_t>(cur);
+    carry = cur >> 64;
+    cur = static_cast<u128>(p[2 * i + 1]) + static_cast<uint64_t>(sq >> 64) + carry;
+    p[2 * i + 1] = static_cast<uint64_t>(cur);
+    carry = cur >> 64;
+  }
+  Reduce(p, out);
+}
+
+std::vector<uint64_t> ModExpCtx::ToMont(const BigInt& v) const {
+  const size_t n = m_.size();
+  std::vector<uint64_t> reduced = Pack64(v.Mod(modulus_), n);
+  std::vector<uint64_t> out(n);
+  std::vector<uint64_t> scratch;
+  MontMul(reduced.data(), r2_.data(), out.data(), scratch);
+  return out;
+}
+
+BigInt ModExpCtx::FromMont(const std::vector<uint64_t>& v) const {
+  const size_t n = m_.size();
+  std::vector<uint64_t> one(n, 0);
+  one[0] = 1;
+  std::vector<uint64_t> out(n);
+  std::vector<uint64_t> scratch;
+  MontMul(v.data(), one.data(), out.data(), scratch);
+  return Unpack64(out.data(), n);
+}
+
+BigInt ModExpCtx::Pow(const BigInt& base, const BigInt& exponent) const {
+  const size_t n = m_.size();
+  const size_t bits = exponent.BitLength();
+  if (bits == 0) {
+    return BigInt(1).Mod(modulus_);
+  }
+
+  const int w = WindowBits(bits);
+  const size_t odd_powers = static_cast<size_t>(1) << (w - 1);
+
+  // Odd-power table in the Montgomery domain: tbl[k] = base^(2k+1).
+  std::vector<uint64_t> scratch;
+  std::vector<uint64_t> tbl(odd_powers * n);
+  std::vector<uint64_t> base_m = ToMont(base);
+  std::copy(base_m.begin(), base_m.end(), tbl.begin());
+  std::vector<uint64_t> base_sq(n);
+  MontSqr(base_m.data(), base_sq.data(), scratch);
+  for (size_t k = 1; k < odd_powers; ++k) {
+    MontMul(&tbl[(k - 1) * n], base_sq.data(), &tbl[k * n], scratch);
+  }
+
+  std::vector<uint64_t> acc = r_;  // Montgomery 1
+  std::vector<uint64_t> tmp(n);
+  size_t i = bits;
+  while (i-- > 0) {
+    if (!exponent.GetBit(i)) {
+      MontSqr(acc.data(), tmp.data(), scratch);
+      acc.swap(tmp);
+      continue;
+    }
+    // Widest window [l, i] ending in a set bit, at most w bits.
+    size_t l = i >= static_cast<size_t>(w) - 1 ? i - (w - 1) : 0;
+    while (!exponent.GetBit(l)) {
+      ++l;
+    }
+    uint32_t window_value = 0;
+    for (size_t k = i + 1; k-- > l;) {
+      window_value = (window_value << 1) | (exponent.GetBit(k) ? 1u : 0u);
+    }
+    for (size_t k = 0; k < i - l + 1; ++k) {
+      MontSqr(acc.data(), tmp.data(), scratch);
+      acc.swap(tmp);
+    }
+    MontMul(acc.data(), &tbl[(window_value >> 1) * n], tmp.data(), scratch);
+    acc.swap(tmp);
+    i = l;  // loop decrement steps past the consumed window
+  }
+  return FromMont(acc);
+}
+
+FixedBasePow::FixedBasePow(std::shared_ptr<const ModExpCtx> ctx, const BigInt& base,
+                           size_t max_exp_bits, int window)
+    : ctx_(std::move(ctx)), base_(base), w_(window) {
+  assert(w_ >= 1 && w_ <= 8);
+  const size_t n = ctx_->limbs();
+  const size_t wbits = static_cast<size_t>(w_);
+  windows_ = (max_exp_bits + wbits - 1) / wbits;
+  if (windows_ == 0) {
+    windows_ = 1;
+  }
+  table_.assign((windows_ << w_) * n, 0);
+
+  std::vector<uint64_t> scratch;
+  std::vector<uint64_t> tmp(n);
+  // pw = base^(2^(w·i)) for the current window.
+  std::vector<uint64_t> pw = ctx_->ToMont(base);
+  for (size_t i = 0; i < windows_; ++i) {
+    uint64_t* row = &table_[(i << w_) * n];
+    std::copy(pw.begin(), pw.end(), row + n);  // digit 1
+    for (size_t d = 2; d < (static_cast<size_t>(1) << w_); ++d) {
+      ctx_->MontMul(row + (d - 1) * n, pw.data(), row + d * n, scratch);
+    }
+    if (i + 1 < windows_) {
+      for (size_t s = 0; s < wbits; ++s) {
+        ctx_->MontSqr(pw.data(), tmp.data(), scratch);
+        pw.swap(tmp);
+      }
+    }
+  }
+}
+
+BigInt FixedBasePow::Pow(const BigInt& exponent) const {
+  const size_t wbits = static_cast<size_t>(w_);
+  if (exponent.BitLength() > windows_ * wbits) {
+    return ctx_->Pow(base_, exponent);  // off-table exponent: general path
+  }
+  const size_t n = ctx_->limbs();
+  std::vector<uint64_t> acc = ctx_->MontOne();
+  std::vector<uint64_t> tmp(n);
+  std::vector<uint64_t> scratch;
+  for (size_t i = 0; i < windows_; ++i) {
+    uint32_t digit = 0;
+    for (size_t b = wbits; b-- > 0;) {
+      digit = (digit << 1) | (exponent.GetBit(i * wbits + b) ? 1u : 0u);
+    }
+    if (digit != 0) {
+      ctx_->MontMul(acc.data(), &table_[((i << w_) + digit) * n], tmp.data(), scratch);
+      acc.swap(tmp);
+    }
+  }
+  return ctx_->FromMont(acc);
+}
+
+}  // namespace kcrypto

@@ -13,6 +13,9 @@ DhLoginServer::DhLoginServer(ksim::Network* net, const ksim::NetAddress& addr,
       db_(std::move(db)),
       prng_(prng),
       group_(std::move(group)) {
+  // Build the cached modexp engine once, up front: every login this server
+  // handles reuses the Montgomery context and the fixed-base g^x table.
+  kcrypto::EnsureEngine(group_);
   net->Bind(addr, [this](const ksim::Message& msg) { return Handle(msg); });
 }
 
@@ -27,6 +30,11 @@ kerb::Result<kerb::Bytes> DhLoginServer::Handle(const ksim::Message& msg) {
     return client_pub_bytes.error();
   }
   kcrypto::BigInt client_pub = kcrypto::BigInt::FromBytes(client_pub_bytes.value());
+  // Fail closed on degenerate publics (0, 1, p-1, ≥p) before any exponent
+  // touches them — they would fix or leak the shared secret.
+  if (auto valid = kcrypto::ValidateDhPublic(group_, client_pub); !valid.ok()) {
+    return valid.error();
+  }
 
   auto user_key = db_.Lookup(principal.value());
   if (!user_key.ok()) {
@@ -90,6 +98,9 @@ kerb::Result<DhLoginResult> DhLogin(ksim::Network* net, const ksim::NetAddress& 
     return kerb::MakeError(kerb::ErrorCode::kBadFormat, "malformed DH login reply");
   }
   kcrypto::BigInt server_pub = kcrypto::BigInt::FromBytes(server_pub_bytes.value());
+  if (auto valid = kcrypto::ValidateDhPublic(group, server_pub); !valid.ok()) {
+    return valid.error();
+  }
   kcrypto::DesKey dh_key = kcrypto::DhDeriveKey(
       kcrypto::DhSharedSecret(group, client_pair.private_key, server_pub));
 

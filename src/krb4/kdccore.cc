@@ -94,6 +94,13 @@ kerb::Result<kerb::Bytes> KdcCore4::DoHandleAs(const ksim::Message& msg, KdcCont
     return *cached;
   }
   auto framed = Unframe4(msg.payload);
+  if (framed.ok() && framed.value().first == MsgType::kAsPkRequest) {
+    auto pk_req = AsPkRequest4::Decode(framed.value().second);
+    if (!pk_req.ok()) {
+      return pk_req.error();
+    }
+    return ServeAsPk(msg, pk_req.value(), ctx);
+  }
   if (!framed.ok() || framed.value().first != MsgType::kAsRequest) {
     return kerb::MakeError(kerb::ErrorCode::kBadFormat, "expected AS request");
   }
@@ -143,6 +150,74 @@ kerb::Result<kerb::Bytes> KdcCore4::ServeAs(const ksim::Message& msg, const AsRe
 
   SealedFrame4Into(MsgType::kAsReply, client_key.value(), ctx.scratch.body_plain,
                    ctx.scratch.reply);
+  return RememberReply(msg, ctx.scratch.reply, ctx);
+}
+
+void KdcCore4::EnablePkPreauth(kcrypto::DhGroup group) {
+  kcrypto::EnsureEngine(group);
+  pk_group_ = std::move(group);
+}
+
+kerb::Result<kerb::Bytes> KdcCore4::ServeAsPk(const ksim::Message& msg, const AsPkRequest4& req,
+                                              KdcContext& ctx) {
+  if (!pk_group_.has_value()) {
+    return kerb::MakeError(kerb::ErrorCode::kUnsupported, "PK preauth not enabled");
+  }
+  pk_as_requests_.fetch_add(1, std::memory_order_relaxed);
+  const kcrypto::DhGroup& group = *pk_group_;
+  kcrypto::BigInt client_pub = kcrypto::BigInt::FromBytes(req.client_pub);
+  // Fail closed on degenerate publics before any exponent touches them.
+  if (auto valid = kcrypto::ValidateDhPublic(group, client_pub); !valid.ok()) {
+    return valid.error();
+  }
+  auto client_key = CachedLookup(req.client, ctx);
+  if (!client_key.ok()) {
+    return client_key.error();
+  }
+  auto tgs_key = CachedLookup(tgs_principal_, ctx);
+  if (!tgs_key.ok()) {
+    return tgs_key.error();
+  }
+
+  // Our half of the exchange: g^b by the group's fixed-base comb table, the
+  // shared secret by the cached sliding-window context.
+  kcrypto::DhKeyPair server_pair = kcrypto::DhGenerate(group, ctx.prng);
+  kcrypto::DesKey dh_key = kcrypto::DhDeriveKey(
+      kcrypto::DhSharedSecret(group, server_pair.private_key, client_pub));
+
+  ksim::Time now = clock_.Now();
+  ksim::Duration lifetime = V4UnitsToLifetime(
+      LifetimeToV4Units(std::min(req.lifetime, options_.max_ticket_lifetime)));
+
+  kcrypto::DesKey session_key = ctx.prng.NextDesKey();
+  Ticket4 tgt;
+  tgt.service = tgs_principal_;
+  tgt.client = req.client;
+  tgt.client_addr = msg.src.host;
+  tgt.issued_at = now;
+  tgt.lifetime = lifetime;
+  tgt.session_key = session_key.bytes();
+
+  kenc::Writer ticket_writer(&ctx.scratch.ticket_plain);
+  tgt.AppendTo(ticket_writer);
+  ctx.scratch.ticket_sealed.clear();
+  Seal4Into(tgs_key.value(), ctx.scratch.ticket_plain, ctx.scratch.ticket_sealed);
+
+  kenc::Writer body_writer(&ctx.scratch.body_plain);
+  AppendReplyBody4(body_writer, session_key.bytes(), ctx.scratch.ticket_sealed, now, lifetime);
+
+  // Inner layer {body}K_c, then the DH layer over the inner ciphertext —
+  // the password-keyed blob never appears bare on the wire.
+  ctx.scratch.body_sealed.clear();
+  Seal4Into(client_key.value(), ctx.scratch.body_plain, ctx.scratch.body_sealed);
+  ctx.scratch.pk_outer.clear();
+  Seal4Into(dh_key, ctx.scratch.body_sealed, ctx.scratch.pk_outer);
+
+  kenc::Writer w(&ctx.scratch.reply);
+  w.PutU8(kProtocolVersion);
+  w.PutU8(static_cast<uint8_t>(MsgType::kAsPkReply));
+  w.PutLengthPrefixed(server_pair.public_key.ToBytes());
+  w.PutLengthPrefixed(ctx.scratch.pk_outer);
   return RememberReply(msg, ctx.scratch.reply, ctx);
 }
 

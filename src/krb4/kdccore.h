@@ -23,9 +23,11 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/crypto/dh.h"
 #include "src/crypto/prng.h"
 #include "src/krb4/database.h"
 #include "src/krb4/messages.h"
@@ -212,6 +214,7 @@ struct KdcScratch {
   kerb::Bytes ticket_sealed;
   kerb::Bytes body_plain;
   kerb::Bytes body_sealed;
+  kerb::Bytes pk_outer;  // DH-layer seal of body_sealed in the PK AS path
   kerb::Bytes reply;
 };
 
@@ -249,10 +252,21 @@ class KdcCore4 {
   void HandleTgsBatch(const ksim::Message* msgs, size_t n, KdcContext& ctx,
                       std::vector<kerb::Result<kerb::Bytes>>& replies);
 
+  // Enables the public-key preauthenticated AS variant (MsgType::
+  // kAsPkRequest) over `group`. Builds the group's cached modexp engine —
+  // Montgomery context plus fixed-base g^x comb table — up front, so every
+  // login the core serves afterwards reuses it. Call before serving; the
+  // group is read-only once requests flow.
+  void EnablePkPreauth(kcrypto::DhGroup group);
+  bool pk_preauth_enabled() const { return pk_group_.has_value(); }
+
   const std::string& realm() const { return realm_; }
   KdcDatabase& database() { return db_; }
   const KdcOptions& options() const { return options_; }
 
+  uint64_t pk_as_requests_served() const {
+    return pk_as_requests_.load(std::memory_order_relaxed);
+  }
   uint64_t as_requests_served() const { return as_requests_.load(std::memory_order_relaxed); }
   uint64_t tgs_requests_served() const { return tgs_requests_.load(std::memory_order_relaxed); }
   uint64_t reply_cache_hits() const { return reply_cache_hits_.load(std::memory_order_relaxed); }
@@ -268,6 +282,8 @@ class KdcCore4 {
   // the serve phase of the batch path.
   kerb::Result<kerb::Bytes> ServeAs(const ksim::Message& msg, const AsRequest4& req,
                                     KdcContext& ctx);
+  kerb::Result<kerb::Bytes> ServeAsPk(const ksim::Message& msg, const AsPkRequest4& req,
+                                      KdcContext& ctx);
   kerb::Result<kerb::Bytes> ServeTgs(const ksim::Message& msg, const TgsRequest4& req,
                                      KdcContext& ctx);
 
@@ -288,6 +304,10 @@ class KdcCore4 {
   Principal tgs_principal_;
   KdcDatabase db_;
   KdcOptions options_;
+  // DH group for PK preauth, engine pre-built; immutable while serving, so
+  // worker threads share it without locks.
+  std::optional<kcrypto::DhGroup> pk_group_;
+  std::atomic<uint64_t> pk_as_requests_{0};
   std::atomic<uint64_t> as_requests_{0};
   std::atomic<uint64_t> tgs_requests_{0};
   std::atomic<uint64_t> reply_cache_hits_{0};

@@ -244,6 +244,55 @@ kerb::Result<AsRequest4> AsRequest4::Decode(kerb::BytesView data) {
   return req;
 }
 
+kerb::Bytes AsPkRequest4::Encode() const {
+  kenc::Writer w;
+  client.EncodeTo(w);
+  w.PutString(service_realm);
+  w.PutU64(static_cast<uint64_t>(lifetime));
+  w.PutLengthPrefixed(client_pub);
+  return w.Take();
+}
+
+kerb::Result<AsPkRequest4> AsPkRequest4::Decode(kerb::BytesView data) {
+  kenc::Reader r(data);
+  AsPkRequest4 req;
+  auto client = Principal::DecodeFrom(r);
+  if (!client.ok()) {
+    return client.error();
+  }
+  req.client = client.value();
+  auto realm = r.GetString();
+  auto life = r.GetU64();
+  auto pub = r.GetLengthPrefixed();
+  if (!realm.ok() || !life.ok() || !pub.ok()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "truncated PK AS request");
+  }
+  req.service_realm = realm.value();
+  req.lifetime = static_cast<ksim::Duration>(life.value());
+  req.client_pub = pub.value();
+  return req;
+}
+
+kerb::Bytes AsPkReply4::Encode() const {
+  kenc::Writer w;
+  w.PutLengthPrefixed(server_pub);
+  w.PutLengthPrefixed(sealed_reply);
+  return w.Take();
+}
+
+kerb::Result<AsPkReply4> AsPkReply4::Decode(kerb::BytesView data) {
+  kenc::Reader r(data);
+  AsPkReply4 rep;
+  auto pub = r.GetLengthPrefixed();
+  auto sealed = r.GetLengthPrefixed();
+  if (!pub.ok() || !sealed.ok()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "truncated PK AS reply");
+  }
+  rep.server_pub = pub.value();
+  rep.sealed_reply = sealed.value();
+  return rep;
+}
+
 kerb::Bytes AsReplyBody4::Encode() const {
   kenc::Writer w;
   AppendReplyBody4(w, tgs_session_key, sealed_tgt, issued_at, lifetime);

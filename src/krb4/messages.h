@@ -55,6 +55,10 @@ enum class MsgType : uint8_t {
   kApReply = 6,
   kError = 7,
   kPriv = 8,
+  // Public-key preauthenticated AS exchange (the paper's "exponential
+  // key exchange" fix for offline password guessing, §6.3).
+  kAsPkRequest = 9,
+  kAsPkReply = 10,
 };
 
 // Seals `plaintext` under `key`: MAGIC || u32 length || plaintext, zero-
@@ -124,6 +128,38 @@ struct AsReplyBody4 {
 
   kerb::Bytes Encode() const;
   static kerb::Result<AsReplyBody4> Decode(kerb::BytesView data);
+};
+
+// ---------------------------------------------------------------------------
+// Public-key preauthenticated AS exchange. The client contributes a fresh
+// DH public value; the KDC wraps the ordinary AS reply body in one extra
+// layer keyed by the negotiated secret:
+//
+//   c → KDC:  c, realm, lifetime, g^a mod p
+//   KDC → c:  g^b mod p, { {AsReplyBody4}K_c } K_dh
+//
+// An eavesdropper now needs the ephemeral DH secret *before* it can even
+// start guessing the password — the verifiable plaintext that drives the
+// offline dictionary attack is no longer on the wire.
+struct AsPkRequest4 {
+  Principal client;
+  std::string service_realm;
+  ksim::Duration lifetime = 0;
+  kerb::Bytes client_pub;  // big-endian g^a mod p
+
+  kerb::Bytes Encode() const;
+  static kerb::Result<AsPkRequest4> Decode(kerb::BytesView data);
+};
+
+// Body of the PK AS reply frame: the KDC's public value (plaintext — it is
+// ephemeral and self-authenticating via the inner K_c layer) plus the
+// doubly-sealed reply.
+struct AsPkReply4 {
+  kerb::Bytes server_pub;     // big-endian g^b mod p
+  kerb::Bytes sealed_reply;   // { {AsReplyBody4}K_c } K_dh
+
+  kerb::Bytes Encode() const;
+  static kerb::Result<AsPkReply4> Decode(kerb::BytesView data);
 };
 
 // ---------------------------------------------------------------------------

@@ -135,9 +135,19 @@ kerb::Result<kerb::Bytes> KdcCore5::DoHandleAs(const ksim::Message& msg, KdcCont
   if (const kerb::Bytes* cached = CachedReply(msg, ctx)) {
     return *cached;
   }
-  auto tlv = kenc::TlvMessage::DecodeExpecting(kMsgAsReq, msg.payload);
+  auto tlv = kenc::TlvMessage::Decode(msg.payload);
   if (!tlv.ok()) {
     return tlv.error();
+  }
+  if (tlv.value().type() == kMsgAsPkReq) {
+    auto pk_req = AsPkRequest5::FromTlv(tlv.value());
+    if (!pk_req.ok()) {
+      return pk_req.error();
+    }
+    return ServeAsPk(msg, pk_req.value(), ctx);
+  }
+  if (tlv.value().type() != kMsgAsReq) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "message type mismatch");
   }
   auto req = AsRequest5::FromTlv(tlv.value());
   if (!req.ok()) {
@@ -224,6 +234,92 @@ kerb::Result<kerb::Bytes> KdcCore5::ServeAs(const ksim::Message& msg, const AsRe
                        EncodeReplyInto(kMsgAsRep, ctx.scratch.ticket_sealed,
                                        ctx.scratch.body_sealed, ctx.scratch),
                        ctx);
+}
+
+void KdcCore5::EnablePkPreauth(kcrypto::DhGroup group) {
+  kcrypto::EnsureEngine(group);
+  pk_group_ = std::move(group);
+}
+
+kerb::Result<kerb::Bytes> KdcCore5::ServeAsPk(const ksim::Message& msg, const AsPkRequest5& req,
+                                              KdcContext& ctx) {
+  if (!pk_group_.has_value()) {
+    return kerb::MakeError(kerb::ErrorCode::kUnsupported, "PK preauth not enabled");
+  }
+  pk_as_requests_.fetch_add(1, std::memory_order_relaxed);
+  ksim::Time now = clock_.Now();
+
+  // PK requests share the AS rate-limit budget: they are still unsolicited
+  // work, and heavier per request than the password path.
+  if (policy_.as_rate_limit_per_minute > 0) {
+    std::lock_guard lock(rate_mu_);
+    auto& times = as_request_times_[msg.src.host];
+    std::erase_if(times, [&](ksim::Time t) { return t < now - ksim::kMinute; });
+    if (times.size() >= policy_.as_rate_limit_per_minute) {
+      as_rate_limited_.fetch_add(1, std::memory_order_relaxed);
+      return kerb::MakeError(kerb::ErrorCode::kRateLimited, "AS request rate exceeded");
+    }
+    times.push_back(now);
+  }
+
+  const kcrypto::DhGroup& group = *pk_group_;
+  kcrypto::BigInt client_pub = kcrypto::BigInt::FromBytes(req.client_pub);
+  // Fail closed on degenerate publics before any exponent touches them.
+  if (auto valid = kcrypto::ValidateDhPublic(group, client_pub); !valid.ok()) {
+    return valid.error();
+  }
+
+  auto client_key = CachedLookup(req.client, ctx);
+  if (!client_key.ok()) {
+    return client_key.error();
+  }
+  auto tgs_key = CachedLookup(tgs_principal_, ctx);
+  if (!tgs_key.ok()) {
+    return tgs_key.error();
+  }
+
+  // Our half of the exchange: g^b by the group's fixed-base comb table, the
+  // shared secret by the cached sliding-window context.
+  kcrypto::DhKeyPair server_pair = kcrypto::DhGenerate(group, ctx.prng);
+  kcrypto::DesKey dh_key = kcrypto::DhDeriveKey(
+      kcrypto::DhSharedSecret(group, server_pair.private_key, client_pub));
+
+  ksim::Duration lifetime = std::min(req.lifetime, policy_.max_ticket_lifetime);
+  kcrypto::DesKey session_key = ctx.prng.NextDesKey();
+
+  Ticket5 tgt;
+  tgt.service = tgs_principal_;
+  tgt.client = req.client;
+  tgt.flags = kFlagForwardable;
+  if (!(policy_.allow_address_omission && (req.options & kOptOmitAddress))) {
+    tgt.client_addr = msg.src.host;
+  }
+  tgt.issued_at = now;
+  tgt.lifetime = lifetime;
+  tgt.session_key = session_key.bytes();
+
+  EncAsRepPart5 part;
+  part.tgs_session_key = session_key.bytes();
+  part.nonce = req.nonce;
+  part.issued_at = now;
+  part.lifetime = lifetime;
+
+  SealMessageInto(tgs_key.value(), tgt, policy_.enc, ctx.prng, ctx.scratch.ticket_plain,
+                  ctx.scratch.ticket_sealed);
+  // Inner layer {EncAsRepPart5}K_c, then the DH wrapper over the inner
+  // ciphertext — the password-keyed blob never appears bare on the wire.
+  SealMessageInto(client_key.value(), part, policy_.enc, ctx.prng, ctx.scratch.body_plain,
+                  ctx.scratch.body_sealed);
+  kenc::TlvMessage wrap(kMsgPkEncWrap);
+  wrap.SetBytes(tag::kSealedPart, ctx.scratch.body_sealed);
+  SealTlvInto(dh_key, wrap, policy_.enc, ctx.prng, ctx.scratch.pk_outer);
+
+  kenc::Writer w(&ctx.scratch.reply);
+  kenc::TlvFieldWriter reply(w, kMsgAsPkRep, 3);
+  reply.AddBytes(tag::kPkPublic, server_pair.public_key.ToBytes());
+  reply.AddBytes(tag::kTicketBlob, ctx.scratch.ticket_sealed);
+  reply.AddBytes(tag::kSealedPart, ctx.scratch.pk_outer);
+  return RememberReply(msg, ctx.scratch.reply, ctx);
 }
 
 kerb::Result<kerb::Bytes> KdcCore5::DoHandleTgs(const ksim::Message& msg, KdcContext& ctx) {

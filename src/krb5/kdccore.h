@@ -21,9 +21,11 @@
 #include <atomic>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/crypto/dh.h"
 #include "src/krb4/database.h"
 #include "src/krb4/kdccore.h"
 #include "src/krb5/messages.h"
@@ -83,6 +85,13 @@ class KdcCore5 {
   void HandleTgsBatch(const ksim::Message* msgs, size_t n, KdcContext& ctx,
                       std::vector<kerb::Result<kerb::Bytes>>& replies);
 
+  // Enables the public-key preauthenticated AS variant (kMsgAsPkReq) over
+  // `group`. Builds the group's cached modexp engine — Montgomery context
+  // plus fixed-base g^x comb table — up front; call before serving, the
+  // group is read-only once requests flow.
+  void EnablePkPreauth(kcrypto::DhGroup group);
+  bool pk_preauth_enabled() const { return pk_group_.has_value(); }
+
   const std::string& realm() const { return realm_; }
   KdcDatabase& database() { return db_; }
   KdcPolicy5& policy() { return policy_; }
@@ -91,6 +100,9 @@ class KdcCore5 {
   void AddRealmRoute(const std::string& target_realm, const std::string& via_neighbor);
 
   uint64_t as_requests_served() const { return as_requests_.load(std::memory_order_relaxed); }
+  uint64_t pk_as_requests_served() const {
+    return pk_as_requests_.load(std::memory_order_relaxed);
+  }
   uint64_t as_requests_rate_limited() const {
     return as_rate_limited_.load(std::memory_order_relaxed);
   }
@@ -108,6 +120,8 @@ class KdcCore5 {
   // the serve phase of the batch path.
   kerb::Result<kerb::Bytes> ServeAs(const ksim::Message& msg, const AsRequest5& req,
                                     KdcContext& ctx);
+  kerb::Result<kerb::Bytes> ServeAsPk(const ksim::Message& msg, const AsPkRequest5& req,
+                                      KdcContext& ctx);
   kerb::Result<kerb::Bytes> ServeTgs(const ksim::Message& msg, const TgsRequest5& req,
                                      KdcContext& ctx);
 
@@ -132,6 +146,9 @@ class KdcCore5 {
   krb4::Principal tgs_principal_;
   KdcDatabase db_;
   KdcPolicy5 policy_;
+  // DH group for PK preauth, engine pre-built; immutable while serving, so
+  // worker threads share it without locks.
+  std::optional<kcrypto::DhGroup> pk_group_;
 
   std::map<std::string, kcrypto::DesKey> interrealm_keys_;
   std::map<std::string, std::string> realm_routes_;
@@ -141,6 +158,7 @@ class KdcCore5 {
   std::map<uint32_t, std::vector<ksim::Time>> as_request_times_;
 
   std::atomic<uint64_t> as_requests_{0};
+  std::atomic<uint64_t> pk_as_requests_{0};
   std::atomic<uint64_t> as_rate_limited_{0};
   std::atomic<uint64_t> tgs_requests_{0};
   std::atomic<uint64_t> reply_cache_hits_{0};

@@ -329,6 +329,66 @@ kerb::Result<AsReply5> AsReply5::FromTlv(const kenc::TlvMessage& msg) {
   return rep;
 }
 
+// ----------------------------------------------------------------- PK AS exchange
+
+kenc::TlvMessage AsPkRequest5::ToTlv() const {
+  kenc::TlvMessage msg(kMsgAsPkReq);
+  PutClient(msg, client);
+  msg.SetString(tag::kSrealm, service_realm);
+  msg.SetU64(tag::kLifetime, static_cast<uint64_t>(lifetime));
+  msg.SetU32(tag::kOptions, options);
+  msg.SetU64(tag::kNonce, nonce);
+  msg.SetBytes(tag::kPkPublic, client_pub);
+  return msg;
+}
+
+kerb::Result<AsPkRequest5> AsPkRequest5::FromTlv(const kenc::TlvMessage& msg) {
+  if (msg.type() != kMsgAsPkReq) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "not a PK AS request");
+  }
+  AsPkRequest5 req;
+  auto client = GetClient(msg);
+  auto realm = msg.GetString(tag::kSrealm);
+  auto life = msg.GetU64(tag::kLifetime);
+  auto nonce = msg.GetU64(tag::kNonce);
+  auto pub = msg.GetBytes(tag::kPkPublic);
+  if (!client.ok() || !realm.ok() || !life.ok() || !nonce.ok() || !pub.ok()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "PK AS request missing fields");
+  }
+  req.client = client.value();
+  req.service_realm = realm.value();
+  req.lifetime = static_cast<ksim::Duration>(life.value());
+  req.options = msg.GetOptionalU32(tag::kOptions).value_or(0);
+  req.nonce = nonce.value();
+  req.client_pub = pub.value();
+  return req;
+}
+
+kenc::TlvMessage AsPkReply5::ToTlv() const {
+  kenc::TlvMessage msg(kMsgAsPkRep);
+  msg.SetBytes(tag::kPkPublic, server_pub);
+  msg.SetBytes(tag::kTicketBlob, sealed_tgt);
+  msg.SetBytes(tag::kSealedPart, sealed_wrap);
+  return msg;
+}
+
+kerb::Result<AsPkReply5> AsPkReply5::FromTlv(const kenc::TlvMessage& msg) {
+  if (msg.type() != kMsgAsPkRep) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "not a PK AS reply");
+  }
+  AsPkReply5 rep;
+  auto pub = msg.GetBytes(tag::kPkPublic);
+  auto tgt = msg.GetBytes(tag::kTicketBlob);
+  auto wrap = msg.GetBytes(tag::kSealedPart);
+  if (!pub.ok() || !tgt.ok() || !wrap.ok()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "PK AS reply missing fields");
+  }
+  rep.server_pub = pub.value();
+  rep.sealed_tgt = tgt.value();
+  rep.sealed_wrap = wrap.value();
+  return rep;
+}
+
 // --------------------------------------------------------------------------- TGS exchange
 
 kerb::Bytes TgsRequest5::ChecksumInput() const {

@@ -49,6 +49,9 @@ enum MsgType5 : uint16_t {
   kMsgError = 30,
   kMsgPreauth = 40,    // padata: {nonce, timestamp}K_c
   kMsgChallenge = 41,  // challenge/response AP option payloads
+  kMsgAsPkReq = 42,    // public-key preauthenticated AS request
+  kMsgAsPkRep = 43,    // its reply
+  kMsgPkEncWrap = 44,  // DH-layer wrapper around the sealed enc-part
 };
 
 // Field tags.
@@ -90,6 +93,7 @@ constexpr uint16_t kAname = 34;
 constexpr uint16_t kAinstance = 35;
 constexpr uint16_t kArealm = 36;
 constexpr uint16_t kChallengeResponse = 37;
+constexpr uint16_t kPkPublic = 38;
 }  // namespace tag
 
 // Ticket flags.
@@ -192,6 +196,34 @@ struct AsReply5 {
 
   kenc::TlvMessage ToTlv() const;
   static kerb::Result<AsReply5> FromTlv(const kenc::TlvMessage& msg);
+};
+
+// ---------------------------------------------------------------------------
+// Public-key preauthenticated AS exchange (V5 shape of the paper's
+// exponential-key-exchange fix). The client's TLV carries a fresh DH
+// public value; the reply wraps the ordinary {EncAsRepPart5}K_c in one
+// extra layer keyed by the negotiated DH secret, so the password-keyed
+// ciphertext that drives offline guessing never crosses the wire bare.
+struct AsPkRequest5 {
+  Principal client;
+  std::string service_realm;
+  ksim::Duration lifetime = 0;
+  uint32_t options = 0;
+  uint64_t nonce = 0;
+  kerb::Bytes client_pub;  // big-endian g^a mod p
+
+  kenc::TlvMessage ToTlv() const;
+  static kerb::Result<AsPkRequest5> FromTlv(const kenc::TlvMessage& msg);
+};
+
+struct AsPkReply5 {
+  kerb::Bytes server_pub;   // big-endian g^b mod p, plaintext
+  kerb::Bytes sealed_tgt;   // {Ticket5}K_tgs, as in the ordinary reply
+  // {kMsgPkEncWrap{ {EncAsRepPart5}K_c }}K_dh
+  kerb::Bytes sealed_wrap;
+
+  kenc::TlvMessage ToTlv() const;
+  static kerb::Result<AsPkReply5> FromTlv(const kenc::TlvMessage& msg);
 };
 
 // ---------------------------------------------------------------------------

@@ -92,7 +92,7 @@ TEST(BigIntTest, ModExpMatchesU64Reference) {
     if (mod <= 1) {
       continue;
     }
-    EXPECT_EQ(BigInt::ModExp(BigInt(base), BigInt(exp), BigInt(mod)).LowU64(),
+    EXPECT_EQ(BigInt::ModExp(BigInt(base), BigInt(exp), BigInt(mod)).value().LowU64(),
               PowMod64(base % mod, exp, mod))
         << base << "^" << exp << " mod " << mod;
   }
@@ -102,28 +102,39 @@ TEST(BigIntTest, FermatLittleTheoremOnOakleyPrime) {
   // 2^(p-1) ≡ 1 (mod p) for the 768-bit Oakley prime — exercises the full
   // Montgomery pipeline at production width.
   const BigInt& p = OakleyGroup1().p;
-  BigInt result = BigInt::ModExp(BigInt(2), p.Sub(BigInt(1)), p);
+  BigInt result = BigInt::ModExp(BigInt(2), p.Sub(BigInt(1)), p).value();
   EXPECT_EQ(result.Compare(BigInt(1)), 0);
 }
 
 TEST(BigIntTest, ModExpEdgeCases) {
   BigInt p = BigInt(1009);  // odd prime
-  EXPECT_EQ(BigInt::ModExp(BigInt(0), BigInt(5), p).LowU64(), 0u);
-  EXPECT_EQ(BigInt::ModExp(BigInt(5), BigInt(0), p).LowU64(), 1u);
-  EXPECT_EQ(BigInt::ModExp(BigInt(1), BigInt(123456), p).LowU64(), 1u);
+  EXPECT_EQ(BigInt::ModExp(BigInt(0), BigInt(5), p).value().LowU64(), 0u);
+  EXPECT_EQ(BigInt::ModExp(BigInt(5), BigInt(0), p).value().LowU64(), 1u);
+  EXPECT_EQ(BigInt::ModExp(BigInt(1), BigInt(123456), p).value().LowU64(), 1u);
   // Base larger than modulus must be reduced first.
-  EXPECT_EQ(BigInt::ModExp(BigInt(1009 * 3 + 7), BigInt(2), p).LowU64(), (7 * 7) % 1009u);
+  EXPECT_EQ(BigInt::ModExp(BigInt(1009 * 3 + 7), BigInt(2), p).value().LowU64(),
+            (7 * 7) % 1009u);
+}
+
+TEST(BigIntTest, ModExpRejectsDegenerateModulus) {
+  // Fail-closed, not assert: degenerate DH parameters are hostile input.
+  for (auto fn : {&BigInt::ModExp, &BigInt::ModExpBinary}) {
+    EXPECT_EQ(fn(BigInt(3), BigInt(5), BigInt(0)).code(), kerb::ErrorCode::kBadFormat);
+    EXPECT_EQ(fn(BigInt(3), BigInt(5), BigInt(1)).code(), kerb::ErrorCode::kBadFormat);
+    EXPECT_EQ(fn(BigInt(3), BigInt(5), BigInt(1024)).code(), kerb::ErrorCode::kBadFormat);
+  }
 }
 
 TEST(BigIntTest, KnownValueModExpAgainstExternalReference) {
   // Reference values computed with an independent big-number implementation
   // (CPython pow()).
   const BigInt& p = OakleyGroup1().p;
-  EXPECT_EQ(BigInt::ModExp(BigInt(3), BigInt(1000), p).ToHex(),
+  EXPECT_EQ(BigInt::ModExp(BigInt(3), BigInt(1000), p).value().ToHex(),
             "cf89aef7cc8b160c1d48367756a6978f82c4f2d1b47b45497db7dfdfb081193644b0baa5121beb1b"
             "751abb309f12d02a4067fb6a6f9ed01511b6aecc55f1f14d3e14c29dcb5842ca93f5c7efc3f0aebc"
             "aa31e3e5a92c4c79811c3ae7551a2c0b");
   EXPECT_EQ(BigInt::ModExp(BigInt(0xdeadbeefcafebabeull), BigInt(0x123456789abcdefull), p)
+                .value()
                 .ToHex(),
             "39d24409927f64d6574a14b6fc3ee96a94ab0eef0ae9bd21985b9601f5633f833a3f7511b358cd44"
             "d21f9241db9e0eb3f36a5ef357178b1e2cfbd0a6259a1ae082f50182f968b34ef7bc529f6753c77b"

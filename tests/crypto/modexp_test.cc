@@ -1,0 +1,183 @@
+// Property tests for the fast-modexp engine (src/crypto/modexp.*).
+//
+// Every fast path — sliding-window ModExpCtx::Pow, the fixed-base comb
+// table, and the cached-context reuse pattern — is cross-checked against the
+// pre-engine binary Montgomery ladder (BigInt::ModExpBinary), the same
+// oracle strategy the DES rewrite used with DesKeyRef. Small cases are
+// additionally pinned to the independent 64-bit PowMod64.
+
+#include "src/crypto/modexp.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/bigint.h"
+#include "src/crypto/dh.h"
+#include "src/crypto/primes.h"
+#include "src/crypto/prng.h"
+
+namespace kcrypto {
+namespace {
+
+// Random odd modulus of roughly `bits` bits with the top bit set.
+BigInt RandomOddModulus(Prng& prng, size_t bits) {
+  kerb::Bytes raw = prng.NextBytes((bits + 7) / 8);
+  raw[0] |= 0x80;                // full width
+  raw[raw.size() - 1] |= 1;      // odd
+  return BigInt::FromBytes(raw);
+}
+
+BigInt RandomBelow(Prng& prng, const BigInt& modulus) {
+  return BigInt::FromBytes(prng.NextBytes((modulus.BitLength() + 7) / 8)).Mod(modulus);
+}
+
+TEST(ModExpCtxTest, CreateFailsClosedOnDegenerateModuli) {
+  EXPECT_EQ(ModExpCtx::Create(BigInt(0)).code(), kerb::ErrorCode::kBadFormat);
+  EXPECT_EQ(ModExpCtx::Create(BigInt(1)).code(), kerb::ErrorCode::kBadFormat);
+  EXPECT_EQ(ModExpCtx::Create(BigInt(2)).code(), kerb::ErrorCode::kBadFormat);
+  EXPECT_EQ(ModExpCtx::Create(BigInt(65536)).code(), kerb::ErrorCode::kBadFormat);
+  EXPECT_TRUE(ModExpCtx::Create(BigInt(3)).ok());
+}
+
+TEST(ModExpCtxTest, MatchesPowMod64OnSmallInputs) {
+  Prng prng(0x9e1);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t mod = (prng.NextU64() >> 1) | 1;
+    if (mod <= 2) {
+      continue;
+    }
+    uint64_t base = prng.NextU64();
+    uint64_t exp = prng.NextU64() >> (prng.NextBelow(50));
+    auto ctx = ModExpCtx::Create(BigInt(mod));
+    ASSERT_TRUE(ctx.ok());
+    EXPECT_EQ(ctx.value().Pow(BigInt(base), BigInt(exp)).LowU64(),
+              PowMod64(base % mod, exp, mod))
+        << base << "^" << exp << " mod " << mod;
+  }
+}
+
+TEST(ModExpCtxTest, WindowedMatchesBinaryOracleAcrossWidths) {
+  Prng prng(0x5117);
+  for (size_t bits : {33u, 64u, 96u, 160u, 256u, 512u, 777u, 1024u}) {
+    BigInt m = RandomOddModulus(prng, bits);
+    auto ctx = ModExpCtx::Create(m);
+    ASSERT_TRUE(ctx.ok()) << bits;
+    for (int i = 0; i < 8; ++i) {
+      BigInt base = RandomBelow(prng, m);
+      // Exponent width varied independently of the modulus so every window
+      // size (2..5) gets exercised.
+      BigInt exp = BigInt::FromBytes(prng.NextBytes(1 + prng.NextBelow(bits / 8 + 1)));
+      BigInt oracle = BigInt::ModExpBinary(base, exp, m).value();
+      EXPECT_EQ(ctx.value().Pow(base, exp).Compare(oracle), 0)
+          << bits << "-bit modulus, iteration " << i;
+    }
+  }
+}
+
+TEST(ModExpCtxTest, ExponentEdgeCases) {
+  Prng prng(0xed6e);
+  BigInt m = RandomOddModulus(prng, 192);
+  auto ctx = ModExpCtx::Create(m);
+  ASSERT_TRUE(ctx.ok());
+  BigInt base = RandomBelow(prng, m);
+
+  std::vector<BigInt> exponents;
+  exponents.push_back(BigInt(0));
+  exponents.push_back(BigInt(1));
+  exponents.push_back(BigInt(2));
+  for (size_t k : {1u, 31u, 32u, 63u, 64u, 65u, 191u, 250u}) {
+    exponents.push_back(BigInt(1).ShiftLeft(k));                    // 2^k
+    exponents.push_back(BigInt(1).ShiftLeft(k).Sub(BigInt(1)));     // all-ones
+  }
+  for (const BigInt& exp : exponents) {
+    BigInt oracle = BigInt::ModExpBinary(base, exp, m).value();
+    EXPECT_EQ(ctx.value().Pow(base, exp).Compare(oracle), 0) << exp.ToHex();
+    // Base edge cases under the same exponent.
+    EXPECT_EQ(ctx.value().Pow(BigInt(0), exp).Compare(
+                  BigInt::ModExpBinary(BigInt(0), exp, m).value()),
+              0);
+    EXPECT_EQ(ctx.value().Pow(BigInt(1), exp).Compare(BigInt(1)), 0);
+    // Unreduced base must behave as its residue.
+    EXPECT_EQ(ctx.value().Pow(base.Add(m), exp).Compare(
+                  ctx.value().Pow(base, exp)),
+              0);
+  }
+}
+
+TEST(ModExpCtxTest, ContextReuseAcrossCallsIsStateless) {
+  // One cached context serving many (base, exponent) pairs must give the
+  // same answers as a fresh context per call — the whole point of hoisting
+  // the setup out of the loop.
+  Prng prng(0xca11);
+  BigInt m = RandomOddModulus(prng, 384);
+  auto shared_ctx = ModExpCtx::Create(m);
+  ASSERT_TRUE(shared_ctx.ok());
+  for (int i = 0; i < 20; ++i) {
+    BigInt base = RandomBelow(prng, m);
+    BigInt exp = RandomBelow(prng, m);
+    BigInt fresh = ModExpCtx::Create(m).value().Pow(base, exp);
+    EXPECT_EQ(shared_ctx.value().Pow(base, exp).Compare(fresh), 0) << i;
+  }
+}
+
+TEST(FixedBasePowTest, MatchesBinaryOracle) {
+  Prng prng(0xf1eb);
+  for (size_t bits : {64u, 192u, 512u}) {
+    BigInt m = RandomOddModulus(prng, bits);
+    auto ctx = ModExpCtx::Create(m);
+    ASSERT_TRUE(ctx.ok());
+    auto shared = std::make_shared<const ModExpCtx>(std::move(ctx).value());
+    BigInt base = RandomBelow(prng, m);
+    FixedBasePow fixed(shared, base, bits);
+    for (int i = 0; i < 10; ++i) {
+      BigInt exp = BigInt::FromBytes(prng.NextBytes(1 + prng.NextBelow(bits / 8)));
+      BigInt oracle = BigInt::ModExpBinary(base, exp, m).value();
+      EXPECT_EQ(fixed.Pow(exp).Compare(oracle), 0) << bits << "-bit, iter " << i;
+    }
+  }
+}
+
+TEST(FixedBasePowTest, EdgeExponentsAndOffTableFallback) {
+  Prng prng(0x0ff7);
+  BigInt m = RandomOddModulus(prng, 128);
+  auto shared = std::make_shared<const ModExpCtx>(std::move(ModExpCtx::Create(m)).value());
+  BigInt base = RandomBelow(prng, m);
+  FixedBasePow fixed(shared, base, 128);
+
+  EXPECT_EQ(fixed.Pow(BigInt(0)).Compare(BigInt(1)), 0);
+  EXPECT_EQ(fixed.Pow(BigInt(1)).Compare(base.Mod(m)), 0);
+  // All-ones at exactly the covered width.
+  BigInt all_ones = BigInt(1).ShiftLeft(128).Sub(BigInt(1));
+  EXPECT_EQ(fixed.Pow(all_ones).Compare(BigInt::ModExpBinary(base, all_ones, m).value()), 0);
+  // Wider than the table: must fall back to the general ladder, same answer.
+  BigInt wide = BigInt(1).ShiftLeft(200).Add(BigInt(12345));
+  EXPECT_EQ(fixed.Pow(wide).Compare(BigInt::ModExpBinary(base, wide, m).value()), 0);
+}
+
+TEST(FixedBasePowTest, DhEngineGeneratorPathMatchesGeneralPath) {
+  // The engine the DH layer actually serves logins with: g^x by comb table
+  // vs g^x by sliding window vs the oracle, on a real group.
+  const DhGroup& group = OakleyGroup1();
+  ASSERT_NE(group.engine, nullptr);
+  Prng prng(0xd4);
+  for (int i = 0; i < 5; ++i) {
+    BigInt x = RandomBelow(prng, group.p);
+    BigInt by_comb = group.engine->PowG(x);
+    BigInt by_window = group.engine->Pow(group.g, x);
+    EXPECT_EQ(by_comb.Compare(by_window), 0) << i;
+    EXPECT_EQ(by_comb.Compare(BigInt::ModExpBinary(group.g, x, group.p).value()), 0) << i;
+  }
+}
+
+TEST(DhValidationTest, ValidateDhPublicRejectsDegenerateValues) {
+  const DhGroup& group = OakleyGroup1();
+  EXPECT_FALSE(ValidateDhPublic(group, BigInt(0)).ok());
+  EXPECT_FALSE(ValidateDhPublic(group, BigInt(1)).ok());
+  EXPECT_FALSE(ValidateDhPublic(group, group.p.Sub(BigInt(1))).ok());
+  EXPECT_FALSE(ValidateDhPublic(group, group.p).ok());
+  EXPECT_FALSE(ValidateDhPublic(group, group.p.Add(BigInt(7))).ok());
+  EXPECT_TRUE(ValidateDhPublic(group, BigInt(2)).ok());
+  EXPECT_TRUE(ValidateDhPublic(group, group.p.Sub(BigInt(2))).ok());
+}
+
+}  // namespace
+}  // namespace kcrypto

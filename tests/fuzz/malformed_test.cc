@@ -12,8 +12,10 @@
 
 #include <vector>
 
+#include "src/attacks/kdcload.h"
 #include "src/attacks/testbed.h"
 #include "src/attacks/testbed5.h"
+#include "src/crypto/dh.h"
 #include "src/crypto/prng.h"
 #include "src/crypto/str2key.h"
 #include "src/encoding/tlv.h"
@@ -159,6 +161,75 @@ TEST(MalformedTest, V4DecodersRejectEveryTruncation) {
     (void)krb4::Authenticator4::Decode(cut);
   }
   SUCCEED();  // no crash under the sanitizer is the assertion
+}
+
+// --- Degenerate DH group parameters and PK AS request sweeps ----------------
+
+TEST(MalformedTest, DegenerateDhGroupParametersFailClosed) {
+  // A hostile "DH group" with a zero, one, or even modulus must be refused
+  // by every layer — BigInt::ModExp no longer asserts, it errors.
+  for (uint64_t m : {0ull, 1ull, 2ull, 4096ull, 0xfffffffeull}) {
+    auto r = kcrypto::BigInt::ModExp(kcrypto::BigInt(3), kcrypto::BigInt(7), kcrypto::BigInt(m));
+    ASSERT_FALSE(r.ok()) << m;
+    ExpectCleanFailure(r.error().code, "degenerate modulus modexp");
+    EXPECT_EQ(kcrypto::ModExpCtx::Create(kcrypto::BigInt(m)).code(),
+              kerb::ErrorCode::kBadFormat)
+        << m;
+    EXPECT_EQ(kcrypto::DhEngine::Create(kcrypto::BigInt(m), kcrypto::BigInt(2)), nullptr) << m;
+    // A hand-built group with this modulus: validation refuses every public
+    // value, so no exchange can proceed.
+    kcrypto::DhGroup bad{kcrypto::BigInt(m), kcrypto::BigInt(2), nullptr};
+    EXPECT_FALSE(kcrypto::ValidateDhPublic(bad, kcrypto::BigInt(3)).ok()) << m;
+  }
+}
+
+TEST(MalformedTest, PkAsRequestSweepsFailCleanly) {
+  // Truncations and bit flips over a valid PK AS request against a live
+  // core with PK preauth enabled: any rejection is fine, a crash or
+  // kInternal is not — and the DH public inside the frame is hostile input
+  // by construction once the flip lands in it.
+  kcrypto::Prng group_prng(0x97);
+  kcrypto::DhGroup group = kcrypto::MakeToyGroup(group_prng, 48);
+  ksim::SimClock clock;
+  krb4::KdcDatabase db;
+  krb4::Principal alice{"alice", "", "ATHENA.SIM"};
+  db.AddUser(alice, "pw");
+  kcrypto::Prng key_prng(0x5eed);
+  db.AddServiceWithRandomKey(krb4::TgsPrincipal("ATHENA.SIM"), key_prng);
+  krb4::KdcCore4 core(ksim::HostClock(&clock), "ATHENA.SIM", std::move(db),
+                      krb4::KdcOptions{});
+  core.EnablePkPreauth(group);
+  krb4::KdcContext ctx{kcrypto::Prng(0x1)};
+
+  kcrypto::Prng client_prng(0x2);
+  kcrypto::DhKeyPair pair = kcrypto::DhGenerate(group, client_prng);
+  krb4::AsPkRequest4 req;
+  req.client = alice;
+  req.service_realm = "ATHENA.SIM";
+  req.lifetime = ksim::kHour;
+  req.client_pub = pair.public_key.ToBytes();
+  ksim::Message msg;
+  msg.src = {0x0a000101, 1023};
+  msg.payload = krb4::Frame4(krb4::MsgType::kAsPkRequest, req.Encode());
+  ASSERT_TRUE(core.HandleAs(msg, ctx).ok());
+
+  for (size_t len = 0; len < msg.payload.size(); ++len) {
+    ksim::Message cut = msg;
+    cut.payload.assign(msg.payload.begin(), msg.payload.begin() + len);
+    auto r = core.HandleAs(cut, ctx);
+    ASSERT_FALSE(r.ok()) << "truncation to " << len << " bytes accepted";
+    ExpectCleanFailure(r.error().code, "truncated PK AS request");
+  }
+  for (size_t bit = 0; bit < msg.payload.size() * 8; ++bit) {
+    ksim::Message flipped = msg;
+    flipped.payload[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    auto r = core.HandleAs(flipped, ctx);
+    if (!r.ok()) {
+      ExpectCleanFailure(r.error().code, "bit-flipped PK AS request");
+    }
+  }
+  (void)krb4::AsPkRequest4::Decode(kerb::Bytes{});
+  (void)krb4::AsPkReply4::Decode(kerb::Bytes{});
 }
 
 // --- Durability-subsystem parsers (src/store) -------------------------------
