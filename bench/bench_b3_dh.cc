@@ -214,7 +214,7 @@ void BM_PkLogin4Bulk(benchmark::State& state) {
   uint64_t logins = 0;
   for (auto _ : state) {
     auto result = kattack::RunPkLoginLoad(handler, alice, user_key, kcrypto::OakleyGroup1(),
-                                          threads, kPerWorker, 0xb3 + logins);
+                                          clock.Now(), threads, kPerWorker, 0xb3 + logins);
     if (result.logins_failed != 0) {
       state.SkipWithError("PK login failed");
       return;

@@ -14,7 +14,13 @@
 //
 // The 1.5x floor is conservative: the measured margin on the reference box
 // is ~4-5x, so the guard only fires on a real regression (e.g. the ctx
-// cache silently falling back to per-call setup).
+// cache silently falling back to per-call setup). Because this is a
+// wall-clock ratio on possibly-shared CI hardware, the measurement is
+// flake-hardened twice over: best-of-N rounds absorbs scheduler noise
+// within an attempt, and a failed attempt is re-measured from scratch up
+// to kAttempts times — interleaved timing makes a transiently loaded box
+// slow BOTH sides, so only a persistent one-sided slowdown (i.e. a real
+// regression) can fail every attempt.
 
 #include <algorithm>
 #include <chrono>
@@ -37,7 +43,9 @@ double SecondsSince(Clock::time_point start) {
 int main() {
   constexpr size_t kBits = 512;
   constexpr int kCalls = 24;
-  constexpr int kRounds = 3;
+  constexpr int kRounds = 5;
+  constexpr int kAttempts = 3;
+  constexpr double kFloor = 1.5;
 
   kcrypto::Prng prng(0x90dc);
   kerb::Bytes raw = prng.NextBytes(kBits / 8);
@@ -60,36 +68,41 @@ int main() {
     return 1;
   }
 
-  // Best-of-N to shrug off scheduler noise on shared machines.
-  double binary_best = 1e9;
-  double windowed_best = 1e9;
   volatile uint32_t sink = 0;
-  for (int round = 0; round < kRounds; ++round) {
-    auto start = Clock::now();
-    for (int i = 0; i < kCalls; ++i) {
-      sink = sink ^ static_cast<uint32_t>(
-          kcrypto::BigInt::ModExpBinary(base, exp, m).value().BitLength());
-    }
-    binary_best = std::min(binary_best, SecondsSince(start));
+  double speedup = 0.0;
+  std::printf("modulus=%zu bits, %d calls per round, best of %d rounds\n", kBits, kCalls,
+              kRounds);
+  for (int attempt = 1; attempt <= kAttempts; ++attempt) {
+    // Best-of-N to shrug off scheduler noise on shared machines.
+    double binary_best = 1e9;
+    double windowed_best = 1e9;
+    for (int round = 0; round < kRounds; ++round) {
+      auto start = Clock::now();
+      for (int i = 0; i < kCalls; ++i) {
+        sink = sink ^ static_cast<uint32_t>(
+            kcrypto::BigInt::ModExpBinary(base, exp, m).value().BitLength());
+      }
+      binary_best = std::min(binary_best, SecondsSince(start));
 
-    start = Clock::now();
-    for (int i = 0; i < kCalls; ++i) {
-      sink = sink ^ static_cast<uint32_t>(ctx.value().Pow(base, exp).BitLength());
+      start = Clock::now();
+      for (int i = 0; i < kCalls; ++i) {
+        sink = sink ^ static_cast<uint32_t>(ctx.value().Pow(base, exp).BitLength());
+      }
+      windowed_best = std::min(windowed_best, SecondsSince(start));
     }
-    windowed_best = std::min(windowed_best, SecondsSince(start));
-  }
 
-  const double binary_rate = kCalls / binary_best;
-  const double windowed_rate = kCalls / windowed_best;
-  const double speedup = windowed_rate / binary_rate;
-  std::printf("modulus=%zu bits, %d calls per round\n", kBits, kCalls);
-  std::printf("binary ladder:   %.0f modexp/sec\n", binary_rate);
-  std::printf("cached windowed: %.0f modexp/sec\n", windowed_rate);
-  std::printf("speedup:         %.2fx (floor: 1.5x)\n", speedup);
-  if (speedup < 1.5) {
-    std::fprintf(stderr, "FAIL: windowed engine below the 1.5x floor\n");
-    return 1;
+    const double binary_rate = kCalls / binary_best;
+    const double windowed_rate = kCalls / windowed_best;
+    speedup = windowed_rate / binary_rate;
+    std::printf("attempt %d/%d: binary %.0f modexp/sec, windowed %.0f modexp/sec, "
+                "speedup %.2fx (floor: %.1fx)\n",
+                attempt, kAttempts, binary_rate, windowed_rate, speedup, kFloor);
+    if (speedup >= kFloor) {
+      std::printf("PASS\n");
+      return 0;
+    }
   }
-  std::printf("PASS\n");
-  return 0;
+  std::fprintf(stderr, "FAIL: windowed engine below the %.1fx floor on all %d attempts "
+               "(last: %.2fx)\n", kFloor, kAttempts, speedup);
+  return 1;
 }

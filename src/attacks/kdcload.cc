@@ -6,6 +6,9 @@
 #include <thread>
 #include <vector>
 
+#include "src/crypto/checksum.h"
+#include "src/encoding/io.h"
+
 namespace kattack {
 
 unsigned KdcWorkerThreads() {
@@ -132,7 +135,7 @@ KdcLoadResult RunKdcLoadBatched(const KdcBatchHandler& handler, const ksim::Mess
 kerb::Result<krb4::AsReplyBody4> DoPkLogin4(const KdcHandler& handler,
                                             const krb4::Principal& user,
                                             const kcrypto::DesKey& user_key,
-                                            const kcrypto::DhGroup& group,
+                                            const kcrypto::DhGroup& group, ksim::Time now,
                                             krb4::KdcContext& kdc_ctx,
                                             kcrypto::Prng& client_prng,
                                             const ksim::NetAddress& src) {
@@ -143,6 +146,13 @@ kerb::Result<krb4::AsReplyBody4> DoPkLogin4(const KdcHandler& handler,
   req.service_realm = user.realm;
   req.lifetime = 8 * ksim::kHour;
   req.client_pub = client_pair.public_key.ToBytes();
+  // Proof of possession: {timestamp, md4(g^a)}K_c. The KDC refuses PK
+  // requests without it — see AsPkRequest4 in src/krb4/messages.h.
+  kenc::Writer pa;
+  pa.PutU64(static_cast<uint64_t>(now));
+  pa.PutLengthPrefixed(
+      kcrypto::ComputeChecksum(kcrypto::ChecksumType::kMd4, req.client_pub));
+  req.sealed_padata = krb4::Seal4(user_key, pa.Take());
 
   ksim::Message msg;
   msg.src = src;
@@ -179,7 +189,8 @@ kerb::Result<krb4::AsReplyBody4> DoPkLogin4(const KdcHandler& handler,
 
 PkLoginLoadResult RunPkLoginLoad(const KdcHandler& handler, const krb4::Principal& user,
                                  const kcrypto::DesKey& user_key, const kcrypto::DhGroup& group,
-                                 unsigned threads, uint64_t logins_per_worker, uint64_t seed) {
+                                 ksim::Time now, unsigned threads, uint64_t logins_per_worker,
+                                 uint64_t seed) {
   if (threads == 0) {
     threads = 1;
   }
@@ -203,7 +214,8 @@ PkLoginLoadResult RunPkLoginLoad(const KdcHandler& handler, const krb4::Principa
     uint64_t local_ok = 0;
     uint64_t local_failed = 0;
     for (uint64_t i = 0; i < logins_per_worker; ++i) {
-      if (DoPkLogin4(handler, user, user_key, group, contexts[t], client_prngs[t], src).ok()) {
+      if (DoPkLogin4(handler, user, user_key, group, now, contexts[t], client_prngs[t], src)
+              .ok()) {
         ++local_ok;
       } else {
         ++local_failed;

@@ -62,13 +62,15 @@ KdcLoadResult RunKdcLoadBatched(const KdcBatchHandler& handler, const ksim::Mess
 // Bulk public-key preauthenticated logins (V4 shape).
 
 // One complete PK AS exchange against `handler`: generates a fresh client
-// DH pair from `client_prng`, frames an AsPkRequest4, and verifies the
-// reply end to end — server public validated, DH layer and password layer
-// unsealed, reply body decoded. `src` is the claimed client address.
+// DH pair from `client_prng`, frames an AsPkRequest4 carrying the
+// mandatory proof-of-possession padata ({timestamp, md4(g^a)}K_c, stamped
+// with `now`, the client's view of KDC time), and verifies the reply end
+// to end — server public validated, DH layer and password layer unsealed,
+// reply body decoded. `src` is the claimed client address.
 kerb::Result<krb4::AsReplyBody4> DoPkLogin4(const KdcHandler& handler,
                                             const krb4::Principal& user,
                                             const kcrypto::DesKey& user_key,
-                                            const kcrypto::DhGroup& group,
+                                            const kcrypto::DhGroup& group, ksim::Time now,
                                             krb4::KdcContext& kdc_ctx,
                                             kcrypto::Prng& client_prng,
                                             const ksim::NetAddress& src);
@@ -86,7 +88,8 @@ struct PkLoginLoadResult {
 // so a throughput number from this harness is also a correctness check.
 PkLoginLoadResult RunPkLoginLoad(const KdcHandler& handler, const krb4::Principal& user,
                                  const kcrypto::DesKey& user_key, const kcrypto::DhGroup& group,
-                                 unsigned threads, uint64_t logins_per_worker, uint64_t seed);
+                                 ksim::Time now, unsigned threads, uint64_t logins_per_worker,
+                                 uint64_t seed);
 
 }  // namespace kattack
 

@@ -1,6 +1,8 @@
 #include "src/crypto/dh.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 #include "src/crypto/md4.h"
 #include "src/crypto/primes.h"
@@ -82,13 +84,21 @@ DhGroup MakeToyGroup(Prng& prng, int bits) {
 
 namespace {
 
-// Slow-path modexp for hand-built groups with no engine. A degenerate
-// modulus (zero/even/≤1) yields the zero BigInt — callers that accept
-// untrusted parameters must ValidateDhPublic / check the engine first; this
-// keeps the simulation-facing signatures infallible.
+// Slow-path modexp for hand-built groups with no engine. The signatures
+// below stay infallible for the simulation's sake, so a degenerate modulus
+// (zero/even/≤1) here is a caller bug — untrusted parameters must be
+// refused at the trust boundary (ModExpCtx::Create / ValidateDhPublic)
+// before they reach an exchange. Fail fast rather than degrade: mapping
+// the error to BigInt(0) would hand every caller the same all-zero
+// "shared secret" and a predictable derived key.
 BigInt FallbackModExp(const BigInt& base, const BigInt& exponent, const BigInt& modulus) {
   auto r = BigInt::ModExp(base, exponent, modulus);
-  return r.ok() ? std::move(r).value() : BigInt();
+  if (!r.ok()) {
+    std::fprintf(stderr, "kcrypto: DH modexp over a degenerate modulus: %s\n",
+                 r.error().detail.c_str());
+    std::abort();
+  }
+  return std::move(r).value();
 }
 
 }  // namespace

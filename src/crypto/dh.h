@@ -85,6 +85,13 @@ struct DhKeyPair {
 };
 
 // Private key uniform in [2, p-2]; public = g^x mod p.
+//
+// Both functions require a usable group: either group.engine is set (the
+// factories guarantee it) or group.p is a valid odd modulus. A hand-built
+// engine-less group with a degenerate modulus aborts the process rather
+// than silently producing zero publics / an all-zero shared secret —
+// untrusted parameters must be rejected at the trust boundary
+// (ModExpCtx::Create / ValidateDhPublic) before reaching an exchange.
 DhKeyPair DhGenerate(const DhGroup& group, Prng& prng);
 
 // peer_public^private mod p.

@@ -27,6 +27,17 @@
 // The pre-existing binary ladder survives as BigInt::ModExpBinary — the
 // cross-check oracle, same pattern as DesKeyRef vs the table-driven DES —
 // and tests/crypto/modexp_test.cc property-checks every path against it.
+//
+// SIDE-CHANNEL CAVEAT: none of these paths is constant-time in the
+// exponent. The sliding-window scan branches on exponent bits and indexes
+// the odd-power/comb tables with exponent-derived digits (as did the
+// binary ladder before it), so secret exponents — DH private keys — leak
+// through timing and cache side channels. That is acceptable here: this
+// is a deterministic simulation of a 1991 protocol, every "secret" is a
+// seeded-PRNG artifact, and no adversary in the threat model shares
+// hardware with the victim. Do not lift this module into a setting where
+// one does; a fixed-window scan with constant-time table selection is the
+// standard remedy.
 
 #ifndef SRC_CRYPTO_MODEXP_H_
 #define SRC_CRYPTO_MODEXP_H_

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <utility>
 
+#include "src/crypto/checksum.h"
+#include "src/encoding/io.h"
 #include "src/obs/kobs.h"
 
 namespace krb4 {
@@ -174,6 +176,34 @@ kerb::Result<kerb::Bytes> KdcCore4::ServeAsPk(const ksim::Message& msg, const As
   if (!client_key.ok()) {
     return client_key.error();
   }
+
+  ksim::Time now = clock_.Now();
+
+  // Proof of possession, checked before any exponentiation: the double seal
+  // below only hides the inner {...}K_c layer from passive eavesdroppers.
+  // Without this check an active attacker could request a ticket for any
+  // principal under their own ephemeral key, strip the outer DH layer, and
+  // grind the password layer offline. The padata must unseal under K_c and
+  // must be bound (via md4) to the DH public actually in this request, so
+  // neither a forger nor a replaying key-substituter gets a reply.
+  auto padata = Unseal4(client_key.value(), req.sealed_padata);
+  if (!padata.ok()) {
+    return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "PK preauth proof invalid");
+  }
+  kenc::Reader pa(padata.value());
+  auto pa_time = pa.GetU64();
+  auto pa_bind = pa.GetLengthPrefixed();
+  if (!pa_time.ok() || !pa_bind.ok()) {
+    return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "PK preauth proof malformed");
+  }
+  if (!kcrypto::VerifyChecksum(kcrypto::ChecksumType::kMd4, req.client_pub, pa_bind.value())) {
+    return kerb::MakeError(kerb::ErrorCode::kAuthFailed,
+                           "PK preauth proof not bound to the DH public");
+  }
+  if (std::llabs(static_cast<ksim::Time>(pa_time.value()) - now) > options_.clock_skew_limit) {
+    return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "PK preauth proof stale");
+  }
+
   auto tgs_key = CachedLookup(tgs_principal_, ctx);
   if (!tgs_key.ok()) {
     return tgs_key.error();
@@ -185,7 +215,6 @@ kerb::Result<kerb::Bytes> KdcCore4::ServeAsPk(const ksim::Message& msg, const As
   kcrypto::DesKey dh_key = kcrypto::DhDeriveKey(
       kcrypto::DhSharedSecret(group, server_pair.private_key, client_pub));
 
-  ksim::Time now = clock_.Now();
   ksim::Duration lifetime = V4UnitsToLifetime(
       LifetimeToV4Units(std::min(req.lifetime, options_.max_ticket_lifetime)));
 

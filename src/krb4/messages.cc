@@ -250,6 +250,7 @@ kerb::Bytes AsPkRequest4::Encode() const {
   w.PutString(service_realm);
   w.PutU64(static_cast<uint64_t>(lifetime));
   w.PutLengthPrefixed(client_pub);
+  w.PutLengthPrefixed(sealed_padata);
   return w.Take();
 }
 
@@ -264,12 +265,14 @@ kerb::Result<AsPkRequest4> AsPkRequest4::Decode(kerb::BytesView data) {
   auto realm = r.GetString();
   auto life = r.GetU64();
   auto pub = r.GetLengthPrefixed();
-  if (!realm.ok() || !life.ok() || !pub.ok()) {
+  auto padata = r.GetLengthPrefixed();
+  if (!realm.ok() || !life.ok() || !pub.ok() || !padata.ok()) {
     return kerb::MakeError(kerb::ErrorCode::kBadFormat, "truncated PK AS request");
   }
   req.service_realm = realm.value();
   req.lifetime = static_cast<ksim::Duration>(life.value());
   req.client_pub = pub.value();
+  req.sealed_padata = padata.value();
   return req;
 }
 

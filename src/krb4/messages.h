@@ -132,20 +132,27 @@ struct AsReplyBody4 {
 
 // ---------------------------------------------------------------------------
 // Public-key preauthenticated AS exchange. The client contributes a fresh
-// DH public value; the KDC wraps the ordinary AS reply body in one extra
+// DH public value plus a proof of possession of K_c that *binds* that
+// public value; the KDC wraps the ordinary AS reply body in one extra
 // layer keyed by the negotiated secret:
 //
-//   c → KDC:  c, realm, lifetime, g^a mod p
+//   c → KDC:  c, realm, lifetime, g^a mod p, {timestamp, md4(g^a)}K_c
 //   KDC → c:  g^b mod p, { {AsReplyBody4}K_c } K_dh
 //
-// An eavesdropper now needs the ephemeral DH secret *before* it can even
-// start guessing the password — the verifiable plaintext that drives the
-// offline dictionary attack is no longer on the wire.
+// The double seal alone only defends against *passive* eavesdroppers: an
+// active attacker could otherwise request a ticket for any principal with
+// their own ephemeral key, strip the outer DH layer, and grind the inner
+// {...}K_c offline. The sealed padata closes that oracle — only the key
+// holder can produce it, and because it covers md4(g^a) the DH public
+// cannot be substituted without re-sealing under K_c.
 struct AsPkRequest4 {
   Principal client;
   std::string service_realm;
   ksim::Duration lifetime = 0;
-  kerb::Bytes client_pub;  // big-endian g^a mod p
+  kerb::Bytes client_pub;      // big-endian g^a mod p
+  // {timestamp u64, md4(client_pub)}K_c — mandatory; the KDC refuses PK
+  // requests whose padata is missing, stale, or bound to a different public.
+  kerb::Bytes sealed_padata;
 
   kerb::Bytes Encode() const;
   static kerb::Result<AsPkRequest4> Decode(kerb::BytesView data);

@@ -273,6 +273,37 @@ kerb::Result<kerb::Bytes> KdcCore5::ServeAsPk(const ksim::Message& msg, const As
   if (!client_key.ok()) {
     return client_key.error();
   }
+
+  // Proof of possession, mandatory on this path regardless of
+  // policy_.require_preauth and checked before any exponentiation: the
+  // double seal below only hides {EncAsRepPart5}K_c from passive
+  // eavesdroppers. Without it an active attacker could supply their own
+  // ephemeral key, strip the outer DH layer, and grind the password layer
+  // offline — exactly the oracle preauthentication exists to close. The
+  // padata must carry the request nonce, a fresh timestamp, and an md4
+  // binding of the DH public actually in this request, all sealed under
+  // K_c, so the public cannot be substituted without knowing the key.
+  if (!req.padata.has_value()) {
+    return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "PK preauth proof required");
+  }
+  auto padata = UnsealTlv(client_key.value(), kMsgPreauth, *req.padata, policy_.enc);
+  if (!padata.ok()) {
+    return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "PK preauth proof invalid");
+  }
+  auto pa_nonce = padata.value().GetU64(tag::kNonce);
+  auto pa_time = padata.value().GetU64(tag::kTimestamp);
+  auto pa_bind = padata.value().GetBytes(tag::kChecksum);
+  if (!pa_nonce.ok() || !pa_time.ok() || !pa_bind.ok() || pa_nonce.value() != req.nonce) {
+    return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "PK preauth proof malformed");
+  }
+  if (!kcrypto::VerifyChecksum(kcrypto::ChecksumType::kMd4, req.client_pub, pa_bind.value())) {
+    return kerb::MakeError(kerb::ErrorCode::kAuthFailed,
+                           "PK preauth proof not bound to the DH public");
+  }
+  if (std::llabs(static_cast<ksim::Time>(pa_time.value()) - now) > policy_.clock_skew_limit) {
+    return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "PK preauth proof stale");
+  }
+
   auto tgs_key = CachedLookup(tgs_principal_, ctx);
   if (!tgs_key.ok()) {
     return tgs_key.error();

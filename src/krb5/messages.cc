@@ -339,6 +339,9 @@ kenc::TlvMessage AsPkRequest5::ToTlv() const {
   msg.SetU32(tag::kOptions, options);
   msg.SetU64(tag::kNonce, nonce);
   msg.SetBytes(tag::kPkPublic, client_pub);
+  if (padata.has_value()) {
+    msg.SetBytes(tag::kPadata, *padata);
+  }
   return msg;
 }
 
@@ -361,6 +364,7 @@ kerb::Result<AsPkRequest5> AsPkRequest5::FromTlv(const kenc::TlvMessage& msg) {
   req.options = msg.GetOptionalU32(tag::kOptions).value_or(0);
   req.nonce = nonce.value();
   req.client_pub = pub.value();
+  req.padata = msg.GetOptionalBytes(tag::kPadata);
   return req;
 }
 

@@ -204,6 +204,13 @@ struct AsReply5 {
 // public value; the reply wraps the ordinary {EncAsRepPart5}K_c in one
 // extra layer keyed by the negotiated DH secret, so the password-keyed
 // ciphertext that drives offline guessing never crosses the wire bare.
+//
+// The DH wrapper alone only hides the inner layer from *passive*
+// eavesdroppers; an active attacker could supply their own ephemeral key
+// and strip it. The padata — {nonce, timestamp, md4(g^a)}K_c, a kMsgPreauth
+// TLV sealed under the client's key — is therefore mandatory on this path
+// regardless of KdcPolicy5::require_preauth: it proves possession of K_c
+// and binds the attacker-controllable DH public to that proof.
 struct AsPkRequest5 {
   Principal client;
   std::string service_realm;
@@ -211,6 +218,9 @@ struct AsPkRequest5 {
   uint32_t options = 0;
   uint64_t nonce = 0;
   kerb::Bytes client_pub;  // big-endian g^a mod p
+  // Sealed kMsgPreauth TLV: kNonce (== nonce), kTimestamp, kChecksum =
+  // md4(client_pub). Optional in the codec, required by the KDC.
+  std::optional<kerb::Bytes> padata;
 
   kenc::TlvMessage ToTlv() const;
   static kerb::Result<AsPkRequest5> FromTlv(const kenc::TlvMessage& msg);

@@ -15,9 +15,11 @@
 #include "src/attacks/kdcload.h"
 #include "src/attacks/testbed.h"
 #include "src/attacks/testbed5.h"
+#include "src/crypto/checksum.h"
 #include "src/crypto/dh.h"
 #include "src/crypto/prng.h"
 #include "src/crypto/str2key.h"
+#include "src/encoding/io.h"
 #include "src/encoding/tlv.h"
 #include "src/krb4/messages.h"
 #include "src/store/kprop.h"
@@ -208,6 +210,12 @@ TEST(MalformedTest, PkAsRequestSweepsFailCleanly) {
   req.service_realm = "ATHENA.SIM";
   req.lifetime = ksim::kHour;
   req.client_pub = pair.public_key.ToBytes();
+  kcrypto::DesKey user_key = kcrypto::StringToKey("pw", alice.Salt());
+  kenc::Writer pa;
+  pa.PutU64(0);  // timestamp: the sim clock sits at 0
+  pa.PutLengthPrefixed(
+      kcrypto::ComputeChecksum(kcrypto::ChecksumType::kMd4, req.client_pub));
+  req.sealed_padata = krb4::Seal4(user_key, pa.Take());
   ksim::Message msg;
   msg.src = {0x0a000101, 1023};
   msg.payload = krb4::Frame4(krb4::MsgType::kAsPkRequest, req.Encode());

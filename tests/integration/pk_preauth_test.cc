@@ -1,11 +1,13 @@
 // Public-key preauthenticated AS exchange, V4 and V5 (the paper's
 // "exponential key exchange" fix for offline password guessing, §6.3).
 //
-// Covers the full protocol loop — client DH pair, framed request, KDC
-// serving path, double unseal on the client — plus the fail-closed edges
-// (degenerate publics, PK disabled, wrong password) and the threaded bulk
-// harness RunPkLoginLoad, which is both the kdcload throughput driver and
-// an end-to-end correctness check: every counted login verified its reply.
+// Covers the full protocol loop — client DH pair, framed request with its
+// proof-of-possession padata, KDC serving path, double unseal on the
+// client — plus the fail-closed edges (degenerate publics, PK disabled,
+// wrong password, missing/stale/unbound padata, the active key-substitution
+// oracle) and the threaded bulk harness RunPkLoginLoad, which is both the
+// kdcload throughput driver and an end-to-end correctness check: every
+// counted login verified its reply.
 
 #include <gtest/gtest.h>
 
@@ -16,9 +18,11 @@
 #include <vector>
 
 #include "src/attacks/kdcload.h"
+#include "src/crypto/checksum.h"
 #include "src/crypto/dh.h"
 #include "src/crypto/prng.h"
 #include "src/crypto/str2key.h"
+#include "src/encoding/io.h"
 #include "src/krb4/kdccore.h"
 #include "src/krb5/enclayer.h"
 #include "src/krb5/kdccore.h"
@@ -60,12 +64,22 @@ struct Bed4 {
   kcrypto::DesKey user_key;
 };
 
+// The V4 proof-of-possession padata: {timestamp, md4(client_pub)}K.
+kerb::Bytes MakePadata4(const kcrypto::DesKey& key, kerb::BytesView client_pub,
+                        ksim::Time timestamp) {
+  kenc::Writer pa;
+  pa.PutU64(static_cast<uint64_t>(timestamp));
+  pa.PutLengthPrefixed(kcrypto::ComputeChecksum(kcrypto::ChecksumType::kMd4, client_pub));
+  return krb4::Seal4(key, pa.Take());
+}
+
 TEST(PkPreauth4Test, FullExchangeIssuesVerifiableTicket) {
   Bed4 bed;
   krb4::KdcContext ctx{kcrypto::Prng(0x1)};
   kcrypto::Prng client_prng(0x2);
   auto body = kattack::DoPkLogin4(bed.handler(), Alice(), bed.user_key,
-                                  kcrypto::OakleyGroup1(), ctx, client_prng, kClientAddr);
+                                  kcrypto::OakleyGroup1(), bed.clock.Now(), ctx, client_prng,
+                                  kClientAddr);
   ASSERT_TRUE(body.ok()) << body.error().detail;
   EXPECT_EQ(bed.core->pk_as_requests_served(), 1u);
 
@@ -78,13 +92,15 @@ TEST(PkPreauth4Test, FullExchangeIssuesVerifiableTicket) {
   EXPECT_EQ(tgt.value().client_addr, kClientAddr.host);
 }
 
-TEST(PkPreauth4Test, WrongPasswordCannotOpenInnerLayer) {
+TEST(PkPreauth4Test, WrongPasswordIsRefusedByTheKdc) {
+  // A requester who cannot seal the padata under K_c gets NO reply at all —
+  // in particular, no {...}K_c ciphertext to grind offline.
   Bed4 bed;
   krb4::KdcContext ctx{kcrypto::Prng(0x1)};
   kcrypto::Prng client_prng(0x2);
   kcrypto::DesKey wrong = kcrypto::StringToKey("not-the-password", Alice().Salt());
   auto body = kattack::DoPkLogin4(bed.handler(), Alice(), wrong, kcrypto::OakleyGroup1(),
-                                  ctx, client_prng, kClientAddr);
+                                  bed.clock.Now(), ctx, client_prng, kClientAddr);
   ASSERT_FALSE(body.ok());
   EXPECT_EQ(body.error().code, kerb::ErrorCode::kAuthFailed);
 }
@@ -94,9 +110,74 @@ TEST(PkPreauth4Test, DisabledCoreRefusesPkRequests) {
   krb4::KdcContext ctx{kcrypto::Prng(0x1)};
   kcrypto::Prng client_prng(0x2);
   auto body = kattack::DoPkLogin4(bed.handler(), Alice(), bed.user_key,
-                                  kcrypto::OakleyGroup1(), ctx, client_prng, kClientAddr);
+                                  kcrypto::OakleyGroup1(), bed.clock.Now(), ctx, client_prng,
+                                  kClientAddr);
   ASSERT_FALSE(body.ok());
   EXPECT_EQ(body.error().code, kerb::ErrorCode::kUnsupported);
+}
+
+// Builds a well-formed V4 PK request by hand so individual fields can be
+// perturbed.
+krb4::AsPkRequest4 BaseRequest4(Bed4& bed, kcrypto::Prng& client_prng) {
+  kcrypto::DhKeyPair pair = kcrypto::DhGenerate(kcrypto::OakleyGroup1(), client_prng);
+  krb4::AsPkRequest4 req;
+  req.client = Alice();
+  req.service_realm = kRealm;
+  req.lifetime = ksim::kHour;
+  req.client_pub = pair.public_key.ToBytes();
+  req.sealed_padata = MakePadata4(bed.user_key, req.client_pub, bed.clock.Now());
+  return req;
+}
+
+kerb::Result<kerb::Bytes> Send4(Bed4& bed, krb4::KdcContext& ctx,
+                                const krb4::AsPkRequest4& req) {
+  ksim::Message msg;
+  msg.src = kClientAddr;
+  msg.payload = krb4::Frame4(krb4::MsgType::kAsPkRequest, req.Encode());
+  return bed.core->HandleAs(msg, ctx);
+}
+
+TEST(PkPreauth4Test, ActiveAttackerWithOwnKeyGetsNoPasswordCiphertext) {
+  // THE oracle the padata closes: an active attacker substitutes their own
+  // ephemeral public (whose private key they hold) while replaying a
+  // captured padata from a legitimate login. The md4 binding inside the
+  // sealed padata no longer matches the public in the request, so the KDC
+  // refuses — the attacker never receives a strippable double-sealed reply.
+  Bed4 bed;
+  krb4::KdcContext ctx{kcrypto::Prng(0x1)};
+  kcrypto::Prng client_prng(0x2);
+  krb4::AsPkRequest4 req = BaseRequest4(bed, client_prng);  // victim's request
+  kcrypto::Prng attacker_prng(0x666);
+  kcrypto::DhKeyPair attacker_pair =
+      kcrypto::DhGenerate(kcrypto::OakleyGroup1(), attacker_prng);
+  req.client_pub = attacker_pair.public_key.ToBytes();  // substituted key
+  auto reply = Send4(bed, ctx, req);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error().code, kerb::ErrorCode::kAuthFailed);
+}
+
+TEST(PkPreauth4Test, MissingPadataIsRefused) {
+  Bed4 bed;
+  krb4::KdcContext ctx{kcrypto::Prng(0x1)};
+  kcrypto::Prng client_prng(0x2);
+  krb4::AsPkRequest4 req = BaseRequest4(bed, client_prng);
+  req.sealed_padata.clear();
+  auto reply = Send4(bed, ctx, req);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error().code, kerb::ErrorCode::kAuthFailed);
+}
+
+TEST(PkPreauth4Test, StalePadataIsRefused) {
+  Bed4 bed;
+  bed.clock.Set(2 * ksim::kHour);
+  krb4::KdcContext ctx{kcrypto::Prng(0x1)};
+  kcrypto::Prng client_prng(0x2);
+  krb4::AsPkRequest4 req = BaseRequest4(bed, client_prng);
+  req.sealed_padata =
+      MakePadata4(bed.user_key, req.client_pub, bed.clock.Now() - ksim::kHour);
+  auto reply = Send4(bed, ctx, req);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error().code, kerb::ErrorCode::kAuthFailed);
 }
 
 TEST(PkPreauth4Test, DegenerateClientPublicsAreRejected) {
@@ -149,8 +230,9 @@ TEST(PkPreauth4Test, BulkThreadedLoginsAllVerify) {
   auto handler = bed.handler();
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
     constexpr uint64_t kPerWorker = 128;
-    auto result = kattack::RunPkLoginLoad(handler, Alice(), bed.user_key, group, threads,
-                                          kPerWorker, 0xfeed + threads);
+    auto result = kattack::RunPkLoginLoad(handler, Alice(), bed.user_key, group,
+                                          bed.clock.Now(), threads, kPerWorker,
+                                          0xfeed + threads);
     EXPECT_EQ(result.logins_failed, 0u) << "threads=" << threads;
     EXPECT_EQ(result.logins_ok, threads * kPerWorker) << "threads=" << threads;
   }
@@ -178,6 +260,19 @@ struct Bed5 {
   kcrypto::DesKey user_key;
 };
 
+// The V5 proof-of-possession padata: sealed kMsgPreauth TLV carrying the
+// request nonce, a timestamp, and the md4 binding of the DH public.
+kerb::Bytes MakePadata5(Bed5& bed, const kcrypto::DesKey& key, uint64_t nonce,
+                        kerb::BytesView client_pub, ksim::Time timestamp,
+                        kcrypto::Prng& prng) {
+  kenc::TlvMessage pa(krb5::kMsgPreauth);
+  pa.SetU64(krb5::tag::kNonce, nonce);
+  pa.SetU64(krb5::tag::kTimestamp, static_cast<uint64_t>(timestamp));
+  pa.SetBytes(krb5::tag::kChecksum,
+              kcrypto::ComputeChecksum(kcrypto::ChecksumType::kMd4, client_pub));
+  return krb5::SealTlv(key, pa, bed.core->policy().enc, prng);
+}
+
 // One full V5 PK exchange; returns the decrypted EncAsRepPart5.
 kerb::Result<krb5::EncAsRepPart5> DoPkLogin5(Bed5& bed, krb4::KdcContext& ctx,
                                              kcrypto::Prng& client_prng,
@@ -191,6 +286,7 @@ kerb::Result<krb5::EncAsRepPart5> DoPkLogin5(Bed5& bed, krb4::KdcContext& ctx,
   req.lifetime = ksim::kHour;
   req.nonce = nonce;
   req.client_pub = client_pair.public_key.ToBytes();
+  req.padata = MakePadata5(bed, user_key, nonce, req.client_pub, bed.clock.Now(), client_prng);
 
   ksim::Message msg;
   msg.src = kClientAddr;
@@ -251,6 +347,8 @@ TEST(PkPreauth5Test, TicketBlobUnsealsWithTgsKey) {
   req.lifetime = ksim::kHour;
   req.nonce = 7;
   req.client_pub = client_pair.public_key.ToBytes();
+  req.padata = MakePadata5(bed, bed.user_key, req.nonce, req.client_pub, bed.clock.Now(),
+                           client_prng);
   ksim::Message msg;
   msg.src = kClientAddr;
   msg.payload = req.ToTlv().Encode();
@@ -267,7 +365,9 @@ TEST(PkPreauth5Test, TicketBlobUnsealsWithTgsKey) {
   EXPECT_EQ(tgt.value().client, Alice());
 }
 
-TEST(PkPreauth5Test, WrongPasswordCannotOpenInnerLayer) {
+TEST(PkPreauth5Test, WrongPasswordIsRefusedByTheKdc) {
+  // The padata seals under the wrong key, so the KDC refuses outright — no
+  // password-keyed ciphertext ever reaches the requester.
   Bed5 bed;
   krb4::KdcContext ctx{kcrypto::Prng(0x1)};
   kcrypto::Prng client_prng(0x2);
@@ -275,6 +375,79 @@ TEST(PkPreauth5Test, WrongPasswordCannotOpenInnerLayer) {
   auto part = DoPkLogin5(bed, ctx, client_prng, wrong, 9);
   ASSERT_FALSE(part.ok());
   EXPECT_EQ(part.error().code, kerb::ErrorCode::kAuthFailed);
+}
+
+// Builds a well-formed V5 PK request by hand so fields can be perturbed.
+krb5::AsPkRequest5 BaseRequest5(Bed5& bed, kcrypto::Prng& client_prng, uint64_t nonce) {
+  kcrypto::DhKeyPair pair = kcrypto::DhGenerate(kcrypto::OakleyGroup1(), client_prng);
+  krb5::AsPkRequest5 req;
+  req.client = Alice();
+  req.service_realm = kRealm;
+  req.lifetime = ksim::kHour;
+  req.nonce = nonce;
+  req.client_pub = pair.public_key.ToBytes();
+  req.padata = MakePadata5(bed, bed.user_key, nonce, req.client_pub, bed.clock.Now(),
+                           client_prng);
+  return req;
+}
+
+kerb::Result<kerb::Bytes> Send5(Bed5& bed, krb4::KdcContext& ctx,
+                                const krb5::AsPkRequest5& req) {
+  ksim::Message msg;
+  msg.src = kClientAddr;
+  msg.payload = req.ToTlv().Encode();
+  return bed.core->HandleAs(msg, ctx);
+}
+
+TEST(PkPreauth5Test, MissingPadataIsRefused) {
+  Bed5 bed;
+  krb4::KdcContext ctx{kcrypto::Prng(0x1)};
+  kcrypto::Prng client_prng(0x2);
+  krb5::AsPkRequest5 req = BaseRequest5(bed, client_prng, 11);
+  req.padata.reset();
+  auto reply = Send5(bed, ctx, req);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error().code, kerb::ErrorCode::kAuthFailed);
+}
+
+TEST(PkPreauth5Test, ActiveAttackerWithOwnKeyGetsNoPasswordCiphertext) {
+  // The review scenario: replay a captured padata but substitute an
+  // attacker-held ephemeral public. The md4 binding sealed under K_c no
+  // longer matches, so no strippable reply is issued.
+  Bed5 bed;
+  krb4::KdcContext ctx{kcrypto::Prng(0x1)};
+  kcrypto::Prng client_prng(0x2);
+  krb5::AsPkRequest5 req = BaseRequest5(bed, client_prng, 12);
+  kcrypto::Prng attacker_prng(0x666);
+  req.client_pub =
+      kcrypto::DhGenerate(kcrypto::OakleyGroup1(), attacker_prng).public_key.ToBytes();
+  auto reply = Send5(bed, ctx, req);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error().code, kerb::ErrorCode::kAuthFailed);
+}
+
+TEST(PkPreauth5Test, PadataNonceMustMatchRequestNonce) {
+  Bed5 bed;
+  krb4::KdcContext ctx{kcrypto::Prng(0x1)};
+  kcrypto::Prng client_prng(0x2);
+  krb5::AsPkRequest5 req = BaseRequest5(bed, client_prng, 13);
+  req.nonce = 14;  // padata still proves nonce 13
+  auto reply = Send5(bed, ctx, req);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error().code, kerb::ErrorCode::kAuthFailed);
+}
+
+TEST(PkPreauth5Test, StalePadataIsRefused) {
+  Bed5 bed;
+  bed.clock.Set(2 * ksim::kHour);
+  krb4::KdcContext ctx{kcrypto::Prng(0x1)};
+  kcrypto::Prng client_prng(0x2);
+  krb5::AsPkRequest5 req = BaseRequest5(bed, client_prng, 15);
+  req.padata = MakePadata5(bed, bed.user_key, req.nonce, req.client_pub,
+                           bed.clock.Now() - ksim::kHour, client_prng);
+  auto reply = Send5(bed, ctx, req);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error().code, kerb::ErrorCode::kAuthFailed);
 }
 
 TEST(PkPreauth5Test, DisabledCoreRefusesPkRequests) {
