@@ -32,9 +32,15 @@ distills the numbers every PR cares about:
         Oakley groups), the windowed- and fixed-base-over-binary speedups
         at 1024 bits (acceptance: windowed >= 3x), and bulk verified DH
         logins/sec through the threaded V4 KDC core per worker count
+    admin: the PR-8 admin plane (B15) — protected password changes/sec and
+        sealed kvno queries/sec through the kadmin service, plus old-ticket
+        goodput and admin apply rate per fault rate while keys rotate
+        under live traffic (acceptance: goodput 100 at rate 0, and every
+        rotation invariant holds at every rate — the bench skips with an
+        error otherwise)
 
 Usage:
-    python3 bench/bench_baseline.py --build-dir build --out BENCH_PR7.json
+    python3 bench/bench_baseline.py --build-dir build --out BENCH_PR8.json
 
 or via the CMake target:  cmake --build build --target bench_baseline
 Stdlib only; no third-party packages.
@@ -153,7 +159,7 @@ def metric(benchmarks, name, field):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--out", default="BENCH_PR7.json")
+    parser.add_argument("--out", default="BENCH_PR8.json")
     parser.add_argument("--min-time", default=None,
                         help="override --benchmark_min_time (bare seconds, e.g. 0.05)")
     args = parser.parse_args()
@@ -180,6 +186,9 @@ def main():
     b3 = run_bench_best_of(os.path.join(bench_dir, "bench_b3_dh"),
                            "BM_ModExp(Binary|Windowed|FixedBase)/"
                            "|BM_PkLogin4Bulk/", args.min_time)
+    b15 = run_bench(os.path.join(bench_dir, "bench_b15_admin"),
+                    "BM_AdminChangePassword$|BM_AdminGetKvno$"
+                    "|BM_RotationStudy/", args.min_time)
 
     doc = {
         "meta": build_meta(args.build_dir),
@@ -283,6 +292,23 @@ def main():
             str(n): metric(b3, f"BM_PkLogin4Bulk/{n}/real_time",
                            "items_per_second")
             for n in (1, 2, 4)
+        },
+    }
+
+    doc["admin"] = {
+        "password_changes_per_sec": metric(b15, "BM_AdminChangePassword",
+                                           "items_per_second"),
+        "kvno_queries_per_sec": metric(b15, "BM_AdminGetKvno",
+                                       "items_per_second"),
+        "rotation_old_ticket_goodput_pct": {
+            str(pct): metric(b15, f"BM_RotationStudy/{pct}",
+                             "old_ticket_goodput_pct")
+            for pct in (0, 10, 20, 30)
+        },
+        "rotation_admin_applied_pct": {
+            str(pct): metric(b15, f"BM_RotationStudy/{pct}",
+                             "admin_applied_pct")
+            for pct in (0, 10, 20, 30)
         },
     }
 

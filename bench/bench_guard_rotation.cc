@@ -1,0 +1,85 @@
+// Regression guard: rotation availability must not regress.
+//
+// Not a google-benchmark binary — a plain pass/fail ctest (registered as
+// bench_smoke_rotation_guard) so the drain-window guarantee is checked on
+// every test run, not only when someone reads bench output. Two fixed
+// configurations of the B15 rotation study:
+//
+//   blackout: the primary KDC (and the kadmin service on the same host)
+//     goes dark for the middle third of the run while keys rotate around
+//     the outage. The old-ticket holder never needs the KDC again — her
+//     goodput must be 100%, rotations must still land (before/after the
+//     blackout), and the dark host must visibly refuse at least once.
+//
+//   chaos: 20% drop + 20% duplicate + 10% reorder + ~7% corruption with
+//     retries. Exhaustion (failing closed) is allowed; a terminal verdict
+//     against a valid old ticket, a half-applied change, or any other
+//     invariant breach fails the guard.
+//
+// Both runs are deterministic functions of their seeds, so a failure here
+// is a code regression, never flake.
+
+#include <cstdio>
+
+#include "src/attacks/rotation.h"
+
+namespace {
+
+bool Check(const char* what, bool ok) {
+  std::printf("%-44s %s\n", what, ok ? "ok" : "FAIL");
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  bool pass = true;
+
+  {
+    kattack::RotationConfig config;  // mirrors RotationChaosTest.PrimaryBlackout
+    config.seed = 5150;
+    config.primary_blackout = true;
+    config.kdc_slaves = 1;
+    config.retry.max_attempts = 6;
+    kattack::RotationReport r = kattack::RunRotationStudy(config);
+    std::printf("[blackout] old-ticket %llu/%llu, applied %llu, refusals in dark window\n",
+                (unsigned long long)r.old_ticket_successes,
+                (unsigned long long)r.old_ticket_calls,
+                (unsigned long long)(r.changes_applied + r.rotations_applied));
+    pass &= Check("blackout: invariants hold", kattack::RotationInvariantsHold(r));
+    pass &= Check("blackout: old-ticket goodput is 100%",
+                  r.old_ticket_calls > 0 && r.old_ticket_successes == r.old_ticket_calls);
+    pass &= Check("blackout: drain window actually used", r.old_key_accepts > 0);
+    pass &= Check("blackout: changes still applied", r.changes_applied >= 1);
+    pass &= Check("blackout: rotations still applied", r.rotations_applied >= 1);
+  }
+
+  {
+    kattack::RotationConfig config;
+    config.seed = 0x60a7;
+    config.drop = 0.20;
+    config.duplicate = 0.20;
+    config.reorder = 0.10;
+    config.corrupt = 0.066;
+    config.retry.max_attempts = 8;
+    kattack::RotationReport r = kattack::RunRotationStudy(config);
+    std::printf("[chaos]    old-ticket %llu/%llu, admin applied %llu/%llu, ack replays %llu\n",
+                (unsigned long long)r.old_ticket_successes,
+                (unsigned long long)r.old_ticket_calls,
+                (unsigned long long)(r.changes_applied + r.rotations_applied),
+                (unsigned long long)(r.changes_attempted + r.rotations_attempted),
+                (unsigned long long)r.ack_replays);
+    pass &= Check("chaos: invariants hold", kattack::RotationInvariantsHold(r));
+    pass &= Check("chaos: no old-ticket hard failures", r.old_ticket_hard_failures == 0);
+    pass &= Check("chaos: no admin hard failures", r.admin_hard_failures == 0);
+    pass &= Check("chaos: most old-ticket calls still land",
+                  r.old_ticket_successes * 2 > r.old_ticket_calls);
+  }
+
+  if (!pass) {
+    std::fprintf(stderr, "FAIL: rotation availability regressed\n");
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Wire messages for the online administration protocol (kadmin).
+//
+// The 1991 paper's Kerberos had no protected administration channel: password
+// changes rode an ad-hoc protocol with its own weaknesses, and key rotation
+// meant taking the KDC down and re-propagating the whole database. This
+// subsystem models the fix the paper's framework implies: an admin service
+// ("changepw.kerberos@REALM") reached through the ordinary AS/TGS machinery,
+// with every request and reply sealed krb_priv-style under the ticket's
+// session key and carrying the full anti-replay envelope the paper demands
+// for application messages — timestamp, direction flag, sender address,
+// nonce, and a collision-proof checksum over the plaintext.
+//
+// Wire shape (all inside Frame4 with the new MsgType values):
+//
+//   AdminRequest  = kAdminRequest {
+//       {T_c,changepw}K_changepw   sealed ticket   (service-key sealed)
+//       {A_c}K_session             sealed auth     (fresh per attempt)
+//       {AdminReqBody}K_session    sealed body     (same nonce per attempt)
+//   }
+//   AdminReply    = kAdminReply { {AdminReplyBody}K_session }
+//
+// Retries resend a *fresh* authenticator with the *same* nonce: the server's
+// nonce-ack cache makes mutations exactly-once across retransmissions, while
+// the fresh timestamp keeps the authenticator replay cache honest.
+
+#ifndef SRC_ADMIN_MESSAGES_H_
+#define SRC_ADMIN_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/crypto/des.h"
+#include "src/krb4/principal.h"
+#include "src/sim/clock.h"
+
+namespace kadmin {
+
+// The admin service listens on the primary KDC host at this port (the
+// historical kpasswd/kadmin port).
+constexpr uint16_t kAdminPort = 751;
+
+// The well-known admin service principal for a realm.
+krb4::Principal AdminPrincipal(const std::string& realm);
+
+enum class AdminOp : uint8_t {
+  kChangePassword = 1,  // payload: new password bytes; self or admin
+  kRotateKey = 2,       // payload: empty (server draws a random key); admin
+  kGetKey = 3,          // payload: empty; reply detail: current key; admin
+  kAddPrincipal = 4,    // payload: u8 kind | password bytes (users); admin
+  kDelPrincipal = 5,    // payload: empty; admin
+  kGetKvno = 6,         // payload: empty; self or admin
+};
+
+const char* AdminOpName(AdminOp op);
+
+// The top-level request: three sealed blobs, each length-prefixed.
+struct AdminRequest {
+  kerb::Bytes sealed_ticket;  // {T_c,changepw}K_changepw
+  kerb::Bytes sealed_auth;    // {A_c}K_session
+  kerb::Bytes sealed_req;     // {AdminReqBody}K_session
+
+  kerb::Bytes Encode() const;  // framed as MsgType::kAdminRequest
+  static kerb::Result<AdminRequest> Decode(kerb::BytesView body);
+};
+
+// The sealed request body. Encode appends an MD4 checksum over the
+// preceding fields; Decode verifies and strips it — tampering anywhere in
+// the plaintext (including a cut-and-paste of fields between two sealed
+// bodies) fails closed with kIntegrity.
+struct AdminReqBody {
+  AdminOp op = AdminOp::kGetKvno;
+  krb4::Principal target;
+  uint64_t nonce = 0;          // echoed + 1 in the reply
+  ksim::Time timestamp = 0;    // client clock; bounded by server skew check
+  uint32_t sender_addr = 0;    // must match the network source address
+  uint8_t direction = 0;       // 0 = client→server; rejects reflections
+  kerb::Bytes payload;         // op-specific (see AdminOp)
+
+  kerb::Bytes Encode() const;
+  static kerb::Result<AdminReqBody> Decode(kerb::BytesView data);
+};
+
+// The sealed reply body, same checksum treatment. `code` is 0 for success
+// or a kerb::ErrorCode the client re-raises; the body is sealed either way,
+// so a denial verdict cannot be forged or replayed into a later exchange.
+struct AdminReplyBody {
+  uint64_t nonce_plus_one = 0;
+  ksim::Time timestamp = 0;   // server clock at apply time
+  uint8_t direction = 1;      // 1 = server→client
+  uint32_t code = 0;          // 0 = applied; else kerb::ErrorCode
+  uint32_t kvno = 0;          // key version after the op (when meaningful)
+  kerb::Bytes detail;         // op-specific (kGetKey: key bytes; denials: text)
+
+  kerb::Bytes Encode() const;
+  static kerb::Result<AdminReplyBody> Decode(kerb::BytesView data);
+};
+
+}  // namespace kadmin
+
+#endif  // SRC_ADMIN_MESSAGES_H_

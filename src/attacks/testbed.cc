@@ -33,6 +33,11 @@ Testbed4::Testbed4(TestbedConfig config) : config_(config) {
   mail_key_ = db.AddServiceWithRandomKey(mail_principal(), key_prng);
   file_key_ = db.AddServiceWithRandomKey(file_principal(), key_prng);
   backup_key_ = db.AddServiceWithRandomKey(backup_principal(), key_prng);
+  // Admin plane (off by default so the historical key stream stays pinned).
+  if (config.enable_kadmin) {
+    db.AddServiceWithRandomKey(kadmin::AdminPrincipal(realm), key_prng);
+    db.AddUser(oper_principal(), kOperPassword);
+  }
 
   // Users.
   users_.emplace_back(alice_principal(), kAlicePassword);
@@ -50,6 +55,7 @@ Testbed4::Testbed4(TestbedConfig config) : config_(config) {
 
   krb4::KdcOptions kdc_options;
   kdc_options.reply_cache_window = config.kdc_reply_cache_window;
+  kdc_options.serve_batched = config.kdc_serve_batched;
   // With zero slaves the replica set passes its PRNG fork straight through
   // to the primary, so default-config reply bytes stay pinned
   // (tests/integration/kdc_capture_test.cc).
@@ -85,6 +91,14 @@ Testbed4::Testbed4(TestbedConfig config) : config_(config) {
       },
       ServerOptions(config));
 
+  if (config.enable_kadmin) {
+    kadmin::AdminPolicy admin_policy;
+    admin_policy.clock_skew_limit = config.clock_skew_limit;
+    kadmin_server_ = std::make_unique<kadmin::KadminServer>(
+        &world_->network(), kAdminAddr, realm, &kdcs_->primary().database(),
+        world_->MakeHostClock(0), world_->prng().Fork(), admin_policy);
+  }
+
   alice_ = MakeClient(alice_principal(), kAliceAddr);
   bob_ = MakeClient(bob_principal(), kBobAddr);
 }
@@ -102,6 +116,19 @@ krb4::Principal Testbed4::alice_principal() const {
   return krb4::Principal::User("alice", realm);
 }
 krb4::Principal Testbed4::bob_principal() const { return krb4::Principal::User("bob", realm); }
+krb4::Principal Testbed4::oper_principal() const {
+  return krb4::Principal{"oper", "admin", realm};
+}
+
+std::unique_ptr<kadmin::AdminClient> Testbed4::MakeAdminClient(krb4::Client4& client) {
+  auto admin = std::make_unique<kadmin::AdminClient>(&client, &world_->network(),
+                                                     world_->MakeHostClock(0), kAdminAddr,
+                                                     kcrypto::Prng(world_->prng().NextU64()));
+  if (config_.client_retry.has_value()) {
+    admin->ConfigureRetry(&world_->clock(), *config_.client_retry, world_->prng().NextU64());
+  }
+  return admin;
+}
 
 std::unique_ptr<krb4::Client4> Testbed4::MakeClient(const krb4::Principal& user,
                                                     const ksim::NetAddress& addr) {

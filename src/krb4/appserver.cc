@@ -1,6 +1,10 @@
 #include "src/krb4/appserver.h"
 
 #include <cstdlib>
+#include <utility>
+
+#include "src/krb4/principal_store.h"
+#include "src/obs/kobs.h"
 
 namespace krb4 {
 
@@ -24,14 +28,31 @@ kerb::Result<VerifiedSession> AppServer4::VerifyApRequest(const ApRequest4& req,
     return kerb::MakeError(code, what);
   };
 
+  ksim::Time now = clock_.Now();
   auto ticket = Ticket4::Unseal(service_key_, req.sealed_ticket);
+  if (!ticket.ok()) {
+    // kvno drain window: tickets sealed under a rotated-out key keep
+    // verifying until that key's deadline passes (see Rekey).
+    for (size_t i = 0; i < old_keys_.size(); ++i) {
+      const auto& [old_key, not_after] = old_keys_[i];
+      if (not_after != 0 && now > not_after) {
+        continue;
+      }
+      auto old_ticket = Ticket4::Unseal(old_key, req.sealed_ticket);
+      if (old_ticket.ok()) {
+        ticket = std::move(old_ticket);
+        ++old_key_accepts_;
+        kobs::Emit(kobs::kSrcApp4, kobs::Ev::kKvnoOldKeyAccept, now, 0, i + 1);
+        break;
+      }
+    }
+  }
   if (!ticket.ok()) {
     return fail(kerb::ErrorCode::kAuthFailed, "ticket not sealed with our key");
   }
   if (!(ticket.value().service == self_)) {
     return fail(kerb::ErrorCode::kAuthFailed, "ticket names a different service");
   }
-  ksim::Time now = clock_.Now();
   if (ticket.value().Expired(now)) {
     return fail(kerb::ErrorCode::kExpired, "ticket expired");
   }
@@ -99,6 +120,20 @@ kerb::Result<VerifiedSession> AppServer4::VerifyApRequest(const ApRequest4& req,
   session.session_key = session_key;
   session.authenticator_time = auth.value().timestamp;
   return session;
+}
+
+void AppServer4::Rekey(const kcrypto::DesKey& new_key, ksim::Time old_not_after) {
+  const ksim::Time now = clock_.Now();
+  if (old_not_after > now) {
+    old_keys_.insert(old_keys_.begin(), {service_key_, old_not_after});
+  }
+  // Prune keys whose drain window has already closed, and cap the ring to
+  // the same depth the database keeps (current + kRingCap - 1 retained).
+  std::erase_if(old_keys_, [now](const auto& entry) { return now > entry.second; });
+  if (old_keys_.size() > PrincipalEntry::kRingCap - 1) {
+    old_keys_.resize(PrincipalEntry::kRingCap - 1);
+  }
+  service_key_ = new_key;
 }
 
 kerb::Result<kerb::Bytes> AppServer4::Handle(const ksim::Message& msg) {

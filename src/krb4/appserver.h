@@ -14,6 +14,8 @@
 
 #include <functional>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "src/crypto/prng.h"
 #include "src/krb4/messages.h"
@@ -63,6 +65,15 @@ class AppServer4 {
   const AppServerOptions& options() const { return options_; }
   void set_options(const AppServerOptions& options) { options_ = options; }
 
+  // Installs a new current service key (the KDC-side rotation bumped the
+  // kvno; the server only needs the key material). The outgoing key stays
+  // accepted for tickets already sealed under it until `old_not_after`
+  // virtual time (0 drops it immediately) — the drain window that keeps
+  // unexpired old-kvno tickets verifying mid-rotation.
+  void Rekey(const kcrypto::DesKey& new_key, ksim::Time old_not_after);
+
+  uint64_t old_key_accepts() const { return old_key_accepts_; }
+
   // The server's view of time. Mutable because time-synchronization clients
   // slew it — which is exactly the surface experiment E3 attacks.
   ksim::HostClock& clock() { return clock_; }
@@ -77,6 +88,9 @@ class AppServer4 {
 
   Principal self_;
   kcrypto::DesKey service_key_;
+  // Retained previous service keys, newest first, each with its drain
+  // deadline. Tried only after the current key fails to unseal a ticket.
+  std::vector<std::pair<kcrypto::DesKey, ksim::Time>> old_keys_;
   ksim::HostClock clock_;
   AppHandler app_;
   AppServerOptions options_;
@@ -89,6 +103,7 @@ class AppServer4 {
   kcrypto::Prng challenge_prng_;
   uint64_t accepted_ = 0;
   uint64_t rejected_ = 0;
+  uint64_t old_key_accepts_ = 0;
 };
 
 }  // namespace krb4

@@ -2,6 +2,7 @@
 
 #include "src/crypto/str2key.h"
 #include "src/krb4/kdcstore.h"
+#include "src/obs/kobs.h"
 #include "src/store/kstore.h"
 
 namespace krb4 {
@@ -20,6 +21,54 @@ void KdcDatabase::ApplyUpsert(const Principal& principal, const kcrypto::DesKey&
     journal_->Append(kstore::kWalOpUpsert, EncodePrincipalUpsert(principal, key, kind));
   }
   store_.Upsert(principal, key, kind);
+}
+
+bool KdcDatabase::ApplyEntry(const Principal& principal, const PrincipalEntry& entry) {
+  if (entry.keys.empty()) {
+    return false;
+  }
+  if (journal_ != nullptr) {
+    journal_->Append(kstore::kWalOpUpsert, EncodePrincipalEntry(principal, entry));
+  }
+  return store_.UpsertEntry(principal, entry);
+}
+
+kerb::Result<uint32_t> KdcDatabase::RotateKey(const Principal& principal,
+                                              const kcrypto::DesKey& new_key, ksim::Time now,
+                                              ksim::Time retain_until) {
+  PrincipalEntry entry;
+  if (!store_.LookupEntry(principal, &entry)) {
+    return kerb::MakeError(kerb::ErrorCode::kNotFound,
+                           "unknown principal " + principal.ToString());
+  }
+  const uint32_t new_kvno = entry.keys.front().kvno + 1;
+  // The outgoing current version starts its drain window (retain_until == 0
+  // means no window at all: the old key is dropped outright); versions
+  // whose window has already closed fall out of the ring here.
+  entry.keys.front().not_after = retain_until;
+  std::vector<KeyVersion> ring;
+  ring.push_back(KeyVersion{new_kvno, new_key, 0});
+  for (const KeyVersion& kv : entry.keys) {
+    if (kv.not_after == 0 || now > kv.not_after) {
+      continue;
+    }
+    if (ring.size() >= PrincipalEntry::kRingCap) {
+      break;
+    }
+    ring.push_back(kv);
+  }
+  entry.keys = std::move(ring);
+  ApplyEntry(principal, entry);
+  kobs::EmitNow(kobs::kSrcAdmin, kobs::Ev::kKvnoRotate, PrincipalStore::Hash(principal),
+                new_kvno);
+  return new_kvno;
+}
+
+kerb::Result<uint32_t> KdcDatabase::ChangePassword(const Principal& principal,
+                                                   std::string_view password, ksim::Time now,
+                                                   ksim::Time retain_until) {
+  return RotateKey(principal, kcrypto::StringToKey(password, principal.Salt()), now,
+                   retain_until);
 }
 
 bool KdcDatabase::Remove(const Principal& principal) {
@@ -52,6 +101,40 @@ kerb::Result<kcrypto::DesKey> KdcDatabase::Lookup(const Principal& principal) co
                            "unknown principal " + principal.ToString());
   }
   return key;
+}
+
+kerb::Result<PrincipalEntry> KdcDatabase::LookupEntry(const Principal& principal) const {
+  PrincipalEntry entry;
+  if (!store_.LookupEntry(principal, &entry)) {
+    return kerb::MakeError(kerb::ErrorCode::kNotFound,
+                           "unknown principal " + principal.ToString());
+  }
+  return entry;
+}
+
+kerb::Result<kcrypto::DesKey> KdcDatabase::LookupKvno(const Principal& principal, uint32_t kvno,
+                                                      ksim::Time now) const {
+  PrincipalEntry entry;
+  if (!store_.LookupEntry(principal, &entry)) {
+    return kerb::MakeError(kerb::ErrorCode::kNotFound,
+                           "unknown principal " + principal.ToString());
+  }
+  for (const KeyVersion& kv : entry.keys) {
+    if (kv.kvno != kvno) {
+      continue;
+    }
+    if (kv.not_after != 0 && now > kv.not_after) {
+      return kerb::MakeError(kerb::ErrorCode::kExpired,
+                             "key version past its drain window");
+    }
+    return kv.key;
+  }
+  return kerb::MakeError(kerb::ErrorCode::kNotFound, "unknown key version");
+}
+
+uint32_t KdcDatabase::Kvno(const Principal& principal) const {
+  PrincipalEntry entry;
+  return store_.LookupEntry(principal, &entry) ? entry.kvno() : 0;
 }
 
 }  // namespace krb4

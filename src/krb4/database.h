@@ -57,8 +57,32 @@ class KdcDatabase {
 
   // The single mutation path every registration funnels through: journals
   // the change first when a journal is attached (write-ahead), then applies
-  // it to the in-memory store under the shard lock.
+  // it to the in-memory store under the shard lock. Registration resets the
+  // principal to a fresh single-entry key ring at kvno 1.
   void ApplyUpsert(const Principal& principal, const kcrypto::DesKey& key, PrincipalKind kind);
+
+  // Journals and applies a *whole* record — ring, kind, policy attributes —
+  // as one WAL record. Every rotation funnels through here, which is what
+  // makes rotation atomic across replicas: a slave either applies the full
+  // new ring or (if the delta never arrives) keeps the full old one; there
+  // is no wire state in which half a ring exists. False (and no journal
+  // append) for entries with an empty ring.
+  bool ApplyEntry(const Principal& principal, const PrincipalEntry& entry);
+
+  // Installs `new_key` as the current version (kvno = old kvno + 1). The
+  // previous current version stays in the ring with not_after =
+  // `retain_until` so tickets sealed under it keep verifying until then
+  // (pass now + max ticket lifetime so every live ticket can drain; 0
+  // drops the old key immediately). Versions already expired at `now` are
+  // pruned, and the ring is capped at PrincipalEntry::kRingCap. Returns
+  // the new kvno, or kNotFound for unknown principals.
+  kerb::Result<uint32_t> RotateKey(const Principal& principal, const kcrypto::DesKey& new_key,
+                                   ksim::Time now, ksim::Time retain_until);
+
+  // RotateKey with the new key derived from `password` (string-to-key with
+  // the principal's salt) — the kadmin change-password apply path.
+  kerb::Result<uint32_t> ChangePassword(const Principal& principal, std::string_view password,
+                                        ksim::Time now, ksim::Time retain_until);
 
   // Removes a principal (journaled the same way). False when absent.
   bool Remove(const Principal& principal);
@@ -72,6 +96,18 @@ class KdcDatabase {
 
   bool Has(const Principal& principal) const { return store_.Contains(principal); }
   kerb::Result<kcrypto::DesKey> Lookup(const Principal& principal) const;
+
+  // Full record (ring + attributes); kNotFound for unknown principals.
+  kerb::Result<PrincipalEntry> LookupEntry(const Principal& principal) const;
+
+  // The key at a specific version, provided that version is still accepted
+  // at `now` (not_after honored). kExpired for versions past their drain
+  // window, kNotFound for unknown principals or versions.
+  kerb::Result<kcrypto::DesKey> LookupKvno(const Principal& principal, uint32_t kvno,
+                                           ksim::Time now) const;
+
+  // Current key version number; 0 for unknown principals.
+  uint32_t Kvno(const Principal& principal) const;
 
   // kService for unknown principals (the caller will fail the Lookup).
   PrincipalKind Kind(const Principal& principal) const;

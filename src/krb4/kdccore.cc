@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 #include <utility>
 
 #include "src/crypto/checksum.h"
@@ -283,16 +284,44 @@ kerb::Result<kerb::Bytes> KdcCore4::ServeTgs(const ksim::Message& msg, const Tgs
                tgt != nullptr ? kobs::Ev::kKdcUnsealMemoHit : kobs::Ev::kKdcUnsealMemoMiss,
                clock_.Now(), req.sealed_tgt.size());
   }
+  ksim::Time now = clock_.Now();
   if (tgt == nullptr) {
     auto unsealed = Ticket4::Unseal(tgs_key.value(), req.sealed_tgt);
-    if (!unsealed.ok()) {
+    if (unsealed.ok()) {
+      tgt = ctx.unseals.Put(kMemoTgt4, tgs_key.value(), req.sealed_tgt,
+                            std::move(unsealed.value()));
+    } else {
+      // kvno fallback: a TGT sealed before a TGS key rotation keeps
+      // verifying under the retained older ring versions until its natural
+      // expiry (the rotation drain window). Each candidate key gets its own
+      // memo slot — the memo is keyed by key bytes, so entries cached under
+      // an old version keep hitting after the current version moves on.
+      PrincipalEntry tgs_entry;
+      if (db_.store().LookupEntry(tgs_principal_, &tgs_entry)) {
+        for (size_t i = 1; i < tgs_entry.keys.size() && tgt == nullptr; ++i) {
+          const KeyVersion& kv = tgs_entry.keys[i];
+          if (kv.not_after != 0 && now > kv.not_after) {
+            continue;
+          }
+          tgt = ctx.unseals.Get<Ticket4>(kMemoTgt4, kv.key, req.sealed_tgt);
+          if (tgt == nullptr) {
+            auto old_unsealed = Ticket4::Unseal(kv.key, req.sealed_tgt);
+            if (old_unsealed.ok()) {
+              tgt = ctx.unseals.Put(kMemoTgt4, kv.key, req.sealed_tgt,
+                                    std::move(old_unsealed.value()));
+            }
+          }
+          if (tgt != nullptr && kobs::Enabled()) {
+            kobs::Emit(kobs::kSrcKdc4, kobs::Ev::kKvnoOldKeyAccept, now, kv.kvno, i);
+          }
+        }
+      }
+    }
+    if (tgt == nullptr) {
       return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "ticket-granting ticket invalid");
     }
-    tgt = ctx.unseals.Put(kMemoTgt4, tgs_key.value(), req.sealed_tgt,
-                          std::move(unsealed.value()));
   }
 
-  ksim::Time now = clock_.Now();
   if (tgt->Expired(now)) {
     return kerb::MakeError(kerb::ErrorCode::kExpired, "ticket-granting ticket expired");
   }
@@ -398,11 +427,20 @@ void KdcCore4::HandleAsBatch(const ksim::Message* msgs, size_t n, KdcContext& ct
     return;
   }
   // Phase 1: decode every request. Decoding is pure, so hoisting it off the
-  // serve path changes no reply bytes.
+  // serve path changes no reply bytes. PK-preauth requests ride in the same
+  // batch (a parallel slot engages for them) so the batched path reaches
+  // every verdict the sequential path does.
   std::vector<kerb::Result<AsRequest4>> decoded;
+  std::vector<std::optional<kerb::Result<AsPkRequest4>>> pk;
   decoded.reserve(n);
+  pk.resize(n);
   for (size_t i = 0; i < n; ++i) {
     auto framed = Unframe4(msgs[i].payload);
+    if (framed.ok() && framed.value().first == MsgType::kAsPkRequest) {
+      pk[i] = AsPkRequest4::Decode(framed.value().second);
+      decoded.push_back(kerb::MakeError(kerb::ErrorCode::kBadFormat, "pk slot"));
+      continue;
+    }
     if (!framed.ok() || framed.value().first != MsgType::kAsRequest) {
       decoded.push_back(kerb::MakeError(kerb::ErrorCode::kBadFormat, "expected AS request"));
       continue;
@@ -414,9 +452,13 @@ void KdcCore4::HandleAsBatch(const ksim::Message* msgs, size_t n, KdcContext& ct
   std::vector<const Principal*> wanted;
   wanted.reserve(n + 1);
   wanted.push_back(&tgs_principal_);
-  for (const auto& d : decoded) {
-    if (d.ok()) {
-      wanted.push_back(&d.value().client);
+  for (size_t i = 0; i < n; ++i) {
+    if (pk[i].has_value()) {
+      if (pk[i]->ok()) {
+        wanted.push_back(&pk[i]->value().client);
+      }
+    } else if (decoded[i].ok()) {
+      wanted.push_back(&decoded[i].value().client);
     }
   }
   WarmKeyCache(wanted, ctx);
@@ -426,6 +468,9 @@ void KdcCore4::HandleAsBatch(const ksim::Message* msgs, size_t n, KdcContext& ct
     as_requests_.fetch_add(1, std::memory_order_relaxed);
     if (const kerb::Bytes* cached = CachedReply(msgs[i], ctx)) {
       replies.push_back(*cached);
+    } else if (pk[i].has_value()) {
+      replies.push_back(pk[i]->ok() ? ServeAsPk(msgs[i], pk[i]->value(), ctx)
+                                    : kerb::Result<kerb::Bytes>(pk[i]->error()));
     } else if (!decoded[i].ok()) {
       replies.push_back(decoded[i].error());
     } else {

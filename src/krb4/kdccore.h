@@ -48,6 +48,11 @@ struct KdcOptions {
   // timescales, seconds not minutes) wherever clients retry: the chaos
   // testbeds do.
   ksim::Duration reply_cache_window = 0;
+  // Route the Bind handlers through HandleAsBatch/HandleTgsBatch (with
+  // single-request batches) instead of HandleAs/HandleTgs, so the sim's
+  // one-at-a-time delivery exercises the batched dispatch path. Verdicts
+  // are pinned identical to sequential serving by the chaos tests.
+  bool serve_batched = false;
 };
 
 // Small direct-mapped cache of keys copied out of the principal store,

@@ -17,13 +17,67 @@ constexpr uint64_t kDeviceSeed = 0x6b70726f70644256ull;
 
 }  // namespace
 
-kerb::Bytes EncodePrincipalUpsert(const Principal& principal, const kcrypto::DesKey& key,
-                                  PrincipalKind kind) {
+kerb::Bytes EncodePrincipalEntry(const Principal& principal, const PrincipalEntry& entry) {
   kenc::Writer w;
   principal.EncodeTo(w);
-  w.PutU8(static_cast<uint8_t>(kind));
-  w.PutBytes(kerb::BytesView(key.bytes().data(), key.bytes().size()));
+  w.PutU8(static_cast<uint8_t>(entry.kind));
+  w.PutU64(static_cast<uint64_t>(entry.max_life));
+  w.PutU64(static_cast<uint64_t>(entry.max_renew));
+  w.PutU8(static_cast<uint8_t>(entry.keys.size()));
+  for (const KeyVersion& kv : entry.keys) {
+    w.PutU32(kv.kvno);
+    w.PutBytes(kerb::BytesView(kv.key.bytes().data(), kv.key.bytes().size()));
+    w.PutU64(static_cast<uint64_t>(kv.not_after));
+  }
   return w.Take();
+}
+
+kerb::Bytes EncodePrincipalUpsert(const Principal& principal, const kcrypto::DesKey& key,
+                                  PrincipalKind kind) {
+  PrincipalEntry entry;
+  entry.kind = kind;
+  entry.keys.push_back(KeyVersion{1, key, 0});
+  return EncodePrincipalEntry(principal, entry);
+}
+
+kerb::Result<std::pair<Principal, PrincipalEntry>> DecodePrincipalEntry(kenc::Reader& r) {
+  auto principal = Principal::DecodeFrom(r);
+  if (!principal.ok()) {
+    return principal.error();
+  }
+  auto kind = r.GetU8();
+  auto max_life = r.GetU64();
+  auto max_renew = r.GetU64();
+  auto ring_count = r.GetU8();
+  if (!kind.ok() || kind.value() > static_cast<uint8_t>(PrincipalKind::kService) ||
+      !max_life.ok() || !max_renew.ok() || !ring_count.ok() || ring_count.value() == 0 ||
+      ring_count.value() > kMaxRingEntries) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "kdcstore: malformed entry header");
+  }
+  PrincipalEntry entry;
+  entry.kind = static_cast<PrincipalKind>(kind.value());
+  entry.max_life = static_cast<ksim::Duration>(max_life.value());
+  entry.max_renew = static_cast<ksim::Duration>(max_renew.value());
+  entry.keys.reserve(ring_count.value());
+  uint32_t prev_kvno = 0;
+  for (size_t i = 0; i < ring_count.value(); ++i) {
+    auto kvno = r.GetU32();
+    auto key_bytes = r.GetBytes(8);
+    auto not_after = r.GetU64();
+    // kvnos must be strictly descending (current version first) — the
+    // structural well-formedness check that keeps a corrupted record from
+    // smuggling in a duplicate or reordered ring.
+    if (!kvno.ok() || !key_bytes.ok() || !not_after.ok() || kvno.value() == 0 ||
+        (i > 0 && kvno.value() >= prev_kvno)) {
+      return kerb::MakeError(kerb::ErrorCode::kBadFormat, "kdcstore: malformed ring entry");
+    }
+    prev_kvno = kvno.value();
+    kcrypto::DesBlock block;
+    std::copy(key_bytes.value().begin(), key_bytes.value().end(), block.begin());
+    entry.keys.push_back(KeyVersion{kvno.value(), kcrypto::DesKey(block),
+                                    static_cast<ksim::Time>(not_after.value())});
+  }
+  return std::make_pair(std::move(principal).value(), std::move(entry));
 }
 
 kerb::Bytes EncodePrincipalDelete(const Principal& principal) {
@@ -34,11 +88,11 @@ kerb::Bytes EncodePrincipalDelete(const Principal& principal) {
 
 kerb::Status ApplyStoreRecord(KdcDatabase& db, uint8_t op, kerb::BytesView payload) {
   kenc::Reader r(payload);
-  auto principal = Principal::DecodeFrom(r);
-  if (!principal.ok()) {
-    return principal.error();
-  }
   if (op == kstore::kWalOpDelete) {
+    auto principal = Principal::DecodeFrom(r);
+    if (!principal.ok()) {
+      return principal.error();
+    }
     if (!r.AtEnd()) {
       return kerb::MakeError(kerb::ErrorCode::kBadFormat, "kdcstore: trailing delete bytes");
     }
@@ -48,16 +102,14 @@ kerb::Status ApplyStoreRecord(KdcDatabase& db, uint8_t op, kerb::BytesView paylo
   if (op != kstore::kWalOpUpsert) {
     return kerb::MakeError(kerb::ErrorCode::kBadFormat, "kdcstore: unknown record op");
   }
-  auto kind = r.GetU8();
-  auto key_bytes = r.GetBytes(8);
-  if (!kind.ok() || kind.value() > static_cast<uint8_t>(PrincipalKind::kService) ||
-      !key_bytes.ok() || !r.AtEnd()) {
-    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "kdcstore: malformed upsert");
+  auto decoded = DecodePrincipalEntry(r);
+  if (!decoded.ok()) {
+    return decoded.error();
   }
-  kcrypto::DesBlock block;
-  std::copy(key_bytes.value().begin(), key_bytes.value().end(), block.begin());
-  db.ApplyUpsert(principal.value(), kcrypto::DesKey(block),
-                 static_cast<PrincipalKind>(kind.value()));
+  if (!r.AtEnd()) {
+    return kerb::MakeError(kerb::ErrorCode::kBadFormat, "kdcstore: trailing upsert bytes");
+  }
+  db.ApplyEntry(decoded.value().first, decoded.value().second);
   return kerb::Status::Ok();
 }
 
@@ -65,12 +117,11 @@ kstore::Snapshot SnapshotDatabase(const KdcDatabase& db, uint64_t lsn) {
   kstore::Snapshot snapshot;
   snapshot.lsn = lsn;
   for (const Principal& principal : db.Principals()) {
-    kcrypto::DesKey key;
-    PrincipalKind kind = PrincipalKind::kService;
-    if (!db.store().Lookup(principal, &key, &kind)) {
+    PrincipalEntry entry;
+    if (!db.store().LookupEntry(principal, &entry)) {
       continue;  // racing removal; the entry set is re-snapshotted next cycle
     }
-    snapshot.entries.push_back(EncodePrincipalUpsert(principal, key, kind));
+    snapshot.entries.push_back(EncodePrincipalEntry(principal, entry));
   }
   return snapshot;
 }
@@ -78,39 +129,27 @@ kstore::Snapshot SnapshotDatabase(const KdcDatabase& db, uint64_t lsn) {
 kerb::Status LoadSnapshotEntries(KdcDatabase& db, const kstore::Snapshot& snapshot) {
   // Decode everything before mutating anything: a malformed snapshot must
   // leave the database untouched.
-  struct Entry {
-    Principal principal;
-    kcrypto::DesKey key;
-    PrincipalKind kind;
-  };
-  std::vector<Entry> entries;
+  std::vector<std::pair<Principal, PrincipalEntry>> entries;
   entries.reserve(snapshot.entries.size());
   for (const kerb::Bytes& payload : snapshot.entries) {
     kenc::Reader r(payload);
-    auto principal = Principal::DecodeFrom(r);
-    auto kind = r.GetU8();
-    auto key_bytes = r.GetBytes(8);
-    if (!principal.ok() || !kind.ok() ||
-        kind.value() > static_cast<uint8_t>(PrincipalKind::kService) || !key_bytes.ok() ||
-        !r.AtEnd()) {
+    auto decoded = DecodePrincipalEntry(r);
+    if (!decoded.ok() || !r.AtEnd()) {
       return kerb::MakeError(kerb::ErrorCode::kBadFormat, "kdcstore: malformed snapshot entry");
     }
-    kcrypto::DesBlock block;
-    std::copy(key_bytes.value().begin(), key_bytes.value().end(), block.begin());
-    entries.push_back(Entry{std::move(principal).value(), kcrypto::DesKey(block),
-                            static_cast<PrincipalKind>(kind.value())});
+    entries.push_back(std::move(decoded).value());
   }
   std::set<Principal> incoming;
-  for (const Entry& entry : entries) {
-    incoming.insert(entry.principal);
+  for (const auto& entry : entries) {
+    incoming.insert(entry.first);
   }
   for (const Principal& existing : db.Principals()) {
     if (incoming.find(existing) == incoming.end()) {
       db.Remove(existing);
     }
   }
-  for (const Entry& entry : entries) {
-    db.ApplyUpsert(entry.principal, entry.key, entry.kind);
+  for (const auto& entry : entries) {
+    db.ApplyEntry(entry.first, entry.second);
   }
   return kerb::Status::Ok();
 }

@@ -18,10 +18,12 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/bytes.h"
 #include "src/common/result.h"
+#include "src/encoding/io.h"
 #include "src/krb4/database.h"
 #include "src/sim/network.h"
 #include "src/store/kprop.h"
@@ -31,12 +33,30 @@
 namespace krb4 {
 
 // --- Record codec -----------------------------------------------------------
-// upsert payload := principal | u8 kind | 8 key bytes
+// upsert payload := principal | u8 kind | u64 max_life | u64 max_renew
+//                 | u8 ring_count | ring_count × (u32 kvno | 8 key bytes
+//                 | u64 not_after)
 // delete payload := principal
+//
+// One upsert record always carries the principal's *entire* key ring
+// (SNIPPETS.md snippet 1 shape: kvno plus the max_life/max_renew policy
+// attributes). That is the atomicity unit for rotation: a WAL replay or
+// kprop delta either lands the whole new ring or none of it, so no
+// replica can ever recover into a half-rotated principal. Decoders
+// fail closed — ring must be non-empty, ≤ kMaxRingEntries, kvnos strictly
+// descending (current version first).
 
+constexpr size_t kMaxRingEntries = 64;
+
+kerb::Bytes EncodePrincipalEntry(const Principal& principal, const PrincipalEntry& entry);
+// Single-version convenience used by registration-shaped callers/tests:
+// encodes a fresh ring at kvno 1.
 kerb::Bytes EncodePrincipalUpsert(const Principal& principal, const kcrypto::DesKey& key,
                                   PrincipalKind kind);
 kerb::Bytes EncodePrincipalDelete(const Principal& principal);
+
+// Decodes one upsert payload; `r` is left positioned after the record.
+kerb::Result<std::pair<Principal, PrincipalEntry>> DecodePrincipalEntry(kenc::Reader& r);
 
 // Applies one WAL record (op, payload) to `db`. Fails closed on malformed
 // payloads; the database is untouched on failure.

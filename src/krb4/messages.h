@@ -59,6 +59,11 @@ enum class MsgType : uint8_t {
   // key exchange" fix for offline password guessing, §6.3).
   kAsPkRequest = 9,
   kAsPkReply = 10,
+  // Online administration protocol (src/admin): principal CRUD and the
+  // protected password-change exchange, krb_priv-sealed over an
+  // AS/TGS-obtained admin-service ticket.
+  kAdminRequest = 11,
+  kAdminReply = 12,
 };
 
 // Seals `plaintext` under `key`: MAGIC || u32 length || plaintext, zero-

@@ -84,6 +84,16 @@ void PrincipalStore::GrowLocked(Shard& shard) {
 
 void PrincipalStore::Upsert(const Principal& principal, const kcrypto::DesKey& key,
                             PrincipalKind kind) {
+  PrincipalEntry entry;
+  entry.kind = kind;
+  entry.keys.push_back(KeyVersion{1, key, 0});
+  UpsertEntry(principal, entry);
+}
+
+bool PrincipalStore::UpsertEntry(const Principal& principal, const PrincipalEntry& entry) {
+  if (entry.keys.empty()) {
+    return false;  // a principal without a current key would be unservable
+  }
   const uint64_t hash = Hash(principal);
   Shard& shard = shards_[ShardIndex(hash)];
   {
@@ -100,10 +110,29 @@ void PrincipalStore::Upsert(const Principal& principal, const kcrypto::DesKey& k
       slot->principal = principal;
       ++shard.used;
     }
-    slot->key = key;
-    slot->kind = kind;
+    slot->entry = entry;
   }
   generation_.fetch_add(1, std::memory_order_acq_rel);
+  return true;
+}
+
+bool PrincipalStore::LookupEntry(const Principal& principal, PrincipalEntry* entry_out) const {
+  const uint64_t hash = Hash(principal);
+  const Shard& shard = shards_[ShardIndex(hash)];
+  std::shared_lock lock(shard.mu);
+  const size_t mask = shard.slots.size() - 1;
+  for (size_t i = hash & mask;; i = (i + 1) & mask) {
+    const Slot& slot = shard.slots[i];
+    if (!slot.used) {
+      return false;
+    }
+    if (slot.hash == hash && slot.principal == principal) {
+      if (entry_out != nullptr) {
+        *entry_out = slot.entry;
+      }
+      return true;
+    }
+  }
 }
 
 bool PrincipalStore::Erase(const Principal& principal) {
@@ -158,10 +187,10 @@ bool PrincipalStore::Lookup(const Principal& principal, kcrypto::DesKey* key_out
     }
     if (slot.hash == hash && slot.principal == principal) {
       if (key_out != nullptr) {
-        *key_out = slot.key;
+        *key_out = slot.entry.keys.front().key;
       }
       if (kind_out != nullptr) {
-        *kind_out = slot.kind;
+        *kind_out = slot.entry.kind;
       }
       return true;
     }
@@ -196,7 +225,7 @@ void PrincipalStore::LookupMany(LookupRequest* requests, size_t n) const {
           break;
         }
         if (slot.hash == req.hash && slot.principal == *req.principal) {
-          req.key = slot.key;
+          req.key = slot.entry.keys.front().key;
           req.found = true;
           break;
         }

@@ -25,6 +25,7 @@
 
 #include "src/crypto/des.h"
 #include "src/krb4/principal.h"
+#include "src/sim/clock.h"
 
 namespace krb4 {
 
@@ -37,6 +38,37 @@ enum class PrincipalKind {
   kService,
 };
 
+// One key version in a principal's ring. Real Kerberos databases carry a
+// key version number precisely so keys can change while tickets sealed
+// under the previous version are still in flight; the paper's complaint
+// about keys that live forever is answered by rotating the current entry
+// and letting the old one drain.
+struct KeyVersion {
+  uint32_t kvno = 1;
+  kcrypto::DesKey key;
+  // Virtual time after which this version stops being accepted; 0 means no
+  // scheduled expiry (the current version always has 0).
+  ksim::Time not_after = 0;
+};
+
+// The full database record for a principal: its kind, ticket-policy
+// attributes (the kvno/max_life/max_renew triple real kadmin databases
+// store per principal), and the key ring ordered newest-first —
+// keys.front() is the current version every new ticket is sealed under.
+struct PrincipalEntry {
+  PrincipalKind kind = PrincipalKind::kService;
+  std::vector<KeyVersion> keys;
+  ksim::Duration max_life = 0;   // 0 = realm default
+  ksim::Duration max_renew = 0;  // 0 = realm default
+
+  // Oldest versions beyond this many are pruned at rotation time; a ring
+  // this deep covers several back-to-back rotations within one ticket
+  // lifetime without unbounded growth.
+  static constexpr size_t kRingCap = 4;
+
+  uint32_t kvno() const { return keys.empty() ? 0 : keys.front().kvno; }
+};
+
 class PrincipalStore {
  public:
   PrincipalStore();
@@ -45,8 +77,20 @@ class PrincipalStore {
   PrincipalStore(PrincipalStore&& other) noexcept;
   PrincipalStore& operator=(PrincipalStore&& other) noexcept;
 
-  // Inserts or replaces the entry for `principal`. Thread-safe.
+  // Inserts or replaces the entry for `principal` with a fresh single-entry
+  // key ring at kvno 1 — the registration path. Thread-safe.
   void Upsert(const Principal& principal, const kcrypto::DesKey& key, PrincipalKind kind);
+
+  // Inserts or replaces the *whole* record — ring, kind, and policy
+  // attributes — in one shard-locked step. Rotation and replica
+  // propagation go through this so a ring change is atomic: no reader ever
+  // observes a principal between key versions. Entries with an empty ring
+  // are rejected (returns false, store untouched). Thread-safe.
+  bool UpsertEntry(const Principal& principal, const PrincipalEntry& entry);
+
+  // Copies the full record out under the shard's reader lock. Returns
+  // false when the principal is unknown. Thread-safe.
+  bool LookupEntry(const Principal& principal, PrincipalEntry* entry_out) const;
 
   // Removes the entry for `principal` (false when absent). Linear probing
   // cannot tolerate tombstone-free holes, so removal backward-shifts the
@@ -95,8 +139,7 @@ class PrincipalStore {
     uint64_t hash = 0;
     bool used = false;
     Principal principal;
-    kcrypto::DesKey key;
-    PrincipalKind kind = PrincipalKind::kService;
+    PrincipalEntry entry;
   };
   // Padded to a cache line so one shard's lock traffic never invalidates a
   // neighbouring shard's line — with shards packed tight, a writer bouncing

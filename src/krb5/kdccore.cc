@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 #include <utility>
 
 #include "src/encoding/io.h"
@@ -395,10 +396,37 @@ kerb::Result<kerb::Bytes> KdcCore5::ServeTgs(const ksim::Message& msg, const Tgs
   }
   if (tgt == nullptr) {
     auto unsealed = Ticket5::Unseal(tgt_key, req.sealed_tgt, policy_.enc);
-    if (!unsealed.ok()) {
+    if (unsealed.ok()) {
+      tgt = ctx.unseals.Put(kMemoTgt5, tgt_key, req.sealed_tgt, std::move(unsealed.value()));
+    } else if (req.tgt_realm == realm_) {
+      // kvno fallback (same-realm only — interrealm keys are pairwise
+      // config, not database entries): a TGT sealed before a TGS key
+      // rotation keeps verifying under retained older ring versions until
+      // its natural expiry. Each candidate key gets its own memo slot.
+      krb4::PrincipalEntry tgs_entry;
+      if (db_.store().LookupEntry(tgs_principal_, &tgs_entry)) {
+        for (size_t i = 1; i < tgs_entry.keys.size() && tgt == nullptr; ++i) {
+          const krb4::KeyVersion& kv = tgs_entry.keys[i];
+          if (kv.not_after != 0 && now > kv.not_after) {
+            continue;
+          }
+          tgt = ctx.unseals.Get<Ticket5>(kMemoTgt5, kv.key, req.sealed_tgt);
+          if (tgt == nullptr) {
+            auto old_unsealed = Ticket5::Unseal(kv.key, req.sealed_tgt, policy_.enc);
+            if (old_unsealed.ok()) {
+              tgt = ctx.unseals.Put(kMemoTgt5, kv.key, req.sealed_tgt,
+                                    std::move(old_unsealed.value()));
+            }
+          }
+          if (tgt != nullptr && kobs::Enabled()) {
+            kobs::Emit(kobs::kSrcKdc5, kobs::Ev::kKvnoOldKeyAccept, now, kv.kvno, i);
+          }
+        }
+      }
+    }
+    if (tgt == nullptr) {
       return kerb::MakeError(kerb::ErrorCode::kAuthFailed, "ticket-granting ticket invalid");
     }
-    tgt = ctx.unseals.Put(kMemoTgt5, tgt_key, req.sealed_tgt, std::move(unsealed.value()));
   }
   if ((*tgt).Expired(now)) {
     return kerb::MakeError(kerb::ErrorCode::kExpired, "ticket-granting ticket expired");
@@ -668,13 +696,26 @@ void KdcCore5::HandleAsBatch(const ksim::Message* msgs, size_t n, KdcContext& ct
     return;
   }
   // Phase 1: decode every request (pure — no reply bytes depend on when the
-  // decode runs).
+  // decode runs). The decode mirrors DoHandleAs exactly — PK-preauth frames
+  // ride in a parallel slot — so batched and sequential serving reach the
+  // same verdict for every input.
   std::vector<kerb::Result<AsRequest5>> decoded;
+  std::vector<std::optional<kerb::Result<AsPkRequest5>>> pk;
   decoded.reserve(n);
+  pk.resize(n);
   for (size_t i = 0; i < n; ++i) {
-    auto tlv = kenc::TlvMessage::DecodeExpecting(kMsgAsReq, msgs[i].payload);
+    auto tlv = kenc::TlvMessage::Decode(msgs[i].payload);
     if (!tlv.ok()) {
       decoded.push_back(tlv.error());
+      continue;
+    }
+    if (tlv.value().type() == kMsgAsPkReq) {
+      pk[i] = AsPkRequest5::FromTlv(tlv.value());
+      decoded.push_back(kerb::MakeError(kerb::ErrorCode::kBadFormat, "pk slot"));
+      continue;
+    }
+    if (tlv.value().type() != kMsgAsReq) {
+      decoded.push_back(kerb::MakeError(kerb::ErrorCode::kBadFormat, "message type mismatch"));
       continue;
     }
     decoded.push_back(AsRequest5::FromTlv(tlv.value()));
@@ -684,9 +725,13 @@ void KdcCore5::HandleAsBatch(const ksim::Message* msgs, size_t n, KdcContext& ct
   std::vector<const krb4::Principal*> wanted;
   wanted.reserve(n + 1);
   wanted.push_back(&tgs_principal_);
-  for (const auto& d : decoded) {
-    if (d.ok()) {
-      wanted.push_back(&d.value().client);
+  for (size_t i = 0; i < n; ++i) {
+    if (pk[i].has_value()) {
+      if (pk[i]->ok()) {
+        wanted.push_back(&pk[i]->value().client);
+      }
+    } else if (decoded[i].ok()) {
+      wanted.push_back(&decoded[i].value().client);
     }
   }
   WarmKeyCache(wanted, ctx);
@@ -696,6 +741,9 @@ void KdcCore5::HandleAsBatch(const ksim::Message* msgs, size_t n, KdcContext& ct
     as_requests_.fetch_add(1, std::memory_order_relaxed);
     if (const kerb::Bytes* cached = CachedReply(msgs[i], ctx)) {
       replies.push_back(*cached);
+    } else if (pk[i].has_value()) {
+      replies.push_back(pk[i]->ok() ? ServeAsPk(msgs[i], pk[i]->value(), ctx)
+                                    : kerb::Result<kerb::Bytes>(pk[i]->error()));
     } else if (!decoded[i].ok()) {
       replies.push_back(decoded[i].error());
     } else {

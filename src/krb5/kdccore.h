@@ -65,6 +65,11 @@ struct KdcPolicy5 {
   // supported alternative is registering separate instances with truly
   // random keys (the keystore supplies them).
   bool allow_tickets_for_user_principals = true;
+  // Route the Bind handlers through HandleAsBatch/HandleTgsBatch (with
+  // single-request batches) instead of HandleAs/HandleTgs, so the sim's
+  // one-at-a-time delivery exercises the batched dispatch path. Verdicts
+  // are pinned identical to sequential serving by the chaos tests.
+  bool serve_batched = false;
 };
 
 class KdcCore5 {

@@ -85,6 +85,12 @@ constexpr std::array<EvInfo, kEvCount> kEvTable = {{
     {"prop_stale", true},
     {"prop_reject", true},
     {"prop_wholesale", true},
+    {"admin_request", true},
+    {"admin_apply", true},
+    {"admin_deny", true},
+    {"admin_replay_serve", false},
+    {"kvno_rotate", true},
+    {"kvno_old_key_accept", false},
 }};
 
 const EvInfo& InfoFor(Ev kind) { return kEvTable[static_cast<size_t>(kind)]; }
@@ -133,6 +139,10 @@ const char* SourceName(uint32_t source) {
       return "store";
     case kSrcProp:
       return "prop";
+    case kSrcAdmin:
+      return "admin";
+    case kSrcApp4:
+      return "app4";
     default:
       return "other";
   }

@@ -135,6 +135,17 @@ enum class Ev : uint16_t {
   kPropReject,     // a = error code, b = offered from_lsn (digest-stable)
   kPropWholesale,  // a = snapshot lsn, b = entries loaded (digest-stable)
 
+  // kadmin (src/admin) — admin-plane verdicts and the kvno lifecycle.
+  // Verdicts and rotations are protocol-visible (digest-stable); cached-ack
+  // service and old-key unseal fallbacks depend on retransmit timing and
+  // per-context memo state, so they stay counter-only.
+  kAdminRequest,      // a = source host, b = request bytes (digest-stable)
+  kAdminApply,        // a = op, b = resulting kvno (digest-stable)
+  kAdminDeny,         // a = op (0 before decode), b = error code (digest-stable)
+  kAdminReplayServe,  // a = source host, b = 0 reply-cache / 1 ack-cache (counter-only)
+  kKvnoRotate,        // a = FNV-1a of the principal, b = new kvno (digest-stable)
+  kKvnoOldKeyAccept,  // a = accepted kvno (0 at app servers), b = ring index (counter-only)
+
   kCount
 };
 
@@ -160,6 +171,8 @@ enum Source : uint32_t {
   kSrcSeal5 = 8,
   kSrcStore = 9,
   kSrcProp = 10,
+  kSrcAdmin = 11,
+  kSrcApp4 = 12,
 };
 
 const char* SourceName(uint32_t source);

@@ -147,23 +147,29 @@ kerb::Result<kerb::Bytes> PropagationSink::HandleDelta(kenc::Reader& r) {
     kobs::EmitNow(kobs::kSrcProp, kobs::Ev::kPropStale, to.value(), applied_);
     return Ack();
   }
-  if (from.value() != applied_) {
-    // A gap (or partial overlap) means someone removed or reordered an
-    // interior chunk of the history. Applying it would splice the
-    // database; refuse and stay at the consistent prefix.
+  if (from.value() > applied_) {
+    // A gap means someone removed or reordered an interior chunk of the
+    // history. Applying it would splice the database; refuse and stay at
+    // the consistent prefix.
     kobs::EmitNow(kobs::kSrcProp, kobs::Ev::kPropReject,
                   static_cast<uint64_t>(kerb::ErrorCode::kReplay), from.value());
     return kerb::MakeError(kerb::ErrorCode::kReplay, "prop: delta does not continue history");
   }
 
-  for (const Pending& record : pending) {
-    auto status = applier_(record.op, record.payload);
+  // from <= applied_ < to: the frame authentically continues history — the
+  // MAC covers the whole contiguous (from, to] window — but a delayed
+  // earlier frame already landed its prefix (the primary's ack was lost or
+  // outraced, so it re-sent from an older cursor). Apply only the unseen
+  // suffix; re-running the prefix would double-apply mutations.
+  const uint64_t skip = applied_ - from.value();
+  for (size_t i = static_cast<size_t>(skip); i < pending.size(); ++i) {
+    auto status = applier_(pending[i].op, pending[i].payload);
     if (!status.ok()) {
       return status.error();
     }
   }
   applied_ = to.value();
-  kobs::EmitNow(kobs::kSrcProp, kobs::Ev::kPropApply, applied_, count.value());
+  kobs::EmitNow(kobs::kSrcProp, kobs::Ev::kPropApply, applied_, count.value() - skip);
   return Ack();
 }
 

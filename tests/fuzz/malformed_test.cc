@@ -12,6 +12,8 @@
 
 #include <vector>
 
+#include "src/admin/kadmin.h"
+#include "src/admin/messages.h"
 #include "src/attacks/kdcload.h"
 #include "src/attacks/testbed.h"
 #include "src/attacks/testbed5.h"
@@ -22,6 +24,7 @@
 #include "src/encoding/io.h"
 #include "src/encoding/tlv.h"
 #include "src/krb4/messages.h"
+#include "src/krb4/kdcstore.h"
 #include "src/store/kprop.h"
 #include "src/store/snapshot.h"
 #include "src/store/wal.h"
@@ -394,6 +397,224 @@ TEST(MalformedTest, V5DecoderRejectsEveryTruncation) {
     }
   }
   EXPECT_EQ(accepted, 0) << "TLV length accounting admitted a truncated message";
+}
+
+// --- kadmin wire sweeps (PR 8) ---------------------------------------------
+
+// A testbed with the admin plane up plus a logged-in operator, and one
+// valid admin request frame built but not yet sent.
+struct AdminFuzzBed {
+  AdminFuzzBed() : bed([] {
+    kattack::TestbedConfig config;
+    config.enable_kadmin = true;
+    return config;
+  }()) {
+    oper = bed.MakeClient(bed.oper_principal(), Testbed4::kOperAddr);
+    EXPECT_TRUE(oper->Login(Testbed4::kOperPassword).ok());
+    admin = bed.MakeAdminClient(*oper);
+  }
+
+  kerb::Bytes BuildChange(uint64_t nonce) {
+    auto pw = std::string("fuzzer-Probe_1!");
+    auto wire = admin->BuildRequest(
+        kadmin::AdminOp::kChangePassword, bed.bob_principal(),
+        kerb::BytesView(reinterpret_cast<const uint8_t*>(pw.data()), pw.size()), nonce);
+    EXPECT_TRUE(wire.ok());
+    return wire.value();
+  }
+
+  Testbed4 bed;
+  std::unique_ptr<krb4::Client4> oper;
+  std::unique_ptr<kadmin::AdminClient> admin;
+};
+
+TEST(MalformedTest, KadminTruncationsFailCleanly) {
+  AdminFuzzBed t;
+  const kerb::Bytes wire = t.BuildChange(1);
+  const uint32_t kvno_before = t.bed.kdc().database().Kvno(t.bed.bob_principal());
+  for (size_t len = 0; len < wire.size(); ++len) {
+    kerb::Bytes cut(wire.begin(), wire.begin() + len);
+    auto r = t.bed.world().network().Call(Testbed4::kOperAddr, Testbed4::kAdminAddr, cut);
+    ASSERT_FALSE(r.ok()) << "truncation to " << len << " bytes accepted";
+    ExpectCleanFailure(r.error().code, "truncated admin request");
+  }
+  EXPECT_EQ(t.bed.kdc().database().Kvno(t.bed.bob_principal()), kvno_before);
+  EXPECT_EQ(t.bed.kadmin_server()->applied(), 0u);
+}
+
+TEST(MalformedTest, KadminBitFlipsNeverForgeOrDoubleApply) {
+  AdminFuzzBed t;
+  const kerb::Bytes wire = t.BuildChange(2);
+  const uint32_t kvno_before = t.bed.kdc().database().Kvno(t.bed.bob_principal());
+  // Almost every byte of an admin request is load-bearing (frame header,
+  // length prefixes, three sealed blobs), but Seal4 carries no MAC — the
+  // paper's V4 integrity complaint — so a flip is not guaranteed to be
+  // refused. DES ignores key parity bits and Unseal4 never re-checks its
+  // padding, so a flip in the ticket's final ciphertext block occasionally
+  // rewrites nothing but a parity bit of the embedded session key: the
+  // authenticator and the checksummed body then verify under a functionally
+  // identical key, and the server is looking at a request semantically
+  // equal to the one the operator sealed. What the sweep can and does pin
+  // down: an accepted flip never carries an attacker-chosen mutation (the
+  // payload that lands is bit-for-bit the operator's), the op applies at
+  // most once across the whole sweep, and every refused flip fails cleanly.
+  uint64_t accepted = 0;
+  for (size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    kerb::Bytes flipped = wire;
+    flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    auto r = t.bed.world().network().Call(Testbed4::kOperAddr, Testbed4::kAdminAddr, flipped);
+    if (r.ok()) {
+      ++accepted;
+      continue;
+    }
+    ExpectCleanFailure(r.error().code, "bit-flipped admin request");
+  }
+  if (accepted == 0) {
+    EXPECT_EQ(t.bed.kdc().database().Kvno(t.bed.bob_principal()), kvno_before);
+    EXPECT_EQ(t.bed.kadmin_server()->applied(), 0u);
+  } else {
+    // Exactly-once despite multiple equivalent frames: the nonce ack cache
+    // absorbs every accepted duplicate after the first.
+    EXPECT_EQ(t.bed.kdc().database().Kvno(t.bed.bob_principal()), kvno_before + 1);
+    EXPECT_EQ(t.bed.kadmin_server()->applied(), 1u);
+    EXPECT_TRUE(t.bed.bob().Login("fuzzer-Probe_1!").ok());
+  }
+}
+
+TEST(MalformedTest, KadminGarbageFailsCleanly) {
+  AdminFuzzBed t;
+  GarbageSweep(t.bed, {Testbed4::kAdminAddr}, 0xad111);
+  EXPECT_EQ(t.bed.kadmin_server()->applied(), 0u);
+}
+
+TEST(MalformedTest, KadminCrossSessionSpliceFailsCleanly) {
+  AdminFuzzBed t;
+  // bob runs his own self-service session: a second, different session key.
+  EXPECT_TRUE(t.bed.bob().Login(Testbed4::kBobPassword).ok());
+  auto bob_admin = t.bed.MakeAdminClient(t.bed.bob());
+  auto bob_pw = std::string("bobs-Own_Pick_3!");
+  auto bob_wire = bob_admin->BuildRequest(
+      kadmin::AdminOp::kChangePassword, t.bed.bob_principal(),
+      kerb::BytesView(reinterpret_cast<const uint8_t*>(bob_pw.data()), bob_pw.size()), 31);
+  ASSERT_TRUE(bob_wire.ok());
+  const kerb::Bytes oper_wire = t.BuildChange(32);
+
+  auto oper_parts = krb4::Unframe4(oper_wire);
+  auto bob_parts = krb4::Unframe4(bob_wire.value());
+  ASSERT_TRUE(oper_parts.ok());
+  ASSERT_TRUE(bob_parts.ok());
+  auto oper_req = kadmin::AdminRequest::Decode(oper_parts.value().second);
+  auto bob_req = kadmin::AdminRequest::Decode(bob_parts.value().second);
+  ASSERT_TRUE(oper_req.ok());
+  ASSERT_TRUE(bob_req.ok());
+
+  // Every cross-session recombination of the three sealed blobs decrypts
+  // to garbage somewhere (the session keys differ), so each must be
+  // refused without crashing — and without mutating the database.
+  const kadmin::AdminRequest& a = oper_req.value();
+  const kadmin::AdminRequest& b = bob_req.value();
+  kadmin::AdminRequest splices[] = {
+      {a.sealed_ticket, a.sealed_auth, b.sealed_req},
+      {a.sealed_ticket, b.sealed_auth, a.sealed_req},
+      {a.sealed_ticket, b.sealed_auth, b.sealed_req},
+      {b.sealed_ticket, a.sealed_auth, a.sealed_req},
+      {b.sealed_ticket, a.sealed_auth, b.sealed_req},
+      {b.sealed_ticket, b.sealed_auth, a.sealed_req},
+  };
+  for (const auto& spliced : splices) {
+    auto r = t.bed.world().network().Call(Testbed4::kOperAddr, Testbed4::kAdminAddr,
+                                          spliced.Encode());
+    ASSERT_FALSE(r.ok()) << "cross-session splice accepted";
+    ExpectCleanFailure(r.error().code, "spliced admin request");
+  }
+  EXPECT_EQ(t.bed.kadmin_server()->applied(), 0u);
+  EXPECT_EQ(t.bed.kdc().database().Kvno(t.bed.bob_principal()), 1u);
+}
+
+TEST(MalformedTest, AdminBodyDecodersRejectTruncationAndFlips) {
+  kadmin::AdminReqBody req;
+  req.op = kadmin::AdminOp::kChangePassword;
+  req.target = krb4::Principal{"bob", "", "ATHENA.SIM"};
+  req.nonce = 0x1122334455667788ull;
+  req.timestamp = 1234567;
+  req.sender_addr = 0x0a000103;
+  req.payload = {0x61, 0x62, 0x63, 0x64};
+  const kerb::Bytes req_bytes = req.Encode();
+
+  kadmin::AdminReplyBody reply;
+  reply.nonce_plus_one = req.nonce + 1;
+  reply.timestamp = 1234568;
+  reply.code = 0;
+  reply.kvno = 2;
+  reply.detail = {0x6f, 0x6b};
+  const kerb::Bytes reply_bytes = reply.Encode();
+
+  ASSERT_TRUE(kadmin::AdminReqBody::Decode(req_bytes).ok());
+  ASSERT_TRUE(kadmin::AdminReplyBody::Decode(reply_bytes).ok());
+  for (size_t len = 0; len < req_bytes.size(); ++len) {
+    kerb::Bytes cut(req_bytes.begin(), req_bytes.begin() + len);
+    EXPECT_FALSE(kadmin::AdminReqBody::Decode(cut).ok()) << "req cut at " << len;
+  }
+  for (size_t len = 0; len < reply_bytes.size(); ++len) {
+    kerb::Bytes cut(reply_bytes.begin(), reply_bytes.begin() + len);
+    EXPECT_FALSE(kadmin::AdminReplyBody::Decode(cut).ok()) << "reply cut at " << len;
+  }
+  // The trailing MD4 checksum covers every plaintext field, so every
+  // single-bit flip — including flips inside the checksum itself — dies.
+  for (size_t bit = 0; bit < req_bytes.size() * 8; ++bit) {
+    kerb::Bytes flipped = req_bytes;
+    flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(kadmin::AdminReqBody::Decode(flipped).ok()) << "req bit " << bit;
+  }
+  for (size_t bit = 0; bit < reply_bytes.size() * 8; ++bit) {
+    kerb::Bytes flipped = reply_bytes;
+    flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(kadmin::AdminReplyBody::Decode(flipped).ok()) << "reply bit " << bit;
+  }
+}
+
+TEST(MalformedTest, RingRecordPayloadSweepsFailClosed) {
+  // The kvno-ring WAL payload (EncodePrincipalEntry) is the atomicity unit
+  // for rotation; a truncated or bit-damaged record must leave the target
+  // database untouched.
+  krb4::PrincipalEntry entry;
+  entry.kind = krb4::PrincipalKind::kUser;
+  entry.max_life = 8 * ksim::kHour;
+  kcrypto::Prng prng(77);
+  for (uint32_t kvno = 3; kvno >= 1; --kvno) {
+    krb4::KeyVersion kv;
+    kv.kvno = kvno;
+    kv.key = prng.NextDesKey();
+    kv.not_after = kvno == 3 ? 0 : 1000000 + kvno;
+    entry.keys.push_back(kv);
+  }
+  const krb4::Principal who{"ring", "", "ATHENA.SIM"};
+  const kerb::Bytes payload = krb4::EncodePrincipalEntry(who, entry);
+
+  krb4::KdcDatabase db;
+  ASSERT_TRUE(krb4::ApplyStoreRecord(db, kstore::kWalOpUpsert, payload).ok());
+  ASSERT_EQ(db.Kvno(who), 3u);
+
+  krb4::KdcDatabase scratch;
+  for (size_t len = 0; len < payload.size(); ++len) {
+    kerb::Bytes cut(payload.begin(), payload.begin() + len);
+    EXPECT_FALSE(krb4::ApplyStoreRecord(scratch, kstore::kWalOpUpsert, cut).ok())
+        << "ring record cut at " << len;
+    EXPECT_EQ(scratch.size(), 0u) << "partial apply at len " << len;
+  }
+  // Structural flips (kvno order, ring count, lengths) must be refused;
+  // flips confined to key bytes or policy durations still decode — what
+  // matters is that no flip half-applies or crashes.
+  for (size_t bit = 0; bit < payload.size() * 8; ++bit) {
+    kerb::Bytes flipped = payload;
+    flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    krb4::KdcDatabase per_flip;
+    auto status = krb4::ApplyStoreRecord(per_flip, kstore::kWalOpUpsert, flipped);
+    if (!status.ok()) {
+      EXPECT_EQ(per_flip.size(), 0u) << "rejected flip " << bit << " left state";
+      ExpectCleanFailure(status.code(), "flipped ring record");
+    }
+  }
 }
 
 }  // namespace

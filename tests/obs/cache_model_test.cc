@@ -13,6 +13,12 @@
 // is one-sided: a miss is always acceptable, but a hit must return exactly
 // the reply the model stored for that (source, request) pair within the
 // freshness window — never another client's reply, never a stale one.
+//
+// PrincipalStore is checked for exact agreement with a plain ordered map
+// across a mixed walk of registrations, whole-record (ring) upserts, and
+// erases. Erase is the structurally interesting op: linear probing cannot
+// leave holes, so removal backward-shifts the rest of the probe cluster —
+// a small principal pool keeps the clusters dense and the shift path hot.
 
 #include <map>
 #include <set>
@@ -24,6 +30,7 @@
 
 #include "src/crypto/prng.h"
 #include "src/krb4/kdccore.h"
+#include "src/krb4/principal_store.h"
 #include "src/sim/clock.h"
 #include "src/sim/replaycache.h"
 
@@ -138,6 +145,111 @@ TEST(CacheModelTest, KdcReplyCacheHitsAlwaysMatchTheModel) {
   }
   // The pools are small, so the walk must actually exercise the hit path.
   EXPECT_GT(hits, 0u);
+}
+
+bool SameEntry(const krb4::PrincipalEntry& a, const krb4::PrincipalEntry& b) {
+  if (a.kind != b.kind || a.max_life != b.max_life || a.max_renew != b.max_renew ||
+      a.keys.size() != b.keys.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.keys.size(); ++i) {
+    if (a.keys[i].kvno != b.keys[i].kvno || a.keys[i].not_after != b.keys[i].not_after ||
+        !(a.keys[i].key == b.keys[i].key)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(CacheModelTest, PrincipalStoreMatchesNaiveModelWithEraseInTheMix) {
+  constexpr int kOps = 20000;
+  kcrypto::Prng prng(0xe4a5'e001);
+  krb4::PrincipalStore store;
+  std::map<krb4::Principal, krb4::PrincipalEntry> model;
+
+  // A small pool keeps the open-addressing table's probe clusters dense, so
+  // Erase's backward shift constantly rearranges live entries.
+  std::vector<krb4::Principal> pool;
+  for (int i = 0; i < 48; ++i) {
+    pool.push_back(krb4::Principal{"p" + std::to_string(i),
+                                   i % 3 == 0 ? "svc" : "", "ATHENA.SIM"});
+  }
+
+  auto check_one = [&](const krb4::Principal& p, int op) {
+    krb4::PrincipalEntry got;
+    const bool found = store.LookupEntry(p, &got);
+    auto it = model.find(p);
+    ASSERT_EQ(found, it != model.end()) << "op " << op << ": presence disagrees for "
+                                        << p.ToString();
+    if (found) {
+      ASSERT_TRUE(SameEntry(got, it->second))
+          << "op " << op << ": record disagrees for " << p.ToString();
+    }
+    // The narrow lookup must agree with the wide one: current key and kind.
+    kcrypto::DesKey key;
+    krb4::PrincipalKind kind;
+    ASSERT_EQ(store.Lookup(p, &key, &kind), found) << "op " << op;
+    if (found) {
+      ASSERT_TRUE(key == it->second.keys.front().key) << "op " << op;
+      ASSERT_EQ(kind, it->second.kind) << "op " << op;
+    }
+  };
+
+  for (int i = 0; i < kOps; ++i) {
+    const krb4::Principal& p = pool[prng.NextBelow(pool.size())];
+    switch (prng.NextBelow(6)) {
+      case 0: {  // registration: fresh single-version ring at kvno 1
+        const kcrypto::DesKey key = prng.NextDesKey();
+        const krb4::PrincipalKind kind = prng.NextBelow(2) == 0
+                                             ? krb4::PrincipalKind::kUser
+                                             : krb4::PrincipalKind::kService;
+        store.Upsert(p, key, kind);
+        krb4::PrincipalEntry e;
+        e.kind = kind;
+        e.keys.push_back(krb4::KeyVersion{1, key, 0});
+        model[p] = e;
+        break;
+      }
+      case 1: {  // rotation-style whole-record upsert, ring of 1..kRingCap
+        krb4::PrincipalEntry e;
+        e.kind = prng.NextBelow(2) == 0 ? krb4::PrincipalKind::kUser
+                                        : krb4::PrincipalKind::kService;
+        e.max_life = static_cast<ksim::Duration>(prng.NextBelow(8)) * ksim::kHour;
+        e.max_renew = static_cast<ksim::Duration>(prng.NextBelow(8)) * ksim::kHour;
+        const uint32_t top =
+            2 + static_cast<uint32_t>(prng.NextBelow(30));
+        const size_t depth = 1 + prng.NextBelow(krb4::PrincipalEntry::kRingCap);
+        for (size_t v = 0; v < depth && v < top; ++v) {
+          e.keys.push_back(krb4::KeyVersion{
+              top - static_cast<uint32_t>(v), prng.NextDesKey(),
+              v == 0 ? 0 : static_cast<ksim::Time>(prng.NextBelow(1000)) * ksim::kMinute});
+        }
+        ASSERT_TRUE(store.UpsertEntry(p, e)) << "op " << i;
+        model[p] = e;
+        break;
+      }
+      case 2: {  // an empty ring is rejected and must change nothing
+        ASSERT_FALSE(store.UpsertEntry(p, krb4::PrincipalEntry{})) << "op " << i;
+        break;
+      }
+      case 3:
+      case 4: {  // erase: agreement on the return AND on the survivors
+        ASSERT_EQ(store.Erase(p), model.erase(p) == 1) << "op " << i << " " << p.ToString();
+        break;
+      }
+      default:
+        check_one(p, i);
+        break;
+    }
+    // Spot-check an unrelated principal each op: erase's backward shift
+    // must never lose or duplicate a neighbour in the same probe cluster.
+    check_one(pool[prng.NextBelow(pool.size())], i);
+  }
+
+  // Wholesale sweep: every pool principal agrees in both directions.
+  for (const krb4::Principal& p : pool) {
+    check_one(p, kOps);
+  }
 }
 
 }  // namespace

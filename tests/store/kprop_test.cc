@@ -110,6 +110,24 @@ TEST(PropSinkTest, ReorderedOldDeltaCannotRollBack) {
   EXPECT_EQ(s.sink.applied_lsn(), 4u);
 }
 
+TEST(PropSinkTest, OverlappingDeltaAppliesOnlyTheUnseenSuffix) {
+  CountingSink s;
+  // A delayed (0,2] frame lands first; the primary, whose ack for it was
+  // lost, re-sends from its older cursor as (0,4]. The overlap frame is
+  // authentic and contiguous, so the slave applies just the unseen (2,4]
+  // suffix and acks 4 — the lost-ack race self-heals instead of wedging
+  // propagation in a permanent reject loop.
+  ASSERT_TRUE(s.sink.Handle(Frame(kstore::EncodeDeltaFrame(PropKey(), 0, 2, Records(0, 2)))).ok());
+  EXPECT_EQ(s.applies, 2u);
+  auto reply = s.sink.Handle(Frame(kstore::EncodeDeltaFrame(PropKey(), 0, 4, Records(0, 4))));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(s.applies, 4u);  // records 3 and 4 once, 1 and 2 never again
+  EXPECT_EQ(s.sink.applied_lsn(), 4u);
+  auto ack = kstore::ParseAckFrame(PropKey(), reply.value());
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack.value(), 4u);
+}
+
 TEST(PropSinkTest, SplicedGapIsARejectedReplay) {
   CountingSink s;
   // The adversary suppresses (0,2] and forwards only (2,4] — an interior

@@ -32,6 +32,12 @@ struct LoggedOp {
   Principal principal;
   kcrypto::DesKey key;
   PrincipalKind kind = PrincipalKind::kUser;
+  // Key rotations ride the same WAL upsert records but are logically
+  // distinct: the model must re-derive the ring (kvno bump, drain deadline
+  // on the outgoing version, cap pruning) rather than overwrite it.
+  bool rotate = false;
+  ksim::Time now = 0;
+  ksim::Time retain_until = 0;
 };
 
 // Applies history[0..upto) to a fresh database holding `initial`.
@@ -40,7 +46,9 @@ KdcDatabase ModelAt(const KdcDatabase& initial, const std::vector<LoggedOp>& his
   KdcDatabase model = initial;  // copies entries only, never the journal
   for (size_t i = 0; i < upto; ++i) {
     const LoggedOp& op = history[i];
-    if (op.op == kstore::kWalOpUpsert) {
+    if (op.rotate) {
+      EXPECT_TRUE(model.RotateKey(op.principal, op.key, op.now, op.retain_until).ok());
+    } else if (op.op == kstore::kWalOpUpsert) {
       model.ApplyUpsert(op.principal, op.key, op.kind);
     } else {
       model.Remove(op.principal);
@@ -54,13 +62,28 @@ void ExpectSameDatabase(KdcDatabase& got, KdcDatabase& want, const char* what) {
   auto want_principals = want.Principals();
   ASSERT_EQ(got_principals, want_principals) << what << ": entry sets differ";
   for (const Principal& principal : want_principals) {
-    auto got_key = got.Lookup(principal);
-    auto want_key = want.Lookup(principal);
-    ASSERT_TRUE(got_key.ok() && want_key.ok());
-    EXPECT_EQ(got_key.value().bytes(), want_key.value().bytes())
-        << what << ": key differs for " << principal.ToString();
-    EXPECT_EQ(static_cast<int>(got.Kind(principal)), static_cast<int>(want.Kind(principal)))
+    auto got_entry = got.LookupEntry(principal);
+    auto want_entry = want.LookupEntry(principal);
+    ASSERT_TRUE(got_entry.ok() && want_entry.ok());
+    EXPECT_EQ(static_cast<int>(got_entry.value().kind),
+              static_cast<int>(want_entry.value().kind))
         << what << ": kind differs for " << principal.ToString();
+    EXPECT_EQ(got_entry.value().max_life, want_entry.value().max_life)
+        << what << ": max_life differs for " << principal.ToString();
+    EXPECT_EQ(got_entry.value().max_renew, want_entry.value().max_renew)
+        << what << ": max_renew differs for " << principal.ToString();
+    // The whole ring, version for version: a recovery that restored only
+    // the current key would break every in-flight old-kvno ticket.
+    ASSERT_EQ(got_entry.value().keys.size(), want_entry.value().keys.size())
+        << what << ": ring depth differs for " << principal.ToString();
+    for (size_t v = 0; v < want_entry.value().keys.size(); ++v) {
+      EXPECT_EQ(got_entry.value().keys[v].kvno, want_entry.value().keys[v].kvno)
+          << what << ": kvno[" << v << "] differs for " << principal.ToString();
+      EXPECT_EQ(got_entry.value().keys[v].not_after, want_entry.value().keys[v].not_after)
+          << what << ": not_after[" << v << "] differs for " << principal.ToString();
+      EXPECT_EQ(got_entry.value().keys[v].key.bytes(), want_entry.value().keys[v].key.bytes())
+          << what << ": key[" << v << "] differs for " << principal.ToString();
+    }
   }
 }
 
@@ -82,18 +105,31 @@ TEST(RecoveryModelTest, SnapshotPlusWalPrefixEqualsModel) {
   std::vector<LoggedOp> history;  // history[i] holds the op journaled at LSN i+1
   int crashes = 0;
   int compactions = 0;
+  int rotations = 0;
+  ksim::Time now = 0;  // virtual clock for rotation drain deadlines
 
   auto random_principal = [&] {
     return Principal::User("u" + std::to_string(prng.NextBelow(10)), "R");
   };
 
   for (int step = 0; step < 600; ++step) {
+    now += static_cast<ksim::Time>(prng.NextBelow(60)) * ksim::kSecond;
     const uint64_t dice = prng.NextBelow(100);
-    if (dice < 55) {
+    if (dice < 45) {
       LoggedOp op{kstore::kWalOpUpsert, random_principal(), prng.NextDesKey(),
                   prng.NextBelow(2) == 0 ? PrincipalKind::kUser : PrincipalKind::kService};
       db.ApplyUpsert(op.principal, op.key, op.kind);
       history.push_back(std::move(op));
+    } else if (dice < 60) {
+      // Rotation: one journaled upsert of the whole ring — kvno bump, drain
+      // deadline on the outgoing version, cap pruning.
+      LoggedOp op{kstore::kWalOpUpsert, random_principal(), prng.NextDesKey(),
+                  PrincipalKind::kUser, /*rotate=*/true, now, now + 8 * ksim::kHour};
+      if (db.Has(op.principal)) {
+        ASSERT_TRUE(db.RotateKey(op.principal, op.key, op.now, op.retain_until).ok());
+        history.push_back(std::move(op));
+        ++rotations;
+      }
     } else if (dice < 75) {
       Principal victim = random_principal();
       if (db.Has(victim)) {
@@ -134,6 +170,7 @@ TEST(RecoveryModelTest, SnapshotPlusWalPrefixEqualsModel) {
   // The walk must actually have exercised the interesting transitions.
   EXPECT_GT(crashes, 10);
   EXPECT_GT(compactions, 10);
+  EXPECT_GT(rotations, 10);
   EXPECT_GT(store.device().flushes_lost(), 0u);
   EXPECT_GT(store.device().tails_torn(), 0u);
 }
