@@ -1,0 +1,234 @@
+// B16 — clustered KDC scale-out: consistent-hash sharding, referral
+// routing, and a million-principal realm.
+//
+// The paper sizes Athena at thousands of principals and one master KDC
+// with read-only slaves; this table asks what the same protocol stack does
+// when the realm grows three orders of magnitude and the database is
+// SHARDED across serving nodes instead of mirrored. Reported per node
+// count: virtual aggregate throughput (ok operations over the busiest
+// node's charged service time — the cluster's critical path), speedup over
+// one node, latency percentiles from the kobs kClusterOp histogram, and
+// the cold-client referral rate. Plus zipf-vs-uniform skew sensitivity and
+// goodput through a blackout + crash chaos run.
+//
+// Population defaults to 20k users so smoke runs stay cheap; set
+// KERB_CLUSTER_POP=1000000 for the full million-principal realm (the
+// numbers in BENCH_PR10.json are recorded that way by bench_baseline.py).
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/cluster/cluster.h"
+#include "src/cluster/population.h"
+#include "src/obs/kobs.h"
+#include "src/sim/faults.h"
+#include "src/sim/world.h"
+
+namespace {
+
+size_t PopulationSize() {
+  if (const char* env = std::getenv("KERB_CLUSTER_POP")) {
+    const long v = std::atol(env);
+    if (v > 0) {
+      return static_cast<size_t>(v);
+    }
+  }
+  return 20000;
+}
+
+std::vector<kcluster::RingMember> MakeMembers(size_t n) {
+  std::vector<kcluster::RingMember> members;
+  for (size_t i = 0; i < n; ++i) {
+    members.push_back({i + 1, 0x0a000010u + static_cast<uint32_t>(i)});
+  }
+  return members;
+}
+
+struct LoadResult {
+  kcluster::ClusterLoadReport report;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+// Percentile estimate from the power-of-two latency histogram: the upper
+// bound of the bucket where the cumulative count crosses the rank.
+double HistPercentile(const std::vector<uint64_t>& hist, double pct) {
+  uint64_t total = 0;
+  for (uint64_t b : hist) {
+    total += b;
+  }
+  if (total == 0) {
+    return 0;
+  }
+  const uint64_t rank = static_cast<uint64_t>(pct / 100.0 * static_cast<double>(total));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < hist.size(); ++i) {
+    seen += hist[i];
+    if (seen > rank) {
+      return i == 0 ? 0 : static_cast<double>(1ull << i);
+    }
+  }
+  return static_cast<double>(1ull << (hist.size() - 1));
+}
+
+LoadResult RunLoad(size_t node_count, size_t population_size, size_t ops, bool zipf,
+                   uint32_t login_mix_1024) {
+  kobs::ScopedTrace trace;
+  ksim::World world(0xb16 + node_count);
+  kcluster::PopulationConfig pc;
+  pc.users = population_size;
+  pc.services = 32;
+  kcluster::Population population(pc);
+  kcluster::ClusterConfig cc;
+  kcluster::ClusterController controller(&world, cc);
+  population.Install(controller.logical_db());
+  controller.Bootstrap(MakeMembers(node_count));
+
+  kcluster::ClusterLoadConfig lc;
+  lc.ops = ops;
+  lc.zipf = zipf;
+  lc.login_mix_1024 = login_mix_1024;
+  LoadResult result;
+  result.report = RunClusterLoad(world, controller, population, lc);
+  const std::vector<uint64_t> hist = trace->HistogramA(kobs::Ev::kClusterOp);
+  result.p50_us = HistPercentile(hist, 50);
+  result.p99_us = HistPercentile(hist, 99);
+  return result;
+}
+
+void PrintExperimentReport() {
+  kbench::Header("B16", "clustered KDC scale-out: sharding, referrals, recovery");
+  const size_t pop = PopulationSize();
+  const size_t ops = pop >= 500000 ? 4000 : 1200;
+  kbench::Line("  realm: " + std::to_string(pop) + " user principals, 32 services");
+  kbench::Line("  (set KERB_CLUSTER_POP=1000000 for the full realm)");
+  kbench::Line("");
+  kbench::Line("  nodes   agg ops/s   speedup   p50(us)   p99(us)   cold-referral");
+  double base_ops_per_sec = 0;
+  for (size_t nodes : {1u, 2u, 4u, 8u}) {
+    const LoadResult r = RunLoad(nodes, pop, ops, /*zipf=*/true, /*mix=*/512);
+    if (nodes == 1) {
+      base_ops_per_sec = r.report.aggregate_ops_per_sec;
+    }
+    const double speedup =
+        base_ops_per_sec > 0 ? r.report.aggregate_ops_per_sec / base_ops_per_sec : 0;
+    char row[160];
+    std::snprintf(row, sizeof(row), "  %5zu   %9.0f   %6.2fx   %7.0f   %7.0f   %8.4f",
+                  nodes, r.report.aggregate_ops_per_sec, speedup, r.p50_us, r.p99_us,
+                  r.report.cold_referral_rate);
+    kbench::Line(row);
+    const std::string prefix = "cluster_" + std::to_string(nodes) + "node_";
+    kbench::GlobalJson().AddMetric(prefix + "agg_ops_per_sec",
+                                   r.report.aggregate_ops_per_sec);
+    kbench::GlobalJson().AddMetric(prefix + "p50_us", r.p50_us);
+    kbench::GlobalJson().AddMetric(prefix + "p99_us", r.p99_us);
+    kbench::GlobalJson().AddMetric(prefix + "speedup", speedup);
+    kbench::GlobalJson().AddMetric(prefix + "cold_referral_rate",
+                                   r.report.cold_referral_rate);
+  }
+
+  kbench::Line("");
+  kbench::Line("  traffic skew at 4 nodes (aggregate ops/s):");
+  const LoadResult uniform = RunLoad(4, pop, ops, /*zipf=*/false, 512);
+  const LoadResult zipf = RunLoad(4, pop, ops, /*zipf=*/true, 512);
+  char skew[160];
+  std::snprintf(skew, sizeof(skew), "    uniform %9.0f    zipf(s=1) %9.0f",
+                uniform.report.aggregate_ops_per_sec,
+                zipf.report.aggregate_ops_per_sec);
+  kbench::Line(skew);
+  kbench::GlobalJson().AddMetric("cluster_4node_uniform_agg_ops_per_sec",
+                                 uniform.report.aggregate_ops_per_sec);
+  kbench::GlobalJson().AddMetric("cluster_4node_zipf_agg_ops_per_sec",
+                                 zipf.report.aggregate_ops_per_sec);
+
+  // Goodput through the chaos scenario: a faulty network, a blackout
+  // mid-traffic, a device crash + recovery, rebalances under load.
+  ksim::FaultPlan plan;
+  plan.link.drop_request = 0.03;
+  plan.link.drop_reply = 0.03;
+  plan.link.duplicate_request = 0.04;
+  plan.link.corrupt_request = 0.02;
+  plan.link.corrupt_reply = 0.02;
+  plan.link.delay = 2 * ksim::kMillisecond;
+  plan.link.delay_jitter = 3 * ksim::kMillisecond;
+  ksim::World world(0xb16c4a05, plan);
+  kcluster::PopulationConfig pc;
+  pc.users = pop >= 500000 ? 100000 : pop;  // chaos phase needn't be huge
+  pc.services = 16;
+  kcluster::Population population(pc);
+  kcluster::ClusterConfig cc;
+  kcluster::ClusterController controller(&world, cc);
+  population.Install(controller.logical_db());
+  controller.Bootstrap(MakeMembers(4));
+  kcluster::ClusterChaosConfig chaos;
+  chaos.ops_per_phase = 150;
+  const kcluster::ClusterChaosReport cr =
+      RunClusterChaos(world, controller, population, chaos);
+  const double goodput_pct =
+      cr.attempted ? 100.0 * static_cast<double>(cr.ok) / static_cast<double>(cr.attempted)
+                   : 0;
+  kbench::Line("");
+  char chaos_row[200];
+  std::snprintf(chaos_row, sizeof(chaos_row),
+                "  chaos goodput: %llu/%llu ops (%.1f%%), epoch %u, "
+                "double-issues %llu, slices %s",
+                (unsigned long long)cr.ok, (unsigned long long)cr.attempted, goodput_pct,
+                cr.final_epoch, (unsigned long long)cr.double_issues,
+                cr.slices_consistent ? "consistent" : "INCONSISTENT");
+  kbench::Line(chaos_row);
+  kbench::GlobalJson().AddMetric("cluster_chaos_goodput_pct", goodput_pct);
+  kbench::ResultRow("cluster double-issue under blackout chaos",
+                    cr.double_issues != 0 || !cr.slices_consistent ||
+                        cr.internal_errors != 0,
+                    "fail-closed: " + std::to_string(cr.failed_closed) + "/" +
+                        std::to_string(cr.attempted) + " clean errors");
+}
+
+void BM_ClusterLoad(benchmark::State& state) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  uint64_t ok = 0;
+  double agg = 0;
+  for (auto _ : state) {
+    const LoadResult r = RunLoad(nodes, 5000, 300, /*zipf=*/true, 512);
+    if (r.report.ok != r.report.attempted) {
+      state.SkipWithError("faultless cluster load failed requests");
+      return;
+    }
+    ok += r.report.ok;
+    agg = r.report.aggregate_ops_per_sec;
+  }
+  state.counters["agg_ops_per_sec"] = agg;
+  state.SetItemsProcessed(static_cast<int64_t>(ok));
+}
+BENCHMARK(BM_ClusterLoad)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterRebalance(benchmark::State& state) {
+  // Cost of one node-loss rebalance (detection + range moves + resync) at
+  // 5k principals across 4 nodes, in wall time of the simulation.
+  for (auto _ : state) {
+    state.PauseTiming();
+    ksim::World world(0xeba1 + state.iterations());
+    kcluster::PopulationConfig pc;
+    pc.users = 5000;
+    pc.services = 16;
+    kcluster::Population population(pc);
+    kcluster::ClusterConfig cc;
+    kcluster::ClusterController controller(&world, cc);
+    population.Install(controller.logical_db());
+    controller.Bootstrap(MakeMembers(4));
+    controller.node(2)->Crash();
+    state.ResumeTiming();
+    if (!controller.ProbeAll() || !controller.AllSlicesConsistent()) {
+      state.SkipWithError("rebalance failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_ClusterRebalance)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+KERB_BENCH_MAIN()

@@ -38,9 +38,17 @@ distills the numbers every PR cares about:
         under live traffic (acceptance: goodput 100 at rate 0, and every
         rotation invariant holds at every rate — the bench skips with an
         error otherwise)
+    cluster: the PR-10 scale-out plane (B16) — a million-principal realm
+        sharded across consistent-hash KDC nodes: virtual aggregate AS/TGS
+        throughput and latency percentiles at 1/2/4/8 nodes, the speedup
+        curve over a single node (acceptance: >= 1.5x at 4 nodes, guarded
+        by bench_guard_cluster), zipf-vs-uniform skew sensitivity, the
+        cold-client referral rate, and goodput through the blackout +
+        crash chaos run. Recorded at KERB_CLUSTER_POP principals
+        (default one million here; export it to record smaller realms).
 
 Usage:
-    python3 bench/bench_baseline.py --build-dir build --out BENCH_PR8.json
+    python3 bench/bench_baseline.py --build-dir build --out BENCH_PR10.json
 
 or via the CMake target:  cmake --build build --target bench_baseline
 Stdlib only; no third-party packages.
@@ -101,6 +109,28 @@ def run_bench_best_of(binary, bench_filter, min_time=None, runs=3):
     return list(merged.values())
 
 
+def run_report_metrics(binary, extra_env=None):
+    """Runs a bench's experiment report only (no timing loops) and returns
+    the scalar metrics it recorded via KERB_BENCH_JSON."""
+    out_path = tempfile.mktemp(suffix=".json")
+    env = dict(os.environ)
+    env["KERB_BENCH_JSON"] = out_path
+    env.update(extra_env or {})
+    cmd = [binary, "--benchmark_filter=ZZZNOMATCH"]
+    try:
+        try:
+            subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL,
+                           stderr=subprocess.DEVNULL, env=env)
+        except FileNotFoundError:
+            sys.exit(f"error: bench binary not found: {binary} "
+                     "(build it first, or pass --build-dir)")
+        with open(out_path) as f:
+            return json.load(f)["metrics"]
+    finally:
+        if os.path.exists(out_path):
+            os.unlink(out_path)
+
+
 def build_meta(build_dir):
     """Provenance for the numbers: compiler, flags, git SHA, core count."""
     cache = {}
@@ -159,7 +189,7 @@ def metric(benchmarks, name, field):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--out", default="BENCH_PR8.json")
+    parser.add_argument("--out", default="BENCH_PR10.json")
     parser.add_argument("--min-time", default=None,
                         help="override --benchmark_min_time (bare seconds, e.g. 0.05)")
     args = parser.parse_args()
@@ -310,6 +340,34 @@ def main():
                              "admin_applied_pct")
             for pct in (0, 10, 20, 30)
         },
+    }
+
+    cluster_pop = os.environ.get("KERB_CLUSTER_POP", "1000000")
+    b16 = run_report_metrics(os.path.join(bench_dir, "bench_b16_cluster"),
+                             {"KERB_CLUSTER_POP": cluster_pop})
+    node_counts = (1, 2, 4, 8)
+    doc["cluster"] = {
+        "population": int(cluster_pop),
+        "aggregate_ops_per_sec": {
+            str(n): b16[f"cluster_{n}node_agg_ops_per_sec"] for n in node_counts
+        },
+        "speedup_over_1node": {
+            str(n): b16[f"cluster_{n}node_speedup"] for n in node_counts
+        },
+        "latency_p50_us": {
+            str(n): b16[f"cluster_{n}node_p50_us"] for n in node_counts
+        },
+        "latency_p99_us": {
+            str(n): b16[f"cluster_{n}node_p99_us"] for n in node_counts
+        },
+        "cold_referral_rate": {
+            str(n): b16[f"cluster_{n}node_cold_referral_rate"] for n in node_counts
+        },
+        "skew_4node_agg_ops_per_sec": {
+            "uniform": b16["cluster_4node_uniform_agg_ops_per_sec"],
+            "zipf": b16["cluster_4node_zipf_agg_ops_per_sec"],
+        },
+        "chaos_goodput_pct": b16["cluster_chaos_goodput_pct"],
     }
 
     with open(args.out, "w") as f:

@@ -1,0 +1,75 @@
+// Regression guard: clustering must actually scale serving capacity.
+//
+// Not a google-benchmark binary — a plain pass/fail ctest (registered as
+// bench_smoke_cluster_guard). One fixed AS-only workload against a
+// single-node "cluster" and the same workload against four nodes; the
+// four-node virtual aggregate throughput (ok logins over the busiest
+// node's charged service time) must hold at least a 1.5x margin. With a
+// balanced ring the expected margin is near 4x, so 1.5x trips only when
+// sharding or referral routing genuinely regresses — hot-spotting the
+// ring, serving every request from one node, or charging referral chases
+// as service time. Deterministic seeds: a failure is a regression, not
+// flake.
+
+#include <cstdio>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/population.h"
+#include "src/sim/world.h"
+
+namespace {
+
+bool Check(const char* what, bool ok) {
+  std::printf("%-52s %s\n", what, ok ? "ok" : "FAIL");
+  return ok;
+}
+
+kcluster::ClusterLoadReport RunAsOnly(size_t node_count) {
+  ksim::World world(0x6a2d + node_count);
+  kcluster::PopulationConfig pc;
+  pc.users = 8000;
+  pc.services = 16;
+  kcluster::Population population(pc);
+  kcluster::ClusterConfig cc;
+  kcluster::ClusterController controller(&world, cc);
+  population.Install(controller.logical_db());
+  std::vector<kcluster::RingMember> members;
+  for (size_t i = 0; i < node_count; ++i) {
+    members.push_back({i + 1, 0x0a000010u + static_cast<uint32_t>(i)});
+  }
+  controller.Bootstrap(members);
+
+  kcluster::ClusterLoadConfig lc;
+  lc.ops = 1000;
+  lc.login_mix_1024 = 1024;  // AS-only: every op is a login
+  return RunClusterLoad(world, controller, population, lc);
+}
+
+}  // namespace
+
+int main() {
+  bool pass = true;
+
+  const kcluster::ClusterLoadReport one = RunAsOnly(1);
+  const kcluster::ClusterLoadReport four = RunAsOnly(4);
+  std::printf("[cluster] 1 node: %.0f logins/s   4 nodes: %.0f logins/s (%.2fx)\n",
+              one.aggregate_ops_per_sec, four.aggregate_ops_per_sec,
+              one.aggregate_ops_per_sec > 0
+                  ? four.aggregate_ops_per_sec / one.aggregate_ops_per_sec
+                  : 0.0);
+
+  pass &= Check("1-node: every login succeeds", one.ok == one.attempted && one.ok > 0);
+  pass &= Check("4-node: every login succeeds", four.ok == four.attempted && four.ok > 0);
+  pass &= Check("no internal errors", one.internal_errors == 0 && four.internal_errors == 0);
+  pass &= Check("4-node referral routing exercised",
+                four.routing.referrals_followed > 0 && four.routing.direct_routes > 0);
+  pass &= Check("4-node aggregate AS throughput >= 1.5x single node",
+                four.aggregate_ops_per_sec >= 1.5 * one.aggregate_ops_per_sec);
+
+  if (!pass) {
+    std::printf("cluster guard FAILED\n");
+    return 1;
+  }
+  std::printf("cluster guard passed\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Wire formats for the cluster layer: referral bodies (plaintext, embedded
+// in protocol frames) and the 'KCL1' control-plane frames (DES CBC-MAC'd
+// under a cluster key the nodes share).
+//
+// Two distinct trust treatments, deliberately:
+//
+//   * Referrals are PLAINTEXT. A referral only tells a client "ask that
+//     node instead" — the credential path stays end-to-end keyed (the AS
+//     reply is sealed under the client key, tickets under service keys), so
+//     the worst a forged referral achieves is sending the client to a node
+//     that cannot answer, which is indistinguishable from ordinary routing
+//     staleness and bounded by the client's referral-hop cap. Authenticating
+//     referrals would require clients to share a key with the cluster
+//     before authenticating — exactly the circularity Kerberos exists to
+//     avoid.
+//
+//   * Control frames (membership pings, ring updates, range loads) move
+//     database state and membership decisions between nodes, so they get
+//     the same treatment as kprop (src/store/kprop.h): an 8-byte DES
+//     CBC-MAC (zero IV) trailer under a key derived from the realm. A
+//     network adversary cannot forge a ring view or inject principals.
+//
+// Frames, big-endian, MAC over everything before the trailer:
+//   ping     := u32 'KCL1' | u8 1 | u64 from_node | mac8
+//   pong     := u32 'KCL1' | u8 2 | u64 node_id | u32 epoch | u64 lsn | mac8
+//   ring     := u32 'KCL1' | u8 3 | announce | mac8
+//   ring-ack := u32 'KCL1' | u8 4 | u64 node_id | u32 epoch | mac8
+//   load     := u32 'KCL1' | u8 5 | u32 epoch | u32 count |
+//               count * lp(entry_record) | mac8
+//   load-ack := u32 'KCL1' | u8 6 | u32 count_applied | mac8
+//   announce := u32 epoch | u64 seed | u32 vnodes | u16 as_port |
+//               u16 tgs_port | u16 ctl_port | u32 n | n * (u64 id | u32 host)
+//   referral := announce | u64 owner_node_id              (no MAC; see above)
+
+#ifndef SRC_CLUSTER_WIRE_H_
+#define SRC_CLUSTER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/cluster/ring.h"
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/crypto/des.h"
+
+namespace kcluster {
+
+constexpr uint32_t kClusterMagic = 0x4b434c31;  // "KCL1"
+constexpr uint16_t kClusterCtlPort = 751;       // control plane, per node host
+constexpr uint8_t kCtlPing = 1;
+constexpr uint8_t kCtlPong = 2;
+constexpr uint8_t kCtlRing = 3;
+constexpr uint8_t kCtlRingAck = 4;
+constexpr uint8_t kCtlLoad = 5;
+constexpr uint8_t kCtlLoadAck = 6;
+
+// Decoder ceilings — fail closed before allocating.
+constexpr uint32_t kMaxClusterMembers = 256;
+constexpr uint32_t kMaxLoadEntries = 1u << 16;
+
+// The control-plane key every node derives from the realm name, the same
+// convention kprop uses for the propagation key.
+kcrypto::DesKey ClusterKey(const std::string& realm);
+
+// A complete routing view: ring parameters plus the member list at one
+// epoch. This is what ring-update frames carry and what referrals teach
+// clients, so client and node ownership math agree bit-for-bit.
+struct RingAnnounce {
+  uint32_t epoch = 0;
+  RingConfig ring;
+  uint16_t as_port = 0;
+  uint16_t tgs_port = 0;
+  uint16_t ctl_port = kClusterCtlPort;
+  std::vector<RingMember> members;
+};
+
+kerb::Bytes EncodeRingAnnounce(const RingAnnounce& announce);
+kerb::Result<RingAnnounce> DecodeRingAnnounce(kerb::BytesView data);
+
+// The body of a kClusterReferral (V4) frame / kMsgClusterReferral (V5)
+// kClusterBody field: the referring node's current view plus who it
+// believes owns the requested principal.
+struct ReferralBody {
+  RingAnnounce view;
+  uint64_t owner_node_id = 0;
+};
+
+kerb::Bytes EncodeReferralBody(const ReferralBody& body);
+kerb::Result<ReferralBody> DecodeReferralBody(kerb::BytesView data);
+
+// --- Control frames (MAC'd) -------------------------------------------------
+
+struct PongInfo {
+  uint64_t node_id = 0;
+  uint32_t epoch = 0;
+  uint64_t applied_lsn = 0;
+};
+
+struct RingAckInfo {
+  uint64_t node_id = 0;
+  uint32_t epoch = 0;
+};
+
+// One additive range-load record: an encoded principal entry
+// (krb4::EncodePrincipalEntry bytes).
+struct LoadFrame {
+  uint32_t epoch = 0;
+  std::vector<kerb::Bytes> entries;
+};
+
+kerb::Bytes EncodePingFrame(const kcrypto::DesKey& key, uint64_t from_node);
+kerb::Bytes EncodePongFrame(const kcrypto::DesKey& key, const PongInfo& info);
+kerb::Bytes EncodeRingFrame(const kcrypto::DesKey& key, const RingAnnounce& announce);
+kerb::Bytes EncodeRingAckFrame(const kcrypto::DesKey& key, const RingAckInfo& info);
+kerb::Bytes EncodeLoadFrame(const kcrypto::DesKey& key, const LoadFrame& load);
+kerb::Bytes EncodeLoadAckFrame(const kcrypto::DesKey& key, uint32_t count_applied);
+
+// Verifies the MAC trailer and the magic, and returns (type, body-after-
+// header). kIntegrity on MAC mismatch, kBadFormat on framing damage — every
+// malformed control frame is a rejection, never a partial parse.
+kerb::Result<std::pair<uint8_t, kerb::Bytes>> OpenCtlFrame(const kcrypto::DesKey& key,
+                                                           kerb::BytesView frame);
+
+// Body parsers for the frame types with payloads (input: the bytes
+// OpenCtlFrame returned for that type).
+kerb::Result<uint64_t> ParsePingBody(kerb::BytesView body);
+kerb::Result<PongInfo> ParsePongBody(kerb::BytesView body);
+kerb::Result<RingAnnounce> ParseRingBody(kerb::BytesView body);
+kerb::Result<RingAckInfo> ParseRingAckBody(kerb::BytesView body);
+kerb::Result<LoadFrame> ParseLoadBody(kerb::BytesView body);
+kerb::Result<uint32_t> ParseLoadAckBody(kerb::BytesView body);
+
+}  // namespace kcluster
+
+#endif  // SRC_CLUSTER_WIRE_H_

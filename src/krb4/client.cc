@@ -34,6 +34,36 @@ kerb::Result<kerb::Bytes> Client4::KdcExchange(const std::vector<ksim::NetAddres
   return net_->Call(self_, endpoints.front(), payload);
 }
 
+kerb::Result<kerb::Bytes> Client4::RoutedKdcExchange(const Principal& routing_principal,
+                                                     bool tgs,
+                                                     const std::vector<ksim::NetAddress>& fallback,
+                                                     const kerb::Bytes& payload) {
+  if (!routing_.has_value() || !routing_->endpoints) {
+    return KdcExchange(fallback, payload);
+  }
+  for (int hop = 0; hop < kMaxReferralHops; ++hop) {
+    std::vector<ksim::NetAddress> endpoints = routing_->endpoints(routing_principal, tgs);
+    if (endpoints.empty()) {
+      endpoints = fallback;
+    }
+    auto reply = KdcExchange(endpoints, payload);
+    if (!reply.ok()) {
+      return reply;
+    }
+    auto framed = Unframe4(reply.value());
+    if (!framed.ok() || framed.value().first != MsgType::kClusterReferral) {
+      return reply;  // a real KDC answer; the caller decodes it
+    }
+    // A node we asked does not own this principal and is teaching us who
+    // does. If the router cannot act on the referral (malformed body, stale
+    // view no newer than ours), fail closed rather than spin.
+    if (!routing_->on_referral || !routing_->on_referral(framed.value().second)) {
+      return kerb::MakeError(kerb::ErrorCode::kTransport, "cluster referral not actionable");
+    }
+  }
+  return kerb::MakeError(kerb::ErrorCode::kTransport, "cluster referral loop");
+}
+
 kerb::Result<kerb::Bytes> Client4::ServiceExchange(const ksim::NetAddress& addr,
                                                    const ksim::Exchanger::Builder& build) {
   if (exchanger_.has_value()) {
@@ -57,7 +87,8 @@ kerb::Status Client4::LoginWithKey(const kcrypto::DesKey& client_key,
   req.service_realm = user_.realm;
   req.lifetime = lifetime;
 
-  auto reply = KdcExchange(as_endpoints_, Frame4(MsgType::kAsRequest, req.Encode()));
+  auto reply =
+      RoutedKdcExchange(user_, false, as_endpoints_, Frame4(MsgType::kAsRequest, req.Encode()));
   if (!reply.ok()) {
     return reply.error();
   }
@@ -107,7 +138,8 @@ kerb::Result<ServiceCredentials> Client4::GetServiceTicket(const Principal& serv
   req.sealed_auth = auth.Seal(tgs_creds_->session_key);
   req.lifetime = lifetime;
 
-  auto reply = KdcExchange(tgs_endpoints_, Frame4(MsgType::kTgsRequest, req.Encode()));
+  auto reply = RoutedKdcExchange(service, true, tgs_endpoints_,
+                                 Frame4(MsgType::kTgsRequest, req.Encode()));
   if (!reply.ok()) {
     return reply.error();
   }

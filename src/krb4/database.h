@@ -14,6 +14,7 @@
 #define SRC_KRB4_DATABASE_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/result.h"
@@ -115,6 +116,19 @@ class KdcDatabase {
   // All registered principals — used by harvesting experiments, which model
   // an attacker who knows the user list (usernames are public).
   std::vector<Principal> Principals() const { return store_.Principals(); }
+
+  // Pre-sizes the store for a bulk registration (see PrincipalStore::
+  // Reserve) — the million-principal population generator calls this before
+  // inserting so registration never pays incremental rehashes.
+  void Reserve(size_t expected_entries) { store_.Reserve(expected_entries); }
+
+  // Visits every full record as fn(principal, entry), shard/slot order
+  // (deterministic, unsorted). See PrincipalStore::ForEach for the locking
+  // contract: fn must not touch this database.
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    store_.ForEach(std::forward<Fn>(fn));
+  }
 
   size_t size() const { return store_.size(); }
 

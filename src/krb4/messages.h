@@ -64,6 +64,13 @@ enum class MsgType : uint8_t {
   // AS/TGS-obtained admin-service ticket.
   kAdminRequest = 11,
   kAdminReply = 12,
+  // Clustered serving (src/cluster): "this KDC node does not own the
+  // requested principal's hash range" — the reply body is an unencrypted
+  // kcluster::ReferralBody teaching the client the owning node and the
+  // current ring. Plaintext by design: it names public topology only, and
+  // a forged referral can at worst redirect a client to a node that will
+  // itself refer or refuse (the credential path stays end-to-end keyed).
+  kClusterReferral = 13,
 };
 
 // Seals `plaintext` under `key`: MAGIC || u32 length || plaintext, zero-

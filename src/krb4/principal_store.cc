@@ -82,6 +82,44 @@ void PrincipalStore::GrowLocked(Shard& shard) {
   shard.slots = std::move(bigger);
 }
 
+void PrincipalStore::Reserve(size_t expected_entries) {
+  // Per-shard target capacity: the expected share of the population (with
+  // headroom for hash imbalance across shards), held strictly below the
+  // 3/4 growth threshold, rounded up to a power of two.
+  const size_t per_shard = expected_entries / kShardCount + 1;
+  const size_t with_headroom = per_shard + per_shard / 4;
+  size_t target = kInitialSlots;
+  while (target * 3 < with_headroom * 4) {
+    target *= 2;
+  }
+  for (size_t s = 0; s < kShardCount; ++s) {
+    Shard& shard = shards_[s];
+    std::unique_lock lock(shard.mu);
+    while (shard.slots.size() < target) {
+      GrowLocked(shard);  // doubles; loops straight to the target size
+    }
+  }
+}
+
+size_t PrincipalStore::MaxProbeLength() const {
+  size_t worst = 0;
+  for (size_t s = 0; s < kShardCount; ++s) {
+    const Shard& shard = shards_[s];
+    std::shared_lock lock(shard.mu);
+    const size_t mask = shard.slots.size() - 1;
+    for (size_t i = 0; i < shard.slots.size(); ++i) {
+      const Slot& slot = shard.slots[i];
+      if (!slot.used) {
+        continue;
+      }
+      const size_t home = slot.hash & mask;
+      const size_t probes = ((i - home) & mask) + 1;
+      worst = std::max(worst, probes);
+    }
+  }
+  return worst;
+}
+
 void PrincipalStore::Upsert(const Principal& principal, const kcrypto::DesKey& key,
                             PrincipalKind kind) {
   PrincipalEntry entry;

@@ -39,6 +39,34 @@ kerb::Result<kerb::Bytes> Client5::KdcExchange(const std::vector<ksim::NetAddres
   return net_->Call(self_, endpoints.front(), payload);
 }
 
+kerb::Result<kerb::Bytes> Client5::RoutedKdcExchange(const Principal& routing_principal,
+                                                     bool tgs,
+                                                     const std::vector<ksim::NetAddress>& fallback,
+                                                     const kerb::Bytes& payload) {
+  if (!routing_.has_value() || !routing_->endpoints) {
+    return KdcExchange(fallback, payload);
+  }
+  for (int hop = 0; hop < kMaxReferralHops; ++hop) {
+    std::vector<ksim::NetAddress> endpoints = routing_->endpoints(routing_principal, tgs);
+    if (endpoints.empty()) {
+      endpoints = fallback;
+    }
+    auto reply = KdcExchange(endpoints, payload);
+    if (!reply.ok()) {
+      return reply;
+    }
+    auto tlv = kenc::TlvMessage::Decode(reply.value());
+    if (!tlv.ok() || tlv.value().type() != kMsgClusterReferral) {
+      return reply;  // a real KDC answer; the caller decodes it
+    }
+    auto body = tlv.value().GetBytes(tag::kClusterBody);
+    if (!body.ok() || !routing_->on_referral || !routing_->on_referral(body.value())) {
+      return kerb::MakeError(kerb::ErrorCode::kTransport, "cluster referral not actionable");
+    }
+  }
+  return kerb::MakeError(kerb::ErrorCode::kTransport, "cluster referral loop");
+}
+
 kerb::Result<kerb::Bytes> Client5::ServiceExchange(const ksim::NetAddress& addr,
                                                    const ksim::Exchanger::Builder& build) {
   if (exchanger_.has_value()) {
@@ -52,8 +80,11 @@ kerb::Result<kerb::Bytes> Client5::ServiceExchange(const ksim::NetAddress& addr,
 }
 
 kerb::Status Client5::Login(std::string_view password, ksim::Duration lifetime) {
-  kcrypto::DesKey client_key = kcrypto::StringToKey(password, user_.Salt());
+  return LoginWithKey(kcrypto::StringToKey(password, user_.Salt()), lifetime);
+}
 
+kerb::Status Client5::LoginWithKey(const kcrypto::DesKey& client_key,
+                                   ksim::Duration lifetime) {
   AsRequest5 req;
   req.client = user_;
   req.service_realm = user_.realm;
@@ -67,7 +98,7 @@ kerb::Status Client5::Login(std::string_view password, ksim::Duration lifetime) 
     req.padata = SealTlv(client_key, preauth, options_.enc, prng_);
   }
 
-  auto reply = KdcExchange(as_endpoints_, req.ToTlv().Encode());
+  auto reply = RoutedKdcExchange(user_, false, as_endpoints_, req.ToTlv().Encode());
   if (!reply.ok()) {
     return reply.error();
   }
@@ -146,7 +177,10 @@ kerb::Result<TgsReply5> Client5::RawTgsRequest(const std::string& tgs_realm, Tgs
   if (tgs_realm == user_.realm) {
     endpoints.insert(endpoints.end(), tgs_slaves_.begin(), tgs_slaves_.end());
   }
-  auto reply = KdcExchange(endpoints, req.ToTlv().Encode());
+  // Only the home realm is clustered; cross-realm hops bypass the router.
+  auto reply = tgs_realm == user_.realm
+                   ? RoutedKdcExchange(req.service, true, endpoints, req.ToTlv().Encode())
+                   : KdcExchange(endpoints, req.ToTlv().Encode());
   if (!reply.ok()) {
     return reply.error();
   }

@@ -10,6 +10,7 @@
 #ifndef SRC_KRB5_CLIENT_H_
 #define SRC_KRB5_CLIENT_H_
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -65,6 +66,11 @@ class Client5 {
 
   kerb::Status Login(std::string_view password, ksim::Duration lifetime = 8 * ksim::kHour);
 
+  // Login with an already-derived client key — what bulk load harnesses
+  // use (deriving a million passwords adds nothing but setup time).
+  kerb::Status LoginWithKey(const kcrypto::DesKey& client_key,
+                            ksim::Duration lifetime = 8 * ksim::kHour);
+
   // Obtains a service ticket, walking realm hops as needed (bounded depth).
   kerb::Result<ServiceCredentials5> GetServiceTicket(const Principal& service,
                                                      ksim::Duration lifetime = 8 * ksim::kHour);
@@ -98,6 +104,21 @@ class Client5 {
   // keep their single configured TGS: replication is per realm.
   void AddSlaveKdc(const ksim::NetAddress& as_addr, const ksim::NetAddress& tgs_addr);
 
+  // Cluster routing hooks — same contract as Client4::ClusterRouting (the
+  // V5 referral rides a kMsgClusterReferral TLV, but the body bytes handed
+  // to `on_referral` are the identical shared codec). Clustering applies to
+  // the home realm only; cross-realm hops keep their configured TGS.
+  struct ClusterRouting {
+    std::function<std::vector<ksim::NetAddress>(const Principal& principal, bool tgs)>
+        endpoints;
+    std::function<bool(kerb::BytesView referral_body)> on_referral;
+  };
+  void SetClusterRouting(ClusterRouting routing) { routing_ = std::move(routing); }
+
+  // Forgets cached service tickets (TGTs survive) so load harnesses drive
+  // real TGS exchanges.
+  void DropServiceCredentials() { service_creds_.clear(); }
+
   ksim::RetryStats retry_stats() const {
     return exchanger_.has_value() ? exchanger_->stats() : ksim::RetryStats{};
   }
@@ -116,10 +137,18 @@ class Client5 {
  private:
   kerb::Result<TgsCredentials5> GetTgtForRealm(const std::string& realm,
                                                ksim::Duration lifetime);
+  // Referral hops one exchange may follow before failing closed.
+  static constexpr int kMaxReferralHops = 4;
+
   // Fixed request bytes through a failover list (retransmission); single
   // direct call when retry is not configured.
   kerb::Result<kerb::Bytes> KdcExchange(const std::vector<ksim::NetAddress>& endpoints,
                                         const kerb::Bytes& payload);
+  // KdcExchange through the cluster routing hooks when installed (see
+  // Client4::RoutedKdcExchange).
+  kerb::Result<kerb::Bytes> RoutedKdcExchange(const Principal& routing_principal, bool tgs,
+                                              const std::vector<ksim::NetAddress>& fallback,
+                                              const kerb::Bytes& payload);
   // Fresh request per attempt against one service address.
   kerb::Result<kerb::Bytes> ServiceExchange(const ksim::NetAddress& addr,
                                             const ksim::Exchanger::Builder& build);
@@ -134,6 +163,7 @@ class Client5 {
   std::vector<ksim::NetAddress> as_endpoints_;
   std::vector<ksim::NetAddress> tgs_slaves_;  // home-realm failover targets
   std::optional<ksim::Exchanger> exchanger_;
+  std::optional<ClusterRouting> routing_;
 
   std::map<std::string, ksim::NetAddress> realm_tgs_;
   std::optional<TgsCredentials5> tgs_creds_;  // home-realm TGT

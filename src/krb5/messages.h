@@ -52,6 +52,11 @@ enum MsgType5 : uint16_t {
   kMsgAsPkReq = 42,    // public-key preauthenticated AS request
   kMsgAsPkRep = 43,    // its reply
   kMsgPkEncWrap = 44,  // DH-layer wrapper around the sealed enc-part
+  // Clustered serving (src/cluster): the V5 spelling of the referral reply.
+  // Carries one kClusterBody field holding an encoded kcluster::ReferralBody
+  // (the same bytes the V4 frame carries), so both protocol stacks share a
+  // single referral codec.
+  kMsgClusterReferral = 45,
 };
 
 // Field tags.
@@ -94,6 +99,7 @@ constexpr uint16_t kAinstance = 35;
 constexpr uint16_t kArealm = 36;
 constexpr uint16_t kChallengeResponse = 37;
 constexpr uint16_t kPkPublic = 38;
+constexpr uint16_t kClusterBody = 39;  // encoded kcluster::ReferralBody
 }  // namespace tag
 
 // Ticket flags.

@@ -91,6 +91,12 @@ constexpr std::array<EvInfo, kEvCount> kEvTable = {{
     {"admin_replay_serve", false},
     {"kvno_rotate", true},
     {"kvno_old_key_accept", false},
+    {"cluster_route", false},
+    {"cluster_referral", true},
+    {"cluster_rebalance", true},
+    {"cluster_node_down", true},
+    {"cluster_node_up", true},
+    {"cluster_op", false},
 }};
 
 const EvInfo& InfoFor(Ev kind) { return kEvTable[static_cast<size_t>(kind)]; }
@@ -143,6 +149,8 @@ const char* SourceName(uint32_t source) {
       return "admin";
     case kSrcApp4:
       return "app4";
+    case kSrcCluster:
+      return "cluster";
     default:
       return "other";
   }

@@ -146,6 +146,17 @@ enum class Ev : uint16_t {
   kKvnoRotate,        // a = FNV-1a of the principal, b = new kvno (digest-stable)
   kKvnoOldKeyAccept,  // a = accepted kvno (0 at app servers), b = ring index (counter-only)
 
+  // kcluster (src/cluster) — clustered serving. Referrals and membership
+  // transitions are protocol-visible and deterministic (digest-stable);
+  // per-op routing decisions and latency samples depend on client cache
+  // warmth and routing-table state, so they stay counter-only.
+  kClusterRoute,      // a = owning node id, b = 0 AS / 1 TGS (counter-only)
+  kClusterReferral,   // a = referring node id, b = owning node id (digest-stable)
+  kClusterRebalance,  // a = ring epoch, b = entries shipped (digest-stable)
+  kClusterNodeDown,   // a = node id, b = ring epoch after removal (digest-stable)
+  kClusterNodeUp,     // a = node id, b = ring epoch after rejoin (digest-stable)
+  kClusterOp,         // a = op latency (µs), b = 0 login / 1 TGS (counter-only)
+
   kCount
 };
 
@@ -173,6 +184,7 @@ enum Source : uint32_t {
   kSrcProp = 10,
   kSrcAdmin = 11,
   kSrcApp4 = 12,
+  kSrcCluster = 13,
 };
 
 const char* SourceName(uint32_t source);

@@ -127,7 +127,8 @@ kerb::Result<kerb::Bytes> PropagationSink::HandleDelta(kenc::Reader& r) {
   pending.reserve(count.value());
   for (uint32_t i = 0; i < count.value(); ++i) {
     auto op = r.GetU8();
-    if (!op.ok() || (op.value() != kWalOpUpsert && op.value() != kWalOpDelete)) {
+    if (!op.ok() || (op.value() != kWalOpUpsert && op.value() != kWalOpDelete &&
+                     op.value() != kWalOpClusterMark)) {
       return kerb::MakeError(kerb::ErrorCode::kBadFormat, "prop: bad record op");
     }
     auto payload = r.GetLengthPrefixed();

@@ -27,7 +27,11 @@
 namespace kstore {
 
 constexpr uint32_t kSnapshotMagic = 0x4b534e31;  // "KSN1"
-constexpr uint32_t kMaxSnapshotEntries = 1u << 20;
+// Decode-side plausibility bound on the entry count. Sized for the
+// north-star population: a full dump of a multi-million-principal realm
+// (the clustered logical database) must still round-trip, while a hostile
+// length field is capped well before it can drive pathological allocation.
+constexpr uint32_t kMaxSnapshotEntries = 1u << 22;
 
 struct Snapshot {
   uint64_t lsn = 0;

@@ -50,7 +50,8 @@ kerb::Result<WalRecord> ParseWalFrame(kenc::Reader& r) {
   if (!payload.ok() || !br.AtEnd()) {
     return kerb::MakeError(kerb::ErrorCode::kBadFormat, "wal: bad payload framing");
   }
-  if (op.value() != kWalOpUpsert && op.value() != kWalOpDelete) {
+  if (op.value() != kWalOpUpsert && op.value() != kWalOpDelete &&
+      op.value() != kWalOpClusterMark) {
     return kerb::MakeError(kerb::ErrorCode::kBadFormat, "wal: unknown op");
   }
   record.lsn = lsn.value();

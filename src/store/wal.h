@@ -40,6 +40,13 @@ namespace kstore {
 // entry, a delete payload names the entry to remove.
 constexpr uint8_t kWalOpUpsert = 1;
 constexpr uint8_t kWalOpDelete = 2;
+// Database-neutral marker record (payload: context-defined, e.g. a cluster
+// ring epoch). It advances the LSN like any record but carries no entry
+// mutation; appliers skip it. The cluster controller journals one on every
+// membership change so a post-change snapshot always carries an LSN
+// strictly greater than any node's applied LSN — which is what lets the
+// wholesale path's stale-snapshot guard coexist with rejoin catch-up.
+constexpr uint8_t kWalOpClusterMark = 3;
 
 // Sanity bound on a single record payload — hostile length fields must not
 // drive allocations.

@@ -1,0 +1,109 @@
+// Cluster chaos: traffic through a faulty network while a node blacks out
+// mid-stream, the controller rebalances under load, and a second node takes
+// a device crash. The invariants under test are the paper's fail-closed
+// discipline lifted to a cluster: every request either yields a verified
+// credential or a clean error, no KDC node ever double-issues, and after
+// recovery every node's database is byte-equivalent to its ring slice.
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/population.h"
+#include "src/obs/kobs.h"
+#include "src/sim/faults.h"
+#include "src/sim/world.h"
+
+namespace {
+
+using kcluster::ClusterChaosConfig;
+using kcluster::ClusterChaosReport;
+using kcluster::ClusterConfig;
+using kcluster::ClusterController;
+using kcluster::Population;
+using kcluster::PopulationConfig;
+using kcluster::Protocol;
+using kcluster::RingMember;
+
+ksim::FaultPlan ChaosPlan() {
+  ksim::FaultPlan plan;
+  plan.link.drop_request = 0.04;
+  plan.link.drop_reply = 0.04;
+  plan.link.duplicate_request = 0.05;
+  plan.link.corrupt_request = 0.03;
+  plan.link.corrupt_reply = 0.03;
+  plan.link.delay = 2 * ksim::kMillisecond;
+  plan.link.delay_jitter = 3 * ksim::kMillisecond;
+  // Deliberately no reorder: a pre-rebalance request replayed after an epoch
+  // change legitimately earns a different (referral) reply, which the
+  // divergence detector would mis-read as a double issue.
+  return plan;
+}
+
+struct ChaosRun {
+  ClusterChaosReport report;
+  uint64_t trace_digest = 0;
+};
+
+ChaosRun RunOnce(Protocol protocol, uint64_t world_seed) {
+  kobs::ScopedTrace trace;
+  ksim::World world(world_seed, ChaosPlan());
+
+  PopulationConfig pc;
+  pc.users = 1200;
+  pc.services = 8;
+  Population population(pc);
+
+  ClusterConfig cc;
+  cc.protocol = protocol;
+  ClusterController controller(&world, cc);
+  population.Install(controller.logical_db());
+  controller.Bootstrap(
+      {{1, 0x0a000010}, {2, 0x0a000011}, {3, 0x0a000012}, {4, 0x0a000013}});
+
+  ClusterChaosConfig chaos;
+  chaos.ops_per_phase = 120;
+  ChaosRun run;
+  run.report = RunClusterChaos(world, controller, population, chaos);
+  run.trace_digest = trace->digest();
+  return run;
+}
+
+TEST(ClusterChaosTest, EveryRequestSucceedsOrFailsClosedV4) {
+  const ChaosRun run = RunOnce(Protocol::kV4, 0xc4a05);
+  EXPECT_EQ(run.report.attempted, run.report.ok + run.report.failed_closed);
+  EXPECT_GT(run.report.ok, 0u);
+  // Faults make SOME requests fail even after retries — otherwise the plan
+  // is too tame to mean anything.
+  EXPECT_GT(run.report.failed_closed, 0u);
+  EXPECT_EQ(run.report.internal_errors, 0u) << "kInternal leaked to a client";
+  EXPECT_EQ(run.report.double_issues, 0u);
+  EXPECT_TRUE(run.report.slices_consistent);
+  // Blackout detection and the rejoin each bump the epoch at least once.
+  EXPECT_GE(run.report.final_epoch, 3u);
+}
+
+TEST(ClusterChaosTest, EveryRequestSucceedsOrFailsClosedV5) {
+  const ChaosRun run = RunOnce(Protocol::kV5, 0xc5a05);
+  EXPECT_EQ(run.report.attempted, run.report.ok + run.report.failed_closed);
+  EXPECT_GT(run.report.ok, 0u);
+  EXPECT_EQ(run.report.internal_errors, 0u);
+  EXPECT_EQ(run.report.double_issues, 0u);
+  EXPECT_TRUE(run.report.slices_consistent);
+}
+
+TEST(ClusterChaosTest, ScheduleAndTraceDigestsAreRerunStable) {
+  const ChaosRun a = RunOnce(Protocol::kV4, 0xd16e57);
+  const ChaosRun b = RunOnce(Protocol::kV4, 0xd16e57);
+  ASSERT_NE(a.report.schedule_digest, 0u);
+  EXPECT_EQ(a.report.schedule_digest, b.report.schedule_digest);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.report.ok, b.report.ok);
+  EXPECT_EQ(a.report.failed_closed, b.report.failed_closed);
+  EXPECT_EQ(a.report.final_epoch, b.report.final_epoch);
+
+  // A different seed produces a different fault schedule.
+  const ChaosRun c = RunOnce(Protocol::kV4, 0xd16e58);
+  EXPECT_NE(a.report.schedule_digest, c.report.schedule_digest);
+}
+
+}  // namespace

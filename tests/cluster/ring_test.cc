@@ -1,0 +1,135 @@
+// Consistent-hash ring properties: determinism, balance, and the minimal-
+// movement guarantee a rebalance leans on.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/ring.h"
+#include "src/crypto/prng.h"
+
+namespace {
+
+using kcluster::HashRing;
+using kcluster::RingConfig;
+using kcluster::RingMember;
+
+std::vector<RingMember> Members(int n) {
+  std::vector<RingMember> members;
+  for (int i = 0; i < n; ++i) {
+    members.push_back({static_cast<uint64_t>(i + 1), 0x0a000010u + static_cast<uint32_t>(i)});
+  }
+  return members;
+}
+
+TEST(RingTest, EmptyRingOwnsNothing) {
+  HashRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.OwnerOf(12345), nullptr);
+}
+
+TEST(RingTest, OwnershipIsDeterministicAcrossIndependentRings) {
+  HashRing a((RingConfig()));
+  HashRing b((RingConfig()));
+  a.SetMembers(1, Members(5));
+  b.SetMembers(7, Members(5));  // epoch does not affect placement
+  kcrypto::Prng prng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t h = prng.NextU64();
+    ASSERT_EQ(a.OwnerOf(h)->node_id, b.OwnerOf(h)->node_id);
+  }
+}
+
+TEST(RingTest, PointPlacementIsPureInSeedNodeAndVnode) {
+  EXPECT_EQ(HashRing::PointOf(1, 2, 3), HashRing::PointOf(1, 2, 3));
+  EXPECT_NE(HashRing::PointOf(1, 2, 3), HashRing::PointOf(1, 2, 4));
+  EXPECT_NE(HashRing::PointOf(1, 2, 3), HashRing::PointOf(1, 3, 3));
+  EXPECT_NE(HashRing::PointOf(2, 2, 3), HashRing::PointOf(1, 2, 3));
+}
+
+TEST(RingTest, VirtualNodesKeepThePartitionBalanced) {
+  HashRing ring((RingConfig()));  // 64 vnodes
+  ring.SetMembers(1, Members(4));
+  std::map<uint64_t, int> counts;
+  kcrypto::Prng prng(7);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    counts[ring.OwnerOf(prng.NextU64())->node_id]++;
+  }
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [id, count] : counts) {
+    // Expected 25%; 64 vnodes keep the spread comfortably inside [12%, 42%].
+    EXPECT_GT(count, kSamples * 12 / 100) << "node " << id;
+    EXPECT_LT(count, kSamples * 42 / 100) << "node " << id;
+  }
+}
+
+TEST(RingTest, RemovingOneMemberMovesOnlyItsKeys) {
+  HashRing before((RingConfig()));
+  before.SetMembers(1, Members(5));
+  HashRing after((RingConfig()));
+  std::vector<RingMember> survivors = Members(5);
+  const uint64_t removed = survivors.back().node_id;
+  survivors.pop_back();
+  after.SetMembers(2, survivors);
+
+  kcrypto::Prng prng(99);
+  int moved = 0;
+  int total = 20000;
+  for (int i = 0; i < total; ++i) {
+    const uint64_t h = prng.NextU64();
+    const uint64_t owner_before = before.OwnerOf(h)->node_id;
+    const uint64_t owner_after = after.OwnerOf(h)->node_id;
+    if (owner_before != removed) {
+      // The consistency property: survivors keep every key they had.
+      ASSERT_EQ(owner_before, owner_after);
+    } else {
+      ++moved;
+      ASSERT_NE(owner_after, removed);
+    }
+  }
+  // Roughly a fifth of the space belonged to the removed node.
+  EXPECT_GT(moved, total / 10);
+  EXPECT_LT(moved, total * 4 / 10);
+}
+
+TEST(RingTest, AddingAMemberOnlyStealsKeys) {
+  HashRing before((RingConfig()));
+  before.SetMembers(1, Members(4));
+  HashRing after((RingConfig()));
+  after.SetMembers(2, Members(5));
+  const uint64_t added = 5;
+
+  kcrypto::Prng prng(1234);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t h = prng.NextU64();
+    const uint64_t owner_before = before.OwnerOf(h)->node_id;
+    const uint64_t owner_after = after.OwnerOf(h)->node_id;
+    // A key either stays put or moves to the new member — never between
+    // two old members.
+    if (owner_after != owner_before) {
+      ASSERT_EQ(owner_after, added);
+    }
+  }
+}
+
+TEST(RingTest, FindMemberLocatesByIdOnly) {
+  HashRing ring((RingConfig()));
+  ring.SetMembers(1, Members(3));
+  ASSERT_NE(ring.FindMember(2), nullptr);
+  EXPECT_EQ(ring.FindMember(2)->host, 0x0a000011u);
+  EXPECT_EQ(ring.FindMember(42), nullptr);
+}
+
+TEST(RingTest, PrincipalOwnershipUsesTheStoreHash) {
+  HashRing ring((RingConfig()));
+  ring.SetMembers(1, Members(4));
+  const krb4::Principal p = krb4::Principal::User("alice", "REALM");
+  ASSERT_NE(ring.OwnerOfPrincipal(p), nullptr);
+  EXPECT_EQ(ring.OwnerOfPrincipal(p)->node_id,
+            ring.OwnerOf(krb4::PrincipalStore::Hash(p))->node_id);
+}
+
+}  // namespace

@@ -15,6 +15,10 @@
 #include "src/admin/kadmin.h"
 #include "src/admin/messages.h"
 #include "src/attacks/kdcload.h"
+#include "src/cluster/cluster.h"
+#include "src/cluster/population.h"
+#include "src/cluster/router.h"
+#include "src/cluster/wire.h"
 #include "src/attacks/testbed.h"
 #include "src/attacks/testbed5.h"
 #include "src/crypto/checksum.h"
@@ -615,6 +619,181 @@ TEST(MalformedTest, RingRecordPayloadSweepsFailClosed) {
       ExpectCleanFailure(status.code(), "flipped ring record");
     }
   }
+}
+
+// --- Cluster wire sweeps ----------------------------------------------------
+
+kcluster::RingAnnounce SampleView() {
+  kcluster::RingAnnounce view;
+  view.epoch = 3;
+  view.as_port = 88;
+  view.tgs_port = 89;
+  view.members = {{1, 0x0a000010}, {2, 0x0a000011}, {3, 0x0a000012}, {4, 0x0a000013}};
+  return view;
+}
+
+TEST(MalformedTest, ClusterReferralBodySweepsFailClosed) {
+  // Referral bodies are plaintext by design (see src/cluster/wire.h), so
+  // the decoder and the client router are the whole defence: truncations
+  // must be refused, and a bit-flipped body that still parses must only
+  // ever change where the client *asks*, never crash or wedge the router.
+  kcluster::ReferralBody body;
+  body.view = SampleView();
+  body.owner_node_id = 2;
+  const kerb::Bytes encoded = kcluster::EncodeReferralBody(body);
+  ASSERT_TRUE(kcluster::DecodeReferralBody(encoded).ok());
+
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    kerb::Bytes cut(encoded.begin(), encoded.begin() + len);
+    auto r = kcluster::DecodeReferralBody(cut);
+    ASSERT_FALSE(r.ok()) << "referral cut at " << len;
+    ExpectCleanFailure(r.error().code, "truncated referral");
+  }
+  for (size_t bit = 0; bit < encoded.size() * 8; ++bit) {
+    kerb::Bytes flipped = encoded;
+    flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    auto r = kcluster::DecodeReferralBody(flipped);
+    if (!r.ok()) {
+      ExpectCleanFailure(r.error().code, "flipped referral");
+    }
+    // The router must survive adopting (or rejecting) any flipped body.
+    kcluster::ClientRouter router;
+    (void)router.ApplyReferral(flipped);
+  }
+  // A member-count field inflated past the decoder ceiling fails closed
+  // instead of allocating.
+  kcluster::RingAnnounce huge = SampleView();
+  kerb::Bytes inflated = kcluster::EncodeReferralBody({huge, 1});
+  // count lives after epoch(4) + seed(8) + vnodes(4) + 3 ports(6) = offset 22.
+  inflated[22] = 0xff;
+  inflated[23] = 0xff;
+  inflated[24] = 0xff;
+  inflated[25] = 0xff;
+  EXPECT_FALSE(kcluster::DecodeReferralBody(inflated).ok());
+}
+
+TEST(MalformedTest, ClusterControlFrameSweepsFailClosed) {
+  // Control frames are MAC'd under the cluster key: EVERY single-bit flip
+  // and every truncation — including within the MAC trailer itself — must
+  // be a clean rejection. Splices of two authentic frames likewise.
+  const kcrypto::DesKey key = kcluster::ClusterKey("ATHENA.SIM");
+  kcluster::LoadFrame load;
+  load.epoch = 3;
+  kcrypto::Prng prng(0x10ad);
+  for (int i = 0; i < 6; ++i) {
+    krb4::PrincipalEntry entry;
+    entry.kind = krb4::PrincipalKind::kUser;
+    entry.keys.push_back({1, prng.NextDesKey(), 0});
+    load.entries.push_back(krb4::EncodePrincipalEntry(
+        krb4::Principal{"u" + std::to_string(i), "", "ATHENA.SIM"}, entry));
+  }
+  const std::vector<kerb::Bytes> frames = {
+      kcluster::EncodePingFrame(key, 7),
+      kcluster::EncodePongFrame(key, {7, 3, 41}),
+      kcluster::EncodeRingFrame(key, SampleView()),
+      kcluster::EncodeRingAckFrame(key, {7, 3}),
+      kcluster::EncodeLoadFrame(key, load),
+      kcluster::EncodeLoadAckFrame(key, 6),
+  };
+  for (const kerb::Bytes& frame : frames) {
+    ASSERT_TRUE(kcluster::OpenCtlFrame(key, frame).ok());
+    for (size_t len = 0; len < frame.size(); ++len) {
+      kerb::Bytes cut(frame.begin(), frame.begin() + len);
+      auto r = kcluster::OpenCtlFrame(key, cut);
+      ASSERT_FALSE(r.ok()) << "ctl frame cut at " << len;
+      ExpectCleanFailure(r.error().code, "truncated ctl frame");
+    }
+    for (size_t bit = 0; bit < frame.size() * 8; ++bit) {
+      kerb::Bytes flipped = frame;
+      flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      auto r = kcluster::OpenCtlFrame(key, flipped);
+      ASSERT_FALSE(r.ok()) << "ctl frame bit " << bit << " accepted";
+      ExpectCleanFailure(r.error().code, "flipped ctl frame");
+    }
+  }
+  // Splice: head of the ring frame, tail of the load frame. Both halves are
+  // authentic bytes; the MAC still refuses the combination.
+  const kerb::Bytes& ring_frame = frames[2];
+  const kerb::Bytes& load_frame = frames[4];
+  kerb::Bytes spliced(ring_frame.begin(), ring_frame.begin() + ring_frame.size() / 2);
+  spliced.insert(spliced.end(), load_frame.begin() + load_frame.size() / 2,
+                 load_frame.end());
+  EXPECT_FALSE(kcluster::OpenCtlFrame(key, spliced).ok());
+  // The right frame under the wrong realm's key is equally dead.
+  EXPECT_FALSE(kcluster::OpenCtlFrame(kcluster::ClusterKey("OTHER.REALM"), ring_frame).ok());
+
+  // A load body whose count field promises more entries than the ceiling
+  // fails before allocation. Forge the body then re-MAC it so only the
+  // count check can reject it. (ParseLoadBody takes the opened body.)
+  auto opened = kcluster::OpenCtlFrame(key, load_frame);
+  ASSERT_TRUE(opened.ok());
+  kerb::Bytes body = opened.value().second;
+  body[4] = 0xff;  // count (after u32 epoch)
+  body[5] = 0xff;
+  body[6] = 0xff;
+  body[7] = 0xff;
+  auto r = kcluster::ParseLoadBody(body);
+  ASSERT_FALSE(r.ok());
+  ExpectCleanFailure(r.error().code, "inflated load count");
+}
+
+TEST(MalformedTest, ClusterLiveNodeSweepsFailClosed) {
+  // Sweeps against LIVE node ports: the KDC port (referral-routing front
+  // end), the control port, and the propagation port (wholesale/delta
+  // catch-up handshake). Damaged frames must bounce cleanly off every one
+  // of them, and the cluster must stay fully consistent afterwards.
+  ksim::World world(0xfa2e);
+  kcluster::PopulationConfig pc;
+  pc.users = 300;
+  pc.services = 4;
+  kcluster::Population population(pc);
+  kcluster::ClusterConfig cc;
+  kcluster::ClusterController controller(&world, cc);
+  population.Install(controller.logical_db());
+  controller.Bootstrap({{1, 0x0a000010}, {2, 0x0a000011}});
+
+  const ksim::NetAddress eve{0x0a000666, 31337};
+  const uint32_t host = 0x0a000010;
+  const kcrypto::DesKey ctl_key = kcluster::ClusterKey(cc.realm);
+  const kcrypto::DesKey prop_key =
+      kcrypto::StringToKey("kprop/" + cc.realm, cc.realm);
+
+  // Authentic frames for each port, then damage them on the wire.
+  kstore::Snapshot snap = krb4::SnapshotDatabase(controller.logical_db(), 99);
+  const std::vector<std::pair<uint16_t, kerb::Bytes>> probes = {
+      {cc.ctl_port, kcluster::EncodeRingFrame(ctl_key, SampleView())},
+      {cc.ctl_port, kcluster::EncodeLoadFrame(ctl_key, {1, {}})},
+      {cc.prop_port, kstore::EncodeWholesaleFrame(prop_key, kstore::EncodeSnapshot(snap))},
+      {cc.prop_port, kstore::EncodeDeltaFrame(prop_key, 1, 0, {})},
+  };
+  kcrypto::Prng prng(0x5eed);
+  for (const auto& [port, frame] : probes) {
+    for (size_t len = 0; len < frame.size(); len += 7) {
+      kerb::Bytes cut(frame.begin(), frame.begin() + len);
+      auto r = world.network().Call(eve, {host, port}, cut);
+      ASSERT_FALSE(r.ok()) << "port " << port << " accepted a truncation";
+      EXPECT_NE(r.error().code, kerb::ErrorCode::kInternal);
+    }
+    for (int i = 0; i < 2000; ++i) {
+      kerb::Bytes flipped = frame;
+      const size_t bit = prng.NextBelow(flipped.size() * 8);
+      flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      auto r = world.network().Call(eve, {host, port}, flipped);
+      ASSERT_FALSE(r.ok()) << "port " << port << " accepted bit " << bit;
+      EXPECT_NE(r.error().code, kerb::ErrorCode::kInternal);
+    }
+    for (int i = 0; i < 200; ++i) {
+      auto r = world.network().Call(eve, {host, port},
+                                    prng.NextBytes(prng.NextBelow(120)));
+      ASSERT_FALSE(r.ok());
+      EXPECT_NE(r.error().code, kerb::ErrorCode::kInternal);
+    }
+  }
+  // None of it moved the cluster: slices still match the ring assignment,
+  // and no node adopted the forged epoch-3 view.
+  EXPECT_TRUE(controller.AllSlicesConsistent());
+  EXPECT_EQ(controller.node(1)->view_epoch(), 1u);
+  EXPECT_EQ(controller.node(1)->applied_lsn(), controller.store().last_lsn());
 }
 
 }  // namespace

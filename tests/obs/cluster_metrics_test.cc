@@ -1,0 +1,126 @@
+// Cluster metrics through kobs: the load/chaos harness reports re-derived
+// from trace counters, proving the cluster events measure what the harness
+// claims — and that the trace digest over a clustered run is rerun-stable.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/population.h"
+#include "src/obs/kobs.h"
+#include "src/sim/world.h"
+
+namespace {
+
+using kcluster::ClusterConfig;
+using kcluster::ClusterController;
+using kcluster::ClusterLoadConfig;
+using kcluster::ClusterLoadReport;
+using kcluster::Population;
+using kcluster::PopulationConfig;
+using kcluster::Protocol;
+using kcluster::RingMember;
+
+struct Fixture {
+  ksim::World world;
+  Population population;
+  ClusterController controller;
+
+  Fixture()
+      : world(0xebb5),
+        population(SmallPopulation()),
+        controller(&world, ClusterConfig{}) {
+    population.Install(controller.logical_db());
+    controller.Bootstrap(
+        {{1, 0x0a000010}, {2, 0x0a000011}, {3, 0x0a000012}, {4, 0x0a000013}});
+  }
+
+  static PopulationConfig SmallPopulation() {
+    PopulationConfig pc;
+    pc.users = 800;
+    pc.services = 8;
+    return pc;
+  }
+};
+
+TEST(ClusterMetricsTest, LoadReportIsReDerivableFromCounters) {
+  kobs::ScopedTrace trace;
+  Fixture fx;
+  ClusterLoadConfig lc;
+  lc.ops = 120;
+  lc.client_pool = 8;
+  lc.cold_clients = 2;
+  const ClusterLoadReport report =
+      RunClusterLoad(fx.world, fx.controller, fx.population, lc);
+  ASSERT_EQ(report.ok, report.attempted);
+
+  // One kClusterOp event per attempted operation, with b distinguishing
+  // login-only ops from login+TGS pairs.
+  EXPECT_EQ(trace->Count(kobs::Ev::kClusterOp), report.attempted);
+  uint64_t login_ops = 0;
+  uint64_t tgs_ops = 0;
+  for (const kobs::Event& ev : trace->events()) {
+    if (ev.kind != kobs::Ev::kClusterOp) {
+      continue;
+    }
+    (ev.b == 0 ? login_ops : tgs_ops)++;
+  }
+  EXPECT_EQ(login_ops + tgs_ops, report.attempted);
+  EXPECT_EQ(tgs_ops, report.tgs_ops);
+  EXPECT_EQ(login_ops, report.logins);  // login-only operations
+
+  // Route decisions and referral teaching match the summed router stats.
+  EXPECT_EQ(trace->Count(kobs::Ev::kClusterRoute), report.routing.direct_routes);
+  // Every referral a client followed was emitted by some node; nodes may
+  // also have referred requests that then failed over elsewhere.
+  EXPECT_GE(trace->Count(kobs::Ev::kClusterReferral),
+            report.routing.referrals_followed);
+  EXPECT_GT(report.routing.referrals_followed, 0u);
+
+  // The latency histogram covers every operation.
+  uint64_t histogram_total = 0;
+  for (uint64_t bucket : trace->HistogramA(kobs::Ev::kClusterOp)) {
+    histogram_total += bucket;
+  }
+  EXPECT_EQ(histogram_total, report.attempted);
+}
+
+TEST(ClusterMetricsTest, MembershipEventsMatchControllerStats) {
+  kobs::ScopedTrace trace;
+  Fixture fx;
+  fx.controller.node(2)->Crash();
+  ASSERT_TRUE(fx.controller.ProbeAll());
+  ASSERT_TRUE(fx.controller.node(2)->Recover().ok());
+  ASSERT_TRUE(fx.controller.ProbeAll());
+
+  EXPECT_EQ(trace->Count(kobs::Ev::kClusterNodeDown), fx.controller.stats().nodes_lost);
+  EXPECT_EQ(trace->Count(kobs::Ev::kClusterNodeUp), fx.controller.stats().nodes_rejoined);
+  EXPECT_EQ(trace->Count(kobs::Ev::kClusterRebalance), fx.controller.stats().rebalances);
+  EXPECT_EQ(trace->Count(kobs::Ev::kClusterNodeDown), 1u);
+  EXPECT_EQ(trace->Count(kobs::Ev::kClusterNodeUp), 1u);
+  // The down event records the node and the post-removal epoch; the up
+  // event the post-rejoin epoch.
+  EXPECT_EQ(trace->CountA(kobs::Ev::kClusterNodeDown, 2), 1u);
+  EXPECT_EQ(trace->CountA(kobs::Ev::kClusterNodeUp, 2), 1u);
+}
+
+TEST(ClusterMetricsTest, TraceDigestIsRerunStableAndSeedSensitive) {
+  auto run = [](uint64_t load_seed) {
+    kobs::ScopedTrace trace;
+    Fixture fx;
+    ClusterLoadConfig lc;
+    lc.ops = 60;
+    lc.seed = load_seed;
+    RunClusterLoad(fx.world, fx.controller, fx.population, lc);
+    fx.controller.node(3)->Crash();
+    fx.controller.ProbeAll();
+    return trace->digest();
+  };
+  const uint64_t a = run(5);
+  EXPECT_EQ(a, run(5));
+  EXPECT_NE(a, run(6));
+}
+
+}  // namespace
